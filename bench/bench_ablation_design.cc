@@ -1,0 +1,95 @@
+// Ablations for design choices this reproduction makes beyond the paper's own
+// sweeps (DESIGN.md "implementation notes"):
+//   1. Reply-batch flush window: the paper fixes batch size b and flushes full
+//      batches; a partial batch must flush on a timer. That timer bounds how long a
+//      reply can sit and is pure added latency at low load.
+//   2. Straggler window: how long a client waits past n-f ST1 replies hoping for the
+//      full 5f+1 fast quorum. Too short forfeits fast paths; too long adds latency.
+//   3. Dependency-arrival wait: our liveness-friendly reading of Algorithm 1 lines
+//      3-4 (wait for a missing dependency's ST1 instead of voting abort instantly).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace basil {
+namespace {
+
+void Run() {
+  PrintBanner("Ablation 1: reply-batch flush window (RW-U, b=16, 96 clients)");
+  {
+    Table table({"flush-window(us)", "tput(tx/s)", "mean(ms)", "p99(ms)"});
+    for (uint64_t window_ns : {100'000ULL, 400'000ULL, 1'000'000ULL, 2'000'000ULL}) {
+      ExperimentParams p = BenchDefaults();
+      p.system = SystemKind::kBasil;
+      p.workload = WorkloadKind::kYcsbUniform;
+      p.basil.batch_size = 16;
+      p.basil.batch_timeout_ns = window_ns;
+      p.clients = 96;
+      const RunResult r = RunExperiment(p);
+      table.AddRow({std::to_string(window_ns / 1000), FmtTput(r.tput_tps),
+                    FmtMs(r.mean_ms), FmtMs(r.p99_ms)});
+      std::fflush(stdout);
+    }
+    table.Print();
+    std::printf("Expected: longer windows trade latency for batch fill; throughput "
+                "is window-insensitive once load fills batches.\n");
+  }
+
+  PrintBanner("Ablation 2: fast-path straggler window (RW-U, 96 clients)");
+  {
+    Table table({"straggler(us)", "tput(tx/s)", "mean(ms)", "fastpath%"});
+    for (uint64_t window_ns : {0ULL, 200'000ULL, 600'000ULL, 2'000'000ULL}) {
+      ExperimentParams p = BenchDefaults();
+      p.system = SystemKind::kBasil;
+      p.workload = WorkloadKind::kYcsbUniform;
+      p.basil.batch_size = 16;
+      p.basil.straggler_window_ns = window_ns;
+      p.clients = 96;
+      const RunResult r = RunExperiment(p);
+      const uint64_t fast = r.clients.Get("fastpath_decisions");
+      const uint64_t slow = r.clients.Get("slowpath_decisions");
+      const double frac =
+          fast + slow > 0 ? static_cast<double>(fast) / (fast + slow) : 0;
+      table.AddRow({std::to_string(window_ns / 1000), FmtTput(r.tput_tps),
+                    FmtMs(r.mean_ms), FmtPct(frac)});
+      std::fflush(stdout);
+    }
+    table.Print();
+    std::printf("Expected: window=0 degrades the fast-path rate (classification "
+                "happens at n-f replies); a few hundred us recovers it.\n");
+  }
+
+  PrintBanner("Ablation 3: dependency-arrival wait (RW-Z, 96 clients, 30% stalls)");
+  {
+    Table table({"dep-wait(ms)", "tput/correct-client", "mean(ms)", "dep-aborts"});
+    for (uint64_t wait_ns : {100'000ULL, 1'000'000ULL, 3'000'000ULL, 10'000'000ULL}) {
+      ExperimentParams p = BenchDefaults();
+      p.system = SystemKind::kBasil;
+      p.workload = WorkloadKind::kYcsbZipf;
+      p.basil.batch_size = 16;
+      p.basil.dep_arrival_timeout_ns = wait_ns;
+      p.clients = 96;
+      p.byz_client_fraction = 0.3;
+      p.byz_txn_fraction = 0.5;
+      p.byz_mode = BasilClient::FaultMode::kStallEarly;
+      const RunResult r = RunExperiment(p);
+      table.AddRow({FmtMs(static_cast<double>(wait_ns) / 1e6),
+                    FmtTput(r.tput_per_correct_client), FmtMs(r.mean_ms),
+                    std::to_string(r.replicas.Get("abort_dep_missing"))});
+      std::fflush(stdout);
+    }
+    table.Print();
+    std::printf(
+        "Finding: with reliable delivery the dependency's ST1 broadcast always beats\n"
+        "the dependent's prepare, so no arrival aborts occur at any setting — the\n"
+        "knob only matters under message loss (see tests/test_partial_synchrony.cc).\n");
+  }
+}
+
+}  // namespace
+}  // namespace basil
+
+int main() {
+  basil::Run();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5a: the cost of cryptography — Basil vs Basil-NoProofs on YCSB-T (2 reads +
+// 2 writes), uniform (RW-U) and Zipfian 0.9 (RW-Z). Paper: NoProofs is 3.7x (RW-U) to
+// 4.6x (RW-Z) faster.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace basil {
+namespace {
+
+void Run() {
+  PrintBanner("Figure 5a: impact of signatures (Basil vs Basil-NoProofs, YCSB-T 2r2w)");
+  Table table({"workload", "variant", "tput(tx/s)", "mean(ms)", "clients",
+               "paper-tput"});
+
+  struct Row {
+    WorkloadKind wl;
+    const char* wl_name;
+    bool signatures;
+    double paper;
+  };
+  const std::vector<Row> rows = {
+      {WorkloadKind::kYcsbUniform, "RW-U", true, 38241},
+      {WorkloadKind::kYcsbUniform, "RW-U", false, 143880},
+      {WorkloadKind::kYcsbZipf, "RW-Z", true, 4777},
+      {WorkloadKind::kYcsbZipf, "RW-Z", false, 21978},
+  };
+
+  double tput[2][2] = {{0, 0}, {0, 0}};
+  for (const Row& row : rows) {
+    ExperimentParams p = BenchDefaults();
+    p.system = SystemKind::kBasil;
+    p.workload = row.wl;
+    p.ycsb.rmw_pairs = 2;
+    p.basil.batch_size = 16;
+    p.basil.signatures_enabled = row.signatures;
+    const PeakResult peak = FindPeak(p, row.signatures ? DefaultGrid() : WideGrid());
+    table.AddRow({row.wl_name, row.signatures ? "Basil" : "Basil-NoProofs",
+                  FmtTput(peak.best.tput_tps), FmtMs(peak.best.mean_ms),
+                  std::to_string(peak.best_clients), FmtTput(row.paper)});
+    tput[row.wl == WorkloadKind::kYcsbZipf][row.signatures ? 0 : 1] =
+        peak.best.tput_tps;
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf("\nSpeedup from dropping proofs: RW-U %s (paper 3.7x), RW-Z %s (paper 4.6x)\n",
+              FmtX(tput[0][1] / tput[0][0]).c_str(),
+              FmtX(tput[1][1] / tput[1][0]).c_str());
+}
+
+}  // namespace
+}  // namespace basil
+
+int main() {
+  basil::Run();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 7 (a, b): Basil under Byzantine client failures — correct-client throughput
+// as the fraction of faulty transactions grows, for the four attack strategies of
+// §6.4 (stall-early, stall-late, equiv-forced, equiv-real) on RW-U and RW-Z.
+// Paper: graceful, near-linear degradation; equiv-forced worst (three extra message
+// rounds); equiv-real nearly flat because equivocation opportunities are rare.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace basil {
+namespace {
+
+const char* ModeName(BasilClient::FaultMode mode) {
+  switch (mode) {
+    case BasilClient::FaultMode::kStallEarly:
+      return "stall-early";
+    case BasilClient::FaultMode::kStallLate:
+      return "stall-late";
+    case BasilClient::FaultMode::kEquivForced:
+      return "equiv-forced";
+    case BasilClient::FaultMode::kEquivReal:
+      return "equiv-real";
+    default:
+      return "correct";
+  }
+}
+
+void RunWorkload(WorkloadKind wl, const char* title) {
+  PrintBanner(title);
+  Table table({"scenario", "target-faulty%", "measured-faulty%", "tput/correct-client",
+               "mean(ms)", "fallbacks"});
+
+  const std::vector<BasilClient::FaultMode> modes = {
+      BasilClient::FaultMode::kStallEarly,
+      BasilClient::FaultMode::kStallLate,
+      BasilClient::FaultMode::kEquivForced,
+      BasilClient::FaultMode::kEquivReal,
+  };
+  for (BasilClient::FaultMode mode : modes) {
+    for (double frac : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
+      ExperimentParams p = BenchDefaults();
+      p.system = SystemKind::kBasil;
+      p.workload = wl;
+      p.ycsb.rmw_pairs = 2;
+      p.basil.batch_size = 16;
+      p.clients = 96;
+      // 30% of clients are Byzantine; they misbehave on `frac` of their admitted
+      // transactions (the x-axis reports processed faulty transactions).
+      p.byz_client_fraction = 0.3;
+      p.byz_txn_fraction = frac;
+      p.byz_mode = mode;
+      const RunResult r = RunExperiment(p);
+      table.AddRow({ModeName(mode), FmtPct(frac * 0.3), FmtPct(r.faulty_fraction),
+                    FmtTput(r.tput_per_correct_client), FmtMs(r.mean_ms),
+                    std::to_string(r.clients.Get("fallback_invocations") +
+                                   r.clients.Get("dep_recoveries"))});
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace basil
+
+int main() {
+  basil::RunWorkload(basil::WorkloadKind::kYcsbUniform,
+                     "Figure 7a: correct-client throughput vs failures (RW-U)");
+  basil::RunWorkload(basil::WorkloadKind::kYcsbZipf,
+                     "Figure 7b: correct-client throughput vs failures (RW-Z)");
+  std::printf(
+      "\nPaper shape: slow linear decay for stalls; equiv-forced steepest; equiv-real\n"
+      "flat (with ~30%% Byzantine clients, worst-case drop stays under ~25%%).\n");
+  return 0;
+}

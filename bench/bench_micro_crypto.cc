@@ -1,0 +1,88 @@
+// Microbenchmarks (google-benchmark) for the crypto substrate: these measure the real
+// host-CPU cost of the primitives the simulation charges for, and the batching
+// amortization curve of §4.4.
+#include <benchmark/benchmark.h>
+
+#include "src/crypto/batch.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/sha256.h"
+
+namespace basil {
+namespace {
+
+void BM_Sha256(benchmark::State& state) {
+  std::string input(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Digest(input));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSign(benchmark::State& state) {
+  std::vector<uint8_t> key(32, 0x42);
+  const Hash256 digest = Sha256::Digest("message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, digest));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Digest("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildMerkleBatch(leaves));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < state.range(0); ++i) {
+    leaves.push_back(Sha256::Digest("leaf" + std::to_string(i)));
+  }
+  const MerkleBatch batch = BuildMerkleBatch(leaves);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MerkleRootFromProof(leaves[0], batch.proofs[0]));
+  }
+}
+BENCHMARK(BM_MerkleVerify)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SealBatch(benchmark::State& state) {
+  KeyRegistry keys(4, 7);
+  std::vector<Hash256> digests;
+  for (int i = 0; i < state.range(0); ++i) {
+    digests.push_back(Sha256::Digest("reply" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SealBatch(digests, keys, 0, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_SealBatch)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_BatchVerifyCached(benchmark::State& state) {
+  KeyRegistry keys(4, 7);
+  std::vector<Hash256> digests;
+  for (int i = 0; i < 16; ++i) {
+    digests.push_back(Sha256::Digest("reply" + std::to_string(i)));
+  }
+  const auto certs = SealBatch(digests, keys, 0, nullptr);
+  BatchVerifier verifier(&keys);
+  verifier.Verify(digests[0], certs[0], nullptr);  // Warm the root cache.
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verifier.Verify(digests[i % 16], certs[i % 16], nullptr));
+    ++i;
+  }
+}
+BENCHMARK(BM_BatchVerifyCached);
+
+}  // namespace
+}  // namespace basil
+
+BENCHMARK_MAIN();

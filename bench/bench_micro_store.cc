@@ -1,0 +1,87 @@
+// Microbenchmarks for the multiversion store: the per-operation costs behind every
+// replica's read and MVTSO-Check paths.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/store/version_store.h"
+
+namespace basil {
+namespace {
+
+VersionStore MakeStore(int keys, int versions) {
+  VersionStore vs;
+  for (int k = 0; k < keys; ++k) {
+    const Key key = "key" + std::to_string(k);
+    for (int v = 1; v <= versions; ++v) {
+      vs.ApplyCommittedWrite(key, Timestamp{static_cast<uint64_t>(v * 10), 0},
+                             "value", {});
+    }
+  }
+  return vs;
+}
+
+void BM_LatestCommittedBefore(benchmark::State& state) {
+  VersionStore vs = MakeStore(1000, static_cast<int>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    const Key key = "key" + std::to_string(rng.NextUint(1000));
+    benchmark::DoNotOptimize(vs.LatestCommittedBefore(key, Timestamp{55, 0}));
+  }
+}
+BENCHMARK(BM_LatestCommittedBefore)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_PreparedWriteChurn(benchmark::State& state) {
+  VersionStore vs = MakeStore(1000, 5);
+  Rng rng(2);
+  uint64_t ts = 1000;
+  for (auto _ : state) {
+    const Key key = "key" + std::to_string(rng.NextUint(1000));
+    vs.AddPreparedWrite(key, Timestamp{ts, 1}, "v", {});
+    vs.RemovePreparedWrite(key, Timestamp{ts, 1});
+    ++ts;
+  }
+}
+BENCHMARK(BM_PreparedWriteChurn);
+
+void BM_RtsChurn(benchmark::State& state) {
+  VersionStore vs = MakeStore(1000, 5);
+  Rng rng(3);
+  uint64_t ts = 1000;
+  for (auto _ : state) {
+    const Key key = "key" + std::to_string(rng.NextUint(1000));
+    vs.AddRts(key, Timestamp{ts, 1});
+    benchmark::DoNotOptimize(vs.MaxRts(key));
+    vs.RemoveRts(key, Timestamp{ts, 1});
+    ++ts;
+  }
+}
+BENCHMARK(BM_RtsChurn);
+
+void BM_ReaderConflictScan(benchmark::State& state) {
+  VersionStore vs;
+  // A hot key with many recorded readers: the worst case for Algorithm 1 step 4.
+  for (int i = 0; i < state.range(0); ++i) {
+    vs.AddReader("hot", Timestamp{static_cast<uint64_t>(1000 + i), 0},
+                 Timestamp{static_cast<uint64_t>(i), 0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vs.ReaderWouldMissWrite("hot", Timestamp{500, 0}));
+  }
+}
+BENCHMARK(BM_ReaderConflictScan)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GenesisLazyMaterialize(benchmark::State& state) {
+  VersionStore vs;
+  vs.SetGenesisFn([](const Key&) -> std::optional<Value> { return Value("seed"); });
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vs.LatestCommitted("lazy" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_GenesisLazyMaterialize);
+
+}  // namespace
+}  // namespace basil
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Shared plumbing for the figure benchmarks: standard client-count grids and
+// paper-reference printing. Every bench binary prints the measured rows next to the
+// paper's reported values so the shape comparison is immediate.
+#ifndef BASIL_BENCH_BENCH_UTIL_H_
+#define BASIL_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+
+namespace basil {
+
+// Client counts used to locate peak throughput, ordered cheap-to-expensive.
+inline std::vector<uint32_t> DefaultGrid() { return {32, 96, 192}; }
+inline std::vector<uint32_t> WideGrid() { return {32, 96, 192, 320}; }
+inline std::vector<uint32_t> LatencyGrid() { return {8, 16, 32, 64, 128, 224}; }
+
+inline ExperimentParams BenchDefaults() {
+  ExperimentParams p;
+  p.warmup_ns = 250'000'000;
+  p.measure_ns = 1'000'000'000;
+  p.seed = 20211026;  // SOSP'21 started on 2021-10-26.
+  return p;
+}
+
+inline void PrintRunLine(const std::string& label, const RunResult& r) {
+  std::printf("  %-28s %s\n", label.c_str(), Summarize(r).c_str());
+}
+
+}  // namespace basil
+
+#endif  // BASIL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,61 @@
+#include "src/basil/byzantine.h"
+
+namespace basil {
+
+void ByzantineBasilReplica::Handle(const MsgEnvelope& env) {
+  if (mode_ == ByzReplicaMode::kSilent) {
+    counters().Inc("byz_dropped");
+    return;
+  }
+  BasilReplica::Handle(env);
+}
+
+Vote ByzantineBasilReplica::FilterVote(const TxnDigest& txn, Vote vote) {
+  if (mode_ == ByzReplicaMode::kVoteAbort) {
+    counters().Inc("byz_vote_flips");
+    return Vote::kAbort;
+  }
+  return BasilReplica::FilterVote(txn, vote);
+}
+
+void ByzantineBasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
+  if (mode_ != ByzReplicaMode::kFabricateReads) {
+    BasilReplica::OnRead(src, msg);
+    return;
+  }
+  // Fabricate a juicy-looking version just below the reader's timestamp, with no
+  // certificate and no f+1 backing. A correct client must discard it.
+  auto reply = std::make_shared<ReadReplyMsg>();
+  reply->req_id = msg.req_id;
+  reply->key = msg.key;
+  reply->replica = id();
+  reply->has_committed = true;
+  reply->committed_ts = Timestamp{msg.ts.time - 1, msg.ts.client_id};
+  reply->committed_value = "fabricated";
+  reply->wire_size = 128;
+  const Hash256 digest = reply->Digest();
+  SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+    auto* r = static_cast<ReadReplyMsg*>(m.get());
+    r->batch_cert = std::move(cert);
+  });
+  counters().Inc("byz_fabricated_reads");
+}
+
+void ByzantineBasilReplica::OnSt2(NodeId src, const St2Msg& msg) {
+  if (mode_ != ByzReplicaMode::kEquivocateAcks) {
+    BasilReplica::OnSt2(src, msg);
+    return;
+  }
+  // Log honestly (so state stays coherent) but ack with a decision chosen by the
+  // requester's parity — pure equivocation within its own signature authority.
+  TxnState& s = GetState(msg.txn);
+  if (s.txn == nullptr && msg.txn_body != nullptr) {
+    s.txn = msg.txn_body;
+  }
+  s.logged_decision = (src % 2 == 0) ? Decision::kCommit : Decision::kAbort;
+  s.view_decision = msg.view;
+  counters().Inc("byz_equivocated_acks");
+  ReplySt2Ack(src, s);
+}
+
+}  // namespace basil

@@ -1,0 +1,50 @@
+// Byzantine replica behaviours used by tests and the failure benchmarks (§6.4).
+// Byzantine *client* behaviours live in BasilClient::FaultMode; replicas misbehave
+// structurally and therefore get a subclass.
+#ifndef BASIL_SRC_BASIL_BYZANTINE_H_
+#define BASIL_SRC_BASIL_BYZANTINE_H_
+
+#include "src/basil/replica.h"
+
+namespace basil {
+
+enum class ByzReplicaMode : uint8_t {
+  kNone,
+  // Votes Abort on every ST1: cannot abort transactions alone (AQ = f+1) but kills
+  // the commit fast path (§6.3, Figure 6a discussion).
+  kVoteAbort,
+  // Never replies to anything: forces clients through read retries and slow paths
+  // (§6.2, Figure 5b discussion).
+  kSilent,
+  // Returns a fabricated committed version (no certificate) and a fabricated prepared
+  // version (no f+1 backing): correct clients must reject both (§4.1 step 3).
+  kFabricateReads,
+  // Equivocates ST2 acks: tells even-numbered clients Commit and odd ones Abort,
+  // regardless of the logged decision. Cannot forge the batch signature of others, so
+  // its lies are confined to its own vote weight.
+  kEquivocateAcks,
+};
+
+class ByzantineBasilReplica : public BasilReplica {
+ public:
+  ByzantineBasilReplica(Network* net, NodeId id, const BasilConfig* cfg,
+                        const Topology* topo, const KeyRegistry* keys,
+                        const SimConfig* sim_cfg, ByzReplicaMode mode)
+      : BasilReplica(net, id, cfg, topo, keys, sim_cfg), mode_(mode) {}
+
+  void Handle(const MsgEnvelope& env) override;
+
+  ByzReplicaMode mode() const { return mode_; }
+
+ protected:
+  Vote FilterVote(const TxnDigest& txn, Vote vote) override;
+  void OnRead(NodeId src, const ReadMsg& msg) override;
+  void OnSt2(NodeId src, const St2Msg& msg) override;
+
+ private:
+  ByzReplicaMode mode_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_BASIL_BYZANTINE_H_

@@ -1,0 +1,216 @@
+#include "src/basil/certs.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace basil {
+
+ShardOutcome ShardTally::Classify(const BasilConfig& cfg, bool complete) const {
+  if (conflict_cert != nullptr) {
+    return ShardOutcome::kAbortConflict;
+  }
+  if (commit_votes.size() >= cfg.fast_commit_quorum()) {
+    return ShardOutcome::kCommitFast;
+  }
+  if (abort_votes.size() >= cfg.fast_abort_quorum()) {
+    return ShardOutcome::kAbortFast;
+  }
+  if (complete) {
+    // With >= n-f replies, one of the two slow quorums is guaranteed (abort votes <=
+    // f implies commit votes >= 3f+1).
+    if (abort_votes.size() >= cfg.abort_quorum()) {
+      return ShardOutcome::kAbortSlow;
+    }
+    if (commit_votes.size() >= cfg.commit_quorum()) {
+      return ShardOutcome::kCommitSlow;
+    }
+  }
+  return ShardOutcome::kUndecided;
+}
+
+ShardId LogShardOf(const Transaction& txn) {
+  if (txn.involved_shards.empty()) {
+    return 0;
+  }
+  uint64_t x = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    x = (x << 8) | txn.id[i];
+  }
+  return txn.involved_shards[x % txn.involved_shards.size()];
+}
+
+ReplicaId FallbackLeaderIndex(const TxnDigest& txn, uint32_t view, uint32_t n) {
+  uint64_t x = 0;
+  for (size_t i = 8; i < 16; ++i) {
+    x = (x << 8) | txn[i];
+  }
+  return static_cast<ReplicaId>((view + x) % n);
+}
+
+uint32_t ComputeTargetView(const std::vector<uint32_t>& views, uint32_t current,
+                           uint32_t r1_quorum, uint32_t r2_quorum) {
+  uint32_t best = current;
+  for (uint32_t v : views) {
+    uint32_t count = 0;
+    for (uint32_t u : views) {
+      if (u >= v) {
+        ++count;  // Subsumption: a vote for u endorses every view <= u.
+      }
+    }
+    if (count >= r1_quorum) {
+      best = std::max(best, v + 1);  // R1.
+    } else if (count >= r2_quorum && v > best) {
+      best = v;  // R2.
+    }
+  }
+  return best;
+}
+
+bool CertValidator::ValidateVoteSet(ShardId shard, const TxnDigest& txn, Vote expected,
+                                    const std::vector<SignedVote>& votes,
+                                    uint32_t min_count, BatchVerifier& verifier,
+                                    CostMeter* meter) const {
+  std::unordered_set<NodeId> seen;
+  for (const SignedVote& v : votes) {
+    if (v.txn != txn || v.replica == kInvalidNode) {
+      continue;
+    }
+    const bool matches = expected == Vote::kAbort
+                             ? (v.vote == Vote::kAbort || v.vote == Vote::kMisbehavior)
+                             : v.vote == expected;
+    if (!matches) {
+      continue;
+    }
+    if (!topo_->IsReplicaNode(v.replica) ||
+        topo_->ShardOfReplicaNode(v.replica) != shard) {
+      continue;
+    }
+    if (!verifier.Verify(v.Digest(), v.cert, meter)) {
+      continue;
+    }
+    seen.insert(v.replica);
+    if (seen.size() >= min_count) {
+      return true;
+    }
+  }
+  return seen.size() >= min_count;
+}
+
+bool CertValidator::ValidateDecisionCert(const DecisionCert& cert,
+                                         const Transaction* body,
+                                         BatchVerifier& verifier,
+                                         CostMeter* meter) const {
+  switch (cert.kind) {
+    case DecisionCert::Kind::kFastVotes: {
+      if (cert.decision == Decision::kCommit) {
+        if (body == nullptr || body->id != cert.txn) {
+          return false;
+        }
+        for (ShardId shard : body->involved_shards) {
+          auto it = cert.shard_votes.find(shard);
+          if (it == cert.shard_votes.end() ||
+              !ValidateVoteSet(shard, cert.txn, Vote::kCommit, it->second,
+                               cfg_->fast_commit_quorum(), verifier, meter)) {
+            return false;
+          }
+        }
+        return true;
+      }
+      // Fast abort: one shard with 3f+1 abort votes suffices.
+      for (const auto& [shard, votes] : cert.shard_votes) {
+        if (ValidateVoteSet(shard, cert.txn, Vote::kAbort, votes,
+                            cfg_->fast_abort_quorum(), verifier, meter)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case DecisionCert::Kind::kConflict: {
+      if (cert.decision != Decision::kAbort || cert.conflict_txn == nullptr ||
+          cert.conflict_cert == nullptr || body == nullptr) {
+        return false;
+      }
+      if (cert.conflict_cert->decision != Decision::kCommit ||
+          cert.conflict_cert->txn != cert.conflict_txn->id) {
+        return false;
+      }
+      if (!Conflicts(*body, *cert.conflict_txn)) {
+        return false;
+      }
+      return ValidateDecisionCert(*cert.conflict_cert, cert.conflict_txn.get(),
+                                  verifier, meter);
+    }
+    case DecisionCert::Kind::kSlowLogged: {
+      std::unordered_set<NodeId> seen;
+      std::optional<uint32_t> view;
+      for (const SignedSt2Ack& ack : cert.st2_acks) {
+        if (ack.txn != cert.txn || ack.decision != cert.decision) {
+          continue;
+        }
+        if (view.has_value() && ack.view_decision != *view) {
+          continue;
+        }
+        if (!topo_->IsReplicaNode(ack.replica) ||
+            topo_->ShardOfReplicaNode(ack.replica) != cert.log_shard) {
+          continue;
+        }
+        if (!verifier.Verify(ack.Digest(), ack.cert, meter)) {
+          continue;
+        }
+        view = ack.view_decision;
+        seen.insert(ack.replica);
+        if (seen.size() >= cfg_->st2_quorum()) {
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CertValidator::ValidateSt2Justification(const St2Msg& st2, BatchVerifier& verifier,
+                                             CostMeter* meter) const {
+  if (st2.forced) {
+    // Test hook for the paper's artificial equiv-forced worst case (§6.4).
+    return true;
+  }
+  if (st2.txn_body == nullptr || st2.txn_body->id != st2.txn) {
+    return false;
+  }
+  if (st2.decision == Decision::kCommit) {
+    // Every involved shard must show a CommitQuorum.
+    for (ShardId shard : st2.txn_body->involved_shards) {
+      auto it = st2.shard_votes.find(shard);
+      if (it == st2.shard_votes.end() ||
+          !ValidateVoteSet(shard, st2.txn, Vote::kCommit, it->second,
+                           cfg_->commit_quorum(), verifier, meter)) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Abort: a single shard with an AbortQuorum justifies the decision.
+  for (const auto& [shard, votes] : st2.shard_votes) {
+    if (ValidateVoteSet(shard, st2.txn, Vote::kAbort, votes, cfg_->abort_quorum(),
+                        verifier, meter)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CertValidator::Conflicts(const Transaction& a, const Transaction& b) {
+  // a's read missed b's write: a read (k, v) with v < ts_b < ts_a and b writes k.
+  auto misses = [](const Transaction& reader, const Transaction& writer) {
+    for (const ReadEntry& r : reader.read_set) {
+      if (r.version < writer.ts && writer.ts < reader.ts && writer.WritesKey(r.key)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  return misses(a, b) || misses(b, a);
+}
+
+}  // namespace basil

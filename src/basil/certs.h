@@ -1,0 +1,97 @@
+// Vote-tally classification (§4.2 Stage 1, cases 1–5) and certificate validation
+// (V-CERT / C-CERT / A-CERT), shared by clients (constructing) and replicas (checking).
+#ifndef BASIL_SRC_BASIL_CERTS_H_
+#define BASIL_SRC_BASIL_CERTS_H_
+
+#include <vector>
+
+#include "src/basil/messages.h"
+#include "src/common/config.h"
+#include "src/common/cost.h"
+#include "src/sim/topology.h"
+
+namespace basil {
+
+// Outcome of tallying one shard's ST1 votes. Fast outcomes are durable (a V-CERT can
+// be built directly); slow outcomes are mere tallies that must be logged via ST2.
+enum class ShardOutcome : uint8_t {
+  kUndecided,
+  kCommitFast,
+  kCommitSlow,
+  kAbortFast,
+  kAbortSlow,
+  kAbortConflict,  // Fast: a single vote carried a conflicting transaction's C-CERT.
+};
+
+inline bool IsFastOutcome(ShardOutcome o) {
+  return o == ShardOutcome::kCommitFast || o == ShardOutcome::kAbortFast ||
+         o == ShardOutcome::kAbortConflict;
+}
+inline bool IsCommitOutcome(ShardOutcome o) {
+  return o == ShardOutcome::kCommitFast || o == ShardOutcome::kCommitSlow;
+}
+
+// Accumulates one shard's ST1 replies (client side).
+struct ShardTally {
+  ShardId shard = 0;
+  std::vector<SignedVote> commit_votes;
+  std::vector<SignedVote> abort_votes;
+  TxnPtr conflict_txn;
+  DecisionCertPtr conflict_cert;
+  uint32_t replies = 0;
+
+  // Classifies the tally. `complete` means no further replies can be expected (all n
+  // replied, or the fast-path wait expired) so slow-path quorums may be used.
+  ShardOutcome Classify(const BasilConfig& cfg, bool complete) const;
+};
+
+// Selects the logging shard deterministically from the transaction id (§4.2 Stage 2).
+ShardId LogShardOf(const Transaction& txn);
+
+// Fallback leader for a view: replica index (view + id_T) mod n within S_log (§5).
+ReplicaId FallbackLeaderIndex(const TxnDigest& txn, uint32_t view, uint32_t n);
+
+// View adoption rules R1/R2 (§5 step 2) with vote subsumption (Appendix B.5): a
+// signed view v counts as a vote for every view <= v. R1: a view with r1_quorum
+// (3f+1) support advances to v+1; otherwise R2 adopts the largest view above
+// `current` with r2_quorum (f+1) support.
+uint32_t ComputeTargetView(const std::vector<uint32_t>& views, uint32_t current,
+                           uint32_t r1_quorum, uint32_t r2_quorum);
+
+// Validates vote sets and decision certificates. Stateless except for the caller's
+// BatchVerifier (root-signature cache).
+class CertValidator {
+ public:
+  CertValidator(const BasilConfig* cfg, const Topology* topo, const KeyRegistry* keys)
+      : cfg_(cfg), topo_(topo), keys_(keys) {}
+
+  // True iff `votes` holds at least `min_count` valid signed votes of value
+  // `expected` for `txn`, from distinct replicas of `shard`.
+  bool ValidateVoteSet(ShardId shard, const TxnDigest& txn, Vote expected,
+                       const std::vector<SignedVote>& votes, uint32_t min_count,
+                       BatchVerifier& verifier, CostMeter* meter) const;
+
+  // Validates a full decision certificate. `body` (the transaction) is required for
+  // fast commit certs (to know the involved shards) and conflict certs (to check the
+  // conflict); it may be null for slow-path certs.
+  bool ValidateDecisionCert(const DecisionCert& cert, const Transaction* body,
+                            BatchVerifier& verifier, CostMeter* meter) const;
+
+  // Validates the justification of an ST2 (Stage 2) message: its per-shard tallies
+  // must support `decision` for every shard the transaction touches.
+  bool ValidateSt2Justification(const St2Msg& st2, BatchVerifier& verifier,
+                                CostMeter* meter) const;
+
+  // MVTSO conflict test used for conflict-cert validation: true iff committing both
+  // would violate serializability (one's read would miss the other's write).
+  static bool Conflicts(const Transaction& a, const Transaction& b);
+
+ private:
+  const BasilConfig* cfg_;
+  const Topology* topo_;
+  const KeyRegistry* keys_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_BASIL_CERTS_H_

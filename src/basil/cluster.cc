@@ -1,0 +1,71 @@
+#include "src/basil/cluster.h"
+
+namespace basil {
+
+BasilCluster::BasilCluster(const BasilClusterConfig& cfg) : cfg_(cfg) {
+  topology_.num_shards = cfg_.basil.num_shards;
+  topology_.replicas_per_shard = cfg_.basil.n();
+  topology_.num_clients = cfg_.num_clients;
+
+  Rng rng(cfg_.sim.seed);
+  keys_ = std::make_unique<KeyRegistry>(topology_.TotalNodes(), cfg_.sim.seed,
+                                        cfg_.basil.signatures_enabled);
+  network_ = std::make_unique<Network>(&events_, cfg_.sim.net, rng.Fork());
+
+  for (ShardId shard = 0; shard < topology_.num_shards; ++shard) {
+    for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
+      const NodeId id = topology_.ReplicaNode(shard, r);
+      const bool byz =
+          cfg_.byz_replica_mode != ByzReplicaMode::kNone &&
+          r >= topology_.replicas_per_shard - cfg_.byz_replicas_per_shard;
+      if (byz) {
+        replicas_.push_back(std::make_unique<ByzantineBasilReplica>(
+            network_.get(), id, &cfg_.basil, &topology_, keys_.get(), &cfg_.sim,
+            cfg_.byz_replica_mode));
+      } else {
+        replicas_.push_back(std::make_unique<BasilReplica>(
+            network_.get(), id, &cfg_.basil, &topology_, keys_.get(), &cfg_.sim));
+      }
+      network_->Register(replicas_.back().get());
+    }
+  }
+  for (uint32_t c = 0; c < cfg_.num_clients; ++c) {
+    const NodeId id = topology_.ClientNode(c);
+    clients_.push_back(std::make_unique<BasilClient>(network_.get(), id,
+                                                     /*client_id=*/c + 1, &cfg_.basil,
+                                                     &topology_, keys_.get(), &cfg_.sim,
+                                                     rng.Fork()));
+    network_->Register(clients_.back().get());
+  }
+}
+
+void BasilCluster::Load(const Key& key, const Value& value) {
+  const ShardId shard = ShardOfKey(key, topology_.num_shards);
+  for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
+    replicas_[topology_.ReplicaNode(shard, r)]->LoadGenesis(key, value);
+  }
+}
+
+void BasilCluster::SetGenesisFn(VersionStore::GenesisFn fn) {
+  for (auto& r : replicas_) {
+    r->store().SetGenesisFn(fn);
+  }
+}
+
+Counters BasilCluster::ReplicaCounters() const {
+  Counters out;
+  for (const auto& r : replicas_) {
+    out.Merge(r->counters());
+  }
+  return out;
+}
+
+Counters BasilCluster::ClientCounters() const {
+  Counters out;
+  for (const auto& c : clients_) {
+    out.Merge(c->counters());
+  }
+  return out;
+}
+
+}  // namespace basil

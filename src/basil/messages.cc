@@ -1,0 +1,104 @@
+#include "src/basil/messages.h"
+
+#include "src/common/serde.h"
+#include "src/crypto/sha256.h"
+
+namespace basil {
+namespace {
+
+// Domain-separation tags keep digests of different message types disjoint.
+enum Domain : uint8_t {
+  kDomVote = 1,
+  kDomSt2Ack = 2,
+  kDomReadReply = 3,
+  kDomView = 4,
+  kDomElect = 5,
+  kDomDecFb = 6,
+};
+
+}  // namespace
+
+Hash256 SignedVote::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomVote);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(vote));
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 SignedSt2Ack::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomSt2Ack);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(view_decision);
+  enc.PutU32(view_current);
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 ReadReplyMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomReadReply);
+  enc.PutU64(req_id);
+  enc.PutString(key);
+  enc.PutU32(replica);
+  enc.PutU8(has_committed ? 1 : 0);
+  if (has_committed) {
+    enc.PutTimestamp(committed_ts);
+    enc.PutString(committed_value);
+    enc.PutDigest(committed_writer);
+  }
+  enc.PutU8(has_prepared ? 1 : 0);
+  if (has_prepared) {
+    enc.PutTimestamp(prepared_ts);
+    enc.PutString(prepared_value);
+    if (prepared_txn) {
+      enc.PutDigest(prepared_txn->id);
+    }
+  }
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 ElectFbData::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomElect);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(view);
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 DecFbMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomDecFb);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(view);
+  enc.PutU32(leader);
+  return Sha256::Digest(enc.bytes());
+}
+
+uint64_t DecisionCert::WireSize() const {
+  uint64_t size = 32 + 2;
+  for (const auto& [shard, votes] : shard_votes) {
+    (void)shard;
+    for (const auto& v : votes) {
+      size += 40 + v.cert.WireSize();
+    }
+  }
+  if (conflict_txn) {
+    size += conflict_txn->WireSize();
+  }
+  if (conflict_cert) {
+    size += conflict_cert->WireSize();
+  }
+  for (const auto& ack : st2_acks) {
+    size += 48 + ack.cert.WireSize();
+  }
+  return size;
+}
+
+}  // namespace basil

@@ -1,0 +1,235 @@
+// Wire messages of the Basil protocol (§4–§5). Message kinds occupy the range
+// [100, 199]. Every signed reply goes through the reply-batching scheme (§4.4) and thus
+// carries a BatchCert; standalone signatures (fallback election) carry a Signature.
+#ifndef BASIL_SRC_BASIL_MESSAGES_H_
+#define BASIL_SRC_BASIL_MESSAGES_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/crypto/batch.h"
+#include "src/crypto/signer.h"
+#include "src/sim/network.h"
+#include "src/store/txn.h"
+
+namespace basil {
+
+enum BasilMsgKind : uint16_t {
+  kBasilRead = 100,
+  kBasilReadReply = 101,
+  kBasilSt1 = 102,       // PREPARE (also Recovery Prepare when is_recovery).
+  kBasilSt1Reply = 103,
+  kBasilSt2 = 104,
+  kBasilSt2Reply = 105,
+  kBasilWriteback = 106,  // Decision certificate broadcast (also RPR cert replies).
+  kBasilAbortRead = 107,  // Execution-phase abort: release RTS.
+  kBasilInvokeFb = 108,
+  kBasilElectFb = 109,
+  kBasilDecFb = 110,
+  kBasilFetch = 111,       // Retrieve a transaction body by digest (§5: any client can
+  kBasilFetchReply = 112,  // obtain the ST1 of a dependency it needs to finish).
+};
+
+// A replica's signed ST1 vote. V-CERTs and vote tallies are sets of these.
+struct SignedVote {
+  TxnDigest txn{};
+  Vote vote = Vote::kAbort;
+  NodeId replica = kInvalidNode;
+  BatchCert cert;
+
+  Hash256 Digest() const;
+  bool operator==(const SignedVote& o) const {
+    return txn == o.txn && vote == o.vote && replica == o.replica;
+  }
+};
+
+// A replica's signed ST2 logging acknowledgment (§4.2 Stage 2 / §5).
+struct SignedSt2Ack {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  uint32_t view_decision = 0;
+  uint32_t view_current = 0;
+  NodeId replica = kInvalidNode;
+  BatchCert cert;
+
+  Hash256 Digest() const;
+};
+
+struct DecisionCert;
+using DecisionCertPtr = std::shared_ptr<const DecisionCert>;
+
+// C-CERT / A-CERT (§4.3). Fast-path certificates carry per-shard ST1 vote sets; the
+// conflict variant carries a committed conflicting transaction's cert; slow-path
+// certificates carry the logging shard's ST2 ack set.
+struct DecisionCert {
+  enum class Kind : uint8_t {
+    kFastVotes,   // Commit: 5f+1 votes per shard. Abort: 3f+1 abort votes, one shard.
+    kConflict,    // Abort justified by a conflicting transaction's commit cert.
+    kSlowLogged,  // n-f matching ST2 acks from S_log.
+  };
+
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  Kind kind = Kind::kFastVotes;
+
+  std::map<ShardId, std::vector<SignedVote>> shard_votes;  // kFastVotes.
+
+  TxnPtr conflict_txn;              // kConflict: the committed conflicting transaction.
+  DecisionCertPtr conflict_cert;    // kConflict: its commit certificate.
+
+  std::vector<SignedSt2Ack> st2_acks;  // kSlowLogged.
+  ShardId log_shard = 0;               // kSlowLogged.
+
+  uint64_t WireSize() const;
+};
+
+// ---- Execution phase ----
+
+struct ReadMsg : MsgBase {
+  uint64_t req_id = 0;
+  Key key;
+  Timestamp ts;  // Reader's transaction timestamp.
+
+  ReadMsg() { kind = kBasilRead; }
+};
+
+struct ReadReplyMsg : MsgBase {
+  uint64_t req_id = 0;
+  Key key;
+  NodeId replica = kInvalidNode;
+
+  bool has_committed = false;
+  Timestamp committed_ts;
+  Value committed_value;
+  TxnDigest committed_writer{};
+  DecisionCertPtr committed_cert;  // Null for genesis versions (ts == 0).
+  TxnPtr committed_txn;            // Writer body; needed to validate fast-path certs.
+
+  bool has_prepared = false;
+  Timestamp prepared_ts;
+  Value prepared_value;
+  TxnPtr prepared_txn;  // Full ST1 body: lets the reader finish the dependency (§5).
+
+  BatchCert batch_cert;
+
+  ReadReplyMsg() { kind = kBasilReadReply; }
+  Hash256 Digest() const;
+};
+
+struct AbortReadMsg : MsgBase {
+  TxnDigest txn{};
+  Timestamp ts;
+  std::vector<Key> keys;  // Keys whose RTS should be released.
+
+  AbortReadMsg() { kind = kBasilAbortRead; }
+};
+
+// ---- Prepare phase ----
+
+struct St1Msg : MsgBase {
+  TxnPtr txn;
+  bool is_recovery = false;  // RP message of the fallback protocol (§5).
+
+  St1Msg() { kind = kBasilSt1; }
+};
+
+struct St1ReplyMsg : MsgBase {
+  SignedVote vote;
+  // Abort fast path case 5: proof that a conflicting transaction committed.
+  TxnPtr conflict_txn;
+  DecisionCertPtr conflict_cert;
+
+  St1ReplyMsg() { kind = kBasilSt1Reply; }
+};
+
+// Client's tentative 2PC decision plus justification (vote tallies from every shard).
+struct St2Msg : MsgBase {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  uint32_t view = 0;
+  std::map<ShardId, std::vector<SignedVote>> shard_votes;
+  TxnPtr txn_body;
+  // Test hook for the paper's "equiv-forced" worst case (§6.4): replicas accept the
+  // decision without justification. Enabled only by the failure benchmarks.
+  bool forced = false;
+
+  St2Msg() { kind = kBasilSt2; }
+};
+
+struct St2ReplyMsg : MsgBase {
+  SignedSt2Ack ack;
+
+  St2ReplyMsg() { kind = kBasilSt2Reply; }
+};
+
+// ---- Writeback / recovery replies ----
+
+struct WritebackMsg : MsgBase {
+  DecisionCertPtr cert;
+  TxnPtr txn_body;
+
+  WritebackMsg() { kind = kBasilWriteback; }
+};
+
+// Transaction-body retrieval. The reply is self-certifying: the body must hash to the
+// requested digest, so no signature is needed.
+struct FetchMsg : MsgBase {
+  TxnDigest digest{};
+
+  FetchMsg() { kind = kBasilFetch; }
+};
+
+struct FetchReplyMsg : MsgBase {
+  TxnPtr txn;
+
+  FetchReplyMsg() { kind = kBasilFetchReply; }
+};
+
+// ---- Fallback (divergent case, §5) ----
+
+// The "signed current views" a client attaches to InvokeFB (§5 step 1) are the signed
+// ST2R acks it received: each ack's signature covers view_current, so replicas can
+// verify the view evidence directly. An empty set is permitted for the 0 -> 1
+// transition (Appendix B.5 optimization).
+struct InvokeFbMsg : MsgBase {
+  TxnDigest txn{};
+  std::vector<SignedSt2Ack> views;
+  TxnPtr txn_body;
+
+  InvokeFbMsg() { kind = kBasilInvokeFb; }
+};
+
+struct ElectFbData {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  uint32_t view = 0;
+  NodeId replica = kInvalidNode;
+  Signature sig;
+
+  Hash256 Digest() const;
+};
+
+struct ElectFbMsg : MsgBase {
+  ElectFbData elect;
+
+  ElectFbMsg() { kind = kBasilElectFb; }
+};
+
+struct DecFbMsg : MsgBase {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  uint32_t view = 0;
+  NodeId leader = kInvalidNode;
+  Signature leader_sig;
+  std::vector<ElectFbData> proof;  // 4f+1 ELECT FB messages with matching views.
+
+  DecFbMsg() { kind = kBasilDecFb; }
+  Hash256 Digest() const;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_BASIL_MESSAGES_H_

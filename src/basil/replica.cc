@@ -1,0 +1,813 @@
+#include "src/basil/replica.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace basil {
+
+BasilReplica::BasilReplica(Network* net, NodeId id, const BasilConfig* cfg,
+                           const Topology* topo, const KeyRegistry* keys,
+                           const SimConfig* sim_cfg)
+    : Node(net, id, &sim_cfg->cost, sim_cfg->replica_workers),
+      cfg_(cfg),
+      topo_(topo),
+      keys_(keys),
+      validator_(cfg, topo, keys),
+      verifier_(keys),
+      shard_(topo->ShardOfReplicaNode(id)),
+      index_(topo->ReplicaIndex(id)) {}
+
+void BasilReplica::LoadGenesis(const Key& key, Value value) {
+  store_.LoadGenesis(key, std::move(value));
+}
+
+const BasilReplica::TxnState* BasilReplica::FindState(const TxnDigest& digest) const {
+  auto it = txns_.find(digest);
+  return it == txns_.end() ? nullptr : &it->second;
+}
+
+std::optional<Vote> BasilReplica::VoteFor(const TxnDigest& txn) const {
+  const TxnState* s = FindState(txn);
+  return s == nullptr ? std::nullopt : s->vote;
+}
+
+std::optional<Decision> BasilReplica::FinalDecisionFor(const TxnDigest& txn) const {
+  const TxnState* s = FindState(txn);
+  if (s == nullptr || !s->decided) {
+    return std::nullopt;
+  }
+  return s->final_decision;
+}
+
+std::optional<Decision> BasilReplica::LoggedDecisionFor(const TxnDigest& txn) const {
+  const TxnState* s = FindState(txn);
+  return s == nullptr ? std::nullopt : s->logged_decision;
+}
+
+uint32_t BasilReplica::CurrentViewFor(const TxnDigest& txn) const {
+  const TxnState* s = FindState(txn);
+  return s == nullptr ? 0 : s->view_current;
+}
+
+void BasilReplica::ChargeClientAuthVerify() {
+  if (keys_->enabled()) {
+    meter().ChargeVerify();
+  }
+}
+
+void BasilReplica::Handle(const MsgEnvelope& env) {
+  switch (env.msg->kind) {
+    case kBasilRead:
+      OnRead(env.src, static_cast<const ReadMsg&>(*env.msg));
+      break;
+    case kBasilSt1:
+      OnSt1(env.src, static_cast<const St1Msg&>(*env.msg));
+      break;
+    case kBasilSt2:
+      OnSt2(env.src, static_cast<const St2Msg&>(*env.msg));
+      break;
+    case kBasilWriteback:
+      OnWriteback(env.src, static_cast<const WritebackMsg&>(*env.msg));
+      break;
+    case kBasilAbortRead:
+      OnAbortRead(static_cast<const AbortReadMsg&>(*env.msg));
+      break;
+    case kBasilInvokeFb:
+      OnInvokeFb(env.src, static_cast<const InvokeFbMsg&>(*env.msg));
+      break;
+    case kBasilElectFb:
+      OnElectFb(env.src, static_cast<const ElectFbMsg&>(*env.msg));
+      break;
+    case kBasilDecFb:
+      OnDecFb(env.src, static_cast<const DecFbMsg&>(*env.msg));
+      break;
+    case kBasilFetch:
+      OnFetch(env.src, static_cast<const FetchMsg&>(*env.msg));
+      break;
+    default:
+      counters_.Inc("unknown_message");
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution phase: reads.
+// ---------------------------------------------------------------------------
+
+void BasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
+  ChargeClientAuthVerify();
+  // §4.1: ignore requests with timestamps beyond the local watermark.
+  if (msg.ts.time > now() + cfg_->delta_ns) {
+    counters_.Inc("read_rejected_watermark");
+    return;
+  }
+  store_.AddRts(msg.key, msg.ts);
+
+  auto reply = std::make_shared<ReadReplyMsg>();
+  reply->req_id = msg.req_id;
+  reply->key = msg.key;
+  reply->replica = id();
+
+  if (const CommittedVersion* cv = store_.LatestCommittedBefore(msg.key, msg.ts)) {
+    reply->has_committed = true;
+    reply->committed_ts = cv->ts;
+    reply->committed_value = cv->value;
+    reply->committed_writer = cv->writer;
+    if (const TxnState* ws = FindState(cv->writer); ws != nullptr && ws->decided) {
+      reply->committed_cert = ws->final_cert;
+      reply->committed_txn = ws->txn;
+    }
+  }
+  if (const PreparedWrite* pw = store_.LatestPreparedBefore(msg.key, msg.ts)) {
+    // Only report the prepared version if it is newer than the committed one; the
+    // client picks the highest valid version anyway.
+    if (!reply->has_committed || reply->committed_ts < pw->ts) {
+      if (const TxnState* ws = FindState(pw->writer); ws != nullptr && ws->txn) {
+        reply->has_prepared = true;
+        reply->prepared_ts = pw->ts;
+        reply->prepared_value = pw->value;
+        reply->prepared_txn = ws->txn;
+      }
+    }
+  }
+
+  reply->wire_size = 64 + reply->key.size() + reply->committed_value.size() +
+                     reply->prepared_value.size() +
+                     (reply->committed_cert ? reply->committed_cert->WireSize() : 0) +
+                     (reply->prepared_txn ? reply->prepared_txn->WireSize() : 0);
+  const Hash256 digest = reply->Digest();
+  SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+    auto* r = static_cast<ReadReplyMsg*>(m.get());
+    r->wire_size += cert.WireSize();
+    r->batch_cert = std::move(cert);
+  });
+  counters_.Inc("reads_served");
+}
+
+void BasilReplica::OnAbortRead(const AbortReadMsg& msg) {
+  ChargeClientAuthVerify();
+  for (const Key& key : msg.keys) {
+    store_.RemoveRts(key, msg.ts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prepare phase, Stage 1: MVTSO-Check (Algorithm 1).
+// ---------------------------------------------------------------------------
+
+void BasilReplica::OnSt1(NodeId src, const St1Msg& msg) {
+  ChargeClientAuthVerify();
+  if (msg.txn == nullptr) {
+    return;
+  }
+  TxnState& s = GetState(msg.txn->id);
+  if (s.txn == nullptr) {
+    s.txn = msg.txn;
+    // Another transaction may be waiting for this body to arrive (dependency check).
+    auto it = arrival_waiters_.find(msg.txn->id);
+    if (it != arrival_waiters_.end()) {
+      std::vector<TxnDigest> waiters = std::move(it->second);
+      arrival_waiters_.erase(it);
+      for (const TxnDigest& w : waiters) {
+        ContinueCheck(w);
+      }
+    }
+  }
+  if (msg.is_recovery) {
+    s.interested.insert(src);
+    counters_.Inc("recovery_prepares");
+  }
+
+  if (s.decided) {
+    ReplyCert(src, s);
+    return;
+  }
+  if (msg.is_recovery && s.logged_decision.has_value()) {
+    // RPR carries the most advanced state: the logged Stage-2 decision, plus the
+    // pinned vote so the recovering client can assemble ST2 justifications.
+    ReplySt2Ack(src, s);
+    if (s.vote.has_value()) {
+      ReplyVote(src, s);
+    }
+    return;
+  }
+  if (s.vote.has_value()) {
+    ReplyVote(src, s);  // Pinned vote: answered from storage (§4.2 step 3).
+    return;
+  }
+  s.vote_waiters.push_back(src);
+  if (s.phase == CheckPhase::kNotStarted) {
+    StartCheck(s);
+  }
+}
+
+void BasilReplica::StartCheck(TxnState& s) {
+  const Transaction& txn = *s.txn;
+  // Step 1: timestamp watermark.
+  if (txn.ts.time > now() + cfg_->delta_ns) {
+    SetVote(s, Vote::kAbort);
+    counters_.Inc("abort_watermark");
+    return;
+  }
+  s.phase = CheckPhase::kAwaitArrival;
+  // Step 2 needs every dependency's body; register for those not yet seen.
+  bool any_missing = false;
+  for (const Dependency& dep : txn.deps) {
+    const TxnState* ds = FindState(dep.txn);
+    if (ds == nullptr || ds->txn == nullptr) {
+      arrival_waiters_[dep.txn].push_back(txn.id);
+      any_missing = true;
+    }
+  }
+  if (any_missing) {
+    const TxnDigest digest = txn.id;
+    s.arrival_timer_armed = true;
+    s.arrival_timer = SetTimer(cfg_->dep_arrival_timeout_ns, [this, digest]() {
+      TxnState& st = GetState(digest);
+      if (st.phase == CheckPhase::kAwaitArrival && !st.vote.has_value()) {
+        SetVote(st, Vote::kAbort);
+        counters_.Inc("abort_dep_missing");
+      }
+    });
+  }
+  ContinueCheck(txn.id);
+}
+
+void BasilReplica::ContinueCheck(const TxnDigest& digest) {
+  auto it = txns_.find(digest);
+  if (it == txns_.end()) {
+    return;
+  }
+  TxnState& s = it->second;
+  if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+    return;
+  }
+  const Transaction& txn = *s.txn;
+
+  // Step 2: every dependency must be known, its claimed version must match the
+  // dependency transaction's timestamp, and it must not already be aborted.
+  for (const Dependency& dep : txn.deps) {
+    const TxnState* ds = FindState(dep.txn);
+    if (ds == nullptr || ds->txn == nullptr) {
+      return;  // Still waiting for arrival (or the arrival timer to fire).
+    }
+    if (ds->txn->ts != dep.version) {
+      SetVote(s, Vote::kAbort);
+      counters_.Inc("abort_invalid_dep");
+      return;
+    }
+    if (ds->decided && ds->final_decision == Decision::kAbort) {
+      SetVote(s, Vote::kAbort);
+      counters_.Inc("abort_dep_aborted");
+      return;
+    }
+  }
+  if (s.arrival_timer_armed) {
+    CancelTimer(s.arrival_timer);
+    s.arrival_timer_armed = false;
+  }
+
+  // Steps 3-6.
+  const Vote check = RunConflictChecks(s);
+  if (check != Vote::kCommit) {
+    SetVote(s, check);
+    return;
+  }
+
+  // Step 7: wait until all dependencies are decided.
+  s.unresolved_deps.clear();
+  for (const Dependency& dep : txn.deps) {
+    TxnState& ds = GetState(dep.txn);
+    if (!ds.decided) {
+      s.unresolved_deps.insert(dep.txn);
+      ds.dependents.push_back(txn.id);
+    }
+  }
+  if (s.unresolved_deps.empty()) {
+    SetVote(s, Vote::kCommit);
+  } else {
+    s.phase = CheckPhase::kAwaitDecision;
+    counters_.Inc("dep_waits");
+  }
+}
+
+Vote BasilReplica::RunConflictChecks(TxnState& s) {
+  const Transaction& txn = *s.txn;
+  // Step 3 (lines 5-8): reads must not have missed a committed/prepared write. Only
+  // this shard's partition is checked; the other shards vote on theirs.
+  for (const ReadEntry& r : txn.read_set) {
+    if (txn.ts < r.version) {
+      counters_.Inc("misbehavior_proofs");
+      return Vote::kMisbehavior;  // Line 6: read above own timestamp.
+    }
+    if (!OwnsKey(r.key)) {
+      continue;
+    }
+    if (store_.HasCommittedWriteBetween(r.key, r.version, txn.ts)) {
+      // Attach the conflicting committed transaction as an abort proof if available.
+      if (const CommittedVersion* cv = store_.LatestCommittedBefore(r.key, txn.ts)) {
+        if (const TxnState* ws = FindState(cv->writer);
+            ws != nullptr && ws->decided && ws->final_cert != nullptr && ws->txn) {
+          s.conflict_txn = ws->txn;
+          s.conflict_cert = ws->final_cert;
+        }
+      }
+      counters_.Inc("abort_read_missed_committed");
+      return Vote::kAbort;
+    }
+    if (store_.HasPreparedWriteBetween(r.key, r.version, txn.ts)) {
+      counters_.Inc("abort_read_missed_prepared");
+      return Vote::kAbort;
+    }
+  }
+  // Steps 4-5 (lines 9-13): writes must not invalidate reads of prepared/committed
+  // transactions, nor in-flight reads (RTS).
+  for (const WriteEntry& w : txn.write_set) {
+    if (!OwnsKey(w.key)) {
+      continue;
+    }
+    if (store_.ReaderWouldMissWrite(w.key, txn.ts)) {
+      counters_.Inc("abort_write_invalidates_read");
+      return Vote::kAbort;
+    }
+    if (auto rts = store_.MaxRts(w.key); rts.has_value() && txn.ts < *rts) {
+      counters_.Inc("abort_rts");
+      return Vote::kAbort;
+    }
+  }
+  // Step 6 (line 14): prepare T and make its writes visible.
+  InsertPrepared(s);
+  return Vote::kCommit;
+}
+
+bool BasilReplica::OwnsKey(const Key& key) const {
+  return ShardOfKey(key, cfg_->num_shards) == shard_;
+}
+
+void BasilReplica::InsertPrepared(TxnState& s) {
+  const Transaction& txn = *s.txn;
+  for (const WriteEntry& w : txn.write_set) {
+    if (OwnsKey(w.key)) {
+      store_.AddPreparedWrite(w.key, txn.ts, w.value, txn.id);
+    }
+  }
+  for (const ReadEntry& r : txn.read_set) {
+    if (OwnsKey(r.key)) {
+      store_.AddReader(r.key, txn.ts, r.version);
+    }
+  }
+  s.prepared = true;
+}
+
+void BasilReplica::RemovePrepared(TxnState& s) {
+  if (!s.prepared) {
+    return;
+  }
+  const Transaction& txn = *s.txn;
+  for (const WriteEntry& w : txn.write_set) {
+    if (OwnsKey(w.key)) {
+      store_.RemovePreparedWrite(w.key, txn.ts);
+    }
+  }
+  for (const ReadEntry& r : txn.read_set) {
+    if (OwnsKey(r.key)) {
+      store_.RemoveReader(r.key, txn.ts, r.version);
+    }
+  }
+  s.prepared = false;
+}
+
+void BasilReplica::SetVote(TxnState& s, Vote vote) {
+  if (s.vote.has_value()) {
+    return;
+  }
+  vote = FilterVote(s.txn->id, vote);
+  s.vote = vote;
+  s.phase = CheckPhase::kVoted;
+  if (vote != Vote::kCommit && s.prepared) {
+    RemovePrepared(s);
+  }
+  counters_.Inc(vote == Vote::kCommit ? "votes_commit" : "votes_abort");
+  std::vector<NodeId> waiters;
+  waiters.swap(s.vote_waiters);
+  std::sort(waiters.begin(), waiters.end());
+  waiters.erase(std::unique(waiters.begin(), waiters.end()), waiters.end());
+  for (NodeId dst : waiters) {
+    ReplyVote(dst, s);
+  }
+}
+
+void BasilReplica::NotifyDependents(TxnState& s) {
+  std::vector<TxnDigest> dependents;
+  dependents.swap(s.dependents);
+  const Decision dec = s.final_decision;
+  const TxnDigest my_id = s.txn != nullptr ? s.txn->id : TxnDigest{};
+  for (const TxnDigest& d : dependents) {
+    auto it = txns_.find(d);
+    if (it == txns_.end()) {
+      continue;
+    }
+    TxnState& ds = it->second;
+    if (ds.vote.has_value() || ds.phase != CheckPhase::kAwaitDecision) {
+      continue;
+    }
+    if (dec == Decision::kAbort) {
+      // Line 16-18: a dependency aborted, so the dependent must abort.
+      SetVote(ds, Vote::kAbort);
+      counters_.Inc("abort_dep_aborted");
+      continue;
+    }
+    ds.unresolved_deps.erase(my_id);
+    if (ds.unresolved_deps.empty()) {
+      SetVote(ds, Vote::kCommit);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Replies (all signed, via reply batching).
+// ---------------------------------------------------------------------------
+
+void BasilReplica::ReplyVote(NodeId dst, TxnState& s) {
+  auto reply = std::make_shared<St1ReplyMsg>();
+  reply->vote.txn = s.txn->id;
+  reply->vote.vote = *s.vote;
+  reply->vote.replica = id();
+  reply->conflict_txn = s.conflict_txn;
+  reply->conflict_cert = s.conflict_cert;
+  reply->wire_size = 96 + (s.conflict_cert ? s.conflict_cert->WireSize() : 0) +
+                     (s.conflict_txn ? s.conflict_txn->WireSize() : 0);
+  const Hash256 digest = reply->vote.Digest();
+  SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+    auto* r = static_cast<St1ReplyMsg*>(m.get());
+    r->wire_size += cert.WireSize();
+    r->vote.cert = std::move(cert);
+  });
+}
+
+void BasilReplica::ReplySt2Ack(NodeId dst, TxnState& s) {
+  if (!s.logged_decision.has_value()) {
+    return;
+  }
+  auto reply = std::make_shared<St2ReplyMsg>();
+  reply->ack.txn = s.txn != nullptr ? s.txn->id : TxnDigest{};
+  reply->ack.decision = *s.logged_decision;
+  reply->ack.view_decision = s.view_decision;
+  reply->ack.view_current = s.view_current;
+  reply->ack.replica = id();
+  reply->wire_size = 112;
+  const Hash256 digest = reply->ack.Digest();
+  SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+    auto* r = static_cast<St2ReplyMsg*>(m.get());
+    r->wire_size += cert.WireSize();
+    r->ack.cert = std::move(cert);
+  });
+}
+
+void BasilReplica::ReplyCert(NodeId dst, TxnState& s) {
+  if (s.final_cert == nullptr) {
+    return;
+  }
+  auto reply = std::make_shared<WritebackMsg>();
+  reply->cert = s.final_cert;
+  reply->txn_body = s.txn;
+  reply->wire_size = 48 + s.final_cert->WireSize() +
+                     (s.txn != nullptr ? s.txn->WireSize() : 0);
+  Send(dst, std::move(reply));
+}
+
+void BasilReplica::SendBatched(
+    NodeId dst, std::shared_ptr<MsgBase> msg, const Hash256& digest,
+    std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert) {
+  pending_replies_.push_back(PendingReply{dst, std::move(msg), digest,
+                                          std::move(set_cert)});
+  // NoProofs runs have nothing to amortize: flush immediately (no batch latency),
+  // matching the paper's Basil-NoProofs configuration.
+  const uint32_t batch_size = keys_->enabled() ? cfg_->batch_size : 1;
+  if (pending_replies_.size() >= batch_size) {
+    FlushBatch();
+    return;
+  }
+  if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    batch_timer_ = SetTimer(cfg_->batch_timeout_ns, [this]() {
+      batch_timer_armed_ = false;
+      FlushBatch();
+    });
+  }
+}
+
+void BasilReplica::FlushBatch() {
+  if (pending_replies_.empty()) {
+    return;
+  }
+  if (batch_timer_armed_) {
+    CancelTimer(batch_timer_);
+    batch_timer_armed_ = false;
+  }
+  std::vector<Hash256> digests;
+  digests.reserve(pending_replies_.size());
+  for (const PendingReply& p : pending_replies_) {
+    digests.push_back(p.digest);
+  }
+  std::vector<BatchCert> certs = SealBatch(digests, *keys_, id(), &meter());
+  for (size_t i = 0; i < pending_replies_.size(); ++i) {
+    PendingReply& p = pending_replies_[i];
+    p.set_cert(p.msg, std::move(certs[i]));
+    Send(p.dst, std::move(p.msg));
+  }
+  pending_replies_.clear();
+  counters_.Inc("batches_flushed");
+}
+
+// ---------------------------------------------------------------------------
+// Prepare phase, Stage 2: decision logging.
+// ---------------------------------------------------------------------------
+
+void BasilReplica::OnSt2(NodeId src, const St2Msg& msg) {
+  ChargeClientAuthVerify();
+  TxnState& s = GetState(msg.txn);
+  if (s.txn == nullptr && msg.txn_body != nullptr && msg.txn_body->id == msg.txn) {
+    s.txn = msg.txn_body;
+  }
+  if (s.decided) {
+    ReplyCert(src, s);
+    return;
+  }
+  if (!s.logged_decision.has_value()) {
+    if (msg.view < s.view_current) {
+      counters_.Inc("st2_stale_view");
+      return;
+    }
+    if (!validator_.ValidateSt2Justification(msg, verifier_, &meter())) {
+      counters_.Inc("st2_unjustified");
+      return;
+    }
+    s.logged_decision = msg.decision;
+    s.view_decision = msg.view;
+    counters_.Inc("st2_logged");
+  }
+  // If a different decision is already logged, the stored one is returned; a client
+  // seeing non-matching acks enters the divergent fallback case (§5).
+  ReplySt2Ack(src, s);
+}
+
+// ---------------------------------------------------------------------------
+// Writeback phase.
+// ---------------------------------------------------------------------------
+
+void BasilReplica::OnWriteback(NodeId src, const WritebackMsg& msg) {
+  (void)src;
+  if (msg.cert == nullptr) {
+    return;
+  }
+  TxnState& s = GetState(msg.cert->txn);
+  if (s.decided) {
+    return;
+  }
+  if (s.txn == nullptr && msg.txn_body != nullptr &&
+      msg.txn_body->id == msg.cert->txn) {
+    s.txn = msg.txn_body;
+    auto it = arrival_waiters_.find(msg.cert->txn);
+    if (it != arrival_waiters_.end()) {
+      std::vector<TxnDigest> waiters = std::move(it->second);
+      arrival_waiters_.erase(it);
+      for (const TxnDigest& w : waiters) {
+        ContinueCheck(w);
+      }
+    }
+  }
+  if (!validator_.ValidateDecisionCert(*msg.cert, s.txn.get(), verifier_, &meter())) {
+    counters_.Inc("writeback_invalid");
+    return;
+  }
+  ApplyDecision(s, msg.cert->decision, msg.cert);
+}
+
+void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr cert) {
+  s.decided = true;
+  s.final_decision = decision;
+  s.final_cert = std::move(cert);
+  s.logged_decision = decision;
+  if (s.txn != nullptr) {
+    const Transaction& txn = *s.txn;
+    if (decision == Decision::kCommit) {
+      const bool had_readers = s.prepared;
+      for (const WriteEntry& w : txn.write_set) {
+        if (!OwnsKey(w.key)) {
+          continue;  // Each shard applies only its partition of the write set.
+        }
+        if (s.prepared) {
+          store_.RemovePreparedWrite(w.key, txn.ts);
+        }
+        store_.ApplyCommittedWrite(w.key, txn.ts, w.value, txn.id);
+      }
+      s.prepared = false;
+      if (!had_readers) {
+        // The reader index entries were never added here (this replica did not
+        // prepare T); add them so future writes are checked against T's reads.
+        for (const ReadEntry& r : txn.read_set) {
+          if (OwnsKey(r.key)) {
+            store_.AddReader(r.key, txn.ts, r.version);
+          }
+        }
+      }
+      counters_.Inc("committed");
+    } else {
+      RemovePrepared(s);
+      counters_.Inc("aborted");
+    }
+    for (const ReadEntry& r : txn.read_set) {
+      if (OwnsKey(r.key)) {
+        store_.RemoveRts(r.key, txn.ts);
+      }
+    }
+  }
+  NotifyDependents(s);
+  for (NodeId c : s.interested) {
+    ReplyCert(c, s);
+  }
+  s.interested.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Fallback protocol (§5, divergent case).
+// ---------------------------------------------------------------------------
+
+void BasilReplica::OnInvokeFb(NodeId src, const InvokeFbMsg& msg) {
+  ChargeClientAuthVerify();
+  TxnState& s = GetState(msg.txn);
+  s.interested.insert(src);
+  if (s.txn == nullptr && msg.txn_body != nullptr && msg.txn_body->id == msg.txn) {
+    s.txn = msg.txn_body;
+  }
+  if (s.decided) {
+    ReplyCert(src, s);
+    return;
+  }
+  counters_.Inc("fb_invocations");
+
+  // Determine the new current view from the signed view evidence.
+  std::vector<uint32_t> views;
+  for (const SignedSt2Ack& ack : msg.views) {
+    if (ack.txn != msg.txn || !topo_->IsReplicaNode(ack.replica) ||
+        topo_->ShardOfReplicaNode(ack.replica) != shard_) {
+      continue;
+    }
+    if (!verifier_.Verify(ack.Digest(), ack.cert, &meter())) {
+      continue;
+    }
+    views.push_back(ack.view_current);
+  }
+  uint32_t target = ComputeTargetView(views, s.view_current,
+                                      3 * cfg_->f + 1, cfg_->f + 1);
+  if (msg.views.empty() && s.view_current == 0) {
+    target = 1;  // Appendix B.5: the 0 -> 1 transition needs no proof.
+  }
+  if (target > s.view_current) {
+    s.view_current = target;
+  }
+  if (s.view_current == 0) {
+    return;  // No election in view 0: clients drive directly.
+  }
+
+  // ELECT FB to the view's leader. Correct replicas vote their logged decision; a
+  // replica that never logged one falls back to its ST1 vote (DESIGN.md notes why
+  // this preserves Lemma 4's majority argument).
+  Decision d = Decision::kAbort;
+  if (s.logged_decision.has_value()) {
+    d = *s.logged_decision;
+  } else if (s.vote.has_value() && *s.vote == Vote::kCommit) {
+    d = Decision::kCommit;
+  }
+  auto elect = std::make_shared<ElectFbMsg>();
+  elect->elect.txn = msg.txn;
+  elect->elect.decision = d;
+  elect->elect.view = s.view_current;
+  elect->elect.replica = id();
+  if (keys_->enabled()) {
+    meter().ChargeSign();
+  }
+  elect->elect.sig = keys_->Sign(id(), elect->elect.Digest());
+  elect->wire_size = 112;
+  const ReplicaId leader = FallbackLeaderIndex(msg.txn, s.view_current, cfg_->n());
+  Send(topo_->ReplicaNode(shard_, leader), std::move(elect));
+}
+
+void BasilReplica::OnElectFb(NodeId src, const ElectFbMsg& msg) {
+  const ElectFbData& e = msg.elect;
+  if (keys_->enabled()) {
+    meter().ChargeVerify();
+  }
+  if (!keys_->Verify(e.sig, e.Digest())) {
+    counters_.Inc("elect_bad_sig");
+    return;
+  }
+  if (FallbackLeaderIndex(e.txn, e.view, cfg_->n()) != index_) {
+    return;  // Not this view's leader.
+  }
+  TxnState& s = GetState(e.txn);
+  if (s.decided) {
+    ReplyCert(src, s);
+    return;
+  }
+  s.elect_msgs[e.view][src] = e;
+  const auto& bucket = s.elect_msgs[e.view];
+  if (bucket.size() < cfg_->elect_quorum() || s.dec_fb_sent.contains(e.view)) {
+    return;
+  }
+  // Propose the majority decision (§5 step 3).
+  uint32_t commits = 0;
+  std::vector<ElectFbData> proof;
+  proof.reserve(bucket.size());
+  for (const auto& [node, data] : bucket) {
+    (void)node;
+    proof.push_back(data);
+    if (data.decision == Decision::kCommit) {
+      ++commits;
+    }
+  }
+  const Decision dec = commits * 2 > bucket.size() ? Decision::kCommit
+                                                   : Decision::kAbort;
+  s.dec_fb_sent.insert(e.view);
+  counters_.Inc("fb_elected_leader");
+
+  auto dfb = std::make_shared<DecFbMsg>();
+  dfb->txn = e.txn;
+  dfb->decision = dec;
+  dfb->view = e.view;
+  dfb->leader = id();
+  if (keys_->enabled()) {
+    meter().ChargeSign();
+  }
+  dfb->leader_sig = keys_->Sign(id(), dfb->Digest());
+  dfb->proof = std::move(proof);
+  dfb->wire_size = 128 + dfb->proof.size() * 112;
+  const MsgPtr out = dfb;
+  SendToAll(topo_->ShardReplicas(shard_), out);
+}
+
+void BasilReplica::OnDecFb(NodeId src, const DecFbMsg& msg) {
+  (void)src;
+  if (keys_->enabled()) {
+    meter().ChargeVerify();
+  }
+  if (!keys_->Verify(msg.leader_sig, msg.Digest())) {
+    return;
+  }
+  if (FallbackLeaderIndex(msg.txn, msg.view, cfg_->n()) !=
+      topo_->ReplicaIndex(msg.leader)) {
+    return;
+  }
+  // Validate the 4f+1 ELECT FB proof and the majority rule.
+  std::set<NodeId> seen;
+  uint32_t commits = 0;
+  for (const ElectFbData& e : msg.proof) {
+    if (e.txn != msg.txn || e.view != msg.view || !topo_->IsReplicaNode(e.replica) ||
+        topo_->ShardOfReplicaNode(e.replica) != shard_) {
+      continue;
+    }
+    if (keys_->enabled()) {
+      meter().ChargeVerify();
+    }
+    if (!keys_->Verify(e.sig, e.Digest())) {
+      continue;
+    }
+    if (seen.insert(e.replica).second && e.decision == Decision::kCommit) {
+      ++commits;
+    }
+  }
+  if (seen.size() < cfg_->elect_quorum()) {
+    return;
+  }
+  const Decision majority = commits * 2 > seen.size() ? Decision::kCommit
+                                                      : Decision::kAbort;
+  if (majority != msg.decision) {
+    counters_.Inc("decfb_bad_majority");
+    return;
+  }
+  TxnState& s = GetState(msg.txn);
+  if (s.decided || s.view_current > msg.view) {
+    return;
+  }
+  s.logged_decision = msg.decision;
+  s.view_decision = msg.view;
+  s.view_current = msg.view;
+  counters_.Inc("fb_decisions_adopted");
+  for (NodeId c : s.interested) {
+    ReplySt2Ack(c, s);
+  }
+}
+
+void BasilReplica::OnFetch(NodeId src, const FetchMsg& msg) {
+  const TxnState* s = FindState(msg.digest);
+  if (s == nullptr || s->txn == nullptr) {
+    return;
+  }
+  auto reply = std::make_shared<FetchReplyMsg>();
+  reply->txn = s->txn;
+  reply->wire_size = 32 + s->txn->WireSize();
+  Send(src, std::move(reply));
+}
+
+}  // namespace basil

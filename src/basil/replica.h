@@ -1,0 +1,155 @@
+// Basil replica (§4–§5): executes reads against the multiversion store, runs the
+// MVTSO-Check (Algorithm 1) with dependency waiting, logs Stage-2 decisions, applies
+// writebacks, and participates in per-transaction fallback elections. Outgoing signed
+// replies are batched per §4.4.
+#ifndef BASIL_SRC_BASIL_REPLICA_H_
+#define BASIL_SRC_BASIL_REPLICA_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/basil/certs.h"
+#include "src/basil/messages.h"
+#include "src/common/config.h"
+#include "src/common/stats.h"
+#include "src/sim/node.h"
+#include "src/sim/topology.h"
+#include "src/store/version_store.h"
+
+namespace basil {
+
+class BasilReplica : public Node {
+ public:
+  BasilReplica(Network* net, NodeId id, const BasilConfig* cfg, const Topology* topo,
+               const KeyRegistry* keys, const SimConfig* sim_cfg);
+
+  void Handle(const MsgEnvelope& env) override;
+
+  // Loads initial data (timestamp-zero versions that need no certificate).
+  void LoadGenesis(const Key& key, Value value);
+
+  VersionStore& store() { return store_; }
+  ShardId shard() const { return shard_; }
+  ReplicaId index() const { return index_; }
+  Counters& counters() { return counters_; }
+
+  // Test introspection.
+  std::optional<Vote> VoteFor(const TxnDigest& txn) const;
+  std::optional<Decision> FinalDecisionFor(const TxnDigest& txn) const;
+  std::optional<Decision> LoggedDecisionFor(const TxnDigest& txn) const;
+  uint32_t CurrentViewFor(const TxnDigest& txn) const;
+
+ protected:
+  enum class CheckPhase : uint8_t {
+    kNotStarted,
+    kAwaitArrival,   // Waiting for dependency ST1s to arrive (liveness-friendly
+                     // reading of Algorithm 1 lines 3-4; see DESIGN.md).
+    kAwaitDecision,  // Prepared; waiting for dependency decisions (lines 15-18).
+    kVoted,
+  };
+
+  struct TxnState {
+    TxnPtr txn;
+    CheckPhase phase = CheckPhase::kNotStarted;
+    std::optional<Vote> vote;  // Pinned: a correct replica never changes it.
+    bool prepared = false;     // Writes visible in the prepared set.
+    std::unordered_set<TxnDigest, TxnDigestHash> unresolved_deps;
+    std::vector<NodeId> vote_waiters;       // Requesters to answer once voted.
+    std::vector<TxnDigest> dependents;      // Transactions waiting on this one.
+    std::optional<Decision> logged_decision;  // Stage-2 log.
+    uint32_t view_decision = 0;
+    uint32_t view_current = 0;
+    bool decided = false;  // Writeback applied.
+    Decision final_decision = Decision::kAbort;
+    DecisionCertPtr final_cert;
+    // When the abort vote was caused by a committed conflicting transaction, its body
+    // and certificate are attached to ST1 replies (abort fast path case 5).
+    TxnPtr conflict_txn;
+    DecisionCertPtr conflict_cert;
+    std::set<NodeId> interested;  // Recovery clients to notify of decisions.
+    // As fallback leader: ELECT FB messages per view.
+    std::map<uint32_t, std::map<NodeId, ElectFbData>> elect_msgs;
+    std::set<uint32_t> dec_fb_sent;
+    EventId arrival_timer = 0;
+    bool arrival_timer_armed = false;
+  };
+
+  // Message handlers; virtual so Byzantine replica behaviours can override them.
+  virtual void OnRead(NodeId src, const ReadMsg& msg);
+  virtual void OnSt1(NodeId src, const St1Msg& msg);
+  virtual void OnSt2(NodeId src, const St2Msg& msg);
+  virtual void OnWriteback(NodeId src, const WritebackMsg& msg);
+  virtual void OnAbortRead(const AbortReadMsg& msg);
+  virtual void OnInvokeFb(NodeId src, const InvokeFbMsg& msg);
+  virtual void OnElectFb(NodeId src, const ElectFbMsg& msg);
+  virtual void OnDecFb(NodeId src, const DecFbMsg& msg);
+  virtual void OnFetch(NodeId src, const FetchMsg& msg);
+
+  // Hook: lets a Byzantine subclass flip its ST1 vote. Default: identity.
+  virtual Vote FilterVote(const TxnDigest& /*txn*/, Vote vote) { return vote; }
+
+  TxnState& GetState(const TxnDigest& digest) { return txns_[digest]; }
+  const TxnState* FindState(const TxnDigest& digest) const;
+
+  // True iff this replica's shard owns `key` (each shard checks and applies only its
+  // partition of a transaction).
+  bool OwnsKey(const Key& key) const;
+
+  // --- MVTSO-Check machinery (Algorithm 1) ---
+  void StartCheck(TxnState& s);
+  void ContinueCheck(const TxnDigest& digest);
+  // Steps 3-6: conflict checks and insertion into the prepared set.
+  Vote RunConflictChecks(TxnState& s);
+  void SetVote(TxnState& s, Vote vote);
+  void InsertPrepared(TxnState& s);
+  void RemovePrepared(TxnState& s);
+  void NotifyDependents(TxnState& s);
+
+  // --- Replies ---
+  void ReplyVote(NodeId dst, TxnState& s);
+  void ReplySt2Ack(NodeId dst, TxnState& s);
+  void ReplyCert(NodeId dst, TxnState& s);
+
+  // Reply batching (§4.4): queue a signed reply; flush at batch_size or timeout.
+  void SendBatched(NodeId dst, std::shared_ptr<MsgBase> msg, const Hash256& digest,
+                   std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert);
+  void FlushBatch();
+
+  void ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr cert);
+  void ChargeClientAuthVerify();
+
+  const BasilConfig* cfg_;
+  const Topology* topo_;
+  const KeyRegistry* keys_;
+  CertValidator validator_;
+  BatchVerifier verifier_;
+  VersionStore store_;
+  ShardId shard_;
+  ReplicaId index_;
+  Counters counters_;
+
+  std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
+
+  struct PendingReply {
+    NodeId dst;
+    std::shared_ptr<MsgBase> msg;
+    Hash256 digest;
+    std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert;
+  };
+  std::vector<PendingReply> pending_replies_;
+  bool batch_timer_armed_ = false;
+  EventId batch_timer_ = 0;
+
+  // Transactions whose arrival other transactions await: dep digest -> waiters.
+  std::unordered_map<TxnDigest, std::vector<TxnDigest>, TxnDigestHash> arrival_waiters_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_BASIL_REPLICA_H_

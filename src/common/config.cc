@@ -1,0 +1,5 @@
+#include "src/common/config.h"
+
+// Configuration is header-only today; this translation unit anchors the library and is
+// the place for future validation helpers.
+namespace basil {}

@@ -1,0 +1,39 @@
+// CostMeter converts protocol work (signing, verification, hashing, message handling)
+// into simulated CPU time. Protocol handlers charge the meter while they run; the
+// simulation node then advances its worker clock by the consumed amount, which is what
+// produces CPU-bottleneck queueing (the dominant effect in Figures 5a/6b).
+#ifndef BASIL_SRC_COMMON_COST_H_
+#define BASIL_SRC_COMMON_COST_H_
+
+#include <cstdint>
+
+#include "src/common/config.h"
+
+namespace basil {
+
+class CostMeter {
+ public:
+  explicit CostMeter(const CostModel* model) : model_(model) {}
+
+  void ChargeSign() { ns_ += model_->sign_ns; }
+  void ChargeVerify() { ns_ += model_->verify_ns; }
+  void ChargeHash(uint64_t bytes) { ns_ += model_->HashCost(bytes); }
+  void ChargeMsg(uint64_t bytes) { ns_ += model_->MsgCost(bytes); }
+  void ChargeRaw(uint64_t ns) { ns_ += ns; }
+
+  uint64_t TakeConsumed() {
+    const uint64_t out = ns_;
+    ns_ = 0;
+    return out;
+  }
+
+  uint64_t consumed() const { return ns_; }
+
+ private:
+  const CostModel* model_;
+  uint64_t ns_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_COMMON_COST_H_

@@ -1,0 +1,63 @@
+// Deterministic pseudo-random generation for the simulator and workload generators.
+// Every experiment is a pure function of (config, seed); reproducibility of test
+// failures and benchmark runs depends on not touching std::random_device anywhere.
+#ifndef BASIL_SRC_COMMON_RNG_H_
+#define BASIL_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace basil {
+
+// xoshiro256** — fast, high-quality, and stable across platforms (unlike std::mt19937
+// distributions, whose outputs are implementation-defined for some distributions).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextUint(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  bool NextBool(double p_true);
+
+  // Derives an independent child generator; used to give each client its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// YCSB-style Zipfian generator over [0, n). theta is the skew coefficient (the paper
+// uses 0.9 for RW-Z and 0.75 for Retwis). Items are scattered via a multiplicative hash
+// so that "hot" items are spread across the key space (and across shards), matching how
+// YCSB workloads behave on hashed key layouts.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  uint64_t Next(Rng& rng);
+
+  // Rank-ordered sample: 0 is the hottest item. Exposed for tests of the distribution.
+  uint64_t NextRank(Rng& rng);
+
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_COMMON_RNG_H_

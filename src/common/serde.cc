@@ -1,0 +1,43 @@
+#include "src/common/serde.h"
+
+namespace basil {
+
+void Encoder::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::PutBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void Encoder::PutString(const std::string& s) {
+  PutU32(static_cast<uint32_t>(s.size()));
+  PutBytes(s.data(), s.size());
+}
+
+void Encoder::PutTimestamp(const Timestamp& ts) {
+  PutU64(ts.time);
+  PutU64(ts.client_id);
+}
+
+std::string ToHex(const uint8_t* data, size_t len) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kHex[data[i] >> 4]);
+    out.push_back(kHex[data[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace basil

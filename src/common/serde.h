@@ -1,0 +1,35 @@
+// Canonical byte encoding used for (a) computing message/transaction digests that are
+// signed, and (b) estimating wire sizes for the simulator's cost model. The encoding is
+// deterministic: two semantically equal values always encode to the same bytes, which is
+// what makes digests usable as equivocation-proof identifiers.
+#ifndef BASIL_SRC_COMMON_SERDE_H_
+#define BASIL_SRC_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace basil {
+
+class Encoder {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutBytes(const void* data, size_t len);
+  void PutString(const std::string& s);
+  void PutTimestamp(const Timestamp& ts);
+  void PutDigest(const TxnDigest& d) { PutBytes(d.data(), d.size()); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_COMMON_SERDE_H_

@@ -1,0 +1,48 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace basil {
+
+double LatencyStats::MeanMs() const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  double sum = 0;
+  for (uint64_t s : samples_) {
+    sum += static_cast<double>(s);
+  }
+  return sum / static_cast<double>(samples_.size()) / 1e6;
+}
+
+double LatencyStats::PercentileMs(double p) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<size_t>(std::llround(rank));
+  return static_cast<double>(samples_[std::min(idx, samples_.size() - 1)]) / 1e6;
+}
+
+void LatencyStats::Merge(const LatencyStats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+uint64_t Counters::Get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::Merge(const Counters& other) {
+  for (const auto& [k, v] : other.values_) {
+    values_[k] += v;
+  }
+}
+
+}  // namespace basil

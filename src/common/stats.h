@@ -1,0 +1,46 @@
+// Measurement plumbing: latency distributions and counters collected by the harness.
+#ifndef BASIL_SRC_COMMON_STATS_H_
+#define BASIL_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace basil {
+
+// Latency accumulator over simulated nanoseconds. Stores raw samples (simulation runs
+// are bounded, so memory is not a concern) for exact percentiles.
+class LatencyStats {
+ public:
+  void Add(uint64_t ns) {
+    samples_.push_back(ns);
+    sorted_ = false;
+  }
+
+  size_t count() const { return samples_.size(); }
+  double MeanMs() const;
+  double PercentileMs(double p) const;  // p in [0, 100]
+  void Merge(const LatencyStats& other);
+  void Clear() { samples_.clear(); }
+
+ private:
+  mutable std::vector<uint64_t> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Named counters; used for commit/abort/fallback accounting.
+class Counters {
+ public:
+  void Inc(const std::string& name, uint64_t delta = 1) { values_[name] += delta; }
+  uint64_t Get(const std::string& name) const;
+  void Merge(const Counters& other);
+  const std::map<std::string, uint64_t>& values() const { return values_; }
+
+ private:
+  std::map<std::string, uint64_t> values_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_COMMON_STATS_H_

@@ -1,0 +1,85 @@
+// Core value types shared by every module: identifiers, timestamps, digests.
+#ifndef BASIL_SRC_COMMON_TYPES_H_
+#define BASIL_SRC_COMMON_TYPES_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace basil {
+
+using Key = std::string;
+using Value = std::string;
+
+using NodeId = uint32_t;    // Global simulation-wide node identifier (replicas + clients).
+using ReplicaId = uint32_t; // Index of a replica within its shard, in [0, n).
+using ShardId = uint32_t;
+using ClientId = uint64_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+// MVTSO timestamp: (wall-clock time, client id) defines a total serialization order
+// across all clients (§4.1). Comparison is lexicographic.
+struct Timestamp {
+  uint64_t time = 0;
+  ClientId client_id = 0;
+
+  auto operator<=>(const Timestamp&) const = default;
+
+  bool IsZero() const { return time == 0 && client_id == 0; }
+};
+
+// Transactions are identified by the SHA-256 digest of their metadata (§4.2, Stage 1):
+// this stops Byzantine clients from equivocating a transaction's contents.
+using TxnDigest = std::array<uint8_t, 32>;
+
+struct TxnDigestHash {
+  size_t operator()(const TxnDigest& d) const {
+    size_t out;
+    std::memcpy(&out, d.data(), sizeof(out));
+    return out;
+  }
+};
+
+std::string ToHex(const uint8_t* data, size_t len);
+
+inline std::string ToHex(const TxnDigest& d) { return ToHex(d.data(), d.size()); }
+
+// Short human-readable prefix of a digest, for logs and test failure messages.
+inline std::string ShortId(const TxnDigest& d) { return ToHex(d.data(), 4); }
+
+enum class Vote : uint8_t {
+  kCommit = 0,
+  kAbort = 1,
+  // Algorithm 1 line 6: reading a version above the transaction's own timestamp proves
+  // client misbehaviour. Counted as an abort vote by tallies.
+  kMisbehavior = 2,
+};
+
+enum class Decision : uint8_t {
+  kCommit = 0,
+  kAbort = 1,
+};
+
+inline const char* ToString(Vote v) {
+  switch (v) {
+    case Vote::kCommit:
+      return "Commit";
+    case Vote::kAbort:
+      return "Abort";
+    case Vote::kMisbehavior:
+      return "Misbehavior";
+  }
+  return "?";
+}
+
+inline const char* ToString(Decision d) {
+  return d == Decision::kCommit ? "Commit" : "Abort";
+}
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_COMMON_TYPES_H_

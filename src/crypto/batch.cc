@@ -1,0 +1,53 @@
+#include "src/crypto/batch.h"
+
+namespace basil {
+
+std::vector<BatchCert> SealBatch(const std::vector<Hash256>& reply_digests,
+                                 const KeyRegistry& keys, NodeId signer,
+                                 CostMeter* meter) {
+  MerkleBatch tree = BuildMerkleBatch(reply_digests);
+  if (meter != nullptr && keys.enabled()) {
+    // Building a b-leaf tree hashes ~b internal nodes of 64 bytes each, then signs once.
+    meter->ChargeHash(reply_digests.size() * 64);
+    meter->ChargeSign();
+  }
+  const Signature root_sig = keys.Sign(signer, tree.root);
+
+  std::vector<BatchCert> certs;
+  certs.reserve(reply_digests.size());
+  for (size_t i = 0; i < reply_digests.size(); ++i) {
+    BatchCert cert;
+    cert.root = tree.root;
+    cert.root_sig = root_sig;
+    cert.proof = std::move(tree.proofs[i]);
+    certs.push_back(std::move(cert));
+  }
+  return certs;
+}
+
+bool BatchVerifier::Verify(const Hash256& reply_digest, const BatchCert& cert,
+                           CostMeter* meter) {
+  if (!keys_->enabled()) {
+    return true;
+  }
+  if (meter != nullptr) {
+    meter->ChargeHash(MerkleProofHashBytes(cert.proof));
+  }
+  if (MerkleRootFromProof(reply_digest, cert.proof) != cert.root) {
+    return false;
+  }
+  const RootKey key{cert.root, cert.root_sig.signer};
+  if (cache_.contains(key)) {
+    return true;
+  }
+  if (meter != nullptr) {
+    meter->ChargeVerify();
+  }
+  if (!keys_->Verify(cert.root_sig, cert.root)) {
+    return false;
+  }
+  cache_.insert(key);
+  return true;
+}
+
+}  // namespace basil

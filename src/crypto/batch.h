@@ -1,0 +1,68 @@
+// Reply batching (§4.4, Figure 2). The signing side amortizes one signature over b
+// replies via a Merkle tree; the verifying side reconstructs the root from its own
+// reply and caches (root, signer) -> verified so that repeated replies from the same
+// batch cost hashing only.
+#ifndef BASIL_SRC_CRYPTO_BATCH_H_
+#define BASIL_SRC_CRYPTO_BATCH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/cost.h"
+#include "src/crypto/merkle.h"
+#include "src/crypto/signer.h"
+
+namespace basil {
+
+// Travels with every batched signed reply: enough to tie the reply digest to one
+// root-signature by the sending replica.
+struct BatchCert {
+  Hash256 root{};
+  Signature root_sig;
+  MerkleProof proof;
+
+  // Extra wire bytes this certificate adds to a reply (root + sig + path).
+  uint64_t WireSize() const { return 32 + 64 + proof.siblings.size() * 32; }
+};
+
+// Signing side. The caller collects reply digests, then seals the batch; one signature
+// is charged regardless of batch size, plus the tree-hashing cost.
+std::vector<BatchCert> SealBatch(const std::vector<Hash256>& reply_digests,
+                                 const KeyRegistry& keys, NodeId signer,
+                                 CostMeter* meter);
+
+// Verifying side with the root-signature cache of Figure 2.
+class BatchVerifier {
+ public:
+  explicit BatchVerifier(const KeyRegistry* keys) : keys_(keys) {}
+
+  // Returns true iff `reply_digest` is covered by `cert` and the root signature is
+  // valid. Charges path hashing always; charges one signature verification only when
+  // the (root, signer) pair has not been validated before.
+  bool Verify(const Hash256& reply_digest, const BatchCert& cert, CostMeter* meter);
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  struct RootKey {
+    Hash256 root;
+    NodeId signer;
+    bool operator==(const RootKey&) const = default;
+  };
+  struct RootKeyHash {
+    size_t operator()(const RootKey& k) const {
+      size_t h;
+      static_assert(sizeof(h) <= sizeof(k.root));
+      __builtin_memcpy(&h, k.root.data(), sizeof(h));
+      return h ^ (static_cast<size_t>(k.signer) << 1);
+    }
+  };
+
+  const KeyRegistry* keys_;
+  std::unordered_set<RootKey, RootKeyHash> cache_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_CRYPTO_BATCH_H_

@@ -1,0 +1,35 @@
+#include "src/crypto/hmac.h"
+
+#include <cstring>
+
+namespace basil {
+
+Hash256 HmacSha256(const std::vector<uint8_t>& key, const void* data, size_t len) {
+  constexpr size_t kBlock = 64;
+  uint8_t k[kBlock] = {0};
+  if (key.size() > kBlock) {
+    const Hash256 kh = Sha256::Digest(key);
+    std::memcpy(k, kh.data(), kh.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  uint8_t ipad[kBlock];
+  uint8_t opad[kBlock];
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, kBlock);
+  inner.Update(data, len);
+  const Hash256 inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, kBlock);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+}  // namespace basil

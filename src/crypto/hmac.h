@@ -1,0 +1,26 @@
+// HMAC-SHA256 (RFC 2104). Basis of the simulated signature scheme (see signer.h) and
+// usable directly for MAC-authenticated channels.
+#ifndef BASIL_SRC_CRYPTO_HMAC_H_
+#define BASIL_SRC_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace basil {
+
+Hash256 HmacSha256(const std::vector<uint8_t>& key, const void* data, size_t len);
+
+inline Hash256 HmacSha256(const std::vector<uint8_t>& key, const std::string& msg) {
+  return HmacSha256(key, msg.data(), msg.size());
+}
+
+inline Hash256 HmacSha256(const std::vector<uint8_t>& key, const Hash256& msg) {
+  return HmacSha256(key, msg.data(), msg.size());
+}
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_CRYPTO_HMAC_H_

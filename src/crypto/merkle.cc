@@ -1,0 +1,78 @@
+#include "src/crypto/merkle.h"
+
+namespace basil {
+namespace {
+
+Hash256 HashPair(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.Update(left.data(), left.size());
+  h.Update(right.data(), right.size());
+  return h.Finish();
+}
+
+}  // namespace
+
+MerkleBatch BuildMerkleBatch(const std::vector<Hash256>& leaves) {
+  MerkleBatch batch;
+  batch.proofs.resize(leaves.size());
+  if (leaves.empty()) {
+    return batch;
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    batch.proofs[i].index = static_cast<uint32_t>(i);
+  }
+  if (leaves.size() == 1) {
+    batch.root = leaves[0];
+    return batch;
+  }
+
+  // level[i] holds the hash that subtree i reduced to; owners[i] tracks which original
+  // leaves live under it so sibling hashes can be appended to their proofs on the way
+  // up. An odd trailing node is promoted without consuming a sibling.
+  std::vector<Hash256> level = leaves;
+  std::vector<std::vector<uint32_t>> owners(leaves.size());
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    owners[i] = {static_cast<uint32_t>(i)};
+  }
+
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    std::vector<std::vector<uint32_t>> next_owners;
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      for (uint32_t leaf : owners[i]) {
+        batch.proofs[leaf].siblings.push_back(level[i + 1]);
+        batch.proofs[leaf].sibling_left.push_back(0);
+      }
+      for (uint32_t leaf : owners[i + 1]) {
+        batch.proofs[leaf].siblings.push_back(level[i]);
+        batch.proofs[leaf].sibling_left.push_back(1);
+      }
+      next.push_back(HashPair(level[i], level[i + 1]));
+      std::vector<uint32_t> merged = std::move(owners[i]);
+      merged.insert(merged.end(), owners[i + 1].begin(), owners[i + 1].end());
+      next_owners.push_back(std::move(merged));
+    }
+    if (level.size() % 2 == 1) {
+      next.push_back(level.back());
+      next_owners.push_back(std::move(owners.back()));
+    }
+    level = std::move(next);
+    owners = std::move(next_owners);
+  }
+  batch.root = level[0];
+  return batch;
+}
+
+Hash256 MerkleRootFromProof(const Hash256& leaf, const MerkleProof& proof) {
+  Hash256 node = leaf;
+  for (size_t i = 0; i < proof.siblings.size(); ++i) {
+    if (i < proof.sibling_left.size() && proof.sibling_left[i]) {
+      node = HashPair(proof.siblings[i], node);
+    } else {
+      node = HashPair(node, proof.siblings[i]);
+    }
+  }
+  return node;
+}
+
+}  // namespace basil

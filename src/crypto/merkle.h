@@ -1,0 +1,40 @@
+// Binary Merkle trees over reply digests, used by the reply-batching scheme of §4.4:
+// a replica signs one root per batch of b replies and ships each client the O(log b)
+// sibling path needed to reconstruct the root from its own reply.
+#ifndef BASIL_SRC_CRYPTO_MERKLE_H_
+#define BASIL_SRC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/crypto/sha256.h"
+
+namespace basil {
+
+struct MerkleProof {
+  uint32_t index = 0;                 // Leaf position in the batch.
+  std::vector<Hash256> siblings;      // Bottom-up sibling hashes actually consumed.
+  std::vector<uint8_t> sibling_left;  // 1 if siblings[i] sits left of the running node.
+};
+
+struct MerkleBatch {
+  Hash256 root{};
+  std::vector<MerkleProof> proofs;  // One per leaf, same order as input.
+};
+
+// Builds the tree; the odd node at an odd-sized level is promoted unchanged, so a leaf
+// set has a unique root and proofs can be shorter than ceil(log2(n)).
+MerkleBatch BuildMerkleBatch(const std::vector<Hash256>& leaves);
+
+// Recomputes the root implied by `leaf` and `proof`; the verifier compares the result
+// against the signed root.
+Hash256 MerkleRootFromProof(const Hash256& leaf, const MerkleProof& proof);
+
+// Bytes hashed while verifying a proof; used for cost accounting.
+inline uint64_t MerkleProofHashBytes(const MerkleProof& proof) {
+  return proof.siblings.size() * 64;
+}
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_CRYPTO_MERKLE_H_

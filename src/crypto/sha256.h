@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4). Implemented from scratch: the offline build has no OpenSSL, and
+// transaction identity (§4.2) and Merkle batching (§4.4) both need a real collision-
+// resistant hash, not a cost model.
+#ifndef BASIL_SRC_CRYPTO_SHA256_H_
+#define BASIL_SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace basil {
+
+using Hash256 = std::array<uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void Update(const void* data, size_t len);
+  void Update(const std::string& s) { Update(s.data(), s.size()); }
+  void Update(const std::vector<uint8_t>& v) { Update(v.data(), v.size()); }
+
+  // Finalizes and returns the digest. The object must not be reused afterwards.
+  Hash256 Finish();
+
+  static Hash256 Digest(const void* data, size_t len);
+  static Hash256 Digest(const std::string& s) { return Digest(s.data(), s.size()); }
+  static Hash256 Digest(const std::vector<uint8_t>& v) {
+    return Digest(v.data(), v.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_CRYPTO_SHA256_H_

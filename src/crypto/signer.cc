@@ -1,0 +1,41 @@
+#include "src/crypto/signer.h"
+
+#include "src/common/rng.h"
+#include "src/crypto/hmac.h"
+
+namespace basil {
+
+KeyRegistry::KeyRegistry(size_t num_nodes, uint64_t seed, bool enabled)
+    : enabled_(enabled) {
+  Rng rng(seed ^ 0x5167'0000'0000'0001ULL);
+  keys_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    std::vector<uint8_t> key(32);
+    for (auto& b : key) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    keys_.push_back(std::move(key));
+  }
+}
+
+Signature KeyRegistry::Sign(NodeId signer, const Hash256& digest) const {
+  Signature sig;
+  sig.signer = signer;
+  if (!enabled_) {
+    return sig;
+  }
+  sig.tag = HmacSha256(keys_.at(signer), digest);
+  return sig;
+}
+
+bool KeyRegistry::Verify(const Signature& sig, const Hash256& digest) const {
+  if (!enabled_) {
+    return true;
+  }
+  if (sig.signer >= keys_.size()) {
+    return false;
+  }
+  return HmacSha256(keys_[sig.signer], digest) == sig.tag;
+}
+
+}  // namespace basil

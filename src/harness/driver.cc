@@ -1,0 +1,115 @@
+#include "src/harness/driver.h"
+
+#include <algorithm>
+
+namespace basil {
+
+Driver::Driver(EventQueue* events, const DriverConfig& cfg, Workload* workload)
+    : events_(events), cfg_(cfg), workload_(workload) {}
+
+void Driver::AddClient(const ClientSlot& slot) {
+  auto state = std::make_unique<ClientState>(
+      ClientState{slot, Rng(cfg_.seed * 7919 + states_.size()), false,
+                  LatencyStats{}, 0, 0, 0, 0});
+  states_.push_back(std::move(state));
+}
+
+Task<void> Driver::ClientLoop(ClientState* state) {
+  Rng& rng = state->rng;
+  while (events_->now() < end_ns_) {
+    const bool faulty = state->byzantine && rng.NextBool(cfg_.byz_txn_fraction);
+    const uint64_t t0 = events_->now();
+    int retries = 0;
+    while (events_->now() < end_ns_) {
+      if (state->slot.basil != nullptr) {
+        state->slot.basil->set_fault_mode(faulty ? cfg_.byz_mode
+                                                 : BasilClient::FaultMode::kCorrect);
+      }
+      TxnSession& session = state->slot.client->BeginTxn();
+      const bool want_commit = co_await workload_->RunTransaction(session, rng);
+      if (!want_commit) {
+        co_await session.Abort();
+        if (events_->now() >= measure_start_ns_) {
+          state->user_aborts++;
+        }
+        break;
+      }
+      const TxnOutcome out = co_await session.Commit();
+      const uint64_t done = events_->now();
+      if (faulty) {
+        // Faulty transactions are processed but never retried (§6.4).
+        if (done >= measure_start_ns_ && done < end_ns_) {
+          state->faulty++;
+        }
+        break;
+      }
+      if (done >= measure_start_ns_ && done < end_ns_) {
+        state->attempts++;
+      }
+      if (out.committed) {
+        if (done >= measure_start_ns_ && done < end_ns_) {
+          state->committed++;
+          state->latencies.Add(done - t0);
+        }
+        break;
+      }
+      if (++retries > cfg_.max_retries) {
+        break;
+      }
+      const uint64_t backoff =
+          std::min(cfg_.backoff_max_ns, cfg_.backoff_base_ns << std::min(retries, 10));
+      co_await SleepNs(*state->slot.node, backoff / 2 + rng.NextUint(backoff / 2 + 1));
+    }
+  }
+}
+
+RunResult Driver::Run() {
+  start_ns_ = events_->now();
+  measure_start_ns_ = start_ns_ + cfg_.warmup_ns;
+  end_ns_ = measure_start_ns_ + cfg_.measure_ns;
+
+  const auto byz_count = static_cast<size_t>(
+      static_cast<double>(states_.size()) * cfg_.byz_client_fraction + 1e-9);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    states_[i]->byzantine =
+        i < byz_count && cfg_.byz_mode != BasilClient::FaultMode::kCorrect;
+  }
+  for (auto& state : states_) {
+    Spawn(ClientLoop(state.get()));
+  }
+  events_->RunUntil(end_ns_);
+
+  RunResult result;
+  LatencyStats all;
+  uint64_t correct_clients = 0;
+  for (const auto& state : states_) {
+    if (state->byzantine) {
+      result.faulty_processed += state->faulty;
+      continue;
+    }
+    ++correct_clients;
+    result.committed += state->committed;
+    result.attempts += state->attempts;
+    result.user_aborts += state->user_aborts;
+    all.Merge(state->latencies);
+  }
+  const double secs = static_cast<double>(cfg_.measure_ns) / 1e9;
+  result.tput_tps = static_cast<double>(result.committed) / secs;
+  result.tput_per_correct_client =
+      correct_clients > 0 ? result.tput_tps / static_cast<double>(correct_clients) : 0;
+  result.mean_ms = all.MeanMs();
+  result.p50_ms = all.PercentileMs(50);
+  result.p99_ms = all.PercentileMs(99);
+  result.commit_rate =
+      result.attempts > 0
+          ? static_cast<double>(result.committed) / static_cast<double>(result.attempts)
+          : 0;
+  const uint64_t processed = result.attempts + result.faulty_processed;
+  result.faulty_fraction =
+      processed > 0
+          ? static_cast<double>(result.faulty_processed) / static_cast<double>(processed)
+          : 0;
+  return result;
+}
+
+}  // namespace basil

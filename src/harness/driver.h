@@ -1,0 +1,94 @@
+// Closed-loop benchmark driver (§6 experimental setup): each client runs one
+// transaction at a time, reissuing system-aborted transactions with exponential
+// backoff; latency is measured from first invocation to commit notification. Supports
+// mixing in Byzantine clients that misbehave on a fraction of their transactions
+// (Figure 7); faulty transactions are not retried, matching the paper.
+#ifndef BASIL_SRC_HARNESS_DRIVER_H_
+#define BASIL_SRC_HARNESS_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/basil/client.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/db.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/node.h"
+#include "src/workload/workload.h"
+
+namespace basil {
+
+struct DriverConfig {
+  uint64_t warmup_ns = 400'000'000;
+  uint64_t measure_ns = 2'000'000'000;
+  uint64_t backoff_base_ns = 400'000;
+  uint64_t backoff_max_ns = 40'000'000;
+  int max_retries = 100;
+  // Byzantine client mixing (Basil only): the first `byz_client_fraction` of clients
+  // misbehave on `byz_txn_fraction` of their admitted transactions.
+  double byz_client_fraction = 0;
+  double byz_txn_fraction = 0;
+  BasilClient::FaultMode byz_mode = BasilClient::FaultMode::kCorrect;
+  uint64_t seed = 7;
+};
+
+struct RunResult {
+  double tput_tps = 0;                 // Committed transactions/s (correct clients).
+  double tput_per_correct_client = 0;  // Figure 7's metric.
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t committed = 0;
+  uint64_t attempts = 0;       // Commit attempts by correct clients.
+  uint64_t user_aborts = 0;
+  uint64_t faulty_processed = 0;
+  double commit_rate = 0;      // committed / attempts.
+  double faulty_fraction = 0;  // faulty / (faulty + attempts), as the paper reports.
+  Counters clients;
+  Counters replicas;
+};
+
+class Driver {
+ public:
+  struct ClientSlot {
+    SystemClient* client = nullptr;
+    Node* node = nullptr;           // For timers (backoff sleeps).
+    BasilClient* basil = nullptr;   // Non-null only on Basil (fault injection).
+  };
+
+  Driver(EventQueue* events, const DriverConfig& cfg, Workload* workload);
+
+  void AddClient(const ClientSlot& slot);
+
+  // Spawns all client loops, runs the simulation through warmup + measurement, and
+  // returns aggregate results. Counters from the cluster should be merged by the
+  // caller (the experiment runner does).
+  RunResult Run();
+
+ private:
+  struct ClientState {
+    ClientSlot slot;
+    Rng rng;
+    bool byzantine = false;
+    LatencyStats latencies;
+    uint64_t committed = 0;
+    uint64_t attempts = 0;
+    uint64_t user_aborts = 0;
+    uint64_t faulty = 0;
+  };
+
+  Task<void> ClientLoop(ClientState* state);
+
+  EventQueue* events_;
+  DriverConfig cfg_;
+  Workload* workload_;
+  std::vector<std::unique_ptr<ClientState>> states_;
+  uint64_t start_ns_ = 0;
+  uint64_t measure_start_ns_ = 0;
+  uint64_t end_ns_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_HARNESS_DRIVER_H_

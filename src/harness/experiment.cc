@@ -1,0 +1,164 @@
+#include "src/harness/experiment.h"
+
+#include "src/tapir/tapir.h"
+#include "src/txbft/txbft.h"
+
+namespace basil {
+
+const char* ToString(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kBasil:
+      return "Basil";
+    case SystemKind::kTapir:
+      return "Tapir";
+    case SystemKind::kTxHotstuff:
+      return "TxHotstuff";
+    case SystemKind::kTxBftSmart:
+      return "TxBFTsmart";
+  }
+  return "?";
+}
+
+std::unique_ptr<Workload> MakeWorkload(const ExperimentParams& params) {
+  switch (params.workload) {
+    case WorkloadKind::kYcsbUniform: {
+      YcsbConfig cfg = params.ycsb;
+      cfg.zipfian = false;
+      return std::make_unique<YcsbWorkload>(cfg);
+    }
+    case WorkloadKind::kYcsbZipf: {
+      YcsbConfig cfg = params.ycsb;
+      cfg.zipfian = true;
+      return std::make_unique<YcsbWorkload>(cfg);
+    }
+    case WorkloadKind::kYcsbReadOnly: {
+      YcsbConfig cfg = params.ycsb;
+      cfg.zipfian = false;
+      cfg.rmw_pairs = 0;
+      if (cfg.extra_reads == 0) {
+        cfg.extra_reads = 24;  // Figure 5b's 24-operation read-only transactions.
+      }
+      return std::make_unique<YcsbWorkload>(cfg);
+    }
+    case WorkloadKind::kSmallbank:
+      return std::make_unique<SmallbankWorkload>(params.smallbank);
+    case WorkloadKind::kRetwis:
+      return std::make_unique<RetwisWorkload>(params.retwis);
+    case WorkloadKind::kTpcc:
+      return std::make_unique<TpccWorkload>(params.tpcc);
+  }
+  return nullptr;
+}
+
+namespace {
+
+DriverConfig MakeDriverConfig(const ExperimentParams& params) {
+  DriverConfig dc;
+  dc.warmup_ns = params.warmup_ns;
+  dc.measure_ns = params.measure_ns;
+  dc.seed = params.seed;
+  dc.byz_client_fraction = params.byz_client_fraction;
+  dc.byz_txn_fraction = params.byz_txn_fraction;
+  dc.byz_mode = params.byz_mode;
+  return dc;
+}
+
+}  // namespace
+
+RunResult RunExperiment(const ExperimentParams& params) {
+  std::unique_ptr<Workload> workload = MakeWorkload(params);
+  const DriverConfig dc = MakeDriverConfig(params);
+  RunResult result;
+
+  switch (params.system) {
+    case SystemKind::kBasil: {
+      BasilClusterConfig cc;
+      cc.basil = params.basil;
+      cc.basil.f = params.f;
+      cc.basil.num_shards = params.shards;
+      cc.sim = params.sim;
+      cc.sim.seed = params.seed;
+      cc.num_clients = params.clients;
+      cc.byz_replicas_per_shard = params.byz_replicas;
+      cc.byz_replica_mode = params.byz_replica_mode;
+      BasilCluster cluster(cc);
+      if (auto fn = workload->GenesisFn()) {
+        cluster.SetGenesisFn(fn);
+      }
+      Driver driver(&cluster.events(), dc, workload.get());
+      for (uint32_t i = 0; i < params.clients; ++i) {
+        BasilClient& c = cluster.client(i);
+        driver.AddClient(Driver::ClientSlot{&c, &c, &c});
+      }
+      result = driver.Run();
+      result.clients = cluster.ClientCounters();
+      result.replicas = cluster.ReplicaCounters();
+      return result;
+    }
+    case SystemKind::kTapir: {
+      TapirClusterConfig cc;
+      cc.tapir = params.tapir;
+      cc.tapir.f = params.f;
+      cc.tapir.num_shards = params.shards;
+      cc.sim = params.sim;
+      cc.sim.seed = params.seed;
+      cc.num_clients = params.clients;
+      TapirCluster cluster(cc);
+      if (auto fn = workload->GenesisFn()) {
+        cluster.SetGenesisFn(fn);
+      }
+      Driver driver(&cluster.events(), dc, workload.get());
+      for (uint32_t i = 0; i < params.clients; ++i) {
+        TapirClient& c = cluster.client(i);
+        driver.AddClient(Driver::ClientSlot{&c, &c, nullptr});
+      }
+      result = driver.Run();
+      result.clients = cluster.ClientCounters();
+      result.replicas = cluster.ReplicaCounters();
+      return result;
+    }
+    case SystemKind::kTxHotstuff:
+    case SystemKind::kTxBftSmart: {
+      TxBftClusterConfig cc;
+      cc.txbft = params.txbft;
+      cc.txbft.f = params.f;
+      cc.txbft.num_shards = params.shards;
+      cc.engine = params.system == SystemKind::kTxHotstuff ? BftEngineKind::kHotstuff
+                                                           : BftEngineKind::kPbft;
+      cc.sim = params.sim;
+      cc.sim.seed = params.seed;
+      cc.num_clients = params.clients;
+      TxBftCluster cluster(cc);
+      if (auto fn = workload->GenesisFn()) {
+        cluster.SetGenesisFn(fn);
+      }
+      Driver driver(&cluster.events(), dc, workload.get());
+      for (uint32_t i = 0; i < params.clients; ++i) {
+        TxBftClient& c = cluster.client(i);
+        driver.AddClient(Driver::ClientSlot{&c, &c, nullptr});
+      }
+      result = driver.Run();
+      result.clients = cluster.ClientCounters();
+      result.replicas = cluster.ReplicaCounters();
+      return result;
+    }
+  }
+  return result;
+}
+
+PeakResult FindPeak(ExperimentParams params,
+                    const std::vector<uint32_t>& client_counts) {
+  PeakResult out;
+  for (uint32_t clients : client_counts) {
+    params.clients = clients;
+    RunResult r = RunExperiment(params);
+    if (r.tput_tps > out.best.tput_tps) {
+      out.best = r;
+      out.best_clients = clients;
+    }
+    out.series.emplace_back(clients, std::move(r));
+  }
+  return out;
+}
+
+}  // namespace basil

@@ -1,0 +1,71 @@
+// Experiment runner: builds a full deployment of the requested system, installs the
+// requested workload, drives it with closed-loop clients, and returns paper-style
+// metrics. One call = one data point of a figure; FindPeak sweeps client counts the
+// way the paper finds peak throughput.
+#ifndef BASIL_SRC_HARNESS_EXPERIMENT_H_
+#define BASIL_SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/basil/cluster.h"
+#include "src/harness/driver.h"
+#include "src/workload/retwis.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/workload.h"
+#include "src/workload/ycsb.h"
+
+namespace basil {
+
+enum class SystemKind : uint8_t { kBasil, kTapir, kTxHotstuff, kTxBftSmart };
+
+const char* ToString(SystemKind kind);
+
+struct ExperimentParams {
+  SystemKind system = SystemKind::kBasil;
+  WorkloadKind workload = WorkloadKind::kYcsbUniform;
+  uint32_t f = 1;
+  uint32_t shards = 1;
+  uint32_t clients = 16;
+  uint64_t warmup_ns = 300'000'000;
+  uint64_t measure_ns = 1'500'000'000;
+  uint64_t seed = 1;
+
+  // System knobs (f/shards above are copied into these on use).
+  BasilConfig basil;
+  TapirConfig tapir;
+  TxBftConfig txbft;
+  SimConfig sim;
+
+  // Workload knobs.
+  YcsbConfig ycsb;
+  SmallbankConfig smallbank;
+  RetwisConfig retwis;
+  TpccConfig tpcc;
+
+  // Byzantine actors (Basil only).
+  double byz_client_fraction = 0;
+  double byz_txn_fraction = 0;
+  BasilClient::FaultMode byz_mode = BasilClient::FaultMode::kCorrect;
+  uint32_t byz_replicas = 0;
+  ByzReplicaMode byz_replica_mode = ByzReplicaMode::kNone;
+};
+
+std::unique_ptr<Workload> MakeWorkload(const ExperimentParams& params);
+
+RunResult RunExperiment(const ExperimentParams& params);
+
+struct PeakResult {
+  RunResult best;
+  uint32_t best_clients = 0;
+  std::vector<std::pair<uint32_t, RunResult>> series;
+};
+
+// Runs the experiment at each client count and returns the peak-throughput point
+// plus the full latency/throughput series (Figure 5b plots the series).
+PeakResult FindPeak(ExperimentParams params, const std::vector<uint32_t>& client_counts);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,73 @@
+#include "src/harness/report.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace basil {
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    widths[i] = columns_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[i]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+std::string FmtTput(double tps) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", tps);
+  return buf;
+}
+
+std::string FmtMs(double ms) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", ms);
+  return buf;
+}
+
+std::string FmtPct(double fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string FmtX(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+  return buf;
+}
+
+std::string Summarize(const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "tput=%.0f tx/s mean=%.2fms p50=%.2fms p99=%.2fms commit-rate=%.1f%% "
+                "(committed=%" PRIu64 ")",
+                r.tput_tps, r.mean_ms, r.p50_ms, r.p99_ms, r.commit_rate * 100.0,
+                r.committed);
+  return buf;
+}
+
+}  // namespace basil

@@ -1,0 +1,38 @@
+// Plain-text table printers for the benchmark binaries: each bench prints the same
+// rows/series its paper figure reports.
+#ifndef BASIL_SRC_HARNESS_REPORT_H_
+#define BASIL_SRC_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/harness/driver.h"
+
+namespace basil {
+
+// "== Figure 4a: ... ==" banner.
+void PrintBanner(const std::string& title);
+
+// Generic fixed-width table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+  void AddRow(std::vector<std::string> cells);
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string FmtTput(double tps);
+std::string FmtMs(double ms);
+std::string FmtPct(double fraction);
+std::string FmtX(double ratio);  // "3.4x".
+
+// One-line summary of a run (throughput, latency, commit rate).
+std::string Summarize(const RunResult& r);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_HARNESS_REPORT_H_

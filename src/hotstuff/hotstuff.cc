@@ -1,0 +1,274 @@
+#include "src/hotstuff/hotstuff.h"
+
+#include <algorithm>
+
+#include "src/common/serde.h"
+
+namespace basil {
+
+Hash256 HsBlock::ComputeHash(uint32_t view, const Hash256& parent,
+                             const std::vector<ConsensusCmd>& cmds) {
+  Encoder enc;
+  enc.PutU32(view);
+  enc.PutBytes(parent.data(), parent.size());
+  for (const ConsensusCmd& c : cmds) {
+    enc.PutBytes(c.id.data(), c.id.size());
+  }
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 HsVoteMsg::VoteDigest(uint32_t view, const Hash256& block) {
+  Encoder enc;
+  enc.PutU8(0x48);  // 'H' domain tag.
+  enc.PutU32(view);
+  enc.PutBytes(block.data(), block.size());
+  return Sha256::Digest(enc.bytes());
+}
+
+HotstuffEngine::HotstuffEngine(Env env) : ConsensusEngine(std::move(env)) {
+  // Genesis: an empty block at view 0 with an empty (trusted) QC.
+  HsBlock genesis;
+  genesis.view = 0;
+  genesis.hash = HsBlock::ComputeHash(0, Hash256{}, {});
+  high_qc_.view = 0;
+  high_qc_.block = genesis.hash;
+  blocks_[genesis.hash] = StoredBlock{genesis, true};
+}
+
+void HotstuffEngine::Submit(ConsensusCmd cmd) {
+  if (delivered_cmds_.contains(cmd.id) || mempool_ids_.contains(cmd.id)) {
+    return;
+  }
+  mempool_ids_.insert(cmd.id);
+  mempool_.push_back(std::move(cmd));
+  TryPropose();
+}
+
+void HotstuffEngine::TryPropose() {
+  const uint32_t next_view = high_qc_.view + 1;
+  if (!AmLeaderOf(next_view) || proposed_through_view_ >= next_view) {
+    return;
+  }
+  if (!mempool_.empty()) {
+    // Propose immediately with whatever is pending (libhotstuff behaviour): block
+    // size self-regulates because proposals are rate-limited by QC formation.
+    Propose();
+    return;
+  }
+  if (undelivered_cmd_blocks_ > 0) {
+    // Pipeline flush: propose empty blocks so the 3-chain completes.
+    ArmBeat();
+  }
+}
+
+void HotstuffEngine::ArmBeat() {
+  if (beat_armed_) {
+    return;
+  }
+  beat_armed_ = true;
+  env_.node->SetTimer(env_.cfg->pacemaker_beat_ns, [this]() {
+    beat_armed_ = false;
+    const uint32_t next_view = high_qc_.view + 1;
+    if (AmLeaderOf(next_view) && proposed_through_view_ < next_view &&
+        (!mempool_.empty() || undelivered_cmd_blocks_ > 0)) {
+      Propose();
+    }
+  });
+}
+
+void HotstuffEngine::Propose() {
+  const uint32_t view = high_qc_.view + 1;
+  proposed_through_view_ = view;
+  auto msg = std::make_shared<HsProposalMsg>();
+  HsBlock& block = msg->block;
+  block.view = view;
+  block.parent = high_qc_.block;
+  block.justify = high_qc_;
+  const size_t take = std::min<size_t>(mempool_.size(), env_.cfg->consensus_batch_size);
+  block.cmds.assign(mempool_.begin(), mempool_.begin() + take);
+  for (const ConsensusCmd& c : block.cmds) {
+    mempool_ids_.erase(c.id);
+  }
+  mempool_.erase(mempool_.begin(), mempool_.begin() + take);
+  block.hash = HsBlock::ComputeHash(block.view, block.parent, block.cmds);
+
+  uint64_t bytes = 160 + block.justify.sigs.size() * 96;
+  for (const ConsensusCmd& c : block.cmds) {
+    bytes += c.wire_size;
+  }
+  msg->wire_size = bytes;
+  if (env_.keys->enabled()) {
+    env_.node->meter().ChargeSign();  // Leader signs the proposal.
+  }
+  const MsgPtr out = msg;
+  env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);
+}
+
+bool HotstuffEngine::OnMessage(const MsgEnvelope& msg) {
+  switch (msg.msg->kind) {
+    case kHsProposal:
+      OnProposal(static_cast<const HsProposalMsg&>(*msg.msg));
+      return true;
+    case kHsVote:
+      OnVote(static_cast<const HsVoteMsg&>(*msg.msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void HotstuffEngine::OnProposal(const HsProposalMsg& msg) {
+  if (env_.keys->enabled()) {
+    env_.node->meter().ChargeVerify();  // Proposal signature.
+  }
+  if (blocks_.contains(msg.block.hash)) {
+    return;
+  }
+  if (!blocks_.contains(msg.block.parent)) {
+    orphans_[msg.block.parent].push_back(msg.block);
+    return;
+  }
+  ProcessBlock(msg.block);
+}
+
+void HotstuffEngine::ProcessBlock(const HsBlock& block) {
+  // Verify the justify QC (one signature check per vote, as libhotstuff does with
+  // secp256k1 votes).
+  if (block.view != 0 && block.justify.view != 0) {
+    const Hash256 digest =
+        HsVoteMsg::VoteDigest(block.justify.view, block.justify.block);
+    uint32_t valid = 0;
+    for (const Signature& sig : block.justify.sigs) {
+      if (env_.keys->enabled()) {
+        env_.node->meter().ChargeVerify();
+      }
+      if (env_.keys->Verify(sig, digest)) {
+        ++valid;
+      }
+    }
+    if (valid < env_.cfg->quorum()) {
+      return;
+    }
+  }
+
+  blocks_[block.hash] = StoredBlock{block, false};
+  if (!block.cmds.empty()) {
+    ++undelivered_cmd_blocks_;
+  }
+  if (block.justify.view > high_qc_.view) {
+    high_qc_ = block.justify;
+  }
+
+  // 3-chain commit: block certifies parent via justify; walk two more parent links.
+  // Views are consecutive in fault-free runs, so parent-linkage is the chain rule.
+  auto parent_it = blocks_.find(block.parent);
+  if (parent_it != blocks_.end()) {
+    auto gp_it = blocks_.find(parent_it->second.block.parent);
+    if (gp_it != blocks_.end() &&
+        parent_it->second.block.view == gp_it->second.block.view + 1 &&
+        block.view == parent_it->second.block.view + 1) {
+      CommitChainTo(gp_it->first);
+    }
+  }
+
+  // Vote (once per view) to the next view's leader.
+  if (block.view > last_voted_view_) {
+    last_voted_view_ = block.view;
+    auto vote = std::make_shared<HsVoteMsg>();
+    vote->view = block.view;
+    vote->block = block.hash;
+    vote->replica = env_.node->id();
+    if (env_.keys->enabled()) {
+      env_.node->meter().ChargeSign();
+    }
+    vote->sig =
+        env_.keys->Sign(env_.node->id(), HsVoteMsg::VoteDigest(block.view, block.hash));
+    vote->wire_size = 144;
+    const NodeId next_leader =
+        env_.topo->ReplicaNode(env_.shard, LeaderOf(block.view + 1));
+    env_.node->Send(next_leader, std::move(vote));
+  }
+
+  // Adopt any orphans waiting on this block.
+  auto orphan_it = orphans_.find(block.hash);
+  if (orphan_it != orphans_.end()) {
+    std::vector<HsBlock> children = std::move(orphan_it->second);
+    orphans_.erase(orphan_it);
+    for (const HsBlock& child : children) {
+      if (!blocks_.contains(child.hash)) {
+        ProcessBlock(child);
+      }
+    }
+  }
+  TryPropose();
+}
+
+void HotstuffEngine::OnVote(const HsVoteMsg& msg) {
+  if (env_.keys->enabled()) {
+    env_.node->meter().ChargeVerify();
+  }
+  if (!env_.keys->Verify(msg.sig, HsVoteMsg::VoteDigest(msg.view, msg.block))) {
+    return;
+  }
+  if (qc_formed_.contains(msg.block)) {
+    return;
+  }
+  auto& bucket = votes_[msg.block];
+  bucket[msg.replica] = msg.sig;
+  if (bucket.size() < env_.cfg->quorum()) {
+    return;
+  }
+  qc_formed_.insert(msg.block);
+  QuorumCert qc;
+  qc.view = msg.view;
+  qc.block = msg.block;
+  for (const auto& [node, sig] : bucket) {
+    (void)node;
+    qc.sigs.push_back(sig);
+  }
+  votes_.erase(msg.block);
+  if (qc.view > high_qc_.view) {
+    high_qc_ = qc;
+  }
+  TryPropose();
+}
+
+void HotstuffEngine::CommitChainTo(const Hash256& hash) {
+  // Deliver the chain from the oldest undelivered ancestor up to `hash`.
+  std::vector<Hash256> path;
+  Hash256 cur = hash;
+  while (true) {
+    auto it = blocks_.find(cur);
+    if (it == blocks_.end() || it->second.delivered) {
+      break;
+    }
+    path.push_back(cur);
+    cur = it->second.block.parent;
+  }
+  for (auto rit = path.rbegin(); rit != path.rend(); ++rit) {
+    StoredBlock& sb = blocks_[*rit];
+    sb.delivered = true;
+    if (!sb.block.cmds.empty() && undelivered_cmd_blocks_ > 0) {
+      --undelivered_cmd_blocks_;
+    }
+    for (const ConsensusCmd& cmd : sb.block.cmds) {
+      if (delivered_cmds_.contains(cmd.id)) {
+        continue;
+      }
+      delivered_cmds_.insert(cmd.id);
+      if (mempool_ids_.contains(cmd.id)) {
+        mempool_ids_.erase(cmd.id);
+        for (auto it = mempool_.begin(); it != mempool_.end(); ++it) {
+          if (it->id == cmd.id) {
+            mempool_.erase(it);
+            break;
+          }
+        }
+      }
+      env_.deliver(cmd);
+    }
+    sb.block.cmds.clear();
+  }
+}
+
+}  // namespace basil

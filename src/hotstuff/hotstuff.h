@@ -1,0 +1,105 @@
+// Chained HotStuff ordering core (Yin et al., PODC 2019), standing in for libhotstuff
+// in the TxHotstuff baseline (§6). Pipelined blocks with rotating leaders, one QC per
+// view, 3-chain commit rule, and signature-based votes. The fault-free pacemaker keeps
+// views consecutive (the paper's evaluation does not fail baseline replicas), which
+// yields the nine message delays per decision the paper reports.
+#ifndef BASIL_SRC_HOTSTUFF_HOTSTUFF_H_
+#define BASIL_SRC_HOTSTUFF_HOTSTUFF_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/pbft/pbft.h"  // HashOfHash.
+#include "src/txbft/engine.h"
+
+namespace basil {
+
+enum HotstuffMsgKind : uint16_t {
+  kHsProposal = 400,
+  kHsVote = 401,
+};
+
+struct QuorumCert {
+  uint32_t view = 0;
+  Hash256 block{};
+  std::vector<Signature> sigs;
+};
+
+struct HsBlock {
+  Hash256 hash{};
+  Hash256 parent{};
+  uint32_t view = 0;
+  QuorumCert justify;  // QC over `parent`.
+  std::vector<ConsensusCmd> cmds;
+
+  static Hash256 ComputeHash(uint32_t view, const Hash256& parent,
+                             const std::vector<ConsensusCmd>& cmds);
+};
+
+struct HsProposalMsg : MsgBase {
+  HsBlock block;
+  HsProposalMsg() { kind = kHsProposal; }
+};
+
+struct HsVoteMsg : MsgBase {
+  uint32_t view = 0;
+  Hash256 block{};
+  NodeId replica = kInvalidNode;
+  Signature sig;
+  HsVoteMsg() { kind = kHsVote; }
+  static Hash256 VoteDigest(uint32_t view, const Hash256& block);
+};
+
+class HotstuffEngine : public ConsensusEngine {
+ public:
+  explicit HotstuffEngine(Env env);
+
+  void Submit(ConsensusCmd cmd) override;
+  bool OnMessage(const MsgEnvelope& msg) override;
+
+  uint32_t high_view() const { return high_qc_.view; }
+
+ private:
+  ReplicaId LeaderOf(uint32_t view) const {
+    return static_cast<ReplicaId>(view % env_.cfg->n());
+  }
+  bool AmLeaderOf(uint32_t view) const {
+    return LeaderOf(view) == env_.topo->ReplicaIndex(env_.node->id());
+  }
+
+  void OnProposal(const HsProposalMsg& msg);
+  void ProcessBlock(const HsBlock& block);
+  void OnVote(const HsVoteMsg& msg);
+  void TryPropose();
+  void Propose();
+  void CommitChainTo(const Hash256& hash);
+  void ArmBeat();
+
+  struct StoredBlock {
+    HsBlock block;
+    bool delivered = false;
+  };
+
+  std::unordered_map<Hash256, StoredBlock, HashOfHash> blocks_;
+  // Proposals whose parent has not arrived yet, keyed by the missing parent.
+  std::unordered_map<Hash256, std::vector<HsBlock>, HashOfHash> orphans_;
+  QuorumCert high_qc_;
+  uint32_t last_voted_view_ = 0;
+  // Vote collection (as prospective leader): block hash -> votes.
+  std::unordered_map<Hash256, std::map<NodeId, Signature>, HashOfHash> votes_;
+  std::unordered_set<Hash256, HashOfHash> qc_formed_;
+
+  std::vector<ConsensusCmd> mempool_;
+  std::unordered_set<Hash256, HashOfHash> delivered_cmds_;
+  std::unordered_set<Hash256, HashOfHash> mempool_ids_;
+  uint32_t undelivered_cmd_blocks_ = 0;
+  bool beat_armed_ = false;
+  uint32_t proposed_through_view_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_HOTSTUFF_HOTSTUFF_H_

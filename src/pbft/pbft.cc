@@ -1,0 +1,162 @@
+#include "src/pbft/pbft.h"
+
+#include "src/common/serde.h"
+#include "src/crypto/sha256.h"
+
+namespace basil {
+namespace {
+
+Hash256 BatchDigest(uint64_t seq, const std::vector<ConsensusCmd>& batch) {
+  Encoder enc;
+  enc.PutU64(seq);
+  for (const ConsensusCmd& c : batch) {
+    enc.PutBytes(c.id.data(), c.id.size());
+  }
+  return Sha256::Digest(enc.bytes());
+}
+
+}  // namespace
+
+PbftEngine::PbftEngine(Env env) : ConsensusEngine(std::move(env)) {}
+
+bool PbftEngine::IsLeader() const {
+  return env_.topo->ReplicaIndex(env_.node->id()) == 0;
+}
+
+void PbftEngine::Submit(ConsensusCmd cmd) {
+  if (seen_.contains(cmd.id)) {
+    return;
+  }
+  seen_.insert(cmd.id);
+  if (!IsLeader()) {
+    return;  // Non-leaders only track dedup; the client submitted to all replicas.
+  }
+  mempool_.push_back(std::move(cmd));
+  TryPropose();
+}
+
+void PbftEngine::TryPropose() {
+  if (!IsLeader() || mempool_.empty()) {
+    return;
+  }
+  if (mempool_.size() >= env_.cfg->consensus_batch_size) {
+    ProposeBatch();
+    return;
+  }
+  if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    env_.node->SetTimer(env_.cfg->consensus_batch_timeout_ns, [this]() {
+      batch_timer_armed_ = false;
+      if (!mempool_.empty()) {
+        ProposeBatch();
+      }
+    });
+  }
+}
+
+void PbftEngine::ProposeBatch() {
+  const size_t take = std::min<size_t>(mempool_.size(), env_.cfg->consensus_batch_size);
+  auto msg = std::make_shared<PbftPrePrepareMsg>();
+  msg->seq = next_seq_++;
+  msg->batch.assign(mempool_.begin(), mempool_.begin() + take);
+  mempool_.erase(mempool_.begin(), mempool_.begin() + take);
+  uint64_t bytes = 64;
+  for (const ConsensusCmd& c : msg->batch) {
+    bytes += c.wire_size;
+  }
+  msg->wire_size = bytes;
+  ChargeMac();
+  const MsgPtr out = msg;
+  // Leader also processes its own pre-prepare (via loopback) to keep the code
+  // uniform; self-delivery costs one local message.
+  env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);
+}
+
+bool PbftEngine::OnMessage(const MsgEnvelope& msg) {
+  switch (msg.msg->kind) {
+    case kPbftPrePrepare:
+      OnPrePrepare(static_cast<const PbftPrePrepareMsg&>(*msg.msg));
+      return true;
+    case kPbftPrepare:
+      OnPrepare(static_cast<const PbftPrepareMsg&>(*msg.msg));
+      return true;
+    case kPbftCommit:
+      OnCommit(static_cast<const PbftCommitMsg&>(*msg.msg));
+      return true;
+    default:
+      return false;
+  }
+}
+
+void PbftEngine::OnPrePrepare(const PbftPrePrepareMsg& msg) {
+  ChargeMac();  // Verify the leader's MAC.
+  SlotState& slot = slots_[msg.seq];
+  if (slot.pre_prepared) {
+    return;
+  }
+  slot.pre_prepared = true;
+  slot.batch = msg.batch;
+  slot.digest = BatchDigest(msg.seq, msg.batch);
+
+  auto prep = std::make_shared<PbftPrepareMsg>();
+  prep->seq = msg.seq;
+  prep->digest = slot.digest;
+  prep->replica = env_.node->id();
+  prep->wire_size = 80;
+  ChargeMac();
+  const MsgPtr out = prep;
+  env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);
+}
+
+void PbftEngine::OnPrepare(const PbftPrepareMsg& msg) {
+  ChargeMac();
+  SlotState& slot = slots_[msg.seq];
+  if (slot.pre_prepared && msg.digest != slot.digest) {
+    return;
+  }
+  slot.prepares.insert(msg.replica);
+  // 2f+1 matching prepares (incl. our own) -> prepared; broadcast commit.
+  if (slot.pre_prepared && !slot.sent_commit &&
+      slot.prepares.size() >= env_.cfg->quorum()) {
+    slot.sent_commit = true;
+    auto com = std::make_shared<PbftCommitMsg>();
+    com->seq = msg.seq;
+    com->digest = slot.digest;
+    com->replica = env_.node->id();
+    com->wire_size = 80;
+    ChargeMac();
+    const MsgPtr out = com;
+    env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);
+  }
+}
+
+void PbftEngine::OnCommit(const PbftCommitMsg& msg) {
+  ChargeMac();
+  SlotState& slot = slots_[msg.seq];
+  if (slot.pre_prepared && msg.digest != slot.digest) {
+    return;
+  }
+  slot.commits.insert(msg.replica);
+  if (slot.pre_prepared && slot.commits.size() >= env_.cfg->quorum()) {
+    slot.committed = true;
+    TryDeliver();
+  }
+}
+
+void PbftEngine::TryDeliver() {
+  while (true) {
+    auto it = slots_.find(next_deliver_);
+    if (it == slots_.end() || !it->second.committed || it->second.delivered) {
+      return;
+    }
+    it->second.delivered = true;
+    for (const ConsensusCmd& cmd : it->second.batch) {
+      env_.deliver(cmd);
+    }
+    // Execution state lives in the transaction layer; drop the batch payloads.
+    it->second.batch.clear();
+    ++next_deliver_;
+  }
+}
+
+}  // namespace basil

@@ -1,0 +1,95 @@
+// PBFT-style ordering core (Castro & Liskov), standing in for BFT-SMaRt in the
+// TxBFT-SMaRt baseline (§6). Fixed leader (replica 0), leader batching, the classic
+// pre-prepare / prepare / commit pipeline with 2f+1 quorums, and in-order delivery.
+// Consensus-internal messages are MAC-authenticated (hash-cost), as in BFT-SMaRt;
+// client-facing replies are signed by the transaction layer. View changes are not
+// implemented: the paper's evaluation runs the baselines with a correct leader.
+#ifndef BASIL_SRC_PBFT_PBFT_H_
+#define BASIL_SRC_PBFT_PBFT_H_
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/txbft/engine.h"
+
+namespace basil {
+
+enum PbftMsgKind : uint16_t {
+  kPbftPrePrepare = 300,
+  kPbftPrepare = 301,
+  kPbftCommit = 302,
+};
+
+struct PbftPrePrepareMsg : MsgBase {
+  uint64_t seq = 0;
+  std::vector<ConsensusCmd> batch;
+  PbftPrePrepareMsg() { kind = kPbftPrePrepare; }
+};
+
+struct PbftPrepareMsg : MsgBase {
+  uint64_t seq = 0;
+  Hash256 digest{};
+  NodeId replica = kInvalidNode;
+  PbftPrepareMsg() { kind = kPbftPrepare; }
+};
+
+struct PbftCommitMsg : MsgBase {
+  uint64_t seq = 0;
+  Hash256 digest{};
+  NodeId replica = kInvalidNode;
+  PbftCommitMsg() { kind = kPbftCommit; }
+};
+
+// Hash functor for Hash256 keys.
+struct HashOfHash {
+  size_t operator()(const Hash256& h) const {
+    size_t out;
+    __builtin_memcpy(&out, h.data(), sizeof(out));
+    return out;
+  }
+};
+
+class PbftEngine : public ConsensusEngine {
+ public:
+  explicit PbftEngine(Env env);
+
+  void Submit(ConsensusCmd cmd) override;
+  bool OnMessage(const MsgEnvelope& msg) override;
+
+  uint64_t delivered_count() const { return next_deliver_ - 1; }
+
+ private:
+  bool IsLeader() const;
+  void TryPropose();
+  void ProposeBatch();
+  void OnPrePrepare(const PbftPrePrepareMsg& msg);
+  void OnPrepare(const PbftPrepareMsg& msg);
+  void OnCommit(const PbftCommitMsg& msg);
+  void TryDeliver();
+  void ChargeMac() { env_.node->meter().ChargeHash(128); }
+
+  struct SlotState {
+    std::vector<ConsensusCmd> batch;
+    Hash256 digest{};
+    bool pre_prepared = false;
+    std::set<NodeId> prepares;
+    std::set<NodeId> commits;
+    bool sent_commit = false;
+    bool committed = false;
+    bool delivered = false;
+  };
+
+  std::vector<ConsensusCmd> mempool_;
+  std::unordered_set<Hash256, HashOfHash> seen_;
+  uint64_t next_seq_ = 1;      // Leader: next sequence to assign.
+  uint64_t next_deliver_ = 1;  // All: next sequence to deliver.
+  std::map<uint64_t, SlotState> slots_;
+  bool batch_timer_armed_ = false;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_PBFT_PBFT_H_

@@ -1,0 +1,54 @@
+// The transactional session interface shared by all four systems. Workload generators,
+// examples, and the benchmark driver are written against this, so the same TPC-C code
+// runs unchanged on Basil, TAPIR, TxHotStuff and TxBFT-SMaRt.
+#ifndef BASIL_SRC_SIM_DB_H_
+#define BASIL_SRC_SIM_DB_H_
+
+#include <optional>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/sim/task.h"
+
+namespace basil {
+
+struct TxnOutcome {
+  bool committed = false;
+  // True when the failure was a concurrency/validation abort (retryable), false when
+  // the application itself chose to abort.
+  bool system_abort = false;
+};
+
+// One in-flight interactive transaction. Obtained from a client's Begin(); all
+// operations are coroutines resumed by the simulation.
+class TxnSession {
+ public:
+  virtual ~TxnSession() = default;
+
+  // Reads a key at this transaction's snapshot; nullopt means the key has no visible
+  // version or the read failed (the transaction should abort).
+  virtual Task<std::optional<Value>> Get(const Key& key) = 0;
+
+  // Buffers a write (visible to this transaction's later Gets).
+  virtual void Put(const Key& key, Value value) = 0;
+
+  // Runs the commit protocol; resolves once the outcome is known to the client.
+  virtual Task<TxnOutcome> Commit() = 0;
+
+  // Application-initiated abort (releases read timestamps where applicable).
+  virtual Task<void> Abort() = 0;
+};
+
+// A client endpoint capable of running transactions, one at a time (clients are
+// closed-loop in the paper's evaluation).
+class SystemClient {
+ public:
+  virtual ~SystemClient() = default;
+
+  // Starts a new transaction and returns the session to run it on.
+  virtual TxnSession& BeginTxn() = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_SIM_DB_H_

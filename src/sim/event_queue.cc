@@ -1,0 +1,55 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+
+namespace basil {
+
+EventId EventQueue::ScheduleAt(uint64_t at_ns, Callback cb) {
+  assert(at_ns >= now_);
+  const EventId id = next_id_++;
+  heap_.push(Event{at_ns < now_ ? now_ : at_ns, id, std::move(cb)});
+  ++pending_count_;
+  return id;
+}
+
+bool EventQueue::RunOne() {
+  while (!heap_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast, which is
+    // safe because the element is popped immediately and never reordered afterwards.
+    auto& top = const_cast<Event&>(heap_.top());
+    const uint64_t at = top.at_ns;
+    const EventId id = top.id;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    --pending_count_;
+    if (auto it = cancelled_.find(id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = at;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void EventQueue::RunUntil(uint64_t until_ns) {
+  while (!heap_.empty()) {
+    if (heap_.top().at_ns > until_ns) {
+      now_ = until_ns;
+      return;
+    }
+    RunOne();
+  }
+  now_ = until_ns;
+}
+
+void EventQueue::RunAll(uint64_t max_events) {
+  uint64_t n = 0;
+  while (n < max_events && RunOne()) {
+    ++n;
+  }
+}
+
+}  // namespace basil

@@ -1,0 +1,69 @@
+// Discrete-event scheduler. The whole evaluation testbed (network, CPU queues, timers,
+// client coroutines) executes on this queue; a run is deterministic given the seed
+// because ties are broken by insertion order.
+#ifndef BASIL_SRC_SIM_EVENT_QUEUE_H_
+#define BASIL_SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace basil {
+
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `cb` at absolute simulated time `at_ns` (>= now). Returns an id usable
+  // with Cancel.
+  EventId ScheduleAt(uint64_t at_ns, Callback cb);
+  EventId ScheduleAfter(uint64_t delay_ns, Callback cb) {
+    return ScheduleAt(now_ + delay_ns, std::move(cb));
+  }
+
+  void Cancel(EventId id) { cancelled_.insert(id); }
+
+  // Runs the earliest pending event. Returns false when the queue is empty.
+  bool RunOne();
+
+  // Runs events until simulated time exceeds `until_ns` or the queue drains. Events at
+  // exactly `until_ns` are executed.
+  void RunUntil(uint64_t until_ns);
+
+  // Drains the queue completely (bounded by `max_events` as a runaway guard).
+  void RunAll(uint64_t max_events = UINT64_MAX);
+
+  uint64_t now() const { return now_; }
+  bool empty() const { return pending_count_ == 0; }
+  uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    uint64_t at_ns;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ns != b.at_ns) {
+        return a.at_ns > b.at_ns;
+      }
+      return a.id > b.id;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  uint64_t now_ = 0;
+  EventId next_id_ = 1;
+  uint64_t pending_count_ = 0;
+  uint64_t executed_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,36 @@
+#include "src/sim/network.h"
+
+#include <cassert>
+
+#include "src/sim/node.h"
+
+namespace basil {
+
+Network::Network(EventQueue* eq, const NetConfig& cfg, Rng rng)
+    : eq_(eq), cfg_(cfg), rng_(rng) {}
+
+void Network::Register(Node* node) {
+  assert(node->id() == nodes_.size());
+  nodes_.push_back(node);
+}
+
+void Network::SendAt(uint64_t departure_ns, NodeId src, NodeId dst, MsgPtr msg) {
+  if (drop_fn_ && drop_fn_(src, dst, *msg)) {
+    ++messages_dropped_;
+    return;
+  }
+  ++messages_sent_;
+  uint64_t latency = cfg_.one_way_ns;
+  if (cfg_.jitter_ns > 0) {
+    latency += rng_.NextUint(cfg_.jitter_ns);
+  }
+  if (delay_fn_) {
+    latency += delay_fn_(src, dst, *msg);
+  }
+  Node* target = nodes_.at(dst);
+  eq_->ScheduleAt(departure_ns + latency, [target, src, dst, msg = std::move(msg)]() {
+    target->Deliver(MsgEnvelope{src, dst, msg});
+  });
+}
+
+}  // namespace basil

@@ -1,0 +1,77 @@
+// Simulated network: point-to-point messages with configurable one-way latency and
+// jitter, plus fault-injection hooks (drops, extra delay) used by partial-synchrony and
+// Byzantine tests.
+#ifndef BASIL_SRC_SIM_NETWORK_H_
+#define BASIL_SRC_SIM_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/event_queue.h"
+
+namespace basil {
+
+// Base of every protocol message. `kind` ranges are allocated per protocol (see each
+// protocol's messages header) so dispatch is a switch on an integer, and `wire_size`
+// feeds the serialization cost model.
+struct MsgBase {
+  uint16_t kind = 0;
+  uint64_t wire_size = 64;
+
+  virtual ~MsgBase() = default;
+};
+
+using MsgPtr = std::shared_ptr<const MsgBase>;
+
+struct MsgEnvelope {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgPtr msg;
+};
+
+class Node;
+
+class Network {
+ public:
+  Network(EventQueue* eq, const NetConfig& cfg, Rng rng);
+
+  // Registers a node; its NodeId indexes nodes_ and must be assigned densely by the
+  // cluster builder.
+  void Register(Node* node);
+
+  // Injects a message into the network at time `departure_ns` (the sender finishes its
+  // CPU work before bytes hit the wire).
+  void SendAt(uint64_t departure_ns, NodeId src, NodeId dst, MsgPtr msg);
+
+  // Returns true to drop the message. Used for unresponsive-replica experiments.
+  using DropFn = std::function<bool(NodeId src, NodeId dst, const MsgBase& msg)>;
+  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+
+  // Extra one-way delay in ns, added on top of the base latency model.
+  using DelayFn = std::function<uint64_t(NodeId src, NodeId dst, const MsgBase& msg)>;
+  void set_delay_fn(DelayFn fn) { delay_fn_ = std::move(fn); }
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  uint64_t messages_dropped() const { return messages_dropped_; }
+  size_t node_count() const { return nodes_.size(); }
+
+  EventQueue* event_queue() { return eq_; }
+
+ private:
+  EventQueue* eq_;
+  NetConfig cfg_;
+  Rng rng_;
+  std::vector<Node*> nodes_;
+  DropFn drop_fn_;
+  DelayFn delay_fn_;
+  uint64_t messages_sent_ = 0;
+  uint64_t messages_dropped_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_SIM_NETWORK_H_

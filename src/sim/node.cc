@@ -1,0 +1,98 @@
+#include "src/sim/node.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace basil {
+
+Node::Node(Network* net, NodeId id, const CostModel* cost_model, uint32_t workers)
+    : net_(net), id_(id), meter_(cost_model), worker_free_at_(workers, 0) {
+  assert(workers > 0);
+}
+
+uint64_t Node::now() const { return net_->event_queue()->now(); }
+
+void Node::Deliver(MsgEnvelope env) {
+  Execute([this, env = std::move(env)]() {
+    meter_.ChargeMsg(env.msg->wire_size);
+    ++handled_;
+    Handle(env);
+  });
+}
+
+void Node::Execute(std::function<void()> work) {
+  queue_.push_back(Work{std::move(work)});
+  Dispatch();
+}
+
+void Node::Dispatch() {
+  if (in_work_) {
+    // A handler enqueued more work (e.g. a coroutine resumed and issued a flush); the
+    // queue is drained when the current work item finishes.
+    return;
+  }
+  const uint64_t t = now();
+  while (!queue_.empty()) {
+    auto it = std::min_element(worker_free_at_.begin(), worker_free_at_.end());
+    if (*it > t) {
+      // All workers busy: wake up when the earliest becomes free.
+      if (!wakeup_scheduled_ || wakeup_at_ > *it) {
+        wakeup_scheduled_ = true;
+        wakeup_at_ = *it;
+        net_->event_queue()->ScheduleAt(*it, [this]() {
+          wakeup_scheduled_ = false;
+          Dispatch();
+        });
+      }
+      return;
+    }
+    Work w = std::move(queue_.front());
+    queue_.pop_front();
+    RunWork(std::move(w), static_cast<size_t>(it - worker_free_at_.begin()));
+  }
+}
+
+void Node::RunWork(Work work, size_t worker) {
+  const uint64_t start = now();
+  in_work_ = true;
+  outbox_.clear();
+  meter_.TakeConsumed();  // Discard any stray accrual.
+  work.fn();
+  in_work_ = false;
+
+  const uint64_t consumed = meter_.TakeConsumed();
+  busy_ns_ += consumed;
+  const uint64_t done = start + consumed;
+  worker_free_at_[worker] = done;
+
+  for (auto& [dst, msg] : outbox_) {
+    net_->SendAt(done, id_, dst, std::move(msg));
+  }
+  outbox_.clear();
+}
+
+void Node::Send(NodeId dst, MsgPtr msg) {
+  meter_.ChargeMsg(msg->wire_size);
+  if (in_work_) {
+    outbox_.emplace_back(dst, std::move(msg));
+  } else {
+    // Sends from outside a work item (setup code) depart immediately.
+    net_->SendAt(now(), id_, dst, std::move(msg));
+  }
+}
+
+void Node::SendToAll(const std::vector<NodeId>& dsts, const MsgPtr& msg) {
+  for (NodeId dst : dsts) {
+    Send(dst, msg);
+  }
+}
+
+EventId Node::SetTimer(uint64_t delay_ns, std::function<void()> cb) {
+  return net_->event_queue()->ScheduleAfter(delay_ns, [this, cb = std::move(cb)]() {
+    Execute(cb);
+  });
+}
+
+void Node::CancelTimer(EventId id) { net_->event_queue()->Cancel(id); }
+
+}  // namespace basil

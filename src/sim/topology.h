@@ -1,0 +1,43 @@
+// Cluster topology shared by all four systems: shards of replicas plus client nodes,
+// with dense NodeId assignment (replicas shard-major, then clients).
+#ifndef BASIL_SRC_SIM_TOPOLOGY_H_
+#define BASIL_SRC_SIM_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace basil {
+
+struct Topology {
+  uint32_t num_shards = 1;
+  uint32_t replicas_per_shard = 1;
+  uint32_t num_clients = 0;
+
+  uint32_t TotalReplicas() const { return num_shards * replicas_per_shard; }
+  uint32_t TotalNodes() const { return TotalReplicas() + num_clients; }
+
+  NodeId ReplicaNode(ShardId shard, ReplicaId r) const {
+    return shard * replicas_per_shard + r;
+  }
+  NodeId ClientNode(uint32_t client_index) const {
+    return TotalReplicas() + client_index;
+  }
+  bool IsReplicaNode(NodeId id) const { return id < TotalReplicas(); }
+  ShardId ShardOfReplicaNode(NodeId id) const { return id / replicas_per_shard; }
+  ReplicaId ReplicaIndex(NodeId id) const { return id % replicas_per_shard; }
+
+  std::vector<NodeId> ShardReplicas(ShardId shard) const {
+    std::vector<NodeId> out;
+    out.reserve(replicas_per_shard);
+    for (uint32_t r = 0; r < replicas_per_shard; ++r) {
+      out.push_back(ReplicaNode(shard, r));
+    }
+    return out;
+  }
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_SIM_TOPOLOGY_H_

@@ -1,0 +1,82 @@
+#include "src/store/txn.h"
+
+#include <algorithm>
+
+#include "src/common/serde.h"
+#include "src/crypto/sha256.h"
+
+namespace basil {
+
+TxnDigest Transaction::ComputeDigest() const {
+  Encoder enc;
+  enc.PutTimestamp(ts);
+  enc.PutU64(client);
+  enc.PutU32(static_cast<uint32_t>(read_set.size()));
+  for (const auto& r : read_set) {
+    enc.PutString(r.key);
+    enc.PutTimestamp(r.version);
+  }
+  enc.PutU32(static_cast<uint32_t>(write_set.size()));
+  for (const auto& w : write_set) {
+    enc.PutString(w.key);
+    enc.PutString(w.value);
+  }
+  enc.PutU32(static_cast<uint32_t>(deps.size()));
+  for (const auto& d : deps) {
+    enc.PutDigest(d.txn);
+    enc.PutTimestamp(d.version);
+    enc.PutU32(d.shard);
+  }
+  return Sha256::Digest(enc.bytes());
+}
+
+void Transaction::Finalize(uint32_t num_shards) {
+  involved_shards.clear();
+  for (const auto& r : read_set) {
+    involved_shards.push_back(ShardOfKey(r.key, num_shards));
+  }
+  for (const auto& w : write_set) {
+    involved_shards.push_back(ShardOfKey(w.key, num_shards));
+  }
+  std::sort(involved_shards.begin(), involved_shards.end());
+  involved_shards.erase(std::unique(involved_shards.begin(), involved_shards.end()),
+                        involved_shards.end());
+  id = ComputeDigest();
+}
+
+bool Transaction::ReadsKey(const Key& key) const {
+  return std::any_of(read_set.begin(), read_set.end(),
+                     [&](const ReadEntry& r) { return r.key == key; });
+}
+
+bool Transaction::WritesKey(const Key& key) const {
+  return std::any_of(write_set.begin(), write_set.end(),
+                     [&](const WriteEntry& w) { return w.key == key; });
+}
+
+uint64_t Transaction::WireSize() const {
+  uint64_t size = 16 + 32;  // Timestamp + digest.
+  for (const auto& r : read_set) {
+    size += r.key.size() + 16 + 8;
+  }
+  for (const auto& w : write_set) {
+    size += w.key.size() + w.value.size() + 8;
+  }
+  size += deps.size() * (32 + 16 + 4);
+  return size;
+}
+
+ShardId ShardOfKey(const Key& key, uint32_t num_shards) {
+  if (num_shards <= 1) {
+    return 0;
+  }
+  // FNV-1a: stable across platforms, cheap, good dispersion for short keys.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<ShardId>(h % num_shards);
+}
+
+}  // namespace basil

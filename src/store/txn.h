@@ -1,0 +1,66 @@
+// Transaction metadata (§4.1/§4.2): timestamp, read set, buffered write set, and the
+// write-read dependency set acquired by reading prepared-but-uncommitted versions. The
+// transaction id is the SHA-256 digest of this metadata, which prevents a Byzantine
+// client from telling different shards different stories about the same transaction.
+#ifndef BASIL_SRC_STORE_TXN_H_
+#define BASIL_SRC_STORE_TXN_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace basil {
+
+struct ReadEntry {
+  Key key;
+  Timestamp version;  // Timestamp of the version observed.
+};
+
+struct WriteEntry {
+  Key key;
+  Value value;
+};
+
+// Write-read dependency: this transaction read `version` written by prepared (not yet
+// committed) transaction `txn`. The transaction cannot commit unless `txn` commits.
+struct Dependency {
+  TxnDigest txn{};
+  Timestamp version;
+  ShardId shard = 0;
+
+  bool operator==(const Dependency&) const = default;
+};
+
+struct Transaction {
+  Timestamp ts;
+  ClientId client = 0;
+  std::vector<ReadEntry> read_set;
+  std::vector<WriteEntry> write_set;
+  std::vector<Dependency> deps;
+  std::vector<ShardId> involved_shards;  // Sorted, unique; derived from both sets.
+
+  // Canonical digest over all metadata above (cached by Finalize()).
+  TxnDigest id{};
+
+  // Computes `id` and `involved_shards`. Must be called once execution is complete and
+  // before the transaction is shared.
+  void Finalize(uint32_t num_shards);
+
+  TxnDigest ComputeDigest() const;
+
+  bool ReadsKey(const Key& key) const;
+  bool WritesKey(const Key& key) const;
+
+  // Approximate serialized size, for the wire-cost model.
+  uint64_t WireSize() const;
+};
+
+using TxnPtr = std::shared_ptr<const Transaction>;
+
+// Key placement: shard of a key is a stable hash mod num_shards.
+ShardId ShardOfKey(const Key& key, uint32_t num_shards);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_STORE_TXN_H_

@@ -1,0 +1,173 @@
+#include "src/store/version_store.h"
+
+namespace basil {
+
+const VersionStore::KeyState* VersionStore::Find(const Key& key) const {
+  auto it = committed_.find(key);
+  return it == committed_.end() ? nullptr : &it->second;
+}
+
+VersionStore::KeyState& VersionStore::GetOrCreate(const Key& key) {
+  return committed_[key];
+}
+
+void VersionStore::LoadGenesis(const Key& key, Value value) {
+  KeyState& ks = GetOrCreate(key);
+  ks.committed[Timestamp{}] = CommittedVersion{Timestamp{}, std::move(value), {}};
+}
+
+void VersionStore::EnsureGenesis(const Key& key) {
+  if (!genesis_fn_) {
+    return;
+  }
+  KeyState& ks = GetOrCreate(key);
+  if (ks.genesis_checked) {
+    return;
+  }
+  ks.genesis_checked = true;
+  if (std::optional<Value> v = genesis_fn_(key); v.has_value()) {
+    ks.committed.emplace(Timestamp{},
+                         CommittedVersion{Timestamp{}, std::move(*v), {}});
+  }
+}
+
+void VersionStore::ApplyCommittedWrite(const Key& key, const Timestamp& ts, Value value,
+                                       const TxnDigest& writer) {
+  KeyState& ks = GetOrCreate(key);
+  ks.committed[ts] = CommittedVersion{ts, std::move(value), writer};
+}
+
+const CommittedVersion* VersionStore::LatestCommittedBefore(const Key& key,
+                                                            const Timestamp& before) {
+  EnsureGenesis(key);
+  const KeyState* ks = Find(key);
+  if (ks == nullptr || ks->committed.empty()) {
+    return nullptr;
+  }
+  auto it = ks->committed.lower_bound(before);
+  if (it == ks->committed.begin()) {
+    return nullptr;
+  }
+  --it;
+  return &it->second;
+}
+
+const CommittedVersion* VersionStore::LatestCommitted(const Key& key) {
+  EnsureGenesis(key);
+  const KeyState* ks = Find(key);
+  if (ks == nullptr || ks->committed.empty()) {
+    return nullptr;
+  }
+  return &ks->committed.rbegin()->second;
+}
+
+bool VersionStore::HasCommittedWriteBetween(const Key& key, const Timestamp& lo,
+                                            const Timestamp& hi) const {
+  const KeyState* ks = Find(key);
+  if (ks == nullptr) {
+    return false;
+  }
+  auto it = ks->committed.upper_bound(lo);
+  return it != ks->committed.end() && it->first < hi;
+}
+
+void VersionStore::AddPreparedWrite(const Key& key, const Timestamp& ts, Value value,
+                                    const TxnDigest& writer) {
+  GetOrCreate(key).prepared[ts] = PreparedWrite{ts, std::move(value), writer};
+}
+
+void VersionStore::RemovePreparedWrite(const Key& key, const Timestamp& ts) {
+  auto it = committed_.find(key);
+  if (it != committed_.end()) {
+    it->second.prepared.erase(ts);
+  }
+}
+
+const PreparedWrite* VersionStore::LatestPreparedBefore(const Key& key,
+                                                        const Timestamp& before) const {
+  const KeyState* ks = Find(key);
+  if (ks == nullptr || ks->prepared.empty()) {
+    return nullptr;
+  }
+  auto it = ks->prepared.lower_bound(before);
+  if (it == ks->prepared.begin()) {
+    return nullptr;
+  }
+  --it;
+  return &it->second;
+}
+
+bool VersionStore::HasPreparedWriteBetween(const Key& key, const Timestamp& lo,
+                                           const Timestamp& hi) const {
+  const KeyState* ks = Find(key);
+  if (ks == nullptr) {
+    return false;
+  }
+  auto it = ks->prepared.upper_bound(lo);
+  return it != ks->prepared.end() && it->first < hi;
+}
+
+void VersionStore::AddReader(const Key& key, const Timestamp& reader_ts,
+                             const Timestamp& version_ts) {
+  GetOrCreate(key).readers.emplace(reader_ts, version_ts);
+}
+
+void VersionStore::RemoveReader(const Key& key, const Timestamp& reader_ts,
+                                const Timestamp& version_ts) {
+  auto it = committed_.find(key);
+  if (it != committed_.end()) {
+    it->second.readers.erase({reader_ts, version_ts});
+  }
+}
+
+bool VersionStore::ReaderWouldMissWrite(const Key& key, const Timestamp& write_ts) const {
+  const KeyState* ks = Find(key);
+  if (ks == nullptr) {
+    return false;
+  }
+  // Readers ordered by reader_ts; every entry past upper_bound has reader_ts > write_ts.
+  // The write is missed if that reader observed a version older than write_ts.
+  for (auto it = ks->readers.upper_bound({write_ts, Timestamp{UINT64_MAX, UINT64_MAX}});
+       it != ks->readers.end(); ++it) {
+    if (it->second < write_ts) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void VersionStore::AddRts(const Key& key, const Timestamp& ts) {
+  GetOrCreate(key).rts[ts]++;
+}
+
+void VersionStore::RemoveRts(const Key& key, const Timestamp& ts) {
+  auto it = committed_.find(key);
+  if (it == committed_.end()) {
+    return;
+  }
+  auto rit = it->second.rts.find(ts);
+  if (rit != it->second.rts.end() && --rit->second == 0) {
+    it->second.rts.erase(rit);
+  }
+}
+
+std::vector<std::pair<Key, Value>> VersionStore::Snapshot() const {
+  std::vector<std::pair<Key, Value>> out;
+  out.reserve(committed_.size());
+  for (const auto& [key, ks] : committed_) {
+    if (!ks.committed.empty()) {
+      out.emplace_back(key, ks.committed.rbegin()->second.value);
+    }
+  }
+  return out;
+}
+
+std::optional<Timestamp> VersionStore::MaxRts(const Key& key) const {
+  const KeyState* ks = Find(key);
+  if (ks == nullptr || ks->rts.empty()) {
+    return std::nullopt;
+  }
+  return ks->rts.rbegin()->first;
+}
+
+}  // namespace basil

@@ -1,0 +1,120 @@
+// Per-replica multiversion storage backing Basil's MVTSO variant (§4) and the OCC
+// stores of the baselines. Holds, per key:
+//   - the committed version chain (timestamp-ordered),
+//   - prepared (visible-but-uncommitted) writes,
+//   - read timestamps (RTS) of in-flight reads,
+//   - the reader index used by Algorithm 1 step 4 (which prepared/committed
+//     transactions read which version of the key).
+// Pure data structure: no protocol logic, no waiting; the replica layers those on top.
+#ifndef BASIL_SRC_STORE_VERSION_STORE_H_
+#define BASIL_SRC_STORE_VERSION_STORE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/types.h"
+#include "src/store/txn.h"
+
+namespace basil {
+
+struct CommittedVersion {
+  Timestamp ts;
+  Value value;
+  TxnDigest writer{};  // All-zero for genesis versions loaded at setup.
+};
+
+struct PreparedWrite {
+  Timestamp ts;
+  Value value;
+  TxnDigest writer{};
+};
+
+class VersionStore {
+ public:
+  // ---- Committed state ----
+
+  // Loads an initial version at timestamp zero (no writer certificate needed).
+  void LoadGenesis(const Key& key, Value value);
+
+  // Lazy table loading: when a key has never been written, `fn` supplies its initial
+  // value (or nullopt for "no row"). This lets benchmark tables with millions of rows
+  // (YCSB's 10M keys, TPC-C's stock) exist without materializing them per replica.
+  // The generated version is cached on first touch with timestamp zero.
+  using GenesisFn = std::function<std::optional<Value>(const Key&)>;
+  void SetGenesisFn(GenesisFn fn) { genesis_fn_ = std::move(fn); }
+
+  void ApplyCommittedWrite(const Key& key, const Timestamp& ts, Value value,
+                           const TxnDigest& writer);
+
+  // Latest committed version with ts strictly smaller than `before`. Non-const: may
+  // materialize the genesis version on first touch.
+  const CommittedVersion* LatestCommittedBefore(const Key& key,
+                                                const Timestamp& before);
+  const CommittedVersion* LatestCommitted(const Key& key);
+
+  // True iff a committed write on `key` exists with lo < ts < hi.
+  bool HasCommittedWriteBetween(const Key& key, const Timestamp& lo,
+                                const Timestamp& hi) const;
+
+  // ---- Prepared (visible uncommitted) writes ----
+
+  void AddPreparedWrite(const Key& key, const Timestamp& ts, Value value,
+                        const TxnDigest& writer);
+  void RemovePreparedWrite(const Key& key, const Timestamp& ts);
+
+  const PreparedWrite* LatestPreparedBefore(const Key& key,
+                                            const Timestamp& before) const;
+  bool HasPreparedWriteBetween(const Key& key, const Timestamp& lo,
+                               const Timestamp& hi) const;
+
+  // ---- Reader index (Algorithm 1 step 4) ----
+
+  // Records that a prepared/committed transaction with timestamp `reader_ts` read
+  // version `version_ts` of `key`.
+  void AddReader(const Key& key, const Timestamp& reader_ts, const Timestamp& version_ts);
+  void RemoveReader(const Key& key, const Timestamp& reader_ts,
+                    const Timestamp& version_ts);
+
+  // True iff some recorded reader would miss a write at `write_ts`:
+  // exists (reader_ts, version_ts) with version_ts < write_ts < reader_ts.
+  bool ReaderWouldMissWrite(const Key& key, const Timestamp& write_ts) const;
+
+  // ---- Read timestamps (RTS) of in-flight client reads ----
+
+  void AddRts(const Key& key, const Timestamp& ts);
+  void RemoveRts(const Key& key, const Timestamp& ts);
+  // Largest active RTS, or nullopt.
+  std::optional<Timestamp> MaxRts(const Key& key) const;
+
+  size_t committed_key_count() const { return committed_.size(); }
+
+  // Latest committed (key, value) for every materialized key; used by tests and
+  // examples to audit invariants (e.g. conservation of money in Smallbank).
+  std::vector<std::pair<Key, Value>> Snapshot() const;
+
+ private:
+  struct KeyState {
+    bool genesis_checked = false;
+    std::map<Timestamp, CommittedVersion> committed;
+    std::map<Timestamp, PreparedWrite> prepared;
+    // (reader_ts, version_ts) pairs, ordered by reader_ts for range scans.
+    std::set<std::pair<Timestamp, Timestamp>> readers;
+    std::map<Timestamp, uint32_t> rts;  // Multiset with counts.
+  };
+
+  const KeyState* Find(const Key& key) const;
+  KeyState& GetOrCreate(const Key& key);
+  // Materializes the lazy genesis version for `key` if configured and absent.
+  void EnsureGenesis(const Key& key);
+
+  std::unordered_map<Key, KeyState> committed_;
+  GenesisFn genesis_fn_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_STORE_VERSION_STORE_H_

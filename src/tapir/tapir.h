@@ -1,0 +1,210 @@
+// TAPIR-style baseline (Zhang et al., SOSP 2015), the paper's non-Byzantine reference
+// point (§6). Simplified to the performance-relevant core: 2f+1 replicas per shard,
+// client-driven OCC with timestamp ordering, single-replica reads, inconsistent-
+// replication fast path (unanimous matching prepare results decide in one round trip)
+// and a one-extra-round slow path, no cryptography. Recovery/view-change machinery of
+// full TAPIR is out of scope: the evaluation never fails TAPIR replicas.
+#ifndef BASIL_SRC_TAPIR_TAPIR_H_
+#define BASIL_SRC_TAPIR_TAPIR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/sim/db.h"
+#include "src/sim/node.h"
+#include "src/sim/task.h"
+#include "src/sim/topology.h"
+#include "src/store/version_store.h"
+
+namespace basil {
+
+enum TapirMsgKind : uint16_t {
+  kTapirRead = 200,
+  kTapirReadReply = 201,
+  kTapirPrepare = 202,
+  kTapirPrepareReply = 203,
+  kTapirFinalize = 204,    // IR slow path: persist the consensus result.
+  kTapirFinalizeAck = 205,
+  kTapirDecide = 206,      // Commit/abort broadcast.
+};
+
+struct TapirReadMsg : MsgBase {
+  uint64_t req_id = 0;
+  Key key;
+  Timestamp ts;
+  TapirReadMsg() { kind = kTapirRead; }
+};
+
+struct TapirReadReplyMsg : MsgBase {
+  uint64_t req_id = 0;
+  bool found = false;
+  Timestamp version;
+  Value value;
+  TapirReadReplyMsg() { kind = kTapirReadReply; }
+};
+
+struct TapirPrepareMsg : MsgBase {
+  TxnPtr txn;
+  TapirPrepareMsg() { kind = kTapirPrepare; }
+};
+
+struct TapirPrepareReplyMsg : MsgBase {
+  TxnDigest txn{};
+  NodeId replica = kInvalidNode;
+  Vote vote = Vote::kAbort;
+  TapirPrepareReplyMsg() { kind = kTapirPrepareReply; }
+};
+
+struct TapirFinalizeMsg : MsgBase {
+  TxnDigest txn{};
+  Vote result = Vote::kAbort;
+  TapirFinalizeMsg() { kind = kTapirFinalize; }
+};
+
+struct TapirFinalizeAckMsg : MsgBase {
+  TxnDigest txn{};
+  NodeId replica = kInvalidNode;
+  TapirFinalizeAckMsg() { kind = kTapirFinalizeAck; }
+};
+
+struct TapirDecideMsg : MsgBase {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  TxnPtr txn_body;
+  TapirDecideMsg() { kind = kTapirDecide; }
+};
+
+class TapirReplica : public Node {
+ public:
+  TapirReplica(Network* net, NodeId id, const TapirConfig* cfg, const Topology* topo,
+               const SimConfig* sim_cfg);
+
+  void Handle(const MsgEnvelope& env) override;
+  VersionStore& store() { return store_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  void OnRead(NodeId src, const TapirReadMsg& msg);
+  void OnPrepare(NodeId src, const TapirPrepareMsg& msg);
+  void OnFinalize(NodeId src, const TapirFinalizeMsg& msg);
+  void OnDecide(const TapirDecideMsg& msg);
+
+  // TAPIR's OCC-TSO validation (their Algorithm 1, reduced to commit/abort votes).
+  Vote OccCheck(const Transaction& txn);
+  bool OwnsKey(const Key& key) const {
+    return ShardOfKey(key, cfg_->num_shards) == topo_->ShardOfReplicaNode(id());
+  }
+
+  struct TxnState {
+    TxnPtr txn;
+    std::optional<Vote> vote;
+    bool prepared = false;
+    std::optional<Vote> finalized;
+    bool decided = false;
+  };
+
+  const TapirConfig* cfg_;
+  const Topology* topo_;
+  VersionStore store_;
+  Counters counters_;
+  std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
+};
+
+class TapirClient : public Node, public SystemClient, public TxnSession {
+ public:
+  TapirClient(Network* net, NodeId id, ClientId client_id, const TapirConfig* cfg,
+              const Topology* topo, const SimConfig* sim_cfg, Rng rng);
+
+  TxnSession& BeginTxn() override;
+  Task<std::optional<Value>> Get(const Key& key) override;
+  void Put(const Key& key, Value value) override;
+  Task<TxnOutcome> Commit() override;
+  Task<void> Abort() override;
+
+  void Handle(const MsgEnvelope& env) override;
+  Counters& counters() { return counters_; }
+
+ private:
+  struct ReadCtx {
+    OneShot done;
+    bool timed_out = false;
+    std::shared_ptr<const TapirReadReplyMsg> reply;
+  };
+  struct PrepareCtx {
+    TxnPtr body;
+    // Per shard: votes by replica.
+    std::map<ShardId, std::map<NodeId, Vote>> votes;
+    std::map<ShardId, std::set<NodeId>> finalize_acks;
+    bool waiting_finalize = false;
+    bool timed_out = false;
+    EventId timer = 0;
+    bool timer_armed = false;
+    OneShot event;
+  };
+
+  Task<Decision> RunCommit(TxnPtr body);
+  void ArmTimer(PrepareCtx& ctx, uint64_t delay);
+  void CancelTimer(PrepareCtx& ctx);
+
+  const TapirConfig* cfg_;
+  const Topology* topo_;
+  ClientId client_id_;
+  Rng rng_;
+  Counters counters_;
+
+  struct ActiveTxn {
+    Timestamp ts;
+    std::vector<ReadEntry> read_set;
+    std::map<Key, Value> write_lookup;
+    std::map<Key, Value> read_cache;
+    bool failed = false;
+  };
+  std::optional<ActiveTxn> active_;
+  uint64_t next_req_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<ReadCtx>> pending_reads_;
+  std::unordered_map<TxnDigest, PrepareCtx*, TxnDigestHash> pending_prepares_;
+};
+
+// A complete TAPIR deployment inside one simulation.
+struct TapirClusterConfig {
+  TapirConfig tapir;
+  SimConfig sim;
+  uint32_t num_clients = 4;
+};
+
+class TapirCluster {
+ public:
+  explicit TapirCluster(const TapirClusterConfig& cfg);
+
+  TapirClient& client(uint32_t i) { return *clients_.at(i); }
+  TapirReplica& replica(ShardId shard, ReplicaId r) {
+    return *replicas_.at(topology_.ReplicaNode(shard, r));
+  }
+  const Topology& topology() const { return topology_; }
+  EventQueue& events() { return events_; }
+  void Load(const Key& key, const Value& value);
+  void SetGenesisFn(VersionStore::GenesisFn fn);
+  void RunFor(uint64_t ns) { events_.RunUntil(events_.now() + ns); }
+  void RunUntilIdle(uint64_t max_events = 50'000'000) { events_.RunAll(max_events); }
+  Counters ReplicaCounters() const;
+  Counters ClientCounters() const;
+
+ private:
+  TapirClusterConfig cfg_;
+  Topology topology_;
+  EventQueue events_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<TapirReplica>> replicas_;
+  std::vector<std::unique_ptr<TapirClient>> clients_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_TAPIR_TAPIR_H_

@@ -1,0 +1,51 @@
+// Abstract ordering engine shared by the two BFT baselines. The transaction layer
+// (src/txbft) submits opaque commands; the engine (PBFT core or chained HotStuff)
+// totally orders them within the shard and delivers them, in order, on every replica.
+#ifndef BASIL_SRC_TXBFT_ENGINE_H_
+#define BASIL_SRC_TXBFT_ENGINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/config.h"
+#include "src/crypto/signer.h"
+#include "src/sim/node.h"
+#include "src/sim/topology.h"
+
+namespace basil {
+
+struct ConsensusCmd {
+  Hash256 id{};     // Dedup key (commands may be submitted to several replicas).
+  MsgPtr payload;   // Opaque to the engine; the transaction layer casts it back.
+  uint64_t wire_size = 64;
+};
+
+class ConsensusEngine {
+ public:
+  struct Env {
+    Node* node = nullptr;  // Host replica: used for sending and timers.
+    const Topology* topo = nullptr;
+    ShardId shard = 0;
+    const KeyRegistry* keys = nullptr;
+    const TxBftConfig* cfg = nullptr;
+    // Called exactly once per command, in the same total order on every correct
+    // replica of the shard.
+    std::function<void(const ConsensusCmd&)> deliver;
+  };
+
+  explicit ConsensusEngine(Env env) : env_(std::move(env)) {}
+  virtual ~ConsensusEngine() = default;
+
+  // Adds a command to this replica's mempool (leaders propose from their mempool).
+  virtual void Submit(ConsensusCmd cmd) = 0;
+
+  // Routes an engine-internal message; returns false if the kind is not ours.
+  virtual bool OnMessage(const MsgEnvelope& msg) = 0;
+
+ protected:
+  Env env_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_TXBFT_ENGINE_H_

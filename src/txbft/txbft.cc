@@ -1,0 +1,649 @@
+#include "src/txbft/txbft.h"
+
+#include "src/common/serde.h"
+#include "src/hotstuff/hotstuff.h"
+#include "src/pbft/pbft.h"
+
+namespace basil {
+
+// ---------------------------------------------------------------------------
+// Message digests.
+// ---------------------------------------------------------------------------
+
+Hash256 TxReadReplyMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(0x51);
+  enc.PutU64(req_id);
+  enc.PutU8(found ? 1 : 0);
+  enc.PutTimestamp(version);
+  enc.PutString(value);
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 TxSubmitMsg::CmdId() const {
+  Encoder enc;
+  enc.PutU8(0x52);
+  enc.PutU8(static_cast<uint8_t>(cmd));
+  if (txn != nullptr) {
+    enc.PutDigest(txn->id);
+  }
+  enc.PutU8(static_cast<uint8_t>(decision));
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 TxVoteReplyMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(0x53);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(vote));
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+Hash256 TxDecideReplyMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(0x54);
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(replica);
+  return Sha256::Digest(enc.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Replica.
+// ---------------------------------------------------------------------------
+
+TxBftReplica::TxBftReplica(Network* net, NodeId id, const TxBftConfig* cfg,
+                           const Topology* topo, const KeyRegistry* keys,
+                           const SimConfig* sim_cfg, BftEngineKind kind)
+    : Node(net, id, &sim_cfg->cost, sim_cfg->replica_workers),
+      cfg_(cfg),
+      topo_(topo),
+      keys_(keys) {
+  ConsensusEngine::Env env;
+  env.node = this;
+  env.topo = topo;
+  env.shard = topo->ShardOfReplicaNode(id);
+  env.keys = keys;
+  env.cfg = cfg;
+  env.deliver = [this](const ConsensusCmd& cmd) {
+    const auto* submit = static_cast<const TxSubmitMsg*>(cmd.payload.get());
+    ExecuteCommand(*submit);
+  };
+  if (kind == BftEngineKind::kPbft) {
+    engine_ = std::make_unique<PbftEngine>(env);
+  } else {
+    engine_ = std::make_unique<HotstuffEngine>(env);
+  }
+}
+
+void TxBftReplica::Handle(const MsgEnvelope& env) {
+  if (engine_->OnMessage(env)) {
+    return;
+  }
+  switch (env.msg->kind) {
+    case kTxRead:
+      OnRead(env.src, static_cast<const TxReadMsg&>(*env.msg));
+      break;
+    case kTxSubmit:
+      OnSubmit(static_cast<const TxSubmitMsg&>(*env.msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void TxBftReplica::OnRead(NodeId src, const TxReadMsg& msg) {
+  auto reply = std::make_shared<TxReadReplyMsg>();
+  reply->req_id = msg.req_id;
+  reply->replica = id();
+  if (const CommittedVersion* v = store_.LatestCommitted(msg.key)) {
+    reply->found = true;
+    reply->version = v->ts;
+    reply->value = v->value;
+  }
+  reply->wire_size = 64 + reply->value.size();
+  const Hash256 digest = reply->Digest();
+  SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+    auto* r = static_cast<TxReadReplyMsg*>(m.get());
+    r->wire_size += cert.WireSize();
+    r->cert = std::move(cert);
+  });
+  counters_.Inc("reads_served");
+}
+
+void TxBftReplica::OnSubmit(const TxSubmitMsg& msg) {
+  if (keys_->enabled()) {
+    meter().ChargeVerify();  // Client request signature (transaction layer).
+  }
+  ConsensusCmd cmd;
+  cmd.id = msg.CmdId();
+  // Re-wrap as an owned payload pointer (the envelope shares ownership).
+  auto payload = std::make_shared<TxSubmitMsg>(msg);
+  cmd.payload = payload;
+  cmd.wire_size = msg.wire_size;
+  engine_->Submit(std::move(cmd));
+}
+
+Vote TxBftReplica::OccCheck(const Transaction& txn) const {
+  for (const ReadEntry& r : txn.read_set) {
+    if (!OwnsKey(r.key)) {
+      continue;
+    }
+    auto it = locks_.find(r.key);
+    if (it != locks_.end() && it->second.writer.has_value() &&
+        *it->second.writer != txn.id) {
+      return Vote::kAbort;  // Write-locked by a prepared transaction.
+    }
+    // Backward validation: the read must still be current. (Genesis lookups go
+    // through the lazy table, so const_cast-free access needs the mutable store.)
+    const CommittedVersion* cur =
+        const_cast<VersionStore&>(store_).LatestCommitted(r.key);
+    const Timestamp current = cur != nullptr ? cur->ts : Timestamp{};
+    if (current != r.version) {
+      return Vote::kAbort;
+    }
+  }
+  for (const WriteEntry& w : txn.write_set) {
+    if (!OwnsKey(w.key)) {
+      continue;
+    }
+    auto it = locks_.find(w.key);
+    if (it == locks_.end()) {
+      continue;
+    }
+    if (it->second.writer.has_value() && *it->second.writer != txn.id) {
+      return Vote::kAbort;
+    }
+    for (const TxnDigest& reader : it->second.readers) {
+      if (reader != txn.id) {
+        return Vote::kAbort;
+      }
+    }
+  }
+  return Vote::kCommit;
+}
+
+void TxBftReplica::AcquireLocks(const Transaction& txn) {
+  for (const ReadEntry& r : txn.read_set) {
+    if (OwnsKey(r.key)) {
+      locks_[r.key].readers.insert(txn.id);
+    }
+  }
+  for (const WriteEntry& w : txn.write_set) {
+    if (OwnsKey(w.key)) {
+      locks_[w.key].writer = txn.id;
+    }
+  }
+}
+
+void TxBftReplica::ReleaseLocks(const Transaction& txn) {
+  for (const ReadEntry& r : txn.read_set) {
+    if (!OwnsKey(r.key)) {
+      continue;
+    }
+    auto it = locks_.find(r.key);
+    if (it != locks_.end()) {
+      it->second.readers.erase(txn.id);
+    }
+  }
+  for (const WriteEntry& w : txn.write_set) {
+    auto it = locks_.find(w.key);
+    if (it != locks_.end() && it->second.writer == txn.id) {
+      it->second.writer.reset();
+    }
+  }
+}
+
+void TxBftReplica::ExecuteCommand(const TxSubmitMsg& cmd) {
+  if (cmd.txn == nullptr) {
+    return;
+  }
+  if (cmd.cmd == TxCmdKind::kPrepare) {
+    ExecutePrepare(cmd);
+  } else {
+    ExecuteDecide(cmd);
+  }
+}
+
+void TxBftReplica::ExecutePrepare(const TxSubmitMsg& cmd) {
+  TxnState& s = txns_[cmd.txn->id];
+  if (s.txn == nullptr) {
+    s.txn = cmd.txn;
+  }
+  if (!s.vote.has_value()) {
+    const Vote v = s.decided ? Vote::kAbort : OccCheck(*cmd.txn);
+    s.vote = v;
+    if (v == Vote::kCommit) {
+      AcquireLocks(*cmd.txn);
+      s.locks_held = true;
+    }
+    counters_.Inc(v == Vote::kCommit ? "votes_commit" : "votes_abort");
+  }
+  auto reply = std::make_shared<TxVoteReplyMsg>();
+  reply->txn = cmd.txn->id;
+  reply->vote = *s.vote;
+  reply->replica = id();
+  reply->wire_size = 96;
+  const Hash256 digest = reply->Digest();
+  SendBatched(cmd.origin, reply, digest,
+              [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+                auto* r = static_cast<TxVoteReplyMsg*>(m.get());
+                r->wire_size += cert.WireSize();
+                r->cert = std::move(cert);
+              });
+}
+
+void TxBftReplica::ExecuteDecide(const TxSubmitMsg& cmd) {
+  TxnState& s = txns_[cmd.txn->id];
+  if (s.txn == nullptr) {
+    s.txn = cmd.txn;
+  }
+  if (!s.decided) {
+    s.decided = true;
+    if (s.locks_held) {
+      ReleaseLocks(*s.txn);
+      s.locks_held = false;
+    }
+    if (cmd.decision == Decision::kCommit) {
+      for (const WriteEntry& w : s.txn->write_set) {
+        if (OwnsKey(w.key)) {
+          store_.ApplyCommittedWrite(w.key, s.txn->ts, w.value, s.txn->id);
+        }
+      }
+      counters_.Inc("committed");
+    } else {
+      counters_.Inc("aborted");
+    }
+  }
+  auto reply = std::make_shared<TxDecideReplyMsg>();
+  reply->txn = cmd.txn->id;
+  reply->decision = cmd.decision;
+  reply->replica = id();
+  reply->wire_size = 96;
+  const Hash256 digest = reply->Digest();
+  SendBatched(cmd.origin, reply, digest,
+              [](std::shared_ptr<MsgBase> m, BatchCert cert) {
+                auto* r = static_cast<TxDecideReplyMsg*>(m.get());
+                r->wire_size += cert.WireSize();
+                r->cert = std::move(cert);
+              });
+}
+
+void TxBftReplica::SendBatched(
+    NodeId dst, std::shared_ptr<MsgBase> msg, const Hash256& digest,
+    std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert) {
+  pending_replies_.push_back(
+      PendingReply{dst, std::move(msg), digest, std::move(set_cert)});
+  const uint32_t batch_size = keys_->enabled() ? cfg_->reply_batch_size : 1;
+  if (pending_replies_.size() >= batch_size) {
+    FlushBatch();
+    return;
+  }
+  if (!batch_timer_armed_) {
+    batch_timer_armed_ = true;
+    batch_timer_ = SetTimer(cfg_->reply_batch_timeout_ns, [this]() {
+      batch_timer_armed_ = false;
+      FlushBatch();
+    });
+  }
+}
+
+void TxBftReplica::FlushBatch() {
+  if (pending_replies_.empty()) {
+    return;
+  }
+  if (batch_timer_armed_) {
+    CancelTimer(batch_timer_);
+    batch_timer_armed_ = false;
+  }
+  std::vector<Hash256> digests;
+  digests.reserve(pending_replies_.size());
+  for (const PendingReply& p : pending_replies_) {
+    digests.push_back(p.digest);
+  }
+  std::vector<BatchCert> certs = SealBatch(digests, *keys_, id(), &meter());
+  for (size_t i = 0; i < pending_replies_.size(); ++i) {
+    PendingReply& p = pending_replies_[i];
+    p.set_cert(p.msg, std::move(certs[i]));
+    Send(p.dst, std::move(p.msg));
+  }
+  pending_replies_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------------
+
+TxBftClient::TxBftClient(Network* net, NodeId id, ClientId client_id,
+                         const TxBftConfig* cfg, const Topology* topo,
+                         const KeyRegistry* keys, const SimConfig* sim_cfg, Rng rng)
+    : Node(net, id, &sim_cfg->cost, 1),
+      cfg_(cfg),
+      topo_(topo),
+      keys_(keys),
+      verifier_(keys),
+      client_id_(client_id),
+      rng_(rng) {}
+
+TxnSession& TxBftClient::BeginTxn() {
+  active_.emplace();
+  active_->ts = Timestamp{now(), client_id_};
+  return *this;
+}
+
+void TxBftClient::Put(const Key& key, Value value) {
+  if (active_.has_value()) {
+    active_->write_lookup[key] = std::move(value);
+  }
+}
+
+Task<std::optional<Value>> TxBftClient::Get(const Key& key) {
+  if (!active_.has_value() || active_->failed) {
+    co_return std::nullopt;
+  }
+  if (auto it = active_->write_lookup.find(key); it != active_->write_lookup.end()) {
+    co_return it->second;
+  }
+  if (auto it = active_->read_cache.find(key); it != active_->read_cache.end()) {
+    co_return it->second;
+  }
+  const ShardId shard = ShardOfKey(key, cfg_->num_shards);
+  auto rc = std::make_shared<ReadCtx>();
+  rc->quorum = cfg_->reply_quorum();
+  const uint64_t req = next_req_++;
+  pending_reads_[req] = rc;
+
+  auto msg = std::make_shared<TxReadMsg>();
+  msg->req_id = req;
+  msg->key = key;
+  msg->wire_size = 48 + key.size();
+  if (keys_->enabled()) {
+    meter().ChargeSign();
+  }
+  const MsgPtr out = msg;
+  SendToAll(topo_->ShardReplicas(shard), out);
+
+  const EventId timer = SetTimer(cfg_->request_timeout_ns, [rc]() {
+    if (!rc->done.fired()) {
+      rc->timed_out = true;
+      rc->done.Fire();
+    }
+  });
+  co_await rc->done;
+  if (!rc->timed_out) {
+    CancelTimer(timer);
+  }
+  pending_reads_.erase(req);
+  if (!active_.has_value()) {
+    co_return std::nullopt;
+  }
+
+  // Find the f+1-backed (version, value).
+  for (const auto& [vv, nodes] : rc->tallies) {
+    if (nodes.size() >= rc->quorum) {
+      active_->read_set.push_back(ReadEntry{key, vv.first});
+      active_->read_cache[key] = vv.second;
+      if (vv.first.IsZero() && vv.second.empty()) {
+        co_return std::nullopt;
+      }
+      co_return vv.second;
+    }
+  }
+  active_->failed = true;
+  counters_.Inc("read_failures");
+  co_return std::nullopt;
+}
+
+Task<void> TxBftClient::Abort() {
+  active_.reset();
+  co_return;
+}
+
+Task<TxnOutcome> TxBftClient::Commit() {
+  if (!active_.has_value()) {
+    co_return TxnOutcome{false, false};
+  }
+  if (active_->failed) {
+    active_.reset();
+    co_return TxnOutcome{false, true};
+  }
+  auto txn = std::make_shared<Transaction>();
+  txn->ts = active_->ts;
+  txn->client = client_id_;
+  txn->read_set = std::move(active_->read_set);
+  for (auto& [key, value] : active_->write_lookup) {
+    txn->write_set.push_back(WriteEntry{key, value});
+  }
+  txn->Finalize(cfg_->num_shards);
+  active_.reset();
+  if (txn->read_set.empty() && txn->write_set.empty()) {
+    co_return TxnOutcome{true, false};
+  }
+  const Decision d = co_await RunCommit(std::move(txn));
+  counters_.Inc(d == Decision::kCommit ? "commits" : "system_aborts");
+  co_return TxnOutcome{d == Decision::kCommit, d != Decision::kCommit};
+}
+
+void TxBftClient::ArmTimer(CommitCtx& ctx, uint64_t delay) {
+  CancelCtxTimer(ctx);
+  ctx.timed_out = false;
+  ctx.timer_armed = true;
+  // Timer work can sit in the node's CPU queue past cancellation, so the callback
+  // must re-validate that this commit attempt is still the registered one.
+  CommitCtx* p = &ctx;
+  const TxnDigest id = ctx.body->id;
+  ctx.timer = SetTimer(delay, [this, p, id]() {
+    auto it = pending_commits_.find(id);
+    if (it == pending_commits_.end() || it->second != p) {
+      return;
+    }
+    p->timer_armed = false;
+    p->timed_out = true;
+    p->event.Fire();
+  });
+}
+
+void TxBftClient::CancelCtxTimer(CommitCtx& ctx) {
+  if (ctx.timer_armed) {
+    CancelTimer(ctx.timer);
+    ctx.timer_armed = false;
+  }
+}
+
+Task<Decision> TxBftClient::RunCommit(TxnPtr body) {
+  CommitCtx ctx;
+  ctx.body = body;
+  pending_commits_[body->id] = &ctx;
+
+  // Phase 1: order + execute Prepare on every involved shard.
+  auto prep = std::make_shared<TxSubmitMsg>();
+  prep->cmd = TxCmdKind::kPrepare;
+  prep->txn = body;
+  prep->origin = id();
+  prep->wire_size = 64 + body->WireSize();
+  if (keys_->enabled()) {
+    meter().ChargeSign();
+  }
+  const MsgPtr pout = prep;
+  for (ShardId shard : body->involved_shards) {
+    SendToAll(topo_->ShardReplicas(shard), pout);
+  }
+  ArmTimer(ctx, cfg_->request_timeout_ns);
+
+  Decision decision = Decision::kCommit;
+  while (true) {
+    co_await ctx.event;
+    ctx.event.Reset();
+    bool all_done = true;
+    for (ShardId shard : body->involved_shards) {
+      uint32_t commit = 0;
+      uint32_t abort = 0;
+      for (const auto& [node, v] : ctx.votes[shard]) {
+        (void)node;
+        (v == Vote::kCommit ? commit : abort)++;
+      }
+      if (abort >= cfg_->reply_quorum()) {
+        decision = Decision::kAbort;
+      } else if (commit < cfg_->reply_quorum()) {
+        all_done = false;
+      }
+    }
+    if (all_done || decision == Decision::kAbort) {
+      break;
+    }
+    if (ctx.timed_out) {
+      pending_commits_.erase(body->id);
+      CancelCtxTimer(ctx);
+      counters_.Inc("commit_timeouts");
+      co_return Decision::kAbort;
+    }
+  }
+
+  // Phase 2: order + execute the Decide on every involved shard.
+  auto dec = std::make_shared<TxSubmitMsg>();
+  dec->cmd = TxCmdKind::kDecide;
+  dec->txn = body;
+  dec->decision = decision;
+  dec->origin = id();
+  dec->wire_size = 96 + body->WireSize();
+  if (keys_->enabled()) {
+    meter().ChargeSign();
+  }
+  const MsgPtr dout = dec;
+  for (ShardId shard : body->involved_shards) {
+    SendToAll(topo_->ShardReplicas(shard), dout);
+  }
+  ArmTimer(ctx, cfg_->request_timeout_ns);
+  while (true) {
+    co_await ctx.event;
+    ctx.event.Reset();
+    bool acked = true;
+    for (ShardId shard : body->involved_shards) {
+      if (ctx.decide_acks[shard].size() < cfg_->reply_quorum()) {
+        acked = false;
+      }
+    }
+    if (acked || ctx.timed_out) {
+      break;
+    }
+  }
+  CancelCtxTimer(ctx);
+  pending_commits_.erase(body->id);
+  co_return decision;
+}
+
+void TxBftClient::Handle(const MsgEnvelope& env) {
+  switch (env.msg->kind) {
+    case kTxReadReply: {
+      const auto& msg = static_cast<const TxReadReplyMsg&>(*env.msg);
+      auto it = pending_reads_.find(msg.req_id);
+      if (it == pending_reads_.end()) {
+        break;
+      }
+      if (!verifier_.Verify(msg.Digest(), msg.cert, &meter())) {
+        break;
+      }
+      ReadCtx& rc = *it->second;
+      const Timestamp version = msg.found ? msg.version : Timestamp{};
+      const Value value = msg.found ? msg.value : Value{};
+      auto& nodes = rc.tallies[{version, value}];
+      nodes.insert(msg.replica);
+      if (nodes.size() >= rc.quorum) {
+        rc.done.Fire();
+      }
+      break;
+    }
+    case kTxVoteReply: {
+      const auto& msg = static_cast<const TxVoteReplyMsg&>(*env.msg);
+      auto it = pending_commits_.find(msg.txn);
+      if (it == pending_commits_.end()) {
+        break;
+      }
+      if (!verifier_.Verify(msg.Digest(), msg.cert, &meter())) {
+        break;
+      }
+      const ShardId shard = topo_->ShardOfReplicaNode(msg.replica);
+      it->second->votes[shard][msg.replica] = msg.vote;
+      it->second->event.Fire();
+      break;
+    }
+    case kTxDecideReply: {
+      const auto& msg = static_cast<const TxDecideReplyMsg&>(*env.msg);
+      auto it = pending_commits_.find(msg.txn);
+      if (it == pending_commits_.end()) {
+        break;
+      }
+      if (!verifier_.Verify(msg.Digest(), msg.cert, &meter())) {
+        break;
+      }
+      const ShardId shard = topo_->ShardOfReplicaNode(msg.replica);
+      it->second->decide_acks[shard].insert(msg.replica);
+      it->second->event.Fire();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster.
+// ---------------------------------------------------------------------------
+
+TxBftCluster::TxBftCluster(const TxBftClusterConfig& cfg) : cfg_(cfg) {
+  topology_.num_shards = cfg_.txbft.num_shards;
+  topology_.replicas_per_shard = cfg_.txbft.n();
+  topology_.num_clients = cfg_.num_clients;
+
+  Rng rng(cfg_.sim.seed);
+  keys_ = std::make_unique<KeyRegistry>(topology_.TotalNodes(), cfg_.sim.seed,
+                                        cfg_.txbft.signatures_enabled);
+  network_ = std::make_unique<Network>(&events_, cfg_.sim.net, rng.Fork());
+  for (ShardId shard = 0; shard < topology_.num_shards; ++shard) {
+    for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
+      replicas_.push_back(std::make_unique<TxBftReplica>(
+          network_.get(), topology_.ReplicaNode(shard, r), &cfg_.txbft, &topology_,
+          keys_.get(), &cfg_.sim, cfg_.engine));
+      network_->Register(replicas_.back().get());
+    }
+  }
+  for (uint32_t c = 0; c < cfg_.num_clients; ++c) {
+    clients_.push_back(std::make_unique<TxBftClient>(
+        network_.get(), topology_.ClientNode(c), c + 1, &cfg_.txbft, &topology_,
+        keys_.get(), &cfg_.sim, rng.Fork()));
+    network_->Register(clients_.back().get());
+  }
+}
+
+void TxBftCluster::Load(const Key& key, const Value& value) {
+  const ShardId shard = ShardOfKey(key, topology_.num_shards);
+  for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
+    replicas_[topology_.ReplicaNode(shard, r)]->store().LoadGenesis(key, value);
+  }
+}
+
+void TxBftCluster::SetGenesisFn(VersionStore::GenesisFn fn) {
+  for (auto& r : replicas_) {
+    r->store().SetGenesisFn(fn);
+  }
+}
+
+Counters TxBftCluster::ReplicaCounters() const {
+  Counters out;
+  for (const auto& r : replicas_) {
+    out.Merge(r->counters());
+  }
+  return out;
+}
+
+Counters TxBftCluster::ClientCounters() const {
+  Counters out;
+  for (const auto& c : clients_) {
+    out.Merge(c->counters());
+  }
+  return out;
+}
+
+}  // namespace basil

@@ -1,0 +1,241 @@
+// The transaction layer the paper builds over BFT-SMaRt and HotStuff ("TxBFT-SMaRt" /
+// "TxHotstuff", §6): per-shard state machine replication orders Prepare and Decide
+// commands; replicas execute a deterministic OCC serializability check (optimistic
+// locking in the style of Augustus) and send signed, batch-amortized replies; the
+// client collects f+1 matching replies, runs 2PC across shards, and orders the final
+// decision again. Two consensus instances per transaction, as the paper describes.
+#ifndef BASIL_SRC_TXBFT_TXBFT_H_
+#define BASIL_SRC_TXBFT_TXBFT_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/crypto/batch.h"
+#include "src/sim/db.h"
+#include "src/sim/node.h"
+#include "src/sim/topology.h"
+#include "src/store/version_store.h"
+#include "src/txbft/engine.h"
+
+namespace basil {
+
+enum TxBftMsgKind : uint16_t {
+  kTxRead = 500,
+  kTxReadReply = 501,
+  kTxSubmit = 502,      // Client -> replicas: command for the shard's consensus.
+  kTxVoteReply = 503,   // Replica -> client: executed Prepare vote.
+  kTxDecideReply = 504, // Replica -> client: executed Decide ack.
+};
+
+enum class TxCmdKind : uint8_t { kPrepare = 0, kDecide = 1 };
+
+struct TxReadMsg : MsgBase {
+  uint64_t req_id = 0;
+  Key key;
+  TxReadMsg() { kind = kTxRead; }
+};
+
+struct TxReadReplyMsg : MsgBase {
+  uint64_t req_id = 0;
+  bool found = false;
+  Timestamp version;
+  Value value;
+  NodeId replica = kInvalidNode;
+  BatchCert cert;
+  TxReadReplyMsg() { kind = kTxReadReply; }
+  Hash256 Digest() const;
+};
+
+struct TxSubmitMsg : MsgBase {
+  TxCmdKind cmd = TxCmdKind::kPrepare;
+  TxnPtr txn;
+  Decision decision = Decision::kAbort;  // For kDecide.
+  NodeId origin = kInvalidNode;          // Client to reply to.
+  TxSubmitMsg() { kind = kTxSubmit; }
+  Hash256 CmdId() const;
+};
+
+struct TxVoteReplyMsg : MsgBase {
+  TxnDigest txn{};
+  Vote vote = Vote::kAbort;
+  NodeId replica = kInvalidNode;
+  BatchCert cert;
+  TxVoteReplyMsg() { kind = kTxVoteReply; }
+  Hash256 Digest() const;
+};
+
+struct TxDecideReplyMsg : MsgBase {
+  TxnDigest txn{};
+  Decision decision = Decision::kAbort;
+  NodeId replica = kInvalidNode;
+  BatchCert cert;
+  TxDecideReplyMsg() { kind = kTxDecideReply; }
+  Hash256 Digest() const;
+};
+
+enum class BftEngineKind : uint8_t { kPbft, kHotstuff };
+
+class TxBftReplica : public Node {
+ public:
+  TxBftReplica(Network* net, NodeId id, const TxBftConfig* cfg, const Topology* topo,
+               const KeyRegistry* keys, const SimConfig* sim_cfg, BftEngineKind kind);
+
+  void Handle(const MsgEnvelope& env) override;
+  VersionStore& store() { return store_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  void OnRead(NodeId src, const TxReadMsg& msg);
+  void OnSubmit(const TxSubmitMsg& msg);
+  // Deterministic execution of ordered commands.
+  void ExecuteCommand(const TxSubmitMsg& cmd);
+  void ExecutePrepare(const TxSubmitMsg& cmd);
+  void ExecuteDecide(const TxSubmitMsg& cmd);
+
+  // Optimistic-locking OCC check: reads must still be current; no conflicting locks.
+  Vote OccCheck(const Transaction& txn) const;
+  void AcquireLocks(const Transaction& txn);
+  void ReleaseLocks(const Transaction& txn);
+  bool OwnsKey(const Key& key) const {
+    return ShardOfKey(key, cfg_->num_shards) == topo_->ShardOfReplicaNode(id());
+  }
+
+  // Signed reply batching (§4.4, granted to the baselines as in the paper).
+  void SendBatched(NodeId dst, std::shared_ptr<MsgBase> msg, const Hash256& digest,
+                   std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert);
+  void FlushBatch();
+
+  const TxBftConfig* cfg_;
+  const Topology* topo_;
+  const KeyRegistry* keys_;
+  VersionStore store_;
+  Counters counters_;
+  std::unique_ptr<ConsensusEngine> engine_;
+
+  struct TxnState {
+    TxnPtr txn;
+    std::optional<Vote> vote;
+    bool locks_held = false;
+    bool decided = false;
+  };
+  std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
+
+  struct LockState {
+    std::optional<TxnDigest> writer;
+    std::set<TxnDigest> readers;
+  };
+  std::unordered_map<Key, LockState> locks_;
+
+  struct PendingReply {
+    NodeId dst;
+    std::shared_ptr<MsgBase> msg;
+    Hash256 digest;
+    std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert;
+  };
+  std::vector<PendingReply> pending_replies_;
+  bool batch_timer_armed_ = false;
+  EventId batch_timer_ = 0;
+};
+
+class TxBftClient : public Node, public SystemClient, public TxnSession {
+ public:
+  TxBftClient(Network* net, NodeId id, ClientId client_id, const TxBftConfig* cfg,
+              const Topology* topo, const KeyRegistry* keys, const SimConfig* sim_cfg,
+              Rng rng);
+
+  TxnSession& BeginTxn() override;
+  Task<std::optional<Value>> Get(const Key& key) override;
+  void Put(const Key& key, Value value) override;
+  Task<TxnOutcome> Commit() override;
+  Task<void> Abort() override;
+
+  void Handle(const MsgEnvelope& env) override;
+  Counters& counters() { return counters_; }
+
+ private:
+  struct ReadCtx {
+    OneShot done;
+    bool timed_out = false;
+    // (version, value) -> replicas that reported it.
+    std::map<std::pair<Timestamp, Value>, std::set<NodeId>> tallies;
+    uint32_t quorum = 0;
+  };
+  struct CommitCtx {
+    TxnPtr body;
+    std::map<ShardId, std::map<NodeId, Vote>> votes;
+    std::map<ShardId, std::set<NodeId>> decide_acks;
+    bool timed_out = false;
+    EventId timer = 0;
+    bool timer_armed = false;
+    OneShot event;
+  };
+
+  Task<Decision> RunCommit(TxnPtr body);
+  void ArmTimer(CommitCtx& ctx, uint64_t delay);
+  void CancelCtxTimer(CommitCtx& ctx);
+
+  const TxBftConfig* cfg_;
+  const Topology* topo_;
+  const KeyRegistry* keys_;
+  BatchVerifier verifier_;
+  ClientId client_id_;
+  Rng rng_;
+  Counters counters_;
+
+  struct ActiveTxn {
+    Timestamp ts;
+    std::vector<ReadEntry> read_set;
+    std::map<Key, Value> write_lookup;
+    std::map<Key, Value> read_cache;
+    bool failed = false;
+  };
+  std::optional<ActiveTxn> active_;
+  uint64_t next_req_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<ReadCtx>> pending_reads_;
+  std::unordered_map<TxnDigest, CommitCtx*, TxnDigestHash> pending_commits_;
+};
+
+struct TxBftClusterConfig {
+  TxBftConfig txbft;
+  SimConfig sim;
+  BftEngineKind engine = BftEngineKind::kPbft;
+  uint32_t num_clients = 4;
+};
+
+class TxBftCluster {
+ public:
+  explicit TxBftCluster(const TxBftClusterConfig& cfg);
+
+  TxBftClient& client(uint32_t i) { return *clients_.at(i); }
+  TxBftReplica& replica(ShardId shard, ReplicaId r) {
+    return *replicas_.at(topology_.ReplicaNode(shard, r));
+  }
+  const Topology& topology() const { return topology_; }
+  EventQueue& events() { return events_; }
+  void Load(const Key& key, const Value& value);
+  void SetGenesisFn(VersionStore::GenesisFn fn);
+  void RunFor(uint64_t ns) { events_.RunUntil(events_.now() + ns); }
+  void RunUntilIdle(uint64_t max_events = 50'000'000) { events_.RunAll(max_events); }
+  Counters ReplicaCounters() const;
+  Counters ClientCounters() const;
+
+ private:
+  TxBftClusterConfig cfg_;
+  Topology topology_;
+  EventQueue events_;
+  std::unique_ptr<KeyRegistry> keys_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<TxBftReplica>> replicas_;
+  std::vector<std::unique_ptr<TxBftClient>> clients_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_TXBFT_TXBFT_H_

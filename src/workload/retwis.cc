@@ -1,0 +1,91 @@
+#include "src/workload/retwis.h"
+
+#include <string>
+
+namespace basil {
+namespace {
+
+Key UserKey(uint64_t u) { return "rt:u:" + std::to_string(u); }
+Key FollowersKey(uint64_t u) { return "rt:fw:" + std::to_string(u); }
+Key FollowingKey(uint64_t u) { return "rt:fg:" + std::to_string(u); }
+Key TimelineKey(uint64_t u) { return "rt:tl:" + std::to_string(u); }
+Key TweetCountKey(uint64_t u) { return "rt:tc:" + std::to_string(u); }
+
+}  // namespace
+
+RetwisWorkload::RetwisWorkload(const RetwisConfig& cfg)
+    : cfg_(cfg),
+      zipf_(std::make_shared<ZipfianGenerator>(cfg.num_users, cfg.theta)) {}
+
+Task<bool> RetwisWorkload::AddUser(TxnSession& s, Rng& rng) {
+  const uint64_t u = PickUser(rng);
+  co_await s.Get(UserKey(u));
+  s.Put(UserKey(u), "profile");
+  s.Put(FollowersKey(u), "");
+  s.Put(FollowingKey(u), "");
+  co_return true;
+}
+
+Task<bool> RetwisWorkload::Follow(TxnSession& s, Rng& rng) {
+  const uint64_t follower = PickUser(rng);
+  uint64_t followee = PickUser(rng);
+  while (followee == follower) {
+    followee = PickUser(rng);
+  }
+  const auto fg = co_await s.Get(FollowingKey(follower));
+  const auto fw = co_await s.Get(FollowersKey(followee));
+  s.Put(FollowingKey(follower), fg.value_or("") + "+" + std::to_string(followee));
+  s.Put(FollowersKey(followee), fw.value_or("") + "+" + std::to_string(follower));
+  co_return true;
+}
+
+Task<bool> RetwisWorkload::PostTweet(TxnSession& s, Rng& rng) {
+  const uint64_t u = PickUser(rng);
+  co_await s.Get(UserKey(u));
+  const auto count = co_await s.Get(TweetCountKey(u));
+  const auto timeline = co_await s.Get(TimelineKey(u));
+  const uint64_t n = count.has_value() && !count->empty() ? std::stoull(*count) : 0;
+  s.Put("rt:tw:" + std::to_string(u) + ":" + std::to_string(n), "tweet-body");
+  s.Put(TweetCountKey(u), std::to_string(n + 1));
+  s.Put(TimelineKey(u), timeline.value_or("").substr(0, 64) + "|t" +
+                            std::to_string(n));
+  s.Put(UserKey(u), "profile-updated");
+  s.Put(FollowersKey(u), "notified");
+  co_return true;
+}
+
+Task<bool> RetwisWorkload::GetTimeline(TxnSession& s, Rng& rng) {
+  const uint64_t reads = rng.NextRange(1, 10);
+  for (uint64_t i = 0; i < reads; ++i) {
+    co_await s.Get(TimelineKey(PickUser(rng)));
+  }
+  co_return true;
+}
+
+Task<bool> RetwisWorkload::RunTransaction(TxnSession& session, Rng& rng) {
+  const uint64_t dice = rng.NextUint(100);
+  if (dice < 5) {
+    co_return co_await AddUser(session, rng);
+  }
+  if (dice < 20) {
+    co_return co_await Follow(session, rng);
+  }
+  if (dice < 50) {
+    co_return co_await PostTweet(session, rng);
+  }
+  co_return co_await GetTimeline(session, rng);
+}
+
+std::function<std::optional<Value>(const Key&)> RetwisWorkload::GenesisFn() const {
+  return [](const Key& key) -> std::optional<Value> {
+    if (key.rfind("rt:", 0) != 0) {
+      return std::nullopt;
+    }
+    if (key.rfind("rt:tc:", 0) == 0) {
+      return Value("0");
+    }
+    return Value("seed");
+  };
+}
+
+}  // namespace basil

@@ -1,0 +1,40 @@
+// Retwis social-network benchmark (§6.1): the transactionalized Retwis mix used by
+// TAPIR's evaluation. Users follow a Zipf(0.75) popularity distribution.
+#ifndef BASIL_SRC_WORKLOAD_RETWIS_H_
+#define BASIL_SRC_WORKLOAD_RETWIS_H_
+
+#include <memory>
+
+#include "src/workload/workload.h"
+
+namespace basil {
+
+struct RetwisConfig {
+  uint64_t num_users = 1'000'000;
+  double theta = 0.75;
+};
+
+class RetwisWorkload : public Workload {
+ public:
+  explicit RetwisWorkload(const RetwisConfig& cfg);
+
+  Task<bool> RunTransaction(TxnSession& session, Rng& rng) override;
+  std::function<std::optional<Value>(const Key&)> GenesisFn() const override;
+  const char* name() const override { return "retwis"; }
+
+ private:
+  uint64_t PickUser(Rng& rng) { return zipf_->Next(rng); }
+
+  // The four Retwis transactions (mix: 5 / 15 / 30 / 50).
+  Task<bool> AddUser(TxnSession& s, Rng& rng);       // 1 read, 3 writes.
+  Task<bool> Follow(TxnSession& s, Rng& rng);        // 2 reads, 2 writes.
+  Task<bool> PostTweet(TxnSession& s, Rng& rng);     // 3 reads, 5 writes.
+  Task<bool> GetTimeline(TxnSession& s, Rng& rng);   // rand(1..10) reads.
+
+  RetwisConfig cfg_;
+  std::shared_ptr<ZipfianGenerator> zipf_;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_WORKLOAD_RETWIS_H_

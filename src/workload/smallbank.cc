@@ -1,0 +1,126 @@
+#include "src/workload/smallbank.h"
+
+#include <string>
+
+namespace basil {
+
+int64_t ParseBalance(const std::optional<Value>& v, int64_t fallback) {
+  if (!v.has_value() || v->empty()) {
+    return fallback;
+  }
+  return std::stoll(*v);
+}
+
+Key SmallbankWorkload::CheckingKey(uint64_t account) {
+  return "sb:c:" + std::to_string(account);
+}
+
+Key SmallbankWorkload::SavingsKey(uint64_t account) {
+  return "sb:s:" + std::to_string(account);
+}
+
+uint64_t SmallbankWorkload::PickAccount(Rng& rng) const {
+  if (rng.NextBool(cfg_.hot_probability)) {
+    return rng.NextUint(cfg_.hot_accounts);
+  }
+  return cfg_.hot_accounts + rng.NextUint(cfg_.num_accounts - cfg_.hot_accounts);
+}
+
+Task<bool> SmallbankWorkload::Balance(TxnSession& s, uint64_t a) {
+  co_await s.Get(SavingsKey(a));
+  co_await s.Get(CheckingKey(a));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::DepositChecking(TxnSession& s, uint64_t a, int64_t v) {
+  const auto bal = co_await s.Get(CheckingKey(a));
+  s.Put(CheckingKey(a), std::to_string(ParseBalance(bal, cfg_.initial_balance) + v));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::TransactSavings(TxnSession& s, uint64_t a, int64_t v) {
+  const auto bal = co_await s.Get(SavingsKey(a));
+  const int64_t next = ParseBalance(bal, cfg_.initial_balance) + v;
+  if (next < 0) {
+    co_return false;  // Insufficient funds: application abort.
+  }
+  s.Put(SavingsKey(a), std::to_string(next));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::Amalgamate(TxnSession& s, uint64_t a, uint64_t b) {
+  const auto sav = co_await s.Get(SavingsKey(a));
+  const auto chk = co_await s.Get(CheckingKey(a));
+  const auto dst = co_await s.Get(CheckingKey(b));
+  const int64_t total = ParseBalance(sav, cfg_.initial_balance) +
+                        ParseBalance(chk, cfg_.initial_balance);
+  s.Put(SavingsKey(a), "0");
+  s.Put(CheckingKey(a), "0");
+  s.Put(CheckingKey(b),
+        std::to_string(ParseBalance(dst, cfg_.initial_balance) + total));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::WriteCheck(TxnSession& s, uint64_t a, int64_t v) {
+  const auto sav = co_await s.Get(SavingsKey(a));
+  const auto chk = co_await s.Get(CheckingKey(a));
+  const int64_t total = ParseBalance(sav, cfg_.initial_balance) +
+                        ParseBalance(chk, cfg_.initial_balance);
+  // Overdraft penalty per the Smallbank spec.
+  const int64_t fee = (v > total) ? 1 : 0;
+  s.Put(CheckingKey(a),
+        std::to_string(ParseBalance(chk, cfg_.initial_balance) - v - fee));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::SendPayment(TxnSession& s, uint64_t a, uint64_t b,
+                                          int64_t v) {
+  const auto src = co_await s.Get(CheckingKey(a));
+  const int64_t src_bal = ParseBalance(src, cfg_.initial_balance);
+  if (src_bal < v) {
+    co_return false;
+  }
+  const auto dst = co_await s.Get(CheckingKey(b));
+  s.Put(CheckingKey(a), std::to_string(src_bal - v));
+  s.Put(CheckingKey(b), std::to_string(ParseBalance(dst, cfg_.initial_balance) + v));
+  co_return true;
+}
+
+Task<bool> SmallbankWorkload::RunTransaction(TxnSession& session, Rng& rng) {
+  const uint64_t a = PickAccount(rng);
+  uint64_t b = PickAccount(rng);
+  while (b == a) {
+    b = PickAccount(rng);
+  }
+  const int64_t amount = static_cast<int64_t>(rng.NextRange(1, 100));
+  // OLTPBench mix: 15% each of five ops, 25% SendPayment.
+  const uint64_t dice = rng.NextUint(100);
+  if (dice < 15) {
+    co_return co_await Balance(session, a);
+  }
+  if (dice < 30) {
+    co_return co_await DepositChecking(session, a, amount);
+  }
+  if (dice < 45) {
+    co_return co_await TransactSavings(session, a, amount - 50);
+  }
+  if (dice < 60) {
+    co_return co_await Amalgamate(session, a, b);
+  }
+  if (dice < 75) {
+    co_return co_await WriteCheck(session, a, amount);
+  }
+  co_return co_await SendPayment(session, a, b, amount);
+}
+
+std::function<std::optional<Value>(const Key&)> SmallbankWorkload::GenesisFn() const {
+  const int64_t initial = cfg_.initial_balance;
+  return [initial](const Key& key) -> std::optional<Value> {
+    if (key.rfind("sb:", 0) != 0) {
+      return std::nullopt;
+    }
+    return std::to_string(initial);
+  };
+}
+
+}  // namespace basil

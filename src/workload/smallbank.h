@@ -1,0 +1,50 @@
+// Smallbank banking benchmark (§6.1): 1M accounts with checking + savings balances,
+// 1,000 hot accounts receiving 90% of accesses. Standard six-operation mix.
+#ifndef BASIL_SRC_WORKLOAD_SMALLBANK_H_
+#define BASIL_SRC_WORKLOAD_SMALLBANK_H_
+
+#include "src/workload/workload.h"
+
+namespace basil {
+
+struct SmallbankConfig {
+  uint64_t num_accounts = 1'000'000;
+  uint64_t hot_accounts = 1'000;
+  double hot_probability = 0.9;
+  int64_t initial_balance = 10'000;
+};
+
+class SmallbankWorkload : public Workload {
+ public:
+  explicit SmallbankWorkload(const SmallbankConfig& cfg) : cfg_(cfg) {}
+
+  Task<bool> RunTransaction(TxnSession& session, Rng& rng) override;
+  std::function<std::optional<Value>(const Key&)> GenesisFn() const override;
+  const char* name() const override { return "smallbank"; }
+
+  // Key helpers (shared with the banking example and tests).
+  static Key CheckingKey(uint64_t account);
+  static Key SavingsKey(uint64_t account);
+
+  // The six Smallbank operations (public for targeted tests). Note that Deposit,
+  // TransactSavings and WriteCheck model external cash flows — only Amalgamate and
+  // SendPayment conserve the bank's total balance.
+  Task<bool> Balance(TxnSession& s, uint64_t a);
+  Task<bool> DepositChecking(TxnSession& s, uint64_t a, int64_t v);
+  Task<bool> TransactSavings(TxnSession& s, uint64_t a, int64_t v);
+  Task<bool> Amalgamate(TxnSession& s, uint64_t a, uint64_t b);
+  Task<bool> WriteCheck(TxnSession& s, uint64_t a, int64_t v);
+  Task<bool> SendPayment(TxnSession& s, uint64_t a, uint64_t b, int64_t v);
+
+ private:
+  uint64_t PickAccount(Rng& rng) const;
+
+  SmallbankConfig cfg_;
+};
+
+// Integer balances travel as decimal strings.
+int64_t ParseBalance(const std::optional<Value>& v, int64_t fallback);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_WORKLOAD_SMALLBANK_H_

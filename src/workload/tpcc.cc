@@ -1,0 +1,428 @@
+#include "src/workload/tpcc.h"
+
+#include <set>
+#include <sstream>
+
+namespace basil {
+namespace {
+
+const char* kSyllables[10] = {"BAR",  "OUGHT", "ABLE", "PRI",   "PRES",
+                              "ESE",  "ANTI",  "CALLY", "ATION", "EING"};
+
+}  // namespace
+
+std::vector<std::string> SplitRow(const Value& row) {
+  std::vector<std::string> fields;
+  std::string cur;
+  for (char c : row) {
+    if (c == '|') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Value JoinRow(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) {
+      out.push_back('|');
+    }
+    out += fields[i];
+  }
+  return out;
+}
+
+// ---- Key builders ----
+
+Key TpccWorkload::WarehouseKey(uint32_t w) { return "t:w:" + std::to_string(w); }
+Key TpccWorkload::DistrictKey(uint32_t w, uint32_t d) {
+  return "t:d:" + std::to_string(w) + ":" + std::to_string(d);
+}
+Key TpccWorkload::CustomerKey(uint32_t w, uint32_t d, uint32_t c) {
+  return "t:c:" + std::to_string(w) + ":" + std::to_string(d) + ":" +
+         std::to_string(c);
+}
+Key TpccWorkload::ItemKey(uint32_t i) { return "t:i:" + std::to_string(i); }
+Key TpccWorkload::StockKey(uint32_t w, uint32_t i) {
+  return "t:s:" + std::to_string(w) + ":" + std::to_string(i);
+}
+Key TpccWorkload::OrderKey(uint32_t w, uint32_t d, uint32_t o) {
+  return "t:o:" + std::to_string(w) + ":" + std::to_string(d) + ":" +
+         std::to_string(o);
+}
+Key TpccWorkload::OrderLineKey(uint32_t w, uint32_t d, uint32_t o, uint32_t line) {
+  return "t:ol:" + std::to_string(w) + ":" + std::to_string(d) + ":" +
+         std::to_string(o) + ":" + std::to_string(line);
+}
+Key TpccWorkload::NewOrderCursorKey(uint32_t w, uint32_t d) {
+  return "t:no:" + std::to_string(w) + ":" + std::to_string(d);
+}
+Key TpccWorkload::LastNameIndexKey(uint32_t w, uint32_t d, const std::string& last) {
+  return "t:il:" + std::to_string(w) + ":" + std::to_string(d) + ":" + last;
+}
+Key TpccWorkload::LastOrderIndexKey(uint32_t w, uint32_t d, uint32_t c) {
+  return "t:io:" + std::to_string(w) + ":" + std::to_string(d) + ":" +
+         std::to_string(c);
+}
+
+std::string TpccWorkload::LastName(uint32_t seed) {
+  seed %= 1000;
+  return std::string(kSyllables[seed / 100]) + kSyllables[(seed / 10) % 10] +
+         kSyllables[seed % 10];
+}
+
+uint32_t TpccWorkload::NonUniform(Rng& rng, uint32_t a, uint32_t x, uint32_t y) {
+  const uint32_t c = 42 % (a + 1);  // Fixed run-time constant per the spec.
+  const uint32_t r1 = static_cast<uint32_t>(rng.NextRange(0, a));
+  const uint32_t r2 = static_cast<uint32_t>(rng.NextRange(x, y));
+  return ((r1 | r2) + c) % (y - x + 1) + x;
+}
+
+// ---- Transactions ----
+
+Task<bool> TpccWorkload::NewOrder(TxnSession& s, Rng& rng) {
+  const uint32_t w = PickWarehouse(rng);
+  const uint32_t d = PickDistrict(rng);
+  const uint32_t c = PickCustomer(rng);
+  const uint32_t ol_cnt = static_cast<uint32_t>(rng.NextRange(5, 15));
+  const bool rollback = rng.NextUint(100) == 0;  // 1%: invalid item aborts.
+
+  co_await s.Get(WarehouseKey(w));
+  const auto district = co_await s.Get(DistrictKey(w, d));
+  if (!district.has_value()) {
+    co_return false;
+  }
+  auto dfields = SplitRow(*district);
+  const uint32_t o_id = static_cast<uint32_t>(std::stoul(dfields[0]));
+  dfields[0] = std::to_string(o_id + 1);
+  s.Put(DistrictKey(w, d), JoinRow(dfields));
+
+  co_await s.Get(CustomerKey(w, d, c));
+
+  int64_t total = 0;
+  for (uint32_t line = 0; line < ol_cnt; ++line) {
+    if (rollback && line == ol_cnt - 1) {
+      co_return false;  // Unused item number, per the spec's rollback clause.
+    }
+    const uint32_t item = PickItem(rng);
+    const auto item_row = co_await s.Get(ItemKey(item));
+    const int64_t price =
+        item_row.has_value() ? std::stoll(SplitRow(*item_row)[0]) : 100;
+
+    // 1% remote warehouse per the spec (makes TPC-C cross-shard when sharded).
+    uint32_t supply_w = w;
+    if (cfg_.num_warehouses > 1 && rng.NextUint(100) == 0) {
+      supply_w = PickWarehouse(rng);
+    }
+    const auto stock = co_await s.Get(StockKey(supply_w, item));
+    auto sfields = stock.has_value() ? SplitRow(*stock)
+                                     : std::vector<std::string>{"10", "0", "0"};
+    int64_t qty = std::stoll(sfields[0]);
+    const auto quantity = static_cast<int64_t>(rng.NextRange(1, 10));
+    qty = qty >= quantity + 10 ? qty - quantity : qty - quantity + 91;
+    sfields[0] = std::to_string(qty);
+    sfields[1] = std::to_string(std::stoll(sfields[1]) + quantity);
+    sfields[2] = std::to_string(std::stoll(sfields[2]) + 1);
+    s.Put(StockKey(supply_w, item), JoinRow(sfields));
+
+    const int64_t amount = price * quantity;
+    total += amount;
+    s.Put(OrderLineKey(w, d, o_id, line),
+          JoinRow({std::to_string(item), std::to_string(supply_w),
+                   std::to_string(quantity), std::to_string(amount)}));
+  }
+
+  s.Put(OrderKey(w, d, o_id),
+        JoinRow({std::to_string(c), "now", "0", std::to_string(ol_cnt)}));
+  s.Put(LastOrderIndexKey(w, d, c), std::to_string(o_id));
+  co_return true;
+}
+
+Task<bool> TpccWorkload::Payment(TxnSession& s, Rng& rng) {
+  const uint32_t w = PickWarehouse(rng);
+  const uint32_t d = PickDistrict(rng);
+  const auto amount = static_cast<int64_t>(rng.NextRange(100, 500000));
+
+  const auto wh = co_await s.Get(WarehouseKey(w));
+  if (wh.has_value()) {
+    auto f = SplitRow(*wh);
+    f[0] = std::to_string(std::stoll(f[0]) + amount);
+    s.Put(WarehouseKey(w), JoinRow(f));
+  }
+  const auto dist = co_await s.Get(DistrictKey(w, d));
+  if (dist.has_value()) {
+    auto f = SplitRow(*dist);
+    f[1] = std::to_string(std::stoll(f[1]) + amount);
+    s.Put(DistrictKey(w, d), JoinRow(f));
+  }
+
+  // 60% by customer id, 40% by last name through the index table (the paper's
+  // secondary-index substitution).
+  uint32_t c;
+  if (rng.NextUint(100) < 60) {
+    c = PickCustomer(rng);
+  } else {
+    const std::string last = LastName(NonUniform(rng, 255, 0, 999));
+    const auto idx = co_await s.Get(LastNameIndexKey(w, d, last));
+    if (!idx.has_value() || idx->empty()) {
+      co_return false;
+    }
+    c = static_cast<uint32_t>(std::stoul(*idx));
+  }
+  const auto cust = co_await s.Get(CustomerKey(w, d, c));
+  if (!cust.has_value()) {
+    co_return false;
+  }
+  auto cf = SplitRow(*cust);
+  cf[0] = std::to_string(std::stoll(cf[0]) - amount);
+  cf[1] = std::to_string(std::stoll(cf[1]) + amount);
+  cf[2] = std::to_string(std::stoll(cf[2]) + 1);
+  s.Put(CustomerKey(w, d, c), JoinRow(cf));
+
+  // History row: keyed uniquely per (customer, random nonce) — never conflicts.
+  s.Put("t:h:" + std::to_string(w) + ":" + std::to_string(d) + ":" +
+            std::to_string(c) + ":" + std::to_string(rng.Next()),
+        std::to_string(amount));
+  co_return true;
+}
+
+Task<bool> TpccWorkload::OrderStatus(TxnSession& s, Rng& rng) {
+  const uint32_t w = PickWarehouse(rng);
+  const uint32_t d = PickDistrict(rng);
+  uint32_t c;
+  if (rng.NextUint(100) < 40) {
+    c = PickCustomer(rng);
+  } else {
+    const std::string last = LastName(NonUniform(rng, 255, 0, 999));
+    const auto idx = co_await s.Get(LastNameIndexKey(w, d, last));
+    if (!idx.has_value() || idx->empty()) {
+      co_return false;
+    }
+    c = static_cast<uint32_t>(std::stoul(*idx));
+  }
+  co_await s.Get(CustomerKey(w, d, c));
+  const auto last_order = co_await s.Get(LastOrderIndexKey(w, d, c));
+  if (!last_order.has_value() || last_order->empty()) {
+    co_return true;  // Customer has no orders.
+  }
+  const uint32_t o = static_cast<uint32_t>(std::stoul(*last_order));
+  const auto order = co_await s.Get(OrderKey(w, d, o));
+  if (!order.has_value()) {
+    co_return true;
+  }
+  const uint32_t ol_cnt =
+      static_cast<uint32_t>(std::stoul(SplitRow(*order)[3]));
+  for (uint32_t line = 0; line < ol_cnt; ++line) {
+    co_await s.Get(OrderLineKey(w, d, o, line));
+  }
+  co_return true;
+}
+
+Task<bool> TpccWorkload::Delivery(TxnSession& s, Rng& rng) {
+  const uint32_t w = PickWarehouse(rng);
+  for (uint32_t d = 1; d <= cfg_.districts_per_warehouse; ++d) {
+    const auto cursor = co_await s.Get(NewOrderCursorKey(w, d));
+    if (!cursor.has_value() || cursor->empty()) {
+      continue;
+    }
+    const uint32_t o = static_cast<uint32_t>(std::stoul(*cursor));
+    const auto dist = co_await s.Get(DistrictKey(w, d));
+    if (!dist.has_value()) {
+      continue;
+    }
+    const uint32_t next_o =
+        static_cast<uint32_t>(std::stoul(SplitRow(*dist)[0]));
+    if (o >= next_o) {
+      continue;  // No undelivered orders in this district.
+    }
+    s.Put(NewOrderCursorKey(w, d), std::to_string(o + 1));
+
+    const auto order = co_await s.Get(OrderKey(w, d, o));
+    if (!order.has_value()) {
+      continue;
+    }
+    auto of = SplitRow(*order);
+    const uint32_t c = static_cast<uint32_t>(std::stoul(of[0]));
+    const uint32_t ol_cnt = static_cast<uint32_t>(std::stoul(of[3]));
+    of[2] = std::to_string(1 + rng.NextUint(10));  // Carrier id.
+    s.Put(OrderKey(w, d, o), JoinRow(of));
+
+    int64_t total = 0;
+    for (uint32_t line = 0; line < ol_cnt; ++line) {
+      const auto ol = co_await s.Get(OrderLineKey(w, d, o, line));
+      if (ol.has_value()) {
+        total += std::stoll(SplitRow(*ol)[3]);
+      }
+    }
+    const auto cust = co_await s.Get(CustomerKey(w, d, c));
+    if (cust.has_value()) {
+      auto cf = SplitRow(*cust);
+      cf[0] = std::to_string(std::stoll(cf[0]) + total);
+      cf[4] = std::to_string(std::stoll(cf[4]) + 1);
+      s.Put(CustomerKey(w, d, c), JoinRow(cf));
+    }
+  }
+  co_return true;
+}
+
+Task<bool> TpccWorkload::StockLevel(TxnSession& s, Rng& rng) {
+  const uint32_t w = PickWarehouse(rng);
+  const uint32_t d = PickDistrict(rng);
+  const auto threshold = static_cast<int64_t>(rng.NextRange(10, 20));
+
+  const auto dist = co_await s.Get(DistrictKey(w, d));
+  if (!dist.has_value()) {
+    co_return true;
+  }
+  const uint32_t next_o = static_cast<uint32_t>(std::stoul(SplitRow(*dist)[0]));
+  const uint32_t first =
+      next_o > cfg_.stock_level_orders ? next_o - cfg_.stock_level_orders : 1;
+
+  std::set<uint32_t> items;
+  for (uint32_t o = first; o < next_o; ++o) {
+    const auto order = co_await s.Get(OrderKey(w, d, o));
+    if (!order.has_value()) {
+      continue;
+    }
+    const uint32_t ol_cnt =
+        static_cast<uint32_t>(std::stoul(SplitRow(*order)[3]));
+    for (uint32_t line = 0; line < ol_cnt; ++line) {
+      const auto ol = co_await s.Get(OrderLineKey(w, d, o, line));
+      if (ol.has_value()) {
+        items.insert(static_cast<uint32_t>(std::stoul(SplitRow(*ol)[0])));
+      }
+    }
+  }
+  int low = 0;
+  for (uint32_t item : items) {
+    const auto stock = co_await s.Get(StockKey(w, item));
+    if (stock.has_value() && std::stoll(SplitRow(*stock)[0]) < threshold) {
+      ++low;
+    }
+  }
+  co_return true;
+}
+
+Task<bool> TpccWorkload::RunTransaction(TxnSession& session, Rng& rng) {
+  // Standard TPC-C deck: 45 / 43 / 4 / 4 / 4.
+  const uint64_t dice = rng.NextUint(100);
+  if (dice < 45) {
+    co_return co_await NewOrder(session, rng);
+  }
+  if (dice < 88) {
+    co_return co_await Payment(session, rng);
+  }
+  if (dice < 92) {
+    co_return co_await OrderStatus(session, rng);
+  }
+  if (dice < 96) {
+    co_return co_await Delivery(session, rng);
+  }
+  co_return co_await StockLevel(session, rng);
+}
+
+// ---- Lazy initial database ----
+
+std::function<std::optional<Value>(const Key&)> TpccWorkload::GenesisFn() const {
+  const TpccConfig cfg = cfg_;
+  return [cfg](const Key& key) -> std::optional<Value> {
+    if (key.rfind("t:", 0) != 0) {
+      return std::nullopt;
+    }
+    // Parse "t:<table>:<a>:<b>:..." into table tag + numeric/string parts.
+    std::vector<std::string> parts;
+    {
+      std::string cur;
+      for (size_t i = 2; i <= key.size(); ++i) {
+        if (i == key.size() || key[i] == ':') {
+          parts.push_back(std::move(cur));
+          cur.clear();
+        } else {
+          cur.push_back(key[i]);
+        }
+      }
+    }
+    const std::string& table = parts[0];
+    auto num = [&](size_t i) -> uint32_t {
+      return static_cast<uint32_t>(std::stoul(parts[i]));
+    };
+
+    if (table == "w") {
+      return Value("0|10");  // ytd | tax (per mille).
+    }
+    if (table == "d") {
+      return Value(std::to_string(cfg.initial_next_order) + "|0|5");
+    }
+    if (table == "c") {
+      const uint32_t c = num(3);
+      return Value("-10|10|1|" + LastName((c - 1) % 1000) + "|0");
+    }
+    if (table == "i") {
+      const uint32_t i = num(1);
+      if (i == 0 || i > cfg.num_items) {
+        return std::nullopt;
+      }
+      return Value(std::to_string(100 + (i * 7919) % 9900) + "|item-" +
+                   std::to_string(i));
+    }
+    if (table == "s") {
+      const uint32_t i = num(2);
+      return Value(std::to_string(10 + i % 91) + "|0|0");
+    }
+    if (table == "o") {
+      const uint32_t o = num(3);
+      if (o >= cfg.initial_next_order) {
+        return std::nullopt;  // Not yet created.
+      }
+      // Initial orders map bijectively onto customers; pre-2101 are delivered.
+      const uint32_t c = (o - 1) % cfg.customers_per_district + 1;
+      const uint32_t carrier = o < cfg.initial_undelivered ? 1 + o % 10 : 0;
+      const uint32_t ol_cnt = 5 + o % 11;
+      return Value(std::to_string(c) + "|init|" + std::to_string(carrier) + "|" +
+                   std::to_string(ol_cnt));
+    }
+    if (table == "ol") {
+      const uint32_t o = num(3);
+      const uint32_t line = num(4);
+      if (o >= cfg.initial_next_order || line >= 5 + o % 11) {
+        return std::nullopt;
+      }
+      const uint32_t item = 1 + (o * 31 + line * 17) % cfg.num_items;
+      return Value(std::to_string(item) + "|" + parts[1] + "|5|" +
+                   std::to_string((o * 13 + line * 7) % 10000));
+    }
+    if (table == "no") {
+      return Value(std::to_string(cfg.initial_undelivered));
+    }
+    if (table == "il") {
+      // Inverse of LastName: scan the 1000 seeds (cached after first touch).
+      const std::string& last = parts[3];
+      for (uint32_t n = 0; n < 1000; ++n) {
+        if (LastName(n) == last) {
+          // Spec: the median customer with that last name (second of three).
+          return Value(std::to_string(n + 1 + cfg.customers_per_district / 3));
+        }
+      }
+      return std::nullopt;
+    }
+    if (table == "io") {
+      // Customer c's initial latest order is order c (the genesis bijection).
+      const uint32_t c = num(3);
+      if (c == 0 || c > cfg.customers_per_district) {
+        return std::nullopt;
+      }
+      return Value(std::to_string(c));
+    }
+    if (table == "h") {
+      return std::nullopt;  // History rows only exist once written.
+    }
+    return std::nullopt;
+  };
+}
+
+}  // namespace basil

@@ -1,0 +1,23 @@
+#include "src/workload/workload.h"
+
+namespace basil {
+
+const char* ToString(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kYcsbUniform:
+      return "RW-U";
+    case WorkloadKind::kYcsbZipf:
+      return "RW-Z";
+    case WorkloadKind::kYcsbReadOnly:
+      return "RW-RO";
+    case WorkloadKind::kSmallbank:
+      return "Smallbank";
+    case WorkloadKind::kRetwis:
+      return "Retwis";
+    case WorkloadKind::kTpcc:
+      return "TPCC";
+  }
+  return "?";
+}
+
+}  // namespace basil

@@ -1,0 +1,49 @@
+// Workload interface shared by the driver, examples and benchmarks. A workload
+// generates interactive transactions against the system-agnostic TxnSession API, so
+// the same TPC-C code runs on Basil, TAPIR, TxHotStuff and TxBFT-SMaRt.
+#ifndef BASIL_SRC_WORKLOAD_WORKLOAD_H_
+#define BASIL_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/sim/db.h"
+#include "src/sim/task.h"
+
+namespace basil {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Executes one transaction's reads/writes on `session`. Returns true if the
+  // application wants to commit, false for an application-initiated rollback
+  // (e.g. TPC-C new-order's 1% invalid item). The driver then calls Commit()/Abort().
+  virtual Task<bool> RunTransaction(TxnSession& session, Rng& rng) = 0;
+
+  // Initial table contents, supplied lazily by key (see VersionStore::SetGenesisFn).
+  // Returning nullptr means the workload needs no initial data.
+  virtual std::function<std::optional<Value>(const Key&)> GenesisFn() const {
+    return nullptr;
+  }
+
+  virtual const char* name() const = 0;
+};
+
+enum class WorkloadKind : uint8_t {
+  kYcsbUniform,   // RW-U (§6.2).
+  kYcsbZipf,      // RW-Z, theta 0.9 (§6.2).
+  kYcsbReadOnly,  // 24-op read-only transactions (Figure 5b).
+  kSmallbank,
+  kRetwis,
+  kTpcc,
+};
+
+const char* ToString(WorkloadKind kind);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,50 @@
+#include "src/workload/ycsb.h"
+
+#include <set>
+
+namespace basil {
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& cfg) : cfg_(cfg) {
+  if (cfg_.zipfian) {
+    zipf_ = std::make_shared<ZipfianGenerator>(cfg_.num_keys, cfg_.theta);
+  }
+}
+
+Key YcsbWorkload::KeyAt(uint64_t id) const { return "y" + std::to_string(id); }
+
+uint64_t YcsbWorkload::PickKey(Rng& rng) {
+  return zipf_ ? zipf_->Next(rng) : rng.NextUint(cfg_.num_keys);
+}
+
+Task<bool> YcsbWorkload::RunTransaction(TxnSession& session, Rng& rng) {
+  // Distinct keys per transaction: duplicate picks would just hit the read cache.
+  std::set<uint64_t> picked;
+  const uint32_t wanted = cfg_.rmw_pairs + cfg_.extra_reads;
+  while (picked.size() < wanted) {
+    picked.insert(PickKey(rng));
+  }
+  auto it = picked.begin();
+  for (uint32_t i = 0; i < cfg_.rmw_pairs; ++i, ++it) {
+    const Key key = KeyAt(*it);
+    co_await session.Get(key);
+    Value v(cfg_.value_size, 'v');
+    v[0] = static_cast<char>('a' + rng.NextUint(26));
+    session.Put(key, std::move(v));
+  }
+  for (uint32_t i = 0; i < cfg_.extra_reads; ++i, ++it) {
+    co_await session.Get(KeyAt(*it));
+  }
+  co_return true;
+}
+
+std::function<std::optional<Value>(const Key&)> YcsbWorkload::GenesisFn() const {
+  const uint32_t value_size = cfg_.value_size;
+  return [value_size](const Key& key) -> std::optional<Value> {
+    if (key.empty() || key[0] != 'y') {
+      return std::nullopt;
+    }
+    return Value(value_size, '0');
+  };
+}
+
+}  // namespace basil

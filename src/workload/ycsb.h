@@ -1,0 +1,41 @@
+// YCSB-T microbenchmark (§6.2): identical small transactions over 10M keys, uniform
+// (RW-U) or Zipfian 0.9 (RW-Z). Each transaction performs `rmw_pairs` read-modify-write
+// pairs plus `extra_reads` plain reads; Figure 5a/6a/6b use 2r2w, Figure 5c uses 3r3w,
+// Figure 5b uses 24 reads.
+#ifndef BASIL_SRC_WORKLOAD_YCSB_H_
+#define BASIL_SRC_WORKLOAD_YCSB_H_
+
+#include <memory>
+
+#include "src/workload/workload.h"
+
+namespace basil {
+
+struct YcsbConfig {
+  uint64_t num_keys = 10'000'000;
+  uint32_t rmw_pairs = 2;     // Each pair: one read + one write of the same key.
+  uint32_t extra_reads = 0;
+  bool zipfian = false;
+  double theta = 0.9;
+  uint32_t value_size = 64;
+};
+
+class YcsbWorkload : public Workload {
+ public:
+  explicit YcsbWorkload(const YcsbConfig& cfg);
+
+  Task<bool> RunTransaction(TxnSession& session, Rng& rng) override;
+  std::function<std::optional<Value>(const Key&)> GenesisFn() const override;
+  const char* name() const override { return cfg_.zipfian ? "ycsb-rw-z" : "ycsb-rw-u"; }
+
+ private:
+  Key KeyAt(uint64_t id) const;
+  uint64_t PickKey(Rng& rng);
+
+  YcsbConfig cfg_;
+  std::shared_ptr<ZipfianGenerator> zipf_;  // Shared: zeta(n) is expensive to build.
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_WORKLOAD_YCSB_H_

@@ -1,0 +1,300 @@
+// End-to-end Basil transaction processing on a simulated cluster: execution, prepare
+// (fast and slow paths), writeback, and cross-shard 2PC.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/basil/cluster.h"
+#include "src/sim/task.h"
+
+namespace basil {
+namespace {
+
+BasilClusterConfig DefaultConfig() {
+  BasilClusterConfig cfg;
+  cfg.basil.f = 1;
+  cfg.basil.num_shards = 1;
+  cfg.basil.batch_size = 1;  // Unit tests favour latency over amortization.
+  cfg.num_clients = 4;
+  cfg.sim.seed = 1234;
+  return cfg;
+}
+
+struct TxnRun {
+  bool done = false;
+  TxnOutcome outcome;
+  std::optional<Value> read_value;
+};
+
+// Runs one read-modify-write transaction on `client`.
+Task<void> RunRmw(BasilClient& client, Key key, Value value, TxnRun* out) {
+  TxnSession& s = client.BeginTxn();
+  out->read_value = co_await s.Get(key);
+  s.Put(key, std::move(value));
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+Task<void> RunRead(BasilClient& client, Key key, TxnRun* out) {
+  TxnSession& s = client.BeginTxn();
+  out->read_value = co_await s.Get(key);
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+TEST(BasilCommit, SingleTxnFastPath) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("x", "0");
+
+  TxnRun run;
+  Spawn(RunRmw(cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(run.read_value, "0");
+  // Fault-free single transaction: must use the fast path (§4.2 case 3).
+  EXPECT_EQ(cluster.client(0).counters().Get("fastpath_decisions"), 1u);
+  EXPECT_EQ(cluster.client(0).counters().Get("slowpath_decisions"), 0u);
+
+  // Every replica applied the write.
+  for (ReplicaId r = 0; r < cluster.topology().replicas_per_shard; ++r) {
+    const CommittedVersion* v =
+        cluster.replica(0, r).store().LatestCommitted("x");
+    ASSERT_NE(v, nullptr) << "replica " << r;
+    EXPECT_EQ(v->value, "1");
+  }
+}
+
+TEST(BasilCommit, SequentialTxnsObserveEachOther) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("counter", "0");
+
+  for (int i = 0; i < 5; ++i) {
+    TxnRun run;
+    Spawn(RunRmw(cluster.client(0), "counter",
+                 std::to_string(i + 1), &run));
+    cluster.RunUntilIdle();
+    ASSERT_TRUE(run.done);
+    ASSERT_TRUE(run.outcome.committed) << "iteration " << i;
+    EXPECT_EQ(run.read_value, std::to_string(i));
+  }
+}
+
+TEST(BasilCommit, ReadYourWrites) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("k", "orig");
+
+  TxnRun run;
+  auto txn = [&](BasilClient& client) -> Task<void> {
+    TxnSession& s = client.BeginTxn();
+    s.Put("k", "mine");
+    run.read_value = co_await s.Get("k");  // Must see the buffered write.
+    run.outcome = co_await s.Commit();
+    run.done = true;
+  };
+  Spawn(txn(cluster.client(0)));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_EQ(run.read_value, "mine");
+  EXPECT_TRUE(run.outcome.committed);
+}
+
+TEST(BasilCommit, MissingKeyReadsEmpty) {
+  BasilCluster cluster(DefaultConfig());
+  TxnRun run;
+  Spawn(RunRead(cluster.client(0), "ghost", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_FALSE(run.read_value.has_value());
+  EXPECT_TRUE(run.outcome.committed);  // Reading nothing is serializable.
+}
+
+TEST(BasilCommit, WriteOnlyTransaction) {
+  BasilCluster cluster(DefaultConfig());
+  TxnRun run;
+  auto txn = [&](BasilClient& client) -> Task<void> {
+    TxnSession& s = client.BeginTxn();
+    s.Put("fresh", "v");
+    run.outcome = co_await s.Commit();
+    run.done = true;
+  };
+  Spawn(txn(cluster.client(0)));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted("fresh")->value, "v");
+}
+
+TEST(BasilCommit, UserAbortReleasesState) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("a", "1");
+  bool done = false;
+  auto txn = [&](BasilClient& client) -> Task<void> {
+    TxnSession& s = client.BeginTxn();
+    co_await s.Get("a");
+    s.Put("a", "2");
+    co_await s.Abort();
+    done = true;
+  };
+  Spawn(txn(cluster.client(0)));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(done);
+  // Nothing committed; the original value survives and no RTS lingers.
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted("a")->value, "1");
+  EXPECT_FALSE(cluster.replica(0, 0).store().MaxRts("a").has_value());
+}
+
+// Closed-loop read-modify-write with retry on system abort, as the paper's clients do.
+Task<void> RunRmwRetry(BasilClient* client, Key key, Value value, TxnRun* out) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    TxnSession& s = client->BeginTxn();
+    out->read_value = co_await s.Get(key);
+    s.Put(key, value);
+    out->outcome = co_await s.Commit();
+    if (out->outcome.committed) {
+      break;
+    }
+    // Exponential backoff, staggered per client to break symmetric retries.
+    co_await SleepNs(*client,
+                     (1u << attempt) * 500'000 * (1 + client->client_id() % 3));
+  }
+  out->done = true;
+}
+
+TEST(BasilCommit, ConflictingWritersSerializable) {
+  // Two clients race a read-modify-write on the same key. With retries, both must
+  // eventually commit, and the final value is one of theirs (MVTSO orders them).
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("hot", "0");
+
+  TxnRun r1;
+  TxnRun r2;
+  Spawn(RunRmwRetry(&cluster.client(0), "hot", "from-c0", &r1));
+  Spawn(RunRmwRetry(&cluster.client(1), "hot", "from-c1", &r2));
+  cluster.RunUntilIdle();
+
+  ASSERT_TRUE(r1.done);
+  ASSERT_TRUE(r2.done);
+  EXPECT_TRUE(r1.outcome.committed);
+  EXPECT_TRUE(r2.outcome.committed);
+  const CommittedVersion* final = cluster.replica(0, 0).store().LatestCommitted("hot");
+  ASSERT_NE(final, nullptr);
+  EXPECT_TRUE(final->value == "from-c0" || final->value == "from-c1");
+  // All replicas converge to the same final value.
+  for (ReplicaId r = 1; r < cluster.topology().replicas_per_shard; ++r) {
+    EXPECT_EQ(cluster.replica(0, r).store().LatestCommitted("hot")->value,
+              final->value);
+  }
+}
+
+TEST(BasilCommit, CrossShardTransaction) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.basil.num_shards = 3;
+  BasilCluster cluster(cfg);
+  // Find two keys on different shards.
+  Key k0;
+  Key k1;
+  for (int i = 0; k0.empty() || k1.empty(); ++i) {
+    const Key k = "key-" + std::to_string(i);
+    const ShardId s = ShardOfKey(k, 3);
+    if (s == 0 && k0.empty()) {
+      k0 = k;
+    } else if (s == 1 && k1.empty()) {
+      k1 = k;
+    }
+  }
+  cluster.Load(k0, "a0");
+  cluster.Load(k1, "b0");
+
+  TxnRun run;
+  auto txn = [&](BasilClient& client) -> Task<void> {
+    TxnSession& s = client.BeginTxn();
+    auto v0 = co_await s.Get(k0);
+    auto v1 = co_await s.Get(k1);
+    EXPECT_EQ(v0, "a0");
+    EXPECT_EQ(v1, "b0");
+    s.Put(k0, "a1");
+    s.Put(k1, "b1");
+    run.outcome = co_await s.Commit();
+    run.done = true;
+  };
+  Spawn(txn(cluster.client(0)));
+  cluster.RunUntilIdle();
+
+  ASSERT_TRUE(run.done);
+  ASSERT_TRUE(run.outcome.committed);
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted(k0)->value, "a1");
+  EXPECT_EQ(cluster.replica(1, 0).store().LatestCommitted(k1)->value, "b1");
+}
+
+TEST(BasilCommit, NoFastPathUsesStage2) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.basil.fast_path_enabled = false;
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+
+  TxnRun run;
+  Spawn(RunRmw(cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(cluster.client(0).counters().Get("slowpath_decisions"), 1u);
+  EXPECT_GE(cluster.client(0).counters().Get("st2_rounds"), 1u);
+  // The logging shard's replicas logged the decision.
+  uint64_t logged = 0;
+  for (ReplicaId r = 0; r < cluster.topology().replicas_per_shard; ++r) {
+    logged += cluster.replica(0, r).counters().Get("st2_logged");
+  }
+  EXPECT_GE(logged, cfg.basil.st2_quorum());
+}
+
+TEST(BasilCommit, BatchedRepliesStillCommit) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.basil.batch_size = 8;
+  cfg.basil.batch_timeout_ns = 200'000;
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+
+  TxnRun run;
+  Spawn(RunRmw(cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+}
+
+TEST(BasilCommit, NoProofsModeCommits) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.basil.signatures_enabled = false;
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+
+  TxnRun run;
+  Spawn(RunRmw(cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+}
+
+TEST(BasilCommit, ManyClientsManyKeys) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.num_clients = 8;
+  BasilCluster cluster(cfg);
+  for (int k = 0; k < 16; ++k) {
+    cluster.Load("k" + std::to_string(k), "0");
+  }
+  std::vector<TxnRun> runs(8);
+  for (int c = 0; c < 8; ++c) {
+    Spawn(RunRmw(cluster.client(c), "k" + std::to_string(c * 2), "v", &runs[c]));
+  }
+  cluster.RunUntilIdle();
+  for (int c = 0; c < 8; ++c) {
+    ASSERT_TRUE(runs[c].done) << c;
+    EXPECT_TRUE(runs[c].outcome.committed) << c;  // Disjoint keys: all commit.
+  }
+}
+
+}  // namespace
+}  // namespace basil

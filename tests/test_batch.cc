@@ -1,0 +1,106 @@
+// Reply batching (§4.4): one signature covers a batch; verification caches roots.
+#include "src/crypto/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace basil {
+namespace {
+
+std::vector<Hash256> ReplyDigests(size_t n) {
+  std::vector<Hash256> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(Sha256::Digest("reply-" + std::to_string(i)));
+  }
+  return out;
+}
+
+TEST(Batch, SealAndVerifyAll) {
+  KeyRegistry keys(3, 11);
+  CostModel model;
+  CostMeter meter(&model);
+  auto digests = ReplyDigests(16);
+  auto certs = SealBatch(digests, keys, /*signer=*/1, &meter);
+  ASSERT_EQ(certs.size(), 16u);
+
+  BatchVerifier verifier(&keys);
+  for (size_t i = 0; i < digests.size(); ++i) {
+    EXPECT_TRUE(verifier.Verify(digests[i], certs[i], &meter)) << i;
+  }
+}
+
+TEST(Batch, OneSignChargePerBatch) {
+  KeyRegistry keys(3, 11);
+  CostModel model;
+  CostMeter meter(&model);
+  auto digests = ReplyDigests(16);
+  SealBatch(digests, keys, 0, &meter);
+  const uint64_t consumed = meter.TakeConsumed();
+  // One signature + tree hashing; strictly less than 16 individual signatures.
+  EXPECT_LT(consumed, 16 * model.sign_ns);
+  EXPECT_GE(consumed, model.sign_ns);
+}
+
+TEST(Batch, VerifierCachesRootSignature) {
+  KeyRegistry keys(3, 11);
+  CostModel model;
+  auto digests = ReplyDigests(8);
+  auto certs = SealBatch(digests, keys, 0, nullptr);
+
+  BatchVerifier verifier(&keys);
+  CostMeter first(&model);
+  EXPECT_TRUE(verifier.Verify(digests[0], certs[0], &first));
+  const uint64_t cost_first = first.TakeConsumed();
+
+  CostMeter second(&model);
+  EXPECT_TRUE(verifier.Verify(digests[1], certs[1], &second));
+  const uint64_t cost_second = second.TakeConsumed();
+
+  // Same root: the second verification skips the signature check (Figure 2).
+  EXPECT_GE(cost_first, model.verify_ns);
+  EXPECT_LT(cost_second, model.verify_ns);
+  EXPECT_EQ(verifier.cache_size(), 1u);
+}
+
+TEST(Batch, ForeignDigestRejected) {
+  KeyRegistry keys(3, 11);
+  auto digests = ReplyDigests(4);
+  auto certs = SealBatch(digests, keys, 0, nullptr);
+  BatchVerifier verifier(&keys);
+  EXPECT_FALSE(verifier.Verify(Sha256::Digest("not-in-batch"), certs[0], nullptr));
+}
+
+TEST(Batch, WrongSignerRejected) {
+  KeyRegistry keys(3, 11);
+  auto digests = ReplyDigests(4);
+  auto certs = SealBatch(digests, keys, 0, nullptr);
+  BatchCert forged = certs[0];
+  forged.root_sig.signer = 2;  // Claim another replica signed this root.
+  BatchVerifier verifier(&keys);
+  EXPECT_FALSE(verifier.Verify(digests[0], forged, nullptr));
+}
+
+TEST(Batch, SingleReplyBatch) {
+  KeyRegistry keys(3, 11);
+  auto digests = ReplyDigests(1);
+  auto certs = SealBatch(digests, keys, 0, nullptr);
+  BatchVerifier verifier(&keys);
+  EXPECT_TRUE(verifier.Verify(digests[0], certs[0], nullptr));
+}
+
+TEST(Batch, DisabledKeysSkipWork) {
+  KeyRegistry keys(3, 11, /*enabled=*/false);
+  CostModel model;
+  CostMeter meter(&model);
+  auto digests = ReplyDigests(8);
+  auto certs = SealBatch(digests, keys, 0, &meter);
+  EXPECT_EQ(meter.TakeConsumed(), 0u);
+  BatchVerifier verifier(&keys);
+  EXPECT_TRUE(verifier.Verify(digests[3], certs[3], &meter));
+  EXPECT_EQ(meter.TakeConsumed(), 0u);
+}
+
+}  // namespace
+}  // namespace basil

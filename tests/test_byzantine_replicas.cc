@@ -1,0 +1,127 @@
+// Byzantine replica behaviours (§2.2's Byzantine independence, §6's replica attacks):
+// with at most f faulty replicas, correct clients still commit, never accept
+// fabricated reads, and fast paths degrade exactly as the paper describes.
+#include <gtest/gtest.h>
+
+#include "src/basil/cluster.h"
+#include "src/sim/task.h"
+
+namespace basil {
+namespace {
+
+BasilClusterConfig ConfigWithByz(ByzReplicaMode mode, uint32_t count) {
+  BasilClusterConfig cfg;
+  cfg.basil.f = 1;
+  cfg.basil.batch_size = 1;
+  cfg.num_clients = 3;
+  cfg.sim.seed = 23;
+  cfg.byz_replicas_per_shard = count;
+  cfg.byz_replica_mode = mode;
+  return cfg;
+}
+
+struct TxnRun {
+  bool done = false;
+  TxnOutcome outcome;
+  std::optional<Value> read_value;
+};
+
+Task<void> RunRmw(BasilClient* client, Key key, Value value, TxnRun* out) {
+  TxnSession& s = client->BeginTxn();
+  out->read_value = co_await s.Get(key);
+  s.Put(key, std::move(value));
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+TEST(ByzantineReplicas, VoteAbortCannotAbortAlone) {
+  // f replicas voting abort cannot reach the AbortQuorum of f+1: Byzantine
+  // independence for the abort direction.
+  BasilCluster cluster(ConfigWithByz(ByzReplicaMode::kVoteAbort, 1));
+  cluster.Load("x", "0");
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  // The fast path requires unanimity, so it is gone (Figure 6a's observation).
+  EXPECT_EQ(cluster.client(0).counters().Get("fastpath_decisions"), 0u);
+  EXPECT_GE(cluster.client(0).counters().Get("slowpath_decisions"), 1u);
+}
+
+TEST(ByzantineReplicas, VoteAbortBeyondFViolatesLiveness) {
+  // Sanity check of the threat model: with f+1 abort voters the AbortQuorum is
+  // reachable and transactions may abort — the assumption "at most f faulty" is
+  // load-bearing.
+  BasilCluster cluster(ConfigWithByz(ByzReplicaMode::kVoteAbort, 2));
+  cluster.Load("x", "0");
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_FALSE(run.outcome.committed);
+}
+
+TEST(ByzantineReplicas, SilentReplicaStillCommits) {
+  BasilCluster cluster(ConfigWithByz(ByzReplicaMode::kSilent, 1));
+  cluster.Load("x", "0");
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(run.read_value, "0");
+}
+
+TEST(ByzantineReplicas, FabricatedReadsAreRejected) {
+  // The fabricating replica returns a juicy high-timestamp version with no
+  // certificate: the client must fall back to the legitimate value.
+  BasilCluster cluster(ConfigWithByz(ByzReplicaMode::kFabricateReads, 1));
+  cluster.Load("x", "legit");
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "next", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(run.read_value, "legit") << "client adopted a fabricated version";
+}
+
+TEST(ByzantineReplicas, EquivocatingAcksDoNotSplitState) {
+  BasilClusterConfig cfg = ConfigWithByz(ByzReplicaMode::kEquivocateAcks, 1);
+  cfg.basil.fast_path_enabled = false;  // Force Stage 2 so the equivocator matters.
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  // All correct replicas agree on the final value.
+  const uint32_t correct_n = cluster.config().basil.n() - 1;
+  for (ReplicaId r = 0; r < correct_n; ++r) {
+    EXPECT_EQ(cluster.replica(0, r).store().LatestCommitted("x")->value, "1");
+  }
+}
+
+TEST(ByzantineReplicas, ReadsRetryAroundSilentReplicas) {
+  // With a silent replica in the default 2f+1 read fanout, some reads need the
+  // full-shard retry; they must still succeed.
+  BasilClusterConfig cfg = ConfigWithByz(ByzReplicaMode::kSilent, 1);
+  BasilCluster cluster(cfg);
+  for (int i = 0; i < 8; ++i) {
+    cluster.Load("k" + std::to_string(i), "v");
+  }
+  std::vector<TxnRun> runs(8);
+  for (int i = 0; i < 8; ++i) {
+    Spawn(RunRmw(&cluster.client(i % 3), "k" + std::to_string(i), "w", &runs[i]));
+    cluster.RunUntilIdle();
+  }
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(runs[i].done) << i;
+    EXPECT_TRUE(runs[i].outcome.committed) << i;
+    EXPECT_EQ(runs[i].read_value, "v") << i;
+  }
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,295 @@
+// Vote tallies (Stage 1 cases 1-5), quorum math, conflict detection, and decision-
+// certificate validation — the machinery behind Lemmas 2 and 3.
+#include "src/basil/certs.h"
+
+#include <gtest/gtest.h>
+
+#include "src/basil/messages.h"
+
+namespace basil {
+namespace {
+
+class CertsTest : public ::testing::Test {
+ protected:
+  CertsTest() : keys_(32, 3), validator_(&cfg_, &topo_, &keys_), verifier_(&keys_) {
+    cfg_.f = 1;
+    cfg_.num_shards = 2;
+    topo_.num_shards = 2;
+    topo_.replicas_per_shard = cfg_.n();
+    topo_.num_clients = 4;
+  }
+
+  SignedVote MakeVote(ShardId shard, ReplicaId r, const TxnDigest& txn, Vote v) {
+    SignedVote vote;
+    vote.txn = txn;
+    vote.vote = v;
+    vote.replica = topo_.ReplicaNode(shard, r);
+    auto certs = SealBatch({vote.Digest()}, keys_, vote.replica, nullptr);
+    vote.cert = certs[0];
+    return vote;
+  }
+
+  TxnPtr MakeTxn(uint64_t ts, std::vector<Key> reads, std::vector<Key> writes) {
+    auto t = std::make_shared<Transaction>();
+    t->ts = Timestamp{ts, 1};
+    for (auto& k : reads) {
+      t->read_set.push_back({k, Timestamp{1, 0}});
+    }
+    for (auto& k : writes) {
+      t->write_set.push_back({k, "v"});
+    }
+    t->Finalize(cfg_.num_shards);
+    return t;
+  }
+
+  BasilConfig cfg_;
+  Topology topo_;
+  KeyRegistry keys_;
+  CertValidator validator_;
+  BatchVerifier verifier_;
+};
+
+TEST_F(CertsTest, QuorumSizes) {
+  // §3 / §4.5: n = 5f+1, CQ = 3f+1, AQ = f+1, fast paths 5f+1 and 3f+1, log n-f.
+  EXPECT_EQ(cfg_.n(), 6u);
+  EXPECT_EQ(cfg_.commit_quorum(), 4u);
+  EXPECT_EQ(cfg_.abort_quorum(), 2u);
+  EXPECT_EQ(cfg_.fast_commit_quorum(), 6u);
+  EXPECT_EQ(cfg_.fast_abort_quorum(), 4u);
+  EXPECT_EQ(cfg_.st2_quorum(), 5u);
+}
+
+TEST_F(CertsTest, TallyClassification) {
+  TxnDigest txn = Sha256::Digest("t1");
+  ShardTally tally;
+  tally.shard = 0;
+
+  // Fewer than CQ commits, incomplete: undecided.
+  for (ReplicaId r = 0; r < 3; ++r) {
+    tally.commit_votes.push_back(MakeVote(0, r, txn, Vote::kCommit));
+  }
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kUndecided);
+
+  // CQ commits but not unanimous: slow only once complete.
+  tally.commit_votes.push_back(MakeVote(0, 3, txn, Vote::kCommit));
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kUndecided);
+  EXPECT_EQ(tally.Classify(cfg_, true), ShardOutcome::kCommitSlow);
+
+  // Unanimous 5f+1: fast commit regardless of completeness.
+  tally.commit_votes.push_back(MakeVote(0, 4, txn, Vote::kCommit));
+  tally.commit_votes.push_back(MakeVote(0, 5, txn, Vote::kCommit));
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kCommitFast);
+}
+
+TEST_F(CertsTest, AbortTallyClassification) {
+  TxnDigest txn = Sha256::Digest("t2");
+  ShardTally tally;
+  tally.abort_votes.push_back(MakeVote(0, 0, txn, Vote::kAbort));
+  // One abort vote: never enough (Byzantine independence needs f+1).
+  EXPECT_EQ(tally.Classify(cfg_, true), ShardOutcome::kUndecided);
+
+  tally.abort_votes.push_back(MakeVote(0, 1, txn, Vote::kAbort));
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kUndecided);
+  EXPECT_EQ(tally.Classify(cfg_, true), ShardOutcome::kAbortSlow);
+
+  tally.abort_votes.push_back(MakeVote(0, 2, txn, Vote::kAbort));
+  tally.abort_votes.push_back(MakeVote(0, 3, txn, Vote::kAbort));
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kAbortFast);
+}
+
+TEST_F(CertsTest, ConflictCertShortCircuits) {
+  ShardTally tally;
+  tally.conflict_cert = std::make_shared<DecisionCert>();
+  EXPECT_EQ(tally.Classify(cfg_, false), ShardOutcome::kAbortConflict);
+}
+
+TEST_F(CertsTest, ValidateVoteSetCountsDistinctReplicas) {
+  TxnDigest txn = Sha256::Digest("t4");
+  std::vector<SignedVote> votes;
+  votes.push_back(MakeVote(0, 0, txn, Vote::kCommit));
+  votes.push_back(MakeVote(0, 0, txn, Vote::kCommit));  // Duplicate replica.
+  votes.push_back(MakeVote(0, 1, txn, Vote::kCommit));
+  EXPECT_FALSE(validator_.ValidateVoteSet(0, txn, Vote::kCommit, votes, 3, verifier_,
+                                          nullptr));
+  votes.push_back(MakeVote(0, 2, txn, Vote::kCommit));
+  EXPECT_TRUE(validator_.ValidateVoteSet(0, txn, Vote::kCommit, votes, 3, verifier_,
+                                         nullptr));
+}
+
+TEST_F(CertsTest, ValidateVoteSetRejectsWrongShard) {
+  TxnDigest txn = Sha256::Digest("t5");
+  std::vector<SignedVote> votes;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    votes.push_back(MakeVote(1, r, txn, Vote::kCommit));  // Shard 1 replicas.
+  }
+  EXPECT_FALSE(
+      validator_.ValidateVoteSet(0, txn, Vote::kCommit, votes, 4, verifier_, nullptr));
+}
+
+TEST_F(CertsTest, ValidateVoteSetRejectsForgedSignature) {
+  TxnDigest txn = Sha256::Digest("t6");
+  std::vector<SignedVote> votes;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    SignedVote v = MakeVote(0, r, txn, Vote::kCommit);
+    v.vote = Vote::kAbort;  // Flip the vote after signing: digest mismatch.
+    votes.push_back(v);
+  }
+  EXPECT_FALSE(
+      validator_.ValidateVoteSet(0, txn, Vote::kAbort, votes, 2, verifier_, nullptr));
+}
+
+TEST_F(CertsTest, MisbehaviorCountsAsAbort) {
+  TxnDigest txn = Sha256::Digest("t7");
+  std::vector<SignedVote> votes;
+  votes.push_back(MakeVote(0, 0, txn, Vote::kMisbehavior));
+  votes.push_back(MakeVote(0, 1, txn, Vote::kAbort));
+  EXPECT_TRUE(
+      validator_.ValidateVoteSet(0, txn, Vote::kAbort, votes, 2, verifier_, nullptr));
+}
+
+TEST_F(CertsTest, FastCommitCertNeedsEveryShard) {
+  TxnPtr txn = MakeTxn(100, {"a", "zulu"}, {"b", "yankee"});
+  ASSERT_EQ(txn->involved_shards.size(), 2u) << "test keys should span both shards";
+
+  DecisionCert cert;
+  cert.txn = txn->id;
+  cert.decision = Decision::kCommit;
+  cert.kind = DecisionCert::Kind::kFastVotes;
+  for (ReplicaId r = 0; r < 6; ++r) {
+    cert.shard_votes[txn->involved_shards[0]].push_back(
+        MakeVote(txn->involved_shards[0], r, txn->id, Vote::kCommit));
+  }
+  // Only one shard's votes present: invalid.
+  EXPECT_FALSE(validator_.ValidateDecisionCert(cert, txn.get(), verifier_, nullptr));
+
+  for (ReplicaId r = 0; r < 6; ++r) {
+    cert.shard_votes[txn->involved_shards[1]].push_back(
+        MakeVote(txn->involved_shards[1], r, txn->id, Vote::kCommit));
+  }
+  EXPECT_TRUE(validator_.ValidateDecisionCert(cert, txn.get(), verifier_, nullptr));
+}
+
+TEST_F(CertsTest, SlowCertNeedsQuorumOfMatchingAcks) {
+  TxnPtr txn = MakeTxn(100, {"a"}, {"b"});
+  DecisionCert cert;
+  cert.txn = txn->id;
+  cert.decision = Decision::kCommit;
+  cert.kind = DecisionCert::Kind::kSlowLogged;
+  cert.log_shard = 0;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    SignedSt2Ack ack;
+    ack.txn = txn->id;
+    ack.decision = Decision::kCommit;
+    ack.view_decision = 0;
+    ack.replica = topo_.ReplicaNode(0, r);
+    ack.cert = SealBatch({ack.Digest()}, keys_, ack.replica, nullptr)[0];
+    cert.st2_acks.push_back(ack);
+  }
+  // 4 < n-f = 5.
+  EXPECT_FALSE(validator_.ValidateDecisionCert(cert, txn.get(), verifier_, nullptr));
+
+  SignedSt2Ack ack;
+  ack.txn = txn->id;
+  ack.decision = Decision::kCommit;
+  ack.view_decision = 0;
+  ack.replica = topo_.ReplicaNode(0, 4);
+  ack.cert = SealBatch({ack.Digest()}, keys_, ack.replica, nullptr)[0];
+  cert.st2_acks.push_back(ack);
+  EXPECT_TRUE(validator_.ValidateDecisionCert(cert, txn.get(), verifier_, nullptr));
+}
+
+TEST_F(CertsTest, SlowCertRejectsMixedViews) {
+  TxnPtr txn = MakeTxn(100, {"a"}, {"b"});
+  DecisionCert cert;
+  cert.txn = txn->id;
+  cert.decision = Decision::kAbort;
+  cert.kind = DecisionCert::Kind::kSlowLogged;
+  cert.log_shard = 0;
+  for (ReplicaId r = 0; r < 5; ++r) {
+    SignedSt2Ack ack;
+    ack.txn = txn->id;
+    ack.decision = Decision::kAbort;
+    ack.view_decision = r % 2;  // Alternating views: never 5 matching.
+    ack.replica = topo_.ReplicaNode(0, r);
+    ack.cert = SealBatch({ack.Digest()}, keys_, ack.replica, nullptr)[0];
+    cert.st2_acks.push_back(ack);
+  }
+  EXPECT_FALSE(validator_.ValidateDecisionCert(cert, txn.get(), verifier_, nullptr));
+}
+
+TEST_F(CertsTest, ConflictDetection) {
+  // T1 at ts 50 read version 10 of "k"; T2 at ts 30 writes "k": T1 missed T2's write.
+  Transaction t1;
+  t1.ts = Timestamp{50, 1};
+  t1.read_set = {{"k", Timestamp{10, 0}}};
+  Transaction t2;
+  t2.ts = Timestamp{30, 2};
+  t2.write_set = {{"k", "x"}};
+  EXPECT_TRUE(CertValidator::Conflicts(t1, t2));
+  EXPECT_TRUE(CertValidator::Conflicts(t2, t1));  // Symmetric.
+
+  // Write above the reader's timestamp: no conflict (serialization order fine).
+  t2.ts = Timestamp{60, 2};
+  EXPECT_FALSE(CertValidator::Conflicts(t1, t2));
+
+  // Write below the read version: no conflict.
+  t2.ts = Timestamp{5, 2};
+  EXPECT_FALSE(CertValidator::Conflicts(t1, t2));
+
+  // Disjoint keys: no conflict.
+  t2.ts = Timestamp{30, 2};
+  t2.write_set = {{"other", "x"}};
+  EXPECT_FALSE(CertValidator::Conflicts(t1, t2));
+}
+
+TEST_F(CertsTest, LogShardIsDeterministicAndInvolved) {
+  TxnPtr txn = MakeTxn(100, {"a", "zulu"}, {"b", "yankee"});
+  const ShardId log = LogShardOf(*txn);
+  EXPECT_EQ(log, LogShardOf(*txn));
+  bool involved = false;
+  for (ShardId s : txn->involved_shards) {
+    involved |= (s == log);
+  }
+  EXPECT_TRUE(involved);
+}
+
+TEST_F(CertsTest, FallbackLeaderRotates) {
+  TxnDigest txn = Sha256::Digest("rotate");
+  const ReplicaId l1 = FallbackLeaderIndex(txn, 1, 6);
+  const ReplicaId l2 = FallbackLeaderIndex(txn, 2, 6);
+  EXPECT_EQ((l1 + 1) % 6, l2);
+  EXPECT_LT(l1, 6u);
+}
+
+TEST_F(CertsTest, St2JustificationCommitNeedsAllShards) {
+  TxnPtr txn = MakeTxn(100, {"a", "zulu"}, {"b", "yankee"});
+  St2Msg st2;
+  st2.txn = txn->id;
+  st2.decision = Decision::kCommit;
+  st2.txn_body = txn;
+  for (ReplicaId r = 0; r < 4; ++r) {
+    st2.shard_votes[txn->involved_shards[0]].push_back(
+        MakeVote(txn->involved_shards[0], r, txn->id, Vote::kCommit));
+  }
+  EXPECT_FALSE(validator_.ValidateSt2Justification(st2, verifier_, nullptr));
+  for (ReplicaId r = 0; r < 4; ++r) {
+    st2.shard_votes[txn->involved_shards[1]].push_back(
+        MakeVote(txn->involved_shards[1], r, txn->id, Vote::kCommit));
+  }
+  EXPECT_TRUE(validator_.ValidateSt2Justification(st2, verifier_, nullptr));
+}
+
+TEST_F(CertsTest, St2JustificationAbortNeedsOneQuorum) {
+  TxnPtr txn = MakeTxn(100, {"a"}, {"b"});
+  St2Msg st2;
+  st2.txn = txn->id;
+  st2.decision = Decision::kAbort;
+  st2.txn_body = txn;
+  st2.shard_votes[0].push_back(MakeVote(0, 0, txn->id, Vote::kAbort));
+  EXPECT_FALSE(validator_.ValidateSt2Justification(st2, verifier_, nullptr));
+  st2.shard_votes[0].push_back(MakeVote(0, 1, txn->id, Vote::kAbort));
+  EXPECT_TRUE(validator_.ValidateSt2Justification(st2, verifier_, nullptr));
+}
+
+}  // namespace
+}  // namespace basil

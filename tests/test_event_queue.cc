@@ -1,0 +1,82 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace basil {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.ScheduleAt(30, [&] { order.push_back(3); });
+  eq.ScheduleAt(10, [&] { order.push_back(1); });
+  eq.ScheduleAt(20, [&] { order.push_back(2); });
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    eq.ScheduleAt(7, [&order, i] { order.push_back(i); });
+  }
+  eq.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue eq;
+  bool ran = false;
+  const EventId id = eq.ScheduleAt(5, [&] { ran = true; });
+  eq.Cancel(id);
+  eq.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, NestedScheduling) {
+  EventQueue eq;
+  std::vector<uint64_t> times;
+  eq.ScheduleAt(10, [&] {
+    times.push_back(eq.now());
+    eq.ScheduleAfter(5, [&] { times.push_back(eq.now()); });
+  });
+  eq.RunAll();
+  EXPECT_EQ(times, (std::vector<uint64_t>{10, 15}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue eq;
+  int count = 0;
+  eq.ScheduleAt(10, [&] { ++count; });
+  eq.ScheduleAt(20, [&] { ++count; });
+  eq.ScheduleAt(30, [&] { ++count; });
+  eq.RunUntil(20);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(eq.now(), 20u);
+  eq.RunAll();
+  EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty) {
+  EventQueue eq;
+  EXPECT_FALSE(eq.RunOne());
+  eq.ScheduleAt(1, [] {});
+  EXPECT_TRUE(eq.RunOne());
+  EXPECT_FALSE(eq.RunOne());
+}
+
+TEST(EventQueue, ExecutedEventCountExcludesCancelled) {
+  EventQueue eq;
+  eq.ScheduleAt(1, [] {});
+  const EventId id = eq.ScheduleAt(2, [] {});
+  eq.Cancel(id);
+  eq.RunAll();
+  EXPECT_EQ(eq.executed_events(), 1u);
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,110 @@
+// Full-pipeline smoke tests: every system x representative workloads through the
+// experiment runner, asserting sane throughput and commit rates. These are the
+// integration tests the benchmark binaries rely on.
+#include "src/harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace basil {
+namespace {
+
+ExperimentParams SmallParams(SystemKind system, WorkloadKind workload) {
+  ExperimentParams p;
+  p.system = system;
+  p.workload = workload;
+  p.clients = 6;
+  p.warmup_ns = 100'000'000;
+  p.measure_ns = 400'000'000;
+  p.seed = 42;
+  p.ycsb.num_keys = 100'000;  // Keep zeta() setup cheap in tests.
+  p.smallbank.num_accounts = 100'000;
+  p.retwis.num_users = 100'000;
+  p.tpcc.num_warehouses = 4;
+  return p;
+}
+
+class SystemSmokeTest : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(SystemSmokeTest, YcsbUniformCommits) {
+  const RunResult r = RunExperiment(SmallParams(GetParam(), WorkloadKind::kYcsbUniform));
+  EXPECT_GT(r.committed, 50u);
+  EXPECT_GT(r.commit_rate, 0.9);
+  EXPECT_GT(r.tput_tps, 0);
+  EXPECT_GT(r.mean_ms, 0);
+}
+
+TEST_P(SystemSmokeTest, SmallbankCommits) {
+  const RunResult r = RunExperiment(SmallParams(GetParam(), WorkloadKind::kSmallbank));
+  EXPECT_GT(r.committed, 50u);
+  EXPECT_GT(r.commit_rate, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, SystemSmokeTest,
+                         ::testing::Values(SystemKind::kBasil, SystemKind::kTapir,
+                                           SystemKind::kTxBftSmart,
+                                           SystemKind::kTxHotstuff),
+                         [](const auto& info) { return ToString(info.param); });
+
+TEST(ExperimentShapes, TapirFasterThanBasil) {
+  // The paper's headline ordering at fixed load: TAPIR > Basil (crypto + quorums).
+  ExperimentParams basil = SmallParams(SystemKind::kBasil, WorkloadKind::kYcsbUniform);
+  ExperimentParams tapir = SmallParams(SystemKind::kTapir, WorkloadKind::kYcsbUniform);
+  basil.clients = tapir.clients = 12;
+  const RunResult rb = RunExperiment(basil);
+  const RunResult rt = RunExperiment(tapir);
+  EXPECT_GT(rt.tput_tps, rb.tput_tps);
+  EXPECT_LT(rt.mean_ms, rb.mean_ms);
+}
+
+TEST(ExperimentShapes, BasilFasterThanOrderedBaselines) {
+  ExperimentParams basil = SmallParams(SystemKind::kBasil, WorkloadKind::kYcsbUniform);
+  ExperimentParams pbft =
+      SmallParams(SystemKind::kTxBftSmart, WorkloadKind::kYcsbUniform);
+  basil.clients = pbft.clients = 12;
+  const RunResult rb = RunExperiment(basil);
+  const RunResult rp = RunExperiment(pbft);
+  EXPECT_GT(rb.tput_tps, rp.tput_tps);
+}
+
+TEST(ExperimentShapes, NoProofsFasterThanBasil) {
+  ExperimentParams with = SmallParams(SystemKind::kBasil, WorkloadKind::kYcsbUniform);
+  ExperimentParams without = with;
+  without.basil.signatures_enabled = false;
+  with.clients = without.clients = 16;
+  const RunResult r_with = RunExperiment(with);
+  const RunResult r_without = RunExperiment(without);
+  EXPECT_GT(r_without.tput_tps, r_with.tput_tps * 1.3);
+}
+
+TEST(ExperimentShapes, TpccRunsOnBasil) {
+  const RunResult r = RunExperiment(SmallParams(SystemKind::kBasil, WorkloadKind::kTpcc));
+  EXPECT_GT(r.committed, 20u);
+  EXPECT_GT(r.commit_rate, 0.3);  // TPC-C is contention-heavy.
+}
+
+TEST(ExperimentShapes, RetwisRunsOnBasil) {
+  const RunResult r =
+      RunExperiment(SmallParams(SystemKind::kBasil, WorkloadKind::kRetwis));
+  EXPECT_GT(r.committed, 50u);
+}
+
+TEST(ExperimentShapes, FindPeakReturnsSeries) {
+  ExperimentParams p = SmallParams(SystemKind::kBasil, WorkloadKind::kYcsbUniform);
+  p.measure_ns = 200'000'000;
+  const PeakResult peak = FindPeak(p, {2, 6});
+  EXPECT_EQ(peak.series.size(), 2u);
+  EXPECT_GT(peak.best.tput_tps, 0);
+  EXPECT_TRUE(peak.best_clients == 2 || peak.best_clients == 6);
+}
+
+TEST(ExperimentShapes, DeterministicAcrossRuns) {
+  ExperimentParams p = SmallParams(SystemKind::kBasil, WorkloadKind::kYcsbUniform);
+  p.measure_ns = 200'000'000;
+  const RunResult a = RunExperiment(p);
+  const RunResult b = RunExperiment(p);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_DOUBLE_EQ(a.mean_ms, b.mean_ms);
+}
+
+}  // namespace
+}  // namespace basil

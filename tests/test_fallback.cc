@@ -1,0 +1,223 @@
+// Transaction recovery (§5): stalled Byzantine transactions are finished by other
+// clients; equivocation triggers the divergent-case fallback election; views advance
+// per rules R1/R2. These tests cover the paper's core liveness mechanism.
+#include <gtest/gtest.h>
+
+#include "src/basil/cluster.h"
+#include "src/sim/task.h"
+
+namespace basil {
+namespace {
+
+BasilClusterConfig DefaultConfig() {
+  BasilClusterConfig cfg;
+  cfg.basil.f = 1;
+  cfg.basil.num_shards = 1;
+  cfg.basil.batch_size = 1;
+  cfg.num_clients = 4;
+  cfg.sim.seed = 17;
+  return cfg;
+}
+
+struct TxnRun {
+  bool done = false;
+  TxnOutcome outcome;
+  std::optional<Value> read_value;
+};
+
+Task<void> RunRmw(BasilClient* client, Key key, Value value, TxnRun* out) {
+  TxnSession& s = client->BeginTxn();
+  out->read_value = co_await s.Get(key);
+  s.Put(key, std::move(value));
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+// A Byzantine client prepares a transaction and stalls. A correct client that reads
+// the prepared write acquires a dependency and must finish the stalled transaction
+// through the fallback before it can commit (§5 common case).
+TEST(Fallback, StallEarlyDependencyIsFinishedByReader) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("d", "orig");
+
+  // Byzantine transaction: writes "d" and walks away after ST1.
+  TxnRun byz;
+  auto byz_txn = [](BasilClient* c, TxnRun* out) -> Task<void> {
+    c->set_fault_mode(BasilClient::FaultMode::kStallEarly);
+    TxnSession& s = c->BeginTxn();
+    co_await s.Get("d");
+    s.Put("d", "byzantine-write");
+    out->outcome = co_await s.Commit();
+    c->set_fault_mode(BasilClient::FaultMode::kCorrect);
+    out->done = true;
+  };
+  Spawn(byz_txn(&cluster.client(0), &byz));
+  cluster.RunFor(5'000'000);  // Let the ST1 prepare everywhere.
+  ASSERT_TRUE(byz.done);
+
+  // The write is prepared but not committed anywhere.
+  uint64_t prepared_votes = 0;
+  for (ReplicaId r = 0; r < cluster.topology().replicas_per_shard; ++r) {
+    prepared_votes += cluster.replica(0, r).counters().Get("votes_commit");
+  }
+  EXPECT_GE(prepared_votes, cluster.config().basil.commit_quorum());
+
+  // A correct client reads "d": it sees the prepared version, acquires the
+  // dependency, and finishes the Byzantine transaction to commit its own.
+  TxnRun correct;
+  Spawn(RunRmw(&cluster.client(1), "d", "correct-write", &correct));
+  cluster.RunUntilIdle();
+
+  ASSERT_TRUE(correct.done);
+  EXPECT_TRUE(correct.outcome.committed);
+  EXPECT_EQ(correct.read_value, "byzantine-write");
+  EXPECT_GE(cluster.client(1).counters().Get("dep_recoveries"), 1u);
+  // The Byzantine transaction was driven to a final decision on every replica.
+  for (ReplicaId r = 0; r < cluster.topology().replicas_per_shard; ++r) {
+    EXPECT_EQ(cluster.replica(0, r).store().LatestCommitted("d")->value,
+              "correct-write");
+  }
+}
+
+// Stall-late: the Byzantine client completes Prepare (decision durable) but never
+// writes back. Recovery completes in the fallback common case — one RP round.
+TEST(Fallback, StallLateRecoversOnCommonCase) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("k", "orig");
+
+  TxnRun byz;
+  auto byz_txn = [](BasilClient* c, TxnRun* out) -> Task<void> {
+    c->set_fault_mode(BasilClient::FaultMode::kStallLate);
+    TxnSession& s = c->BeginTxn();
+    co_await s.Get("k");
+    s.Put("k", "stalled-value");
+    out->outcome = co_await s.Commit();
+    c->set_fault_mode(BasilClient::FaultMode::kCorrect);
+    out->done = true;
+  };
+  Spawn(byz_txn(&cluster.client(0), &byz));
+  cluster.RunFor(10'000'000);
+  ASSERT_TRUE(byz.done);
+
+  TxnRun correct;
+  Spawn(RunRmw(&cluster.client(1), "k", "after", &correct));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(correct.done);
+  EXPECT_TRUE(correct.outcome.committed);
+  // The recovered dependency committed first; the reader observed its value.
+  EXPECT_EQ(correct.read_value, "stalled-value");
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted("k")->value, "after");
+}
+
+// Forced equivocation (§6.4 worst case): conflicting ST2 decisions are logged on the
+// two halves of S_log; the recovering client detects divergence and drives the
+// fallback election (InvokeFB -> ElectFB -> DecFB) to one decision.
+TEST(Fallback, ForcedEquivocationResolvedByElection) {
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("e", "orig");
+
+  TxnRun byz;
+  auto byz_txn = [](BasilClient* c, TxnRun* out) -> Task<void> {
+    c->set_fault_mode(BasilClient::FaultMode::kEquivForced);
+    TxnSession& s = c->BeginTxn();
+    co_await s.Get("e");
+    s.Put("e", "equivocated");
+    out->outcome = co_await s.Commit();
+    c->set_fault_mode(BasilClient::FaultMode::kCorrect);
+    out->done = true;
+  };
+  Spawn(byz_txn(&cluster.client(0), &byz));
+  cluster.RunFor(10'000'000);
+  ASSERT_TRUE(byz.done);
+  EXPECT_GE(cluster.client(0).counters().Get("byz_equivocations"), 1u);
+
+  TxnRun correct;
+  Spawn(RunRmw(&cluster.client(1), "e", "after-equiv", &correct));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(correct.done);
+  EXPECT_TRUE(correct.outcome.committed);
+
+  // The fallback election actually ran.
+  const Counters replicas = cluster.ReplicaCounters();
+  EXPECT_GE(replicas.Get("fb_invocations"), 1u);
+  EXPECT_GE(replicas.Get("fb_elected_leader"), 1u);
+  EXPECT_GE(replicas.Get("fb_decisions_adopted"), 1u);
+  EXPECT_GE(cluster.client(1).counters().Get("fallback_invocations"), 1u);
+
+  // All replicas converged on one final value; no split state.
+  const Value final = cluster.replica(0, 0).store().LatestCommitted("e")->value;
+  for (ReplicaId r = 1; r < cluster.topology().replicas_per_shard; ++r) {
+    EXPECT_EQ(cluster.replica(0, r).store().LatestCommitted("e")->value, final);
+  }
+}
+
+// Lemma 2 under equivocation: whatever the fallback decides, there are never both a
+// commit and an abort applied for the same transaction across correct replicas.
+TEST(Fallback, NoConflictingFinalDecisions) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.num_clients = 6;
+  BasilCluster cluster(cfg);
+  cluster.Load("hot", "0");
+
+  // Several equivocating transactions interleaved with correct ones.
+  std::vector<TxnRun> runs(6);
+  for (int i = 0; i < 6; ++i) {
+    auto txn = [](BasilClient* c, bool byz, TxnRun* out) -> Task<void> {
+      c->set_fault_mode(byz ? BasilClient::FaultMode::kEquivForced
+                            : BasilClient::FaultMode::kCorrect);
+      TxnSession& s = c->BeginTxn();
+      co_await s.Get("hot");
+      s.Put("hot", "v");
+      out->outcome = co_await s.Commit();
+      c->set_fault_mode(BasilClient::FaultMode::kCorrect);
+      out->done = true;
+    };
+    Spawn(txn(&cluster.client(i), i % 2 == 0, &runs[i]));
+  }
+  cluster.RunUntilIdle();
+
+  // Compare every replica's view of every decided transaction: all agree.
+  for (ReplicaId r = 1; r < cluster.topology().replicas_per_shard; ++r) {
+    const auto s0 = cluster.replica(0, 0).store().Snapshot();
+    const auto sr = cluster.replica(0, r).store().Snapshot();
+    EXPECT_EQ(s0, sr) << "replica " << r << " diverged";
+  }
+}
+
+TEST(Fallback, FinishTransactionIsIdempotent) {
+  // Two correct clients race to finish the same stalled transaction: both succeed
+  // and agree (the paper's concurrent-recovery scenario).
+  BasilClusterConfig cfg = DefaultConfig();
+  BasilCluster cluster(cfg);
+  cluster.Load("z", "orig");
+
+  TxnRun byz;
+  auto byz_txn = [](BasilClient* c, TxnRun* out) -> Task<void> {
+    c->set_fault_mode(BasilClient::FaultMode::kStallEarly);
+    TxnSession& s = c->BeginTxn();
+    co_await s.Get("z");
+    s.Put("z", "stalled");
+    out->outcome = co_await s.Commit();
+    c->set_fault_mode(BasilClient::FaultMode::kCorrect);
+    out->done = true;
+  };
+  Spawn(byz_txn(&cluster.client(0), &byz));
+  cluster.RunFor(5'000'000);
+
+  TxnRun c1;
+  TxnRun c2;
+  Spawn(RunRmw(&cluster.client(1), "z", "c1", &c1));
+  Spawn(RunRmw(&cluster.client(2), "z", "c2", &c2));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(c1.done);
+  ASSERT_TRUE(c2.done);
+  EXPECT_TRUE(c1.outcome.committed || c2.outcome.committed);
+  // Replica state converged regardless of who won.
+  const Value final = cluster.replica(0, 0).store().LatestCommitted("z")->value;
+  for (ReplicaId r = 1; r < cluster.topology().replicas_per_shard; ++r) {
+    EXPECT_EQ(cluster.replica(0, r).store().LatestCommitted("z")->value, final);
+  }
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,90 @@
+// Harness accounting: the closed-loop driver's windows, retry/backoff behaviour, and
+// Byzantine client mixing — the measurement machinery behind every figure.
+#include <gtest/gtest.h>
+
+#include "src/basil/cluster.h"
+#include "src/harness/driver.h"
+#include "src/workload/ycsb.h"
+
+namespace basil {
+namespace {
+
+struct Fixture {
+  explicit Fixture(uint32_t clients) {
+    BasilClusterConfig cfg;
+    cfg.num_clients = clients;
+    cfg.sim.seed = 55;
+    cluster = std::make_unique<BasilCluster>(cfg);
+    YcsbConfig ycfg;
+    ycfg.num_keys = 10'000;
+    workload = std::make_unique<YcsbWorkload>(ycfg);
+    cluster->SetGenesisFn(workload->GenesisFn());
+  }
+
+  RunResult Run(DriverConfig dc) {
+    Driver driver(&cluster->events(), dc, workload.get());
+    for (uint32_t i = 0; i < cluster->config().num_clients; ++i) {
+      BasilClient& c = cluster->client(i);
+      driver.AddClient(Driver::ClientSlot{&c, &c, &c});
+    }
+    return driver.Run();
+  }
+
+  std::unique_ptr<BasilCluster> cluster;
+  std::unique_ptr<Workload> workload;
+};
+
+TEST(Driver, ThroughputMatchesCommitCount) {
+  Fixture fx(4);
+  DriverConfig dc;
+  dc.warmup_ns = 50'000'000;
+  dc.measure_ns = 400'000'000;
+  const RunResult r = fx.Run(dc);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_NEAR(r.tput_tps, static_cast<double>(r.committed) / 0.4, 1.0);
+  EXPECT_GT(r.mean_ms, 0);
+  EXPECT_GE(r.p99_ms, r.p50_ms);
+  EXPECT_LE(r.commit_rate, 1.0);
+}
+
+TEST(Driver, WarmupExcludedFromWindow) {
+  // With the whole run inside warmup, nothing is counted.
+  Fixture fx(2);
+  DriverConfig dc;
+  dc.warmup_ns = 10'000'000'000;  // 10s warmup...
+  dc.measure_ns = 1;              // ...and a degenerate window.
+  const RunResult r = fx.Run(dc);
+  EXPECT_EQ(r.committed, 0u);
+}
+
+TEST(Driver, ByzantineClientsExcludedFromCorrectThroughput) {
+  Fixture fx(6);
+  DriverConfig dc;
+  dc.warmup_ns = 50'000'000;
+  dc.measure_ns = 400'000'000;
+  dc.byz_client_fraction = 0.5;  // 3 of 6 clients.
+  dc.byz_txn_fraction = 1.0;     // Misbehave on every transaction.
+  dc.byz_mode = BasilClient::FaultMode::kStallEarly;
+  const RunResult r = fx.Run(dc);
+  EXPECT_GT(r.committed, 0u);
+  EXPECT_GT(r.faulty_processed, 0u);
+  EXPECT_GT(r.faulty_fraction, 0.2);
+  // Per-correct-client throughput divides by the 3 correct clients only.
+  EXPECT_NEAR(r.tput_per_correct_client, r.tput_tps / 3.0, 1e-9);
+}
+
+TEST(Driver, ZeroByzFractionHasNoFaulty) {
+  Fixture fx(4);
+  DriverConfig dc;
+  dc.warmup_ns = 50'000'000;
+  dc.measure_ns = 200'000'000;
+  dc.byz_client_fraction = 0.5;
+  dc.byz_txn_fraction = 0.0;  // Byzantine clients that never act up.
+  dc.byz_mode = BasilClient::FaultMode::kStallEarly;
+  const RunResult r = fx.Run(dc);
+  EXPECT_EQ(r.faulty_processed, 0u);
+  EXPECT_EQ(r.faulty_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,57 @@
+// HMAC-SHA256 against RFC 4231 test vectors.
+#include "src/crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace basil {
+namespace {
+
+std::string HexMac(const std::vector<uint8_t>& key, const std::string& msg) {
+  const Hash256 mac = HmacSha256(key, msg);
+  return ToHex(mac.data(), mac.size());
+}
+
+TEST(HmacSha256, Rfc4231Case1) {
+  std::vector<uint8_t> key(20, 0x0b);
+  EXPECT_EQ(HexMac(key, "Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  std::vector<uint8_t> key = {'J', 'e', 'f', 'e'};
+  EXPECT_EQ(HexMac(key, "what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  std::vector<uint8_t> key(20, 0xaa);
+  std::string msg(50, static_cast<char>(0xdd));
+  EXPECT_EQ(HexMac(key, msg),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  std::vector<uint8_t> key(131, 0xaa);
+  EXPECT_EQ(HexMac(key, "Test Using Larger Than Block-Size Key - Hash Key First"),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, KeySensitivity) {
+  std::vector<uint8_t> k1(32, 1);
+  std::vector<uint8_t> k2(32, 2);
+  EXPECT_NE(HmacSha256(k1, "msg"), HmacSha256(k2, "msg"));
+}
+
+TEST(HmacSha256, MessageSensitivity) {
+  std::vector<uint8_t> key(32, 7);
+  EXPECT_NE(HmacSha256(key, "msg-a"), HmacSha256(key, "msg-b"));
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,133 @@
+// Node/network timing model: latency, CPU queueing, outbox departure semantics.
+#include "src/sim/network.h"
+#include "src/sim/node.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace basil {
+namespace {
+
+constexpr uint16_t kPing = 1;
+constexpr uint16_t kPong = 2;
+
+struct PingMsg : MsgBase {
+  PingMsg() {
+    kind = kPing;
+    wire_size = 100;
+  }
+};
+
+struct PongMsg : MsgBase {
+  PongMsg() {
+    kind = kPong;
+    wire_size = 100;
+  }
+};
+
+class EchoNode : public Node {
+ public:
+  EchoNode(Network* net, NodeId id, const CostModel* cost, uint32_t workers,
+           uint64_t service_ns)
+      : Node(net, id, cost, workers), service_ns_(service_ns) {}
+
+  void Handle(const MsgEnvelope& env) override {
+    if (env.msg->kind == kPing) {
+      meter().ChargeRaw(service_ns_);
+      Send(env.src, std::make_shared<PongMsg>());
+    } else {
+      pong_times.push_back(now());
+    }
+  }
+
+  std::vector<uint64_t> pong_times;
+
+ private:
+  uint64_t service_ns_;
+};
+
+struct Fixture {
+  Fixture(uint32_t workers, uint64_t service_ns) {
+    // Small fixed message cost so timing assertions isolate the service time.
+    cost.msg_base_ns = 2'000;
+    NetConfig net_cfg;
+    net_cfg.one_way_ns = 1000;
+    net_cfg.jitter_ns = 0;
+    net = std::make_unique<Network>(&eq, net_cfg, Rng(1));
+    server = std::make_unique<EchoNode>(net.get(), 0, &cost, workers, service_ns);
+    client = std::make_unique<EchoNode>(net.get(), 1, &cost, 1, 0);
+    net->Register(server.get());
+    net->Register(client.get());
+  }
+
+  EventQueue eq;
+  CostModel cost{};
+  std::unique_ptr<Network> net;
+  std::unique_ptr<EchoNode> server;
+  std::unique_ptr<EchoNode> client;
+};
+
+TEST(NodeNetwork, RoundTripLatency) {
+  Fixture f(1, /*service_ns=*/500);
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  ASSERT_EQ(f.client->pong_times.size(), 1u);
+  // 1000 (to server) + msg recv cost + 500 service + send cost + 1000 (back).
+  const uint64_t msg_cost = f.cost.MsgCost(100);
+  EXPECT_EQ(f.client->pong_times[0], 1000 + msg_cost + 500 + msg_cost + 1000);
+}
+
+TEST(NodeNetwork, SingleWorkerQueues) {
+  Fixture f(1, /*service_ns=*/10000);
+  // Two pings arrive together; the second must wait for the first's CPU time.
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  ASSERT_EQ(f.client->pong_times.size(), 2u);
+  const uint64_t gap = f.client->pong_times[1] - f.client->pong_times[0];
+  EXPECT_GE(gap, 10000u);
+}
+
+TEST(NodeNetwork, MultipleWorkersRunInParallel) {
+  Fixture f(2, /*service_ns=*/10000);
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  ASSERT_EQ(f.client->pong_times.size(), 2u);
+  const uint64_t gap = f.client->pong_times[1] - f.client->pong_times[0];
+  EXPECT_LT(gap, 10000u);  // Processed concurrently on separate workers.
+}
+
+TEST(NodeNetwork, DropFnDropsMessages) {
+  Fixture f(1, 0);
+  f.net->set_drop_fn([](NodeId, NodeId dst, const MsgBase&) { return dst == 0; });
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  EXPECT_TRUE(f.client->pong_times.empty());
+  EXPECT_EQ(f.net->messages_dropped(), 1u);
+}
+
+TEST(NodeNetwork, DelayFnAddsLatency) {
+  Fixture f(1, 0);
+  f.net->set_delay_fn([](NodeId, NodeId dst, const MsgBase&) -> uint64_t {
+    return dst == 0 ? 5000 : 0;
+  });
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  ASSERT_EQ(f.client->pong_times.size(), 1u);
+  EXPECT_GE(f.client->pong_times[0], 7000u);
+}
+
+TEST(NodeNetwork, BusyTimeAccounted) {
+  Fixture f(1, 12345);
+  f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
+  f.eq.RunAll();
+  EXPECT_GE(f.server->busy_ns(), 12345u);
+  EXPECT_EQ(f.server->handled_messages(), 1u);
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,160 @@
+// Partial synchrony and network faults: Basil assumes asynchrony cannot break safety
+// and partial synchrony suffices for liveness (§2.1). These tests inject delays,
+// drops, and partitions through the network fault hooks.
+#include <gtest/gtest.h>
+
+#include "src/basil/cluster.h"
+#include "src/sim/task.h"
+
+namespace basil {
+namespace {
+
+BasilClusterConfig DefaultConfig() {
+  BasilClusterConfig cfg;
+  cfg.basil.f = 1;
+  cfg.basil.batch_size = 1;
+  cfg.num_clients = 3;
+  cfg.sim.seed = 31;
+  return cfg;
+}
+
+struct TxnRun {
+  bool done = false;
+  TxnOutcome outcome;
+  std::optional<Value> read_value;
+};
+
+Task<void> RunRmw(BasilClient* client, Key key, Value value, TxnRun* out) {
+  TxnSession& s = client->BeginTxn();
+  out->read_value = co_await s.Get(key);
+  s.Put(key, std::move(value));
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+Task<void> RunRmwRetry(BasilClient* client, Key key, Value value, TxnRun* out) {
+  for (int attempt = 0; attempt < 20 && !out->outcome.committed; ++attempt) {
+    TxnSession& s = client->BeginTxn();
+    out->read_value = co_await s.Get(key);
+    s.Put(key, value);
+    out->outcome = co_await s.Commit();
+    if (!out->outcome.committed) {
+      co_await SleepNs(*client, 1'000'000 << std::min(attempt, 5));
+    }
+  }
+  out->done = true;
+}
+
+TEST(PartialSynchrony, SlowReplicaDoesNotBlockCommit) {
+  // One replica's links are 20x slower than the prepare timeout would tolerate on
+  // the fast path; the slow path (n-f) must carry the transaction.
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("x", "0");
+  const NodeId slow = cluster.topology().ReplicaNode(0, 5);
+  cluster.network().set_delay_fn([slow](NodeId src, NodeId dst,
+                                        const MsgBase&) -> uint64_t {
+    return (src == slow || dst == slow) ? 50'000'000 : 0;
+  });
+
+  TxnRun run;
+  Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  // Unanimity was impossible: the decision went through Stage 2.
+  EXPECT_GE(cluster.client(0).counters().Get("slowpath_decisions"), 1u);
+}
+
+TEST(PartialSynchrony, DroppedWritebacksRecoveredByNextReader) {
+  // All writeback messages from client 0 are dropped: its transaction stays prepared
+  // but undecided. A later reader must finish it via dependency recovery.
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("x", "0");
+  const NodeId victim = cluster.topology().ClientNode(0);
+  cluster.network().set_drop_fn([victim](NodeId src, NodeId, const MsgBase& msg) {
+    return src == victim && msg.kind == kBasilWriteback;
+  });
+
+  TxnRun first;
+  Spawn(RunRmw(&cluster.client(0), "x", "lost-writeback", &first));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(first.done);
+  // The client itself learned the decision (prepare finished).
+  EXPECT_TRUE(first.outcome.committed);
+  // But no replica applied it.
+  EXPECT_FALSE(
+      cluster.replica(0, 0).FinalDecisionFor(TxnDigest{}).has_value());
+
+  cluster.network().set_drop_fn(nullptr);
+  TxnRun second;
+  Spawn(RunRmwRetry(&cluster.client(1), "x", "after", &second));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(second.done);
+  EXPECT_TRUE(second.outcome.committed);
+  // The reader observed the recovered value: the lost transaction was finished.
+  EXPECT_EQ(second.read_value, "lost-writeback");
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted("x")->value, "after");
+}
+
+TEST(PartialSynchrony, LossyNetworkEventuallyCommits) {
+  // 20% uniform loss on all links: retries and recovery must still drive a
+  // transaction to commit (liveness after the network stabilizes is the paper's
+  // GST argument; here loss is random rather than adversarial).
+  BasilCluster cluster(DefaultConfig());
+  cluster.Load("x", "0");
+  auto rng = std::make_shared<Rng>(99);
+  cluster.network().set_drop_fn(
+      [rng](NodeId, NodeId, const MsgBase&) { return rng->NextBool(0.2); });
+
+  TxnRun run;
+  Spawn(RunRmwRetry(&cluster.client(0), "x", "through-loss", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+}
+
+TEST(PartialSynchrony, JitterDoesNotBreakDeterminism) {
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.sim.net.jitter_ns = 50'000;
+  uint64_t events_a = 0;
+  uint64_t events_b = 0;
+  for (int round = 0; round < 2; ++round) {
+    BasilCluster cluster(cfg);
+    cluster.Load("x", "0");
+    TxnRun run;
+    Spawn(RunRmw(&cluster.client(0), "x", "1", &run));
+    cluster.RunUntilIdle();
+    ASSERT_TRUE(run.outcome.committed);
+    (round == 0 ? events_a : events_b) = cluster.events().executed_events();
+  }
+  EXPECT_EQ(events_a, events_b);
+}
+
+TEST(PartialSynchrony, DelayedSlogStillLogsViaFallbackTimeouts) {
+  // The entire prepare happens normally, but ST2 messages to two S_log replicas are
+  // delayed past the first timeout: the client's re-send / fallback machinery must
+  // still assemble an n-f logging quorum.
+  BasilClusterConfig cfg = DefaultConfig();
+  cfg.basil.fast_path_enabled = false;  // Force Stage 2.
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+  const NodeId r4 = cluster.topology().ReplicaNode(0, 4);
+  const NodeId r5 = cluster.topology().ReplicaNode(0, 5);
+  cluster.network().set_delay_fn([r4, r5](NodeId, NodeId dst,
+                                          const MsgBase& msg) -> uint64_t {
+    if ((dst == r4 || dst == r5) && msg.kind == kBasilSt2) {
+      return 12'000'000;  // Past the prepare timeout.
+    }
+    return 0;
+  });
+
+  TxnRun run;
+  Spawn(RunRmwRetry(&cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  EXPECT_TRUE(run.outcome.committed);
+  EXPECT_EQ(cluster.replica(0, 0).store().LatestCommitted("x")->value, "1");
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,91 @@
+// Quorum arithmetic across fault thresholds (§4.5's "why 5f+1" argument) and the
+// overlap properties the safety proofs rest on, swept over f.
+#include <gtest/gtest.h>
+
+#include "src/common/config.h"
+
+namespace basil {
+namespace {
+
+class QuorumSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(QuorumSweep, SizesMatchPaper) {
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  const uint32_t f = cfg.f;
+  EXPECT_EQ(cfg.n(), 5 * f + 1);
+  EXPECT_EQ(cfg.commit_quorum(), 3 * f + 1);
+  EXPECT_EQ(cfg.commit_quorum(), (cfg.n() + f + 1) / 2);  // The paper's (n+f+1)/2.
+  EXPECT_EQ(cfg.abort_quorum(), f + 1);
+  EXPECT_EQ(cfg.fast_commit_quorum(), cfg.n());
+  EXPECT_EQ(cfg.fast_abort_quorum(), 3 * f + 1);
+  EXPECT_EQ(cfg.st2_quorum(), cfg.n() - f);
+  EXPECT_EQ(cfg.elect_quorum(), 4 * f + 1);
+}
+
+TEST_P(QuorumSweep, CommitQuorumsOverlapInACorrectReplica) {
+  // Two conflicting transactions each gathering a CommitQuorum must share at least
+  // one correct replica (Lemma 3's core argument).
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  const uint32_t overlap = 2 * cfg.commit_quorum() - cfg.n();
+  EXPECT_GE(overlap, cfg.f + 1) << "overlap must exceed the faulty replicas";
+}
+
+TEST_P(QuorumSweep, FastCommitSurvivesAsynchronyPlusEquivocation) {
+  // §4.2 case 3: a later client missing f replies (asynchrony) with f more lying
+  // (equivocation) still observes a CommitQuorum.
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  EXPECT_GE(cfg.fast_commit_quorum() - cfg.f - cfg.f, cfg.commit_quorum());
+}
+
+TEST_P(QuorumSweep, AbortFastPathExcludesCommit) {
+  // 3f+1 abort votes and 3f+1 commit votes cannot coexist without a correct replica
+  // voting twice (Lemma 2's fast/fast case).
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  EXPECT_GT(cfg.fast_abort_quorum() + cfg.commit_quorum(), cfg.n() + cfg.f);
+}
+
+TEST_P(QuorumSweep, ByzantineIndependenceBounds) {
+  // Neither quorum may be reachable by Byzantine replicas alone.
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  EXPECT_GT(cfg.abort_quorum(), cfg.f);
+  EXPECT_GT(cfg.commit_quorum(), cfg.f);
+  // Progress: any n-f responses contain a CommitQuorum or an AbortQuorum.
+  const uint32_t responses = cfg.n() - cfg.f;
+  EXPECT_TRUE(responses >= cfg.commit_quorum() ||
+              responses >= cfg.abort_quorum());
+  // Even if all f Byzantine votes go missing, the remaining correct votes can form
+  // one of the two quorums: (n - 2f) commits or f+1 aborts partition responses.
+  EXPECT_GE(cfg.n() - 2 * cfg.f, cfg.commit_quorum() - cfg.f);
+}
+
+TEST_P(QuorumSweep, ElectionMajorityPreservesLoggedDecisions) {
+  // Lemma 4: a logged decision (n-f acks -> >= 3f+1 correct) intersected with any
+  // 4f+1 ELECT set leaves >= 2f+1 — a strict majority of 4f+1.
+  BasilConfig cfg;
+  cfg.f = GetParam();
+  const uint32_t correct_logged = cfg.st2_quorum() - cfg.f;  // >= 3f+1.
+  const uint32_t min_in_elect = correct_logged + cfg.elect_quorum() - cfg.n();
+  EXPECT_GT(2 * min_in_elect, cfg.elect_quorum());
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultThresholds, QuorumSweep,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(QuorumCounterexample, FourFPlusOneBreaksFastPath) {
+  // §4.5: with n = 4f+1 the fast-path overlap argument fails — two "fast quorums"
+  // of size n-2f would overlap in fewer than one correct replica.
+  const uint32_t f = 1;
+  const uint32_t n = 4 * f + 1;
+  const uint32_t fast = n - 2 * f;  // What a client could observe.
+  const int overlap = static_cast<int>(2 * fast) - static_cast<int>(n);
+  EXPECT_LT(overlap, static_cast<int>(f + 1))
+      << "4f+1 would allow conflicting fast commits";
+}
+
+}  // namespace
+}  // namespace basil

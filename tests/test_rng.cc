@@ -1,0 +1,124 @@
+// Determinism and distribution properties of the RNG and the Zipfian generator.
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace basil {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextUintInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextUint(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformityRoughly) {
+  Rng rng(3);
+  std::vector<int> buckets(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    buckets[rng.NextUint(10)]++;
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(9);
+  Rng child = parent.Fork();
+  // The child stream should not replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.Next() == child.Next()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfTest, RankZeroIsHottest) {
+  const double theta = GetParam();
+  ZipfianGenerator zipf(10000, theta);
+  Rng rng(5);
+  std::map<uint64_t, int> counts;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.NextRank(rng)]++;
+  }
+  // Rank 0 must be the most frequent, and frequency must decay with rank.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[100]);
+  EXPECT_GT(counts[10], counts[1000]);
+}
+
+TEST_P(ZipfTest, CoversRange) {
+  ZipfianGenerator zipf(1000, GetParam());
+  Rng rng(6);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = zipf.Next(rng);
+    ASSERT_LT(v, 1000u);
+    max_seen = std::max(max_seen, v);
+  }
+  EXPECT_GT(max_seen, 900u);  // The scatter hash should reach the tail.
+}
+
+// The paper's skew coefficients: 0.75 (Retwis) and 0.9 (YCSB-T RW-Z).
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest, ::testing::Values(0.5, 0.75, 0.9, 0.99));
+
+TEST(Zipf, HigherThetaMoreSkew) {
+  Rng rng1(8);
+  Rng rng2(8);
+  ZipfianGenerator mild(10000, 0.5);
+  ZipfianGenerator sharp(10000, 0.99);
+  int mild_zero = 0;
+  int sharp_zero = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (mild.NextRank(rng1) == 0) {
+      ++mild_zero;
+    }
+    if (sharp.NextRank(rng2) == 0) {
+      ++sharp_zero;
+    }
+  }
+  EXPECT_GT(sharp_zero, mild_zero * 2);
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,65 @@
+// SHA-256 against FIPS 180-4 / NIST CAVP vectors.
+#include "src/crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/types.h"
+
+namespace basil {
+namespace {
+
+std::string HexDigest(const std::string& input) {
+  const Hash256 d = Sha256::Digest(input);
+  return ToHex(d.data(), d.size());
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(HexDigest(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(HexDigest("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(HexDigest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongMessage) {
+  // NIST: one million 'a' characters.
+  std::string input(1'000'000, 'a');
+  EXPECT_EQ(HexDigest(input),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: forces the padding into a second block.
+  std::string input(64, 'x');
+  Sha256 h;
+  h.Update(input);
+  const Hash256 one_shot = Sha256::Digest(input);
+  EXPECT_EQ(h.Finish(), one_shot);
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string input = "the quick brown fox jumps over the lazy dog repeatedly";
+  for (size_t split = 0; split <= input.size(); ++split) {
+    Sha256 h;
+    h.Update(input.substr(0, split));
+    h.Update(input.substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Digest(input)) << "split=" << split;
+  }
+}
+
+TEST(Sha256, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::Digest("a"), Sha256::Digest("b"));
+  EXPECT_NE(Sha256::Digest(""), Sha256::Digest(std::string(1, '\0')));
+}
+
+}  // namespace
+}  // namespace basil

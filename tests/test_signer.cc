@@ -1,0 +1,63 @@
+// Key registry: signatures verify for the right signer/digest and fail otherwise.
+#include "src/crypto/signer.h"
+
+#include <gtest/gtest.h>
+
+namespace basil {
+namespace {
+
+TEST(Signer, RoundTrip) {
+  KeyRegistry keys(4, /*seed=*/7);
+  const Hash256 digest = Sha256::Digest("hello");
+  const Signature sig = keys.Sign(2, digest);
+  EXPECT_EQ(sig.signer, 2u);
+  EXPECT_TRUE(keys.Verify(sig, digest));
+}
+
+TEST(Signer, WrongDigestFails) {
+  KeyRegistry keys(4, 7);
+  const Signature sig = keys.Sign(1, Sha256::Digest("a"));
+  EXPECT_FALSE(keys.Verify(sig, Sha256::Digest("b")));
+}
+
+TEST(Signer, ImpersonationFails) {
+  // A tag produced with node 1's key must not verify as node 0's signature.
+  KeyRegistry keys(4, 7);
+  const Hash256 digest = Sha256::Digest("msg");
+  Signature sig = keys.Sign(1, digest);
+  sig.signer = 0;
+  EXPECT_FALSE(keys.Verify(sig, digest));
+}
+
+TEST(Signer, TamperedTagFails) {
+  KeyRegistry keys(4, 7);
+  const Hash256 digest = Sha256::Digest("msg");
+  Signature sig = keys.Sign(3, digest);
+  sig.tag[0] ^= 0xff;
+  EXPECT_FALSE(keys.Verify(sig, digest));
+}
+
+TEST(Signer, UnknownSignerFails) {
+  KeyRegistry keys(4, 7);
+  Signature sig;
+  sig.signer = 99;
+  EXPECT_FALSE(keys.Verify(sig, Sha256::Digest("x")));
+}
+
+TEST(Signer, DisabledModeAcceptsEverything) {
+  // "NoProofs": signing is free and verification vacuous (Figure 5a).
+  KeyRegistry keys(4, 7, /*enabled=*/false);
+  Signature sig = keys.Sign(0, Sha256::Digest("x"));
+  sig.tag[5] ^= 0x1;
+  EXPECT_TRUE(keys.Verify(sig, Sha256::Digest("y")));
+}
+
+TEST(Signer, DifferentSeedsDifferentKeys) {
+  KeyRegistry a(2, 1);
+  KeyRegistry b(2, 2);
+  const Hash256 digest = Sha256::Digest("m");
+  EXPECT_NE(a.Sign(0, digest).tag, b.Sign(0, digest).tag);
+}
+
+}  // namespace
+}  // namespace basil

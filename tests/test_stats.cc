@@ -1,0 +1,61 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace basil {
+namespace {
+
+TEST(LatencyStats, MeanAndPercentiles) {
+  LatencyStats stats;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    stats.Add(i * 1'000'000);  // 1..100 ms.
+  }
+  EXPECT_EQ(stats.count(), 100u);
+  EXPECT_NEAR(stats.MeanMs(), 50.5, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(50), 50.0, 1.0);
+  EXPECT_NEAR(stats.PercentileMs(99), 99.0, 1.0);
+  EXPECT_NEAR(stats.PercentileMs(0), 1.0, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(100), 100.0, 0.01);
+}
+
+TEST(LatencyStats, EmptyIsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.MeanMs(), 0.0);
+  EXPECT_EQ(stats.PercentileMs(50), 0.0);
+}
+
+TEST(LatencyStats, MergeCombinesSamples) {
+  LatencyStats a;
+  LatencyStats b;
+  a.Add(1'000'000);
+  b.Add(3'000'000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.MeanMs(), 2.0, 0.01);
+}
+
+TEST(LatencyStats, AddAfterPercentileKeepsOrder) {
+  LatencyStats stats;
+  stats.Add(5'000'000);
+  EXPECT_NEAR(stats.PercentileMs(50), 5.0, 0.01);
+  stats.Add(1'000'000);
+  EXPECT_NEAR(stats.PercentileMs(0), 1.0, 0.01);
+}
+
+TEST(Counters, IncrementAndMerge) {
+  Counters a;
+  a.Inc("commits");
+  a.Inc("commits", 4);
+  EXPECT_EQ(a.Get("commits"), 5u);
+  EXPECT_EQ(a.Get("missing"), 0u);
+
+  Counters b;
+  b.Inc("commits", 10);
+  b.Inc("aborts");
+  a.Merge(b);
+  EXPECT_EQ(a.Get("commits"), 15u);
+  EXPECT_EQ(a.Get("aborts"), 1u);
+}
+
+}  // namespace
+}  // namespace basil

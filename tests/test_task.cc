@@ -1,0 +1,139 @@
+// Coroutine plumbing: Task composition, Spawn, OneShot wakeups.
+#include "src/sim/task.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace basil {
+namespace {
+
+Task<int> Return42() { co_return 42; }
+
+Task<int> AddOne(Task<int> inner) {
+  const int v = co_await std::move(inner);
+  co_return v + 1;
+}
+
+TEST(Task, BasicComposition) {
+  int result = 0;
+  auto runner = [&]() -> Task<void> {
+    result = co_await AddOne(Return42());
+    co_return;
+  };
+  Spawn(runner());
+  EXPECT_EQ(result, 43);
+}
+
+TEST(Task, VoidTask) {
+  bool ran = false;
+  auto inner = [&]() -> Task<void> {
+    ran = true;
+    co_return;
+  };
+  auto outer = [&]() -> Task<void> {
+    co_await inner();
+    co_return;
+  };
+  Spawn(outer());
+  EXPECT_TRUE(ran);
+}
+
+// NOTE: OneShot waiters are written as free functions taking pointers; co_awaiting a
+// by-reference lambda capture is miscompiled by GCC 12 (see warning in task.h). A
+// regression test below pins the documented-safe pattern.
+
+Task<void> StagedWaiter(OneShot* shot, int* stage) {
+  *stage = 1;
+  co_await *shot;
+  *stage = 2;
+  co_return;
+}
+
+TEST(OneShot, FireResumesWaiter) {
+  OneShot shot;
+  int stage = 0;
+  Spawn(StagedWaiter(&shot, &stage));
+  EXPECT_EQ(stage, 1);
+  shot.Fire();
+  EXPECT_EQ(stage, 2);
+}
+
+TEST(OneShot, FireBeforeAwaitDoesNotBlock) {
+  OneShot shot;
+  shot.Fire();
+  int stage = 0;
+  Spawn(StagedWaiter(&shot, &stage));
+  EXPECT_EQ(stage, 2);
+}
+
+Task<void> CountingWaiter(OneShot* shot, int* resumes) {
+  co_await *shot;
+  ++*resumes;
+  co_return;
+}
+
+TEST(OneShot, DoubleFireIsIdempotent) {
+  OneShot shot;
+  int resumes = 0;
+  Spawn(CountingWaiter(&shot, &resumes));
+  shot.Fire();
+  shot.Fire();
+  EXPECT_EQ(resumes, 1);
+}
+
+Task<void> ReusingWaiter(OneShot* shot, std::vector<int>* log) {
+  co_await *shot;
+  log->push_back(1);
+  shot->Reset();
+  co_await *shot;
+  log->push_back(2);
+  co_return;
+}
+
+TEST(OneShot, ResetAllowsReuse) {
+  OneShot shot;
+  std::vector<int> log;
+  Spawn(ReusingWaiter(&shot, &log));
+  shot.Fire();
+  EXPECT_EQ(log, (std::vector<int>{1}));
+  shot.Fire();
+  EXPECT_EQ(log, (std::vector<int>{1, 2}));
+}
+
+
+TEST(OneShot, LambdaPointerParameterPatternWorks) {
+  // Regression pin for the GCC 12 workaround: lambda coroutines must receive state as
+  // parameters, never co_await a by-reference capture.
+  OneShot shot;
+  bool resumed = false;
+  auto lambda = [](OneShot* s, bool* r) -> Task<void> {
+    co_await *s;
+    *r = true;
+    co_return;
+  };
+  Spawn(lambda(&shot, &resumed));
+  shot.Fire();
+  EXPECT_TRUE(resumed);
+}
+
+Task<int> DeepChain(int depth) {
+  if (depth == 0) {
+    co_return 0;
+  }
+  const int below = co_await DeepChain(depth - 1);
+  co_return below + 1;
+}
+
+TEST(Task, DeepRecursionViaSymmetricTransfer) {
+  int result = -1;
+  auto runner = [&]() -> Task<void> {
+    result = co_await DeepChain(500);
+    co_return;
+  };
+  Spawn(runner());
+  EXPECT_EQ(result, 500);
+}
+
+}  // namespace
+}  // namespace basil

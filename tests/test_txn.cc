@@ -1,0 +1,110 @@
+// Transaction metadata: digest stability, equivocation resistance, shard mapping.
+#include "src/store/txn.h"
+
+#include <gtest/gtest.h>
+
+namespace basil {
+namespace {
+
+Transaction MakeTxn() {
+  Transaction t;
+  t.ts = Timestamp{100, 7};
+  t.client = 7;
+  t.read_set = {{"a", Timestamp{10, 1}}, {"b", Timestamp{20, 2}}};
+  t.write_set = {{"c", "v1"}, {"d", "v2"}};
+  return t;
+}
+
+TEST(Txn, DigestDeterministic) {
+  Transaction a = MakeTxn();
+  Transaction b = MakeTxn();
+  a.Finalize(1);
+  b.Finalize(1);
+  EXPECT_EQ(a.id, b.id);
+}
+
+TEST(Txn, DigestCoversEveryField) {
+  Transaction base = MakeTxn();
+  base.Finalize(1);
+
+  {
+    Transaction t = MakeTxn();
+    t.ts.time += 1;
+    t.Finalize(1);
+    EXPECT_NE(t.id, base.id) << "timestamp not covered";
+  }
+  {
+    Transaction t = MakeTxn();
+    t.read_set[0].version.time += 1;
+    t.Finalize(1);
+    EXPECT_NE(t.id, base.id) << "read version not covered";
+  }
+  {
+    Transaction t = MakeTxn();
+    t.write_set[1].value = "v2'";
+    t.Finalize(1);
+    EXPECT_NE(t.id, base.id) << "write value not covered";
+  }
+  {
+    Transaction t = MakeTxn();
+    t.deps.push_back(Dependency{{}, Timestamp{5, 5}, 0});
+    t.Finalize(1);
+    EXPECT_NE(t.id, base.id) << "deps not covered";
+  }
+}
+
+TEST(Txn, InvolvedShardsSortedUnique) {
+  Transaction t = MakeTxn();
+  t.Finalize(4);
+  ASSERT_FALSE(t.involved_shards.empty());
+  for (size_t i = 1; i < t.involved_shards.size(); ++i) {
+    EXPECT_LT(t.involved_shards[i - 1], t.involved_shards[i]);
+  }
+  for (ShardId s : t.involved_shards) {
+    EXPECT_LT(s, 4u);
+  }
+}
+
+TEST(Txn, SingleShardWhenOneShard) {
+  Transaction t = MakeTxn();
+  t.Finalize(1);
+  EXPECT_EQ(t.involved_shards, std::vector<ShardId>{0});
+}
+
+TEST(Txn, ReadsWritesKey) {
+  Transaction t = MakeTxn();
+  EXPECT_TRUE(t.ReadsKey("a"));
+  EXPECT_FALSE(t.ReadsKey("c"));
+  EXPECT_TRUE(t.WritesKey("c"));
+  EXPECT_FALSE(t.WritesKey("a"));
+}
+
+TEST(Txn, ShardOfKeyStableAndInRange) {
+  for (uint32_t shards : {1u, 2u, 3u, 5u}) {
+    EXPECT_EQ(ShardOfKey("some-key", shards), ShardOfKey("some-key", shards));
+    EXPECT_LT(ShardOfKey("some-key", shards), shards);
+  }
+  EXPECT_EQ(ShardOfKey("anything", 1), 0u);
+}
+
+TEST(Txn, ShardDispersion) {
+  // Keys should spread across shards reasonably evenly.
+  constexpr uint32_t kShards = 3;
+  std::vector<int> counts(kShards, 0);
+  for (int i = 0; i < 3000; ++i) {
+    counts[ShardOfKey("key-" + std::to_string(i), kShards)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+  }
+}
+
+TEST(Txn, WireSizeGrowsWithContent) {
+  Transaction small = MakeTxn();
+  Transaction large = MakeTxn();
+  large.write_set.push_back({"e", std::string(1000, 'x')});
+  EXPECT_GT(large.WireSize(), small.WireSize() + 900);
+}
+
+}  // namespace
+}  // namespace basil

@@ -1,0 +1,113 @@
+// Multiversion store: version chains, prepared writes, reader index, RTS.
+#include "src/store/version_store.h"
+
+#include <gtest/gtest.h>
+
+namespace basil {
+namespace {
+
+Timestamp Ts(uint64_t t, uint64_t c = 0) { return Timestamp{t, c}; }
+
+TEST(VersionStore, GenesisAndLatestBefore) {
+  VersionStore vs;
+  vs.LoadGenesis("k", "v0");
+  const CommittedVersion* v = vs.LatestCommittedBefore("k", Ts(100));
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->value, "v0");
+  EXPECT_TRUE(v->ts.IsZero());
+}
+
+TEST(VersionStore, ReadsSeeCorrectVersion) {
+  VersionStore vs;
+  vs.LoadGenesis("k", "v0");
+  vs.ApplyCommittedWrite("k", Ts(10), "v10", {});
+  vs.ApplyCommittedWrite("k", Ts(20), "v20", {});
+
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(5))->value, "v0");
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(15))->value, "v10");
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(25))->value, "v20");
+  // Strictly-before semantics: a read at exactly ts 10 sees the previous version.
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(10))->value, "v0");
+  EXPECT_EQ(vs.LatestCommitted("k")->value, "v20");
+}
+
+TEST(VersionStore, MissingKey) {
+  VersionStore vs;
+  EXPECT_EQ(vs.LatestCommittedBefore("nope", Ts(10)), nullptr);
+  EXPECT_EQ(vs.LatestCommitted("nope"), nullptr);
+  EXPECT_EQ(vs.LatestPreparedBefore("nope", Ts(10)), nullptr);
+}
+
+TEST(VersionStore, CommittedWriteBetween) {
+  VersionStore vs;
+  vs.ApplyCommittedWrite("k", Ts(10), "x", {});
+  EXPECT_TRUE(vs.HasCommittedWriteBetween("k", Ts(5), Ts(15)));
+  EXPECT_FALSE(vs.HasCommittedWriteBetween("k", Ts(10), Ts(15)));  // Exclusive lo.
+  EXPECT_FALSE(vs.HasCommittedWriteBetween("k", Ts(5), Ts(10)));   // Exclusive hi.
+  EXPECT_FALSE(vs.HasCommittedWriteBetween("k", Ts(11), Ts(20)));
+}
+
+TEST(VersionStore, PreparedWritesVisibleAndRemovable) {
+  VersionStore vs;
+  vs.AddPreparedWrite("k", Ts(7), "pv", {});
+  const PreparedWrite* p = vs.LatestPreparedBefore("k", Ts(10));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->value, "pv");
+  EXPECT_TRUE(vs.HasPreparedWriteBetween("k", Ts(5), Ts(10)));
+  vs.RemovePreparedWrite("k", Ts(7));
+  EXPECT_EQ(vs.LatestPreparedBefore("k", Ts(10)), nullptr);
+  EXPECT_FALSE(vs.HasPreparedWriteBetween("k", Ts(5), Ts(10)));
+}
+
+TEST(VersionStore, ReaderWouldMissWrite) {
+  VersionStore vs;
+  // A prepared/committed transaction at ts 20 read version 10 of k.
+  vs.AddReader("k", Ts(20), Ts(10));
+  // Writes landing strictly between (10, 20) would be missed.
+  EXPECT_TRUE(vs.ReaderWouldMissWrite("k", Ts(15)));
+  EXPECT_FALSE(vs.ReaderWouldMissWrite("k", Ts(5)));   // Older than the read version.
+  EXPECT_FALSE(vs.ReaderWouldMissWrite("k", Ts(25)));  // Newer than the reader.
+  vs.RemoveReader("k", Ts(20), Ts(10));
+  EXPECT_FALSE(vs.ReaderWouldMissWrite("k", Ts(15)));
+}
+
+TEST(VersionStore, ReaderBoundaryConditions) {
+  VersionStore vs;
+  vs.AddReader("k", Ts(20), Ts(10));
+  // Writing exactly at the read version or the reader timestamp is not "between".
+  EXPECT_FALSE(vs.ReaderWouldMissWrite("k", Ts(10)));
+  EXPECT_FALSE(vs.ReaderWouldMissWrite("k", Ts(20)));
+}
+
+TEST(VersionStore, RtsMaxAndMultiset) {
+  VersionStore vs;
+  EXPECT_FALSE(vs.MaxRts("k").has_value());
+  vs.AddRts("k", Ts(5));
+  vs.AddRts("k", Ts(9));
+  vs.AddRts("k", Ts(9));  // Two readers at the same timestamp.
+  EXPECT_EQ(vs.MaxRts("k")->time, 9u);
+  vs.RemoveRts("k", Ts(9));
+  EXPECT_EQ(vs.MaxRts("k")->time, 9u);  // One instance remains.
+  vs.RemoveRts("k", Ts(9));
+  EXPECT_EQ(vs.MaxRts("k")->time, 5u);
+  vs.RemoveRts("k", Ts(5));
+  EXPECT_FALSE(vs.MaxRts("k").has_value());
+}
+
+TEST(VersionStore, RemoveRtsOnMissingKeyIsNoop) {
+  VersionStore vs;
+  vs.RemoveRts("ghost", Ts(1));  // Must not crash or create state.
+  EXPECT_FALSE(vs.MaxRts("ghost").has_value());
+}
+
+TEST(VersionStore, TimestampTieBreakByClient) {
+  VersionStore vs;
+  vs.ApplyCommittedWrite("k", Ts(10, 1), "c1", {});
+  vs.ApplyCommittedWrite("k", Ts(10, 2), "c2", {});
+  // (10,2) > (10,1): a reader at (10,3) sees c2; at (10,2) sees c1.
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(10, 3))->value, "c2");
+  EXPECT_EQ(vs.LatestCommittedBefore("k", Ts(10, 2))->value, "c1");
+}
+
+}  // namespace
+}  // namespace basil

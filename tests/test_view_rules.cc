@@ -1,0 +1,81 @@
+// View adoption rules R1/R2 with vote subsumption (§5 step 2, Appendix B.5). f = 1:
+// R1 quorum 3f+1 = 4, R2 quorum f+1 = 2.
+#include <gtest/gtest.h>
+
+#include "src/basil/certs.h"
+
+namespace basil {
+namespace {
+
+constexpr uint32_t kR1 = 4;  // 3f+1.
+constexpr uint32_t kR2 = 2;  // f+1.
+
+TEST(ViewRules, EmptyKeepsCurrent) {
+  EXPECT_EQ(ComputeTargetView({}, 0, kR1, kR2), 0u);
+  EXPECT_EQ(ComputeTargetView({}, 3, kR1, kR2), 3u);
+}
+
+TEST(ViewRules, R1AdvancesPastQuorumView) {
+  // 4 matching views for v=1: R1 moves to v+1 = 2.
+  EXPECT_EQ(ComputeTargetView({1, 1, 1, 1}, 0, kR1, kR2), 2u);
+}
+
+TEST(ViewRules, R1UsesMaxWithCurrent) {
+  // Current view already ahead: stay.
+  EXPECT_EQ(ComputeTargetView({1, 1, 1, 1}, 5, kR1, kR2), 5u);
+}
+
+TEST(ViewRules, R2CatchesUpToFPlusOne) {
+  // Only 2 views at v=3 (< R1 quorum): R2 adopts 3.
+  EXPECT_EQ(ComputeTargetView({3, 3, 0, 0}, 0, kR1, kR2), 3u);
+}
+
+TEST(ViewRules, SingletonHighViewCannotDragReplicasForward) {
+  // A single (possibly Byzantine) high view must not be adopted. The four votes
+  // subsuming view 0 do R1-advance to view 1 — but never to 9.
+  EXPECT_EQ(ComputeTargetView({9, 0, 0, 0}, 0, kR1, kR2), 1u);
+  EXPECT_EQ(ComputeTargetView({9}, 0, kR1, kR2), 0u);
+}
+
+TEST(ViewRules, SubsumptionCountsHigherViews) {
+  // Views {5, 4, 4, 1}: for v=4 the count is 3 (5 subsumes 4) — below R1(4) but
+  // above R2(2), so adopt 4. For v=1 the count is 4 -> R1 gives max(1+1, ...) = 2,
+  // but 4 > 2, so the final answer is 4.
+  EXPECT_EQ(ComputeTargetView({5, 4, 4, 1}, 0, kR1, kR2), 4u);
+}
+
+TEST(ViewRules, SubsumptionEnablesR1) {
+  // Views {3, 3, 4, 5}: count(3) = 4 (everything >= 3) -> R1 advances to 4.
+  EXPECT_EQ(ComputeTargetView({3, 3, 4, 5}, 0, kR1, kR2), 4u);
+}
+
+TEST(ViewRules, NeverMovesBackwards) {
+  EXPECT_GE(ComputeTargetView({1, 1}, 7, kR1, kR2), 7u);
+  EXPECT_GE(ComputeTargetView({1, 1, 1, 1}, 7, kR1, kR2), 7u);
+}
+
+TEST(ViewRules, PaperCatchUpScenario) {
+  // Appendix B.4's argument: a client gathering 4f+1 = 5 views where at least f+1
+  // are within one of the max lets every correct replica catch up. Replicas at view
+  // 0 receiving views {2, 2, 1, 0, 0} adopt 2 via R2; a second round with {2,2,2,2}
+  // then R1-advances to 3 — all correct replicas land in one view.
+  const uint32_t after_r2 = ComputeTargetView({2, 2, 1, 0, 0}, 0, kR1, kR2);
+  EXPECT_EQ(after_r2, 2u);
+  EXPECT_EQ(ComputeTargetView({2, 2, 2, 2}, after_r2, kR1, kR2), 3u);
+}
+
+class ViewRuleSweep : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ViewRuleSweep, MonotoneInCurrent) {
+  const uint32_t current = GetParam();
+  const std::vector<uint32_t> views = {2, 2, 3, 3, 1};
+  const uint32_t target = ComputeTargetView(views, current, kR1, kR2);
+  EXPECT_GE(target, current);
+  // Target never exceeds max(view)+1 (R1's +1 is the only way forward).
+  EXPECT_LE(target, std::max(current, 4u));
+}
+
+INSTANTIATE_TEST_SUITE_P(Currents, ViewRuleSweep, ::testing::Values(0, 1, 2, 3, 5, 9));
+
+}  // namespace
+}  // namespace basil

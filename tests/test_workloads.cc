@@ -1,0 +1,332 @@
+// Workload generators: mixes, key domains, genesis tables, and end-to-end invariants
+// (Smallbank conservation, TPC-C order counters) on a live Basil cluster.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/basil/cluster.h"
+#include "src/workload/retwis.h"
+#include "src/workload/smallbank.h"
+#include "src/workload/tpcc.h"
+#include "src/workload/ycsb.h"
+
+namespace basil {
+namespace {
+
+// A fake session that records operations without any backing store.
+class RecordingSession : public TxnSession {
+ public:
+  Task<std::optional<Value>> Get(const Key& key) override {
+    reads.push_back(key);
+    auto it = values.find(key);
+    if (it != values.end()) {
+      co_return it->second;
+    }
+    if (genesis) {
+      if (auto v = genesis(key); v.has_value()) {
+        co_return *v;
+      }
+    }
+    co_return std::nullopt;
+  }
+  void Put(const Key& key, Value value) override {
+    writes.emplace_back(key, std::move(value));
+  }
+  Task<TxnOutcome> Commit() override { co_return TxnOutcome{true, false}; }
+  Task<void> Abort() override { co_return; }
+
+  std::vector<Key> reads;
+  std::vector<std::pair<Key, Value>> writes;
+  std::map<Key, Value> values;
+  std::function<std::optional<Value>(const Key&)> genesis;
+};
+
+bool RunOnce(Workload& wl, RecordingSession& session, Rng& rng) {
+  bool want = false;
+  bool done = false;
+  auto runner = [](Workload* w, RecordingSession* s, Rng* r, bool* out,
+                   bool* flag) -> Task<void> {
+    *out = co_await w->RunTransaction(*s, *r);
+    *flag = true;
+  };
+  Spawn(runner(&wl, &session, &rng, &want, &done));
+  EXPECT_TRUE(done) << "workload transaction did not complete synchronously";
+  return want;
+}
+
+TEST(Ycsb, OpCountsMatchConfig) {
+  YcsbConfig cfg;
+  cfg.num_keys = 1000;
+  cfg.rmw_pairs = 2;
+  cfg.extra_reads = 3;
+  YcsbWorkload wl(cfg);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    RecordingSession s;
+    s.genesis = wl.GenesisFn();
+    RunOnce(wl, s, rng);
+    EXPECT_EQ(s.reads.size(), 5u);   // 2 rmw reads + 3 extra.
+    EXPECT_EQ(s.writes.size(), 2u);  // 2 rmw writes.
+    // Writes go to keys that were read (read-modify-write).
+    for (const auto& [k, v] : s.writes) {
+      (void)v;
+      EXPECT_NE(std::find(s.reads.begin(), s.reads.end(), k), s.reads.end());
+    }
+  }
+}
+
+TEST(Ycsb, ZipfSkewsTraffic) {
+  YcsbConfig cfg;
+  cfg.num_keys = 10'000;
+  cfg.zipfian = true;
+  cfg.theta = 0.9;
+  YcsbWorkload wl(cfg);
+  Rng rng(2);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    RecordingSession s;
+    RunOnce(wl, s, rng);
+    for (const Key& k : s.reads) {
+      counts[k]++;
+    }
+  }
+  int max_count = 0;
+  for (const auto& [k, c] : counts) {
+    (void)k;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, 50) << "no hot key under Zipf 0.9";
+}
+
+TEST(Smallbank, GenesisProvidesBalances) {
+  SmallbankConfig cfg;
+  SmallbankWorkload wl(cfg);
+  auto genesis = wl.GenesisFn();
+  EXPECT_EQ(genesis(SmallbankWorkload::CheckingKey(42)), "10000");
+  EXPECT_EQ(genesis(SmallbankWorkload::SavingsKey(999'999)), "10000");
+  EXPECT_EQ(genesis("unrelated"), std::nullopt);
+}
+
+TEST(Smallbank, HotspotConcentration) {
+  SmallbankConfig cfg;
+  cfg.num_accounts = 100'000;
+  SmallbankWorkload wl(cfg);
+  Rng rng(3);
+  int hot = 0;
+  int total = 0;
+  for (int i = 0; i < 3000; ++i) {
+    RecordingSession s;
+    s.genesis = wl.GenesisFn();
+    RunOnce(wl, s, rng);
+    for (const Key& k : s.reads) {
+      // Keys look like sb:c:<id> / sb:s:<id>.
+      const uint64_t id = std::stoull(k.substr(5));
+      ++total;
+      if (id < cfg.hot_accounts) {
+        ++hot;
+      }
+    }
+  }
+  const double frac = static_cast<double>(hot) / total;
+  EXPECT_GT(frac, 0.8);  // Configured: 90% to the hot set.
+  EXPECT_LT(frac, 0.97);
+}
+
+TEST(Smallbank, MoneyConservedOnBasil) {
+  BasilClusterConfig cluster_cfg;
+  cluster_cfg.num_clients = 4;
+  cluster_cfg.sim.seed = 77;
+  BasilCluster cluster(cluster_cfg);
+  SmallbankConfig cfg;
+  cfg.num_accounts = 64;  // Small domain: heavy conflicts.
+  cfg.hot_accounts = 8;
+  SmallbankWorkload wl(cfg);
+  cluster.SetGenesisFn(wl.GenesisFn());
+
+  // Only the conserving subset: SendPayment and Amalgamate move money between
+  // accounts; the other Smallbank ops model external cash flows.
+  auto loop = [](BasilCluster* cl, SmallbankWorkload* w, uint32_t idx,
+                 Rng* rng) -> Task<void> {
+    for (int t = 0; t < 15; ++t) {
+      TxnSession& s = cl->client(idx).BeginTxn();
+      const uint64_t a = rng->NextUint(64);
+      const uint64_t b = (a + 1 + rng->NextUint(62)) % 64;
+      bool want;
+      if (rng->NextBool(0.7)) {
+        want = co_await w->SendPayment(s, a, b,
+                                       static_cast<int64_t>(rng->NextRange(1, 50)));
+      } else {
+        want = co_await w->Amalgamate(s, a, b);
+      }
+      if (want) {
+        co_await s.Commit();
+      } else {
+        co_await s.Abort();
+      }
+      co_await SleepNs(cl->client(idx), 300'000);
+    }
+  };
+  Rng root(5);
+  std::vector<Rng> rngs;
+  for (int i = 0; i < 4; ++i) {
+    rngs.push_back(root.Fork());
+  }
+  for (uint32_t c = 0; c < 4; ++c) {
+    Spawn(loop(&cluster, &wl, c, &rngs[c]));
+  }
+  cluster.RunUntilIdle();
+
+  // Total balance across all touched accounts must equal the genesis total for
+  // exactly those accounts (all ops move money between accounts; none create it).
+  int64_t total = 0;
+  int64_t expected = 0;
+  for (const auto& [key, value] : cluster.replica(0, 0).store().Snapshot()) {
+    if (key.rfind("sb:", 0) == 0) {
+      total += std::stoll(value);
+      expected += cfg.initial_balance;
+    }
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Retwis, MixProportions) {
+  RetwisConfig cfg;
+  cfg.num_users = 10'000;
+  RetwisWorkload wl(cfg);
+  Rng rng(4);
+  int total_reads = 0;
+  int total_writes = 0;
+  for (int i = 0; i < 1000; ++i) {
+    RecordingSession s;
+    s.genesis = wl.GenesisFn();
+    RunOnce(wl, s, rng);
+    total_reads += static_cast<int>(s.reads.size());
+    total_writes += static_cast<int>(s.writes.size());
+  }
+  // Expected per-mix averages: reads ~ .05*1+.15*2+.3*3+.5*5.5 = 4.0, writes ~ 1.95.
+  EXPECT_NEAR(total_reads / 1000.0, 4.0, 1.0);
+  EXPECT_NEAR(total_writes / 1000.0, 1.95, 0.8);
+}
+
+TEST(Tpcc, GenesisRowsAreConsistent) {
+  TpccConfig cfg;
+  TpccWorkload wl(cfg);
+  auto genesis = wl.GenesisFn();
+
+  const auto district = genesis(TpccWorkload::DistrictKey(1, 1));
+  ASSERT_TRUE(district.has_value());
+  EXPECT_EQ(SplitRow(*district)[0], "3001");
+
+  const auto cust = genesis(TpccWorkload::CustomerKey(1, 1, 42));
+  ASSERT_TRUE(cust.has_value());
+  const auto fields = SplitRow(*cust);
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[3], TpccWorkload::LastName(41));
+
+  // The last-name index points at a customer whose genesis row has that name.
+  const std::string name = TpccWorkload::LastName(7);
+  const auto idx = genesis(TpccWorkload::LastNameIndexKey(1, 1, name));
+  ASSERT_TRUE(idx.has_value());
+  const uint32_t c = static_cast<uint32_t>(std::stoul(*idx));
+  const auto row = genesis(TpccWorkload::CustomerKey(1, 1, c));
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(SplitRow(*row)[3], name);
+
+  // Initial orders exist below 3001, not above; order-lines match ol_cnt.
+  EXPECT_TRUE(genesis(TpccWorkload::OrderKey(1, 1, 3000)).has_value());
+  EXPECT_FALSE(genesis(TpccWorkload::OrderKey(1, 1, 3001)).has_value());
+  const auto order = genesis(TpccWorkload::OrderKey(1, 1, 100));
+  const uint32_t ol_cnt = static_cast<uint32_t>(std::stoul(SplitRow(*order)[3]));
+  EXPECT_TRUE(genesis(TpccWorkload::OrderLineKey(1, 1, 100, ol_cnt - 1)).has_value());
+  EXPECT_FALSE(genesis(TpccWorkload::OrderLineKey(1, 1, 100, ol_cnt)).has_value());
+}
+
+TEST(Tpcc, NewOrderAdvancesDistrictCounter) {
+  BasilClusterConfig cluster_cfg;
+  cluster_cfg.num_clients = 2;
+  cluster_cfg.sim.seed = 88;
+  BasilCluster cluster(cluster_cfg);
+  TpccConfig cfg;
+  cfg.num_warehouses = 1;
+  TpccWorkload wl(cfg);
+  cluster.SetGenesisFn(wl.GenesisFn());
+
+  int committed = 0;
+  auto loop = [](BasilCluster* cl, TpccWorkload* w, Rng* rng, int* ok) -> Task<void> {
+    for (int t = 0; t < 10; ++t) {
+      TxnSession& s = cl->client(0).BeginTxn();
+      const bool want = co_await w->NewOrder(s, *rng);
+      if (!want) {
+        co_await s.Abort();
+        continue;
+      }
+      const TxnOutcome out = co_await s.Commit();
+      if (out.committed) {
+        ++*ok;
+      }
+    }
+  };
+  Rng rng(6);
+  Spawn(loop(&cluster, &wl, &rng, &committed));
+  cluster.RunUntilIdle();
+  ASSERT_GT(committed, 0);
+
+  // Sum of (next_o_id - 3001) across districts equals committed new-orders.
+  int64_t total_orders = 0;
+  for (uint32_t d = 1; d <= cfg.districts_per_warehouse; ++d) {
+    const CommittedVersion* v = cluster.replica(0, 0).store().LatestCommitted(
+        TpccWorkload::DistrictKey(1, d));
+    if (v != nullptr) {
+      total_orders += std::stoll(SplitRow(v->value)[0]) - 3001;
+    }
+  }
+  EXPECT_EQ(total_orders, committed);
+}
+
+TEST(Tpcc, PaymentByLastNameResolvesCustomer) {
+  TpccConfig cfg;
+  cfg.num_warehouses = 1;
+  TpccWorkload wl(cfg);
+  Rng rng(9);
+  // Run payments against the recording session until one goes through the index.
+  bool touched_index = false;
+  for (int i = 0; i < 50 && !touched_index; ++i) {
+    RecordingSession s;
+    s.genesis = wl.GenesisFn();
+    RunOnce(wl, s, rng);
+  }
+  for (int i = 0; i < 50 && !touched_index; ++i) {
+    RecordingSession s;
+    s.genesis = wl.GenesisFn();
+    auto runner = [](TpccWorkload* w, RecordingSession* rs, Rng* r,
+                     bool* flag) -> Task<void> {
+      co_await w->Payment(*rs, *r);
+      *flag = true;
+    };
+    bool done = false;
+    Spawn(runner(&wl, &s, &rng, &done));
+    ASSERT_TRUE(done);
+    for (const Key& k : s.reads) {
+      if (k.rfind("t:il:", 0) == 0) {
+        touched_index = true;
+      }
+    }
+  }
+  EXPECT_TRUE(touched_index) << "payment never used the last-name index";
+}
+
+TEST(WorkloadNames, AllDistinct) {
+  std::set<std::string> names;
+  names.insert(YcsbWorkload(YcsbConfig{}).name());
+  YcsbConfig z;
+  z.zipfian = true;
+  names.insert(YcsbWorkload(z).name());
+  names.insert(SmallbankWorkload(SmallbankConfig{}).name());
+  names.insert(RetwisWorkload(RetwisConfig{.num_users = 1000, .theta = 0.75}).name());
+  names.insert(TpccWorkload(TpccConfig{}).name());
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace basil
