@@ -10,7 +10,9 @@ namespace {
 
 void Run() {
   PrintBanner("Figure 5a: impact of signatures (Basil vs Basil-NoProofs, YCSB-T 2r2w)");
-  Table table({"workload", "variant", "tput(tx/s)", "mean(ms)", "clients",
+  // wire/txn is measured from the canonical message encodings (docs/WIRE_FORMAT.md):
+  // it shows the bandwidth certificates and batch signatures actually cost.
+  Table table({"workload", "variant", "tput(tx/s)", "mean(ms)", "wire/txn", "clients",
                "paper-tput"});
 
   struct Row {
@@ -37,6 +39,7 @@ void Run() {
     const PeakResult peak = FindPeak(p, row.signatures ? DefaultGrid() : WideGrid());
     table.AddRow({row.wl_name, row.signatures ? "Basil" : "Basil-NoProofs",
                   FmtTput(peak.best.tput_tps), FmtMs(peak.best.mean_ms),
+                  FmtKb(peak.best.wire_bytes_per_txn),
                   std::to_string(peak.best_clients), FmtTput(row.paper)});
     tput[row.wl == WorkloadKind::kYcsbZipf][row.signatures ? 0 : 1] =
         peak.best.tput_tps;

@@ -1,0 +1,152 @@
+// Microbenchmarks (google-benchmark) for the canonical wire codec: encode and decode
+// nanoseconds per message plus exact bytes per message for the protocol's hot message
+// kinds (ST1, ST1R, ST2, WB). The byte counts printed here are the real per-message
+// wire costs behind the Figure 2-style bandwidth comparison.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "src/basil/messages.h"
+#include "src/common/serde.h"
+#include "src/crypto/batch.h"
+#include "src/sim/network.h"
+#include "src/store/txn.h"
+
+namespace basil {
+namespace {
+
+// Retwis-like transaction shape: a few short keys, small values.
+TxnPtr MakeTxn() {
+  auto txn = std::make_shared<Transaction>();
+  txn->ts = Timestamp{123456789, 42};
+  txn->client = 42;
+  for (int i = 0; i < 3; ++i) {
+    txn->read_set.push_back(
+        ReadEntry{"user:100" + std::to_string(i), Timestamp{1000 + i, 7}});
+    txn->write_set.push_back(
+        WriteEntry{"user:100" + std::to_string(i), "value-" + std::to_string(i)});
+  }
+  txn->Finalize(1);
+  return txn;
+}
+
+// A realistic batch certificate: batch size 4 -> 2-sibling Merkle path.
+BatchCert MakeBatchCert() {
+  KeyRegistry keys(8, 7);
+  std::vector<Hash256> digests;
+  for (int i = 0; i < 4; ++i) {
+    digests.push_back(Sha256::Digest("reply" + std::to_string(i)));
+  }
+  return SealBatch(digests, keys, 0, nullptr)[0];
+}
+
+SignedVote MakeVote(NodeId replica) {
+  SignedVote v;
+  v.txn = MakeTxn()->id;
+  v.vote = Vote::kCommit;
+  v.replica = replica;
+  v.cert = MakeBatchCert();
+  return v;
+}
+
+std::shared_ptr<St1Msg> MakeSt1() {
+  auto msg = std::make_shared<St1Msg>();
+  msg->txn = MakeTxn();
+  return msg;
+}
+
+std::shared_ptr<St1ReplyMsg> MakeSt1Reply() {
+  auto msg = std::make_shared<St1ReplyMsg>();
+  msg->vote = MakeVote(2);
+  return msg;
+}
+
+std::shared_ptr<St2Msg> MakeSt2() {
+  auto msg = std::make_shared<St2Msg>();
+  const TxnPtr txn = MakeTxn();
+  msg->txn = txn->id;
+  msg->decision = Decision::kCommit;
+  for (NodeId r = 0; r < 4; ++r) {  // CommitQuorum justification at f=1.
+    msg->shard_votes[0].push_back(MakeVote(r));
+  }
+  msg->txn_body = txn;
+  return msg;
+}
+
+std::shared_ptr<WritebackMsg> MakeWriteback() {
+  auto msg = std::make_shared<WritebackMsg>();
+  const TxnPtr txn = MakeTxn();
+  auto cert = std::make_shared<DecisionCert>();
+  cert->txn = txn->id;
+  cert->decision = Decision::kCommit;
+  cert->kind = DecisionCert::Kind::kFastVotes;
+  for (NodeId r = 0; r < 6; ++r) {  // Fast path: 5f+1 votes at f=1.
+    cert->shard_votes[0].push_back(MakeVote(r));
+  }
+  msg->cert = cert;
+  msg->txn_body = txn;
+  return msg;
+}
+
+void BenchEncode(benchmark::State& state, const MsgBase& msg) {
+  for (auto _ : state) {
+    Encoder enc;
+    EncodeMsgFrame(msg, enc);
+    benchmark::DoNotOptimize(enc.size());
+  }
+  state.counters["bytes/msg"] =
+      benchmark::Counter(static_cast<double>(WireSizeOf(msg)));
+}
+
+void BenchDecode(benchmark::State& state, const MsgBase& msg) {
+  Encoder enc;
+  EncodeMsgFrame(msg, enc);
+  for (auto _ : state) {
+    Decoder dec(enc.bytes());
+    benchmark::DoNotOptimize(DecodeMsgFrame(dec));
+  }
+  state.counters["bytes/msg"] = benchmark::Counter(static_cast<double>(enc.size()));
+}
+
+void BM_EncodeSt1(benchmark::State& state) { BenchEncode(state, *MakeSt1()); }
+void BM_DecodeSt1(benchmark::State& state) { BenchDecode(state, *MakeSt1()); }
+void BM_EncodeSt1Reply(benchmark::State& state) { BenchEncode(state, *MakeSt1Reply()); }
+void BM_DecodeSt1Reply(benchmark::State& state) { BenchDecode(state, *MakeSt1Reply()); }
+void BM_EncodeSt2(benchmark::State& state) { BenchEncode(state, *MakeSt2()); }
+void BM_DecodeSt2(benchmark::State& state) { BenchDecode(state, *MakeSt2()); }
+void BM_EncodeWriteback(benchmark::State& state) { BenchEncode(state, *MakeWriteback()); }
+void BM_DecodeWriteback(benchmark::State& state) { BenchDecode(state, *MakeWriteback()); }
+
+BENCHMARK(BM_EncodeSt1);
+BENCHMARK(BM_DecodeSt1);
+BENCHMARK(BM_EncodeSt1Reply);
+BENCHMARK(BM_DecodeSt1Reply);
+BENCHMARK(BM_EncodeSt2);
+BENCHMARK(BM_DecodeSt2);
+BENCHMARK(BM_EncodeWriteback);
+BENCHMARK(BM_DecodeWriteback);
+
+}  // namespace
+
+// Prints the exact per-message wire bytes up front: the numbers the simulator's
+// bandwidth accounting is built from.
+void PrintCanonicalWireBytes() {
+  std::printf("canonical wire bytes: ST1=%llu ST1R=%llu ST2=%llu WB=%llu\n",
+              static_cast<unsigned long long>(WireSizeOf(*MakeSt1())),
+              static_cast<unsigned long long>(WireSizeOf(*MakeSt1Reply())),
+              static_cast<unsigned long long>(WireSizeOf(*MakeSt2())),
+              static_cast<unsigned long long>(WireSizeOf(*MakeWriteback())));
+}
+
+}  // namespace basil
+
+int main(int argc, char** argv) {
+  basil::PrintCanonicalWireBytes();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

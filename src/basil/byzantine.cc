@@ -32,11 +32,11 @@ void ByzantineBasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
   reply->has_committed = true;
   reply->committed_ts = Timestamp{msg.ts.time - 1, msg.ts.client_id};
   reply->committed_value = "fabricated";
-  reply->wire_size = 128;
   const Hash256 digest = reply->Digest();
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<ReadReplyMsg*>(m.get());
     r->batch_cert = std::move(cert);
+    r->wire_size = WireSizeOf(*r);
   });
   counters().Inc("byz_fabricated_reads");
 }

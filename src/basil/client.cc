@@ -103,7 +103,7 @@ Task<void> BasilClient::Abort() {
     auto msg = std::make_shared<AbortReadMsg>();
     msg->ts = active_->ts;
     msg->keys = std::move(keys);
-    msg->wire_size = 64 + msg->keys.size() * 24;
+    msg->wire_size = WireSizeOf(*msg);
     ChargeSignIfEnabled();
     const MsgPtr out = msg;
     SendToAll(topo_->ShardReplicas(shard), out);
@@ -166,7 +166,7 @@ Task<std::optional<BasilClient::ReadChoice>> BasilClient::DoRead(const Key& key,
   msg->req_id = req;
   msg->key = key;
   msg->ts = ts;
-  msg->wire_size = 64 + key.size();
+  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();  // Read requests are authenticated (§4.1).
 
   const uint32_t fanout = std::min(cfg_->ReadFanout(), n);
@@ -361,7 +361,7 @@ void BasilClient::SendSt1(const PrepareCtx& ctx, bool is_recovery) {
   auto msg = std::make_shared<St1Msg>();
   msg->txn = ctx.body;
   msg->is_recovery = is_recovery;
-  msg->wire_size = 48 + ctx.body->WireSize();
+  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();
   const MsgPtr out = msg;
   for (ShardId shard : ctx.body->involved_shards) {
@@ -519,12 +519,7 @@ void BasilClient::SendSt2(PrepareCtx& ctx, Decision decision, uint32_t view,
   msg->shard_votes = CollectJustification(ctx, decision);
   msg->txn_body = ctx.body;
   msg->forced = forced;
-  uint64_t votes_bytes = 0;
-  for (const auto& [shard, votes] : msg->shard_votes) {
-    (void)shard;
-    votes_bytes += votes.size() * 140;
-  }
-  msg->wire_size = 64 + ctx.body->WireSize() + votes_bytes;
+  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();
   const MsgPtr out = msg;
   for (NodeId dst : targets) {
@@ -598,7 +593,7 @@ Task<BasilClient::AttemptResult> BasilClient::RunFallback(PrepareCtx& ctx) {
     msg->txn = ctx.body->id;
     msg->views = CollectedAcks(ctx);
     msg->txn_body = ctx.body;
-    msg->wire_size = 64 + ctx.body->WireSize() + msg->views.size() * 150;
+    msg->wire_size = WireSizeOf(*msg);
     ChargeSignIfEnabled();
     const MsgPtr out = msg;
     for (NodeId dst : targets) {
@@ -657,7 +652,7 @@ Task<TxnPtr> BasilClient::FetchBody(const Dependency& dep) {
   pending_fetches_[dep.txn] = fc.get();
   auto msg = std::make_shared<FetchMsg>();
   msg->digest = dep.txn;
-  msg->wire_size = 64;
+  msg->wire_size = WireSizeOf(*msg);
   const MsgPtr out = msg;
   const std::vector<NodeId> replicas = topo_->ShardReplicas(dep.shard);
   for (uint32_t i = 0; i < std::min<uint32_t>(2 * cfg_->f + 1, replicas.size()); ++i) {
@@ -763,7 +758,7 @@ void BasilClient::SendWriteback(const TxnPtr& body, const DecisionCertPtr& cert)
   auto msg = std::make_shared<WritebackMsg>();
   msg->cert = cert;
   msg->txn_body = body;
-  msg->wire_size = 48 + cert->WireSize() + body->WireSize();
+  msg->wire_size = WireSizeOf(*msg);
   const MsgPtr out = msg;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), out);

@@ -2,11 +2,13 @@
 
 #include "src/common/serde.h"
 #include "src/crypto/sha256.h"
+#include "src/sim/codec_util.h"
 
 namespace basil {
 namespace {
 
-// Domain-separation tags keep digests of different message types disjoint.
+// Domain-separation tags keep digests of different message types disjoint. Tag 7 is
+// claimed by Transaction digests (src/store/txn.cc).
 enum Domain : uint8_t {
   kDomVote = 1,
   kDomSt2Ack = 2,
@@ -16,89 +18,517 @@ enum Domain : uint8_t {
   kDomDecFb = 6,
 };
 
+// ---------------------------------------------------------------------------
+// Field-level helpers shared by the per-message codecs (the generic ones live in
+// src/sim/codec_util.h).
+// ---------------------------------------------------------------------------
+
+void EncodeOptionalCert(Encoder& enc, const DecisionCertPtr& cert) {
+  enc.PutBool(cert != nullptr);
+  if (cert != nullptr) {
+    EncodeNested(enc, *cert);
+  }
+}
+
+DecisionCertPtr DecodeOptionalCert(Decoder& dec) {
+  if (!dec.GetBool()) {
+    return nullptr;
+  }
+  DecisionCert cert;
+  if (!DecodeNested(dec, &cert)) {
+    return nullptr;
+  }
+  return std::make_shared<const DecisionCert>(std::move(cert));
+}
+
+void EncodeShardVotes(Encoder& enc,
+                      const std::map<ShardId, std::vector<SignedVote>>& shard_votes) {
+  enc.PutVarint(shard_votes.size());
+  for (const auto& [shard, votes] : shard_votes) {
+    enc.PutU32(shard);
+    enc.PutVarint(votes.size());
+    for (const SignedVote& v : votes) {
+      v.EncodeTo(enc);
+    }
+  }
+}
+
+std::map<ShardId, std::vector<SignedVote>> DecodeShardVotes(Decoder& dec) {
+  std::map<ShardId, std::vector<SignedVote>> out;
+  const uint64_t nshards = dec.GetVarint();
+  if (!dec.CheckCount(nshards)) {
+    return out;
+  }
+  bool have_prev = false;
+  ShardId prev_shard = 0;
+  for (uint64_t i = 0; i < nshards && dec.ok(); ++i) {
+    const ShardId shard = dec.GetU32();
+    // The encoder emits std::map order; require strictly ascending shard ids so
+    // duplicate or reordered entries (which would re-encode differently) are
+    // rejected instead of silently normalized.
+    if (have_prev && shard <= prev_shard) {
+      dec.Fail();
+      return out;
+    }
+    have_prev = true;
+    prev_shard = shard;
+    const uint64_t nvotes = dec.GetVarint();
+    if (!dec.CheckCount(nvotes)) {
+      return out;
+    }
+    std::vector<SignedVote>& votes = out[shard];
+    votes.resize(nvotes);
+    for (SignedVote& v : votes) {
+      v = SignedVote::DecodeFrom(dec);
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Signed sub-structures. Each digest hashes a domain tag plus exactly the canonical
+// bytes EncodeSignedTo writes to the wire, so signatures cover real bytes.
+// ---------------------------------------------------------------------------
+
+void SignedVote::EncodeSignedTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(vote));
+  enc.PutU32(replica);
+}
+
+void SignedVote::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  cert.EncodeTo(enc);
+}
+
+SignedVote SignedVote::DecodeFrom(Decoder& dec) {
+  SignedVote v;
+  v.txn = dec.GetDigest();
+  v.vote = GetVote(dec);
+  v.replica = dec.GetU32();
+  v.cert = BatchCert::DecodeFrom(dec);
+  return v;
+}
 
 Hash256 SignedVote::Digest() const {
   Encoder enc;
   enc.PutU8(kDomVote);
-  enc.PutDigest(txn);
-  enc.PutU8(static_cast<uint8_t>(vote));
-  enc.PutU32(replica);
+  EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
 }
 
-Hash256 SignedSt2Ack::Digest() const {
-  Encoder enc;
-  enc.PutU8(kDomSt2Ack);
+void SignedSt2Ack::EncodeSignedTo(Encoder& enc) const {
   enc.PutDigest(txn);
   enc.PutU8(static_cast<uint8_t>(decision));
   enc.PutU32(view_decision);
   enc.PutU32(view_current);
   enc.PutU32(replica);
+}
+
+void SignedSt2Ack::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  cert.EncodeTo(enc);
+}
+
+SignedSt2Ack SignedSt2Ack::DecodeFrom(Decoder& dec) {
+  SignedSt2Ack ack;
+  ack.txn = dec.GetDigest();
+  ack.decision = GetDecision(dec);
+  ack.view_decision = dec.GetU32();
+  ack.view_current = dec.GetU32();
+  ack.replica = dec.GetU32();
+  ack.cert = BatchCert::DecodeFrom(dec);
+  return ack;
+}
+
+Hash256 SignedSt2Ack::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomSt2Ack);
+  EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
 }
 
-Hash256 ReadReplyMsg::Digest() const {
-  Encoder enc;
-  enc.PutU8(kDomReadReply);
-  enc.PutU64(req_id);
-  enc.PutString(key);
+void ElectFbData::EncodeSignedTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(view);
   enc.PutU32(replica);
-  enc.PutU8(has_committed ? 1 : 0);
-  if (has_committed) {
-    enc.PutTimestamp(committed_ts);
-    enc.PutString(committed_value);
-    enc.PutDigest(committed_writer);
-  }
-  enc.PutU8(has_prepared ? 1 : 0);
-  if (has_prepared) {
-    enc.PutTimestamp(prepared_ts);
-    enc.PutString(prepared_value);
-    if (prepared_txn) {
-      enc.PutDigest(prepared_txn->id);
-    }
-  }
-  return Sha256::Digest(enc.bytes());
+}
+
+void ElectFbData::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  sig.EncodeTo(enc);
+}
+
+ElectFbData ElectFbData::DecodeFrom(Decoder& dec) {
+  ElectFbData e;
+  e.txn = dec.GetDigest();
+  e.decision = GetDecision(dec);
+  e.view = dec.GetU32();
+  e.replica = dec.GetU32();
+  e.sig = Signature::DecodeFrom(dec);
+  return e;
 }
 
 Hash256 ElectFbData::Digest() const {
   Encoder enc;
   enc.PutU8(kDomElect);
+  EncodeSignedTo(enc);
+  return Sha256::Digest(enc.bytes());
+}
+
+// ---------------------------------------------------------------------------
+// DecisionCert. All variant fields are encoded unconditionally (empty collections
+// cost one count byte), so decoding never depends on `kind`.
+// ---------------------------------------------------------------------------
+
+void DecisionCert::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU8(static_cast<uint8_t>(kind));
+  EncodeShardVotes(enc, shard_votes);
+  EncodeOptionalTxn(enc, conflict_txn);
+  EncodeOptionalCert(enc, conflict_cert);
+  enc.PutVarint(st2_acks.size());
+  for (const SignedSt2Ack& ack : st2_acks) {
+    ack.EncodeTo(enc);
+  }
+  enc.PutU32(log_shard);
+}
+
+DecisionCert DecisionCert::DecodeFrom(Decoder& dec) {
+  DecisionCert cert;
+  cert.txn = dec.GetDigest();
+  cert.decision = GetDecision(dec);
+  const uint8_t kind = dec.GetU8();
+  if (kind > static_cast<uint8_t>(Kind::kSlowLogged)) {
+    dec.Fail();
+    return cert;
+  }
+  cert.kind = static_cast<Kind>(kind);
+  cert.shard_votes = DecodeShardVotes(dec);
+  cert.conflict_txn = DecodeOptionalTxn(dec);
+  cert.conflict_cert = DecodeOptionalCert(dec);
+  const uint64_t nacks = dec.GetVarint();
+  if (!dec.CheckCount(nacks)) {
+    return cert;
+  }
+  cert.st2_acks.resize(nacks);
+  for (SignedSt2Ack& ack : cert.st2_acks) {
+    ack = SignedSt2Ack::DecodeFrom(dec);
+  }
+  cert.log_shard = dec.GetU32();
+  return cert;
+}
+
+uint64_t DecisionCert::WireSize() const {
+  Encoder enc(/*counting=*/true);
+  EncodeTo(enc);
+  return enc.size();
+}
+
+// ---------------------------------------------------------------------------
+// Execution phase.
+// ---------------------------------------------------------------------------
+
+void ReadMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutString(key);
+  enc.PutTimestamp(ts);
+}
+
+ReadMsg ReadMsg::DecodeFrom(Decoder& dec) {
+  ReadMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.key = dec.GetString();
+  msg.ts = dec.GetTimestamp();
+  return msg;
+}
+
+void ReadReplyMsg::EncodeSignedTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutString(key);
+  enc.PutU32(replica);
+  enc.PutBool(has_committed);
+  if (has_committed) {
+    enc.PutTimestamp(committed_ts);
+    enc.PutString(committed_value);
+    enc.PutDigest(committed_writer);
+  }
+  enc.PutBool(has_prepared);
+  if (has_prepared) {
+    enc.PutTimestamp(prepared_ts);
+    enc.PutString(prepared_value);
+    // The prepared writer's identity is part of the signed bytes; the full body below
+    // is an unsigned attachment that must match it.
+    enc.PutDigest(prepared_txn != nullptr ? prepared_txn->id : TxnDigest{});
+  }
+}
+
+void ReadReplyMsg::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  EncodeOptionalCert(enc, committed_cert);
+  EncodeOptionalTxn(enc, committed_txn);
+  EncodeOptionalTxn(enc, prepared_txn);
+  batch_cert.EncodeTo(enc);
+}
+
+ReadReplyMsg ReadReplyMsg::DecodeFrom(Decoder& dec) {
+  ReadReplyMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.key = dec.GetString();
+  msg.replica = dec.GetU32();
+  msg.has_committed = dec.GetBool();
+  if (msg.has_committed) {
+    msg.committed_ts = dec.GetTimestamp();
+    msg.committed_value = dec.GetString();
+    msg.committed_writer = dec.GetDigest();
+  }
+  msg.has_prepared = dec.GetBool();
+  TxnDigest prepared_writer{};
+  if (msg.has_prepared) {
+    msg.prepared_ts = dec.GetTimestamp();
+    msg.prepared_value = dec.GetString();
+    prepared_writer = dec.GetDigest();
+  }
+  msg.committed_cert = DecodeOptionalCert(dec);
+  msg.committed_txn = DecodeOptionalTxn(dec);
+  msg.prepared_txn = DecodeOptionalTxn(dec);
+  msg.batch_cert = BatchCert::DecodeFrom(dec);
+  // The signed writer digest and the attached body must agree, or re-encoding would
+  // silently normalize the mismatch.
+  const TxnDigest attached =
+      msg.prepared_txn != nullptr ? msg.prepared_txn->id : TxnDigest{};
+  if (msg.has_prepared && attached != prepared_writer) {
+    dec.Fail();
+  }
+  return msg;
+}
+
+Hash256 ReadReplyMsg::Digest() const {
+  Encoder enc;
+  enc.PutU8(kDomReadReply);
+  EncodeSignedTo(enc);
+  return Sha256::Digest(enc.bytes());
+}
+
+void AbortReadMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutTimestamp(ts);
+  enc.PutVarint(keys.size());
+  for (const Key& key : keys) {
+    enc.PutString(key);
+  }
+}
+
+AbortReadMsg AbortReadMsg::DecodeFrom(Decoder& dec) {
+  AbortReadMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.ts = dec.GetTimestamp();
+  const uint64_t nkeys = dec.GetVarint();
+  if (!dec.CheckCount(nkeys)) {
+    return msg;
+  }
+  msg.keys.resize(nkeys);
+  for (Key& key : msg.keys) {
+    key = dec.GetString();
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Prepare phase.
+// ---------------------------------------------------------------------------
+
+void St1Msg::EncodeTo(Encoder& enc) const {
+  EncodeOptionalTxn(enc, txn);
+  enc.PutBool(is_recovery);
+}
+
+St1Msg St1Msg::DecodeFrom(Decoder& dec) {
+  St1Msg msg;
+  msg.txn = DecodeOptionalTxn(dec);
+  msg.is_recovery = dec.GetBool();
+  return msg;
+}
+
+void St1ReplyMsg::EncodeTo(Encoder& enc) const {
+  vote.EncodeTo(enc);
+  EncodeOptionalTxn(enc, conflict_txn);
+  EncodeOptionalCert(enc, conflict_cert);
+}
+
+St1ReplyMsg St1ReplyMsg::DecodeFrom(Decoder& dec) {
+  St1ReplyMsg msg;
+  msg.vote = SignedVote::DecodeFrom(dec);
+  msg.conflict_txn = DecodeOptionalTxn(dec);
+  msg.conflict_cert = DecodeOptionalCert(dec);
+  return msg;
+}
+
+void St2Msg::EncodeTo(Encoder& enc) const {
   enc.PutDigest(txn);
   enc.PutU8(static_cast<uint8_t>(decision));
   enc.PutU32(view);
-  enc.PutU32(replica);
-  return Sha256::Digest(enc.bytes());
+  EncodeShardVotes(enc, shard_votes);
+  EncodeOptionalTxn(enc, txn_body);
+  enc.PutBool(forced);
+}
+
+St2Msg St2Msg::DecodeFrom(Decoder& dec) {
+  St2Msg msg;
+  msg.txn = dec.GetDigest();
+  msg.decision = GetDecision(dec);
+  msg.view = dec.GetU32();
+  msg.shard_votes = DecodeShardVotes(dec);
+  msg.txn_body = DecodeOptionalTxn(dec);
+  msg.forced = dec.GetBool();
+  return msg;
+}
+
+void St2ReplyMsg::EncodeTo(Encoder& enc) const { ack.EncodeTo(enc); }
+
+St2ReplyMsg St2ReplyMsg::DecodeFrom(Decoder& dec) {
+  St2ReplyMsg msg;
+  msg.ack = SignedSt2Ack::DecodeFrom(dec);
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Writeback / fetch.
+// ---------------------------------------------------------------------------
+
+void WritebackMsg::EncodeTo(Encoder& enc) const {
+  EncodeOptionalCert(enc, cert);
+  EncodeOptionalTxn(enc, txn_body);
+}
+
+WritebackMsg WritebackMsg::DecodeFrom(Decoder& dec) {
+  WritebackMsg msg;
+  msg.cert = DecodeOptionalCert(dec);
+  msg.txn_body = DecodeOptionalTxn(dec);
+  return msg;
+}
+
+void FetchMsg::EncodeTo(Encoder& enc) const { enc.PutDigest(digest); }
+
+FetchMsg FetchMsg::DecodeFrom(Decoder& dec) {
+  FetchMsg msg;
+  msg.digest = dec.GetDigest();
+  return msg;
+}
+
+void FetchReplyMsg::EncodeTo(Encoder& enc) const { EncodeOptionalTxn(enc, txn); }
+
+FetchReplyMsg FetchReplyMsg::DecodeFrom(Decoder& dec) {
+  FetchReplyMsg msg;
+  msg.txn = DecodeOptionalTxn(dec);
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// Fallback.
+// ---------------------------------------------------------------------------
+
+void InvokeFbMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutVarint(views.size());
+  for (const SignedSt2Ack& ack : views) {
+    ack.EncodeTo(enc);
+  }
+  EncodeOptionalTxn(enc, txn_body);
+}
+
+InvokeFbMsg InvokeFbMsg::DecodeFrom(Decoder& dec) {
+  InvokeFbMsg msg;
+  msg.txn = dec.GetDigest();
+  const uint64_t nviews = dec.GetVarint();
+  if (!dec.CheckCount(nviews)) {
+    return msg;
+  }
+  msg.views.resize(nviews);
+  for (SignedSt2Ack& ack : msg.views) {
+    ack = SignedSt2Ack::DecodeFrom(dec);
+  }
+  msg.txn_body = DecodeOptionalTxn(dec);
+  return msg;
+}
+
+void ElectFbMsg::EncodeTo(Encoder& enc) const { elect.EncodeTo(enc); }
+
+ElectFbMsg ElectFbMsg::DecodeFrom(Decoder& dec) {
+  ElectFbMsg msg;
+  msg.elect = ElectFbData::DecodeFrom(dec);
+  return msg;
+}
+
+void DecFbMsg::EncodeSignedTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(view);
+  enc.PutU32(leader);
+}
+
+void DecFbMsg::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  leader_sig.EncodeTo(enc);
+  enc.PutVarint(proof.size());
+  for (const ElectFbData& e : proof) {
+    e.EncodeTo(enc);
+  }
+}
+
+DecFbMsg DecFbMsg::DecodeFrom(Decoder& dec) {
+  DecFbMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.decision = GetDecision(dec);
+  msg.view = dec.GetU32();
+  msg.leader = dec.GetU32();
+  msg.leader_sig = Signature::DecodeFrom(dec);
+  const uint64_t nproof = dec.GetVarint();
+  if (!dec.CheckCount(nproof)) {
+    return msg;
+  }
+  msg.proof.resize(nproof);
+  for (ElectFbData& e : msg.proof) {
+    e = ElectFbData::DecodeFrom(dec);
+  }
+  return msg;
 }
 
 Hash256 DecFbMsg::Digest() const {
   Encoder enc;
   enc.PutU8(kDomDecFb);
-  enc.PutDigest(txn);
-  enc.PutU8(static_cast<uint8_t>(decision));
-  enc.PutU32(view);
-  enc.PutU32(leader);
+  EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
 }
 
-uint64_t DecisionCert::WireSize() const {
-  uint64_t size = 32 + 2;
-  for (const auto& [shard, votes] : shard_votes) {
-    (void)shard;
-    for (const auto& v : votes) {
-      size += 40 + v.cert.WireSize();
-    }
-  }
-  if (conflict_txn) {
-    size += conflict_txn->WireSize();
-  }
-  if (conflict_cert) {
-    size += conflict_cert->WireSize();
-  }
-  for (const auto& ack : st2_acks) {
-    size += 48 + ack.cert.WireSize();
-  }
-  return size;
-}
+// ---------------------------------------------------------------------------
+// Codec registration. Static-initialized with this translation unit, which every
+// Basil deployment links.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[maybe_unused]] const bool kBasilCodecsRegistered = [] {
+  RegisterMsgCodecFor<ReadMsg>(kBasilRead);
+  RegisterMsgCodecFor<ReadReplyMsg>(kBasilReadReply);
+  RegisterMsgCodecFor<St1Msg>(kBasilSt1);
+  RegisterMsgCodecFor<St1ReplyMsg>(kBasilSt1Reply);
+  RegisterMsgCodecFor<St2Msg>(kBasilSt2);
+  RegisterMsgCodecFor<St2ReplyMsg>(kBasilSt2Reply);
+  RegisterMsgCodecFor<WritebackMsg>(kBasilWriteback);
+  RegisterMsgCodecFor<AbortReadMsg>(kBasilAbortRead);
+  RegisterMsgCodecFor<InvokeFbMsg>(kBasilInvokeFb);
+  RegisterMsgCodecFor<ElectFbMsg>(kBasilElectFb);
+  RegisterMsgCodecFor<DecFbMsg>(kBasilDecFb);
+  RegisterMsgCodecFor<FetchMsg>(kBasilFetch);
+  RegisterMsgCodecFor<FetchReplyMsg>(kBasilFetchReply);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace basil

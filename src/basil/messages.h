@@ -1,6 +1,11 @@
 // Wire messages of the Basil protocol (§4–§5). Message kinds occupy the range
 // [100, 199]. Every signed reply goes through the reply-batching scheme (§4.4) and thus
 // carries a BatchCert; standalone signatures (fallback election) carry a Signature.
+//
+// Every message has a canonical byte encoding (EncodeTo/DecodeFrom, specified in
+// docs/WIRE_FORMAT.md) registered with the sim-layer codec registry (RegisterMsgCodec
+// in src/sim/network.h): wire sizes and the signed digests below are derived from
+// those bytes, never estimated.
 #ifndef BASIL_SRC_BASIL_MESSAGES_H_
 #define BASIL_SRC_BASIL_MESSAGES_H_
 
@@ -40,6 +45,12 @@ struct SignedVote {
   NodeId replica = kInvalidNode;
   BatchCert cert;
 
+  // The replica's signature (via `cert`) covers the canonical bytes written by
+  // EncodeSignedTo; EncodeTo appends the unsigned batch certificate.
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static SignedVote DecodeFrom(Decoder& dec);
+
   Hash256 Digest() const;
   bool operator==(const SignedVote& o) const {
     return txn == o.txn && vote == o.vote && replica == o.replica;
@@ -54,6 +65,10 @@ struct SignedSt2Ack {
   uint32_t view_current = 0;
   NodeId replica = kInvalidNode;
   BatchCert cert;
+
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static SignedSt2Ack DecodeFrom(Decoder& dec);
 
   Hash256 Digest() const;
 };
@@ -83,6 +98,10 @@ struct DecisionCert {
   std::vector<SignedSt2Ack> st2_acks;  // kSlowLogged.
   ShardId log_shard = 0;               // kSlowLogged.
 
+  // Canonical encoding; the conflict certificate nests recursively (depth-limited by
+  // the decoder). Exact wire bytes, derived from the encoding.
+  void EncodeTo(Encoder& enc) const;
+  static DecisionCert DecodeFrom(Decoder& dec);
   uint64_t WireSize() const;
 };
 
@@ -94,6 +113,8 @@ struct ReadMsg : MsgBase {
   Timestamp ts;  // Reader's transaction timestamp.
 
   ReadMsg() { kind = kBasilRead; }
+  void EncodeTo(Encoder& enc) const;
+  static ReadMsg DecodeFrom(Decoder& dec);
 };
 
 struct ReadReplyMsg : MsgBase {
@@ -116,6 +137,12 @@ struct ReadReplyMsg : MsgBase {
   BatchCert batch_cert;
 
   ReadReplyMsg() { kind = kBasilReadReply; }
+  // The signed part (everything up to and including the prepared writer's digest) is
+  // a byte-for-byte prefix of the wire encoding; certificates and transaction bodies
+  // are unsigned attachments validated on their own.
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static ReadReplyMsg DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 
@@ -125,6 +152,8 @@ struct AbortReadMsg : MsgBase {
   std::vector<Key> keys;  // Keys whose RTS should be released.
 
   AbortReadMsg() { kind = kBasilAbortRead; }
+  void EncodeTo(Encoder& enc) const;
+  static AbortReadMsg DecodeFrom(Decoder& dec);
 };
 
 // ---- Prepare phase ----
@@ -134,6 +163,8 @@ struct St1Msg : MsgBase {
   bool is_recovery = false;  // RP message of the fallback protocol (§5).
 
   St1Msg() { kind = kBasilSt1; }
+  void EncodeTo(Encoder& enc) const;
+  static St1Msg DecodeFrom(Decoder& dec);
 };
 
 struct St1ReplyMsg : MsgBase {
@@ -143,6 +174,8 @@ struct St1ReplyMsg : MsgBase {
   DecisionCertPtr conflict_cert;
 
   St1ReplyMsg() { kind = kBasilSt1Reply; }
+  void EncodeTo(Encoder& enc) const;
+  static St1ReplyMsg DecodeFrom(Decoder& dec);
 };
 
 // Client's tentative 2PC decision plus justification (vote tallies from every shard).
@@ -157,12 +190,16 @@ struct St2Msg : MsgBase {
   bool forced = false;
 
   St2Msg() { kind = kBasilSt2; }
+  void EncodeTo(Encoder& enc) const;
+  static St2Msg DecodeFrom(Decoder& dec);
 };
 
 struct St2ReplyMsg : MsgBase {
   SignedSt2Ack ack;
 
   St2ReplyMsg() { kind = kBasilSt2Reply; }
+  void EncodeTo(Encoder& enc) const;
+  static St2ReplyMsg DecodeFrom(Decoder& dec);
 };
 
 // ---- Writeback / recovery replies ----
@@ -172,6 +209,8 @@ struct WritebackMsg : MsgBase {
   TxnPtr txn_body;
 
   WritebackMsg() { kind = kBasilWriteback; }
+  void EncodeTo(Encoder& enc) const;
+  static WritebackMsg DecodeFrom(Decoder& dec);
 };
 
 // Transaction-body retrieval. The reply is self-certifying: the body must hash to the
@@ -180,12 +219,16 @@ struct FetchMsg : MsgBase {
   TxnDigest digest{};
 
   FetchMsg() { kind = kBasilFetch; }
+  void EncodeTo(Encoder& enc) const;
+  static FetchMsg DecodeFrom(Decoder& dec);
 };
 
 struct FetchReplyMsg : MsgBase {
   TxnPtr txn;
 
   FetchReplyMsg() { kind = kBasilFetchReply; }
+  void EncodeTo(Encoder& enc) const;
+  static FetchReplyMsg DecodeFrom(Decoder& dec);
 };
 
 // ---- Fallback (divergent case, §5) ----
@@ -200,6 +243,8 @@ struct InvokeFbMsg : MsgBase {
   TxnPtr txn_body;
 
   InvokeFbMsg() { kind = kBasilInvokeFb; }
+  void EncodeTo(Encoder& enc) const;
+  static InvokeFbMsg DecodeFrom(Decoder& dec);
 };
 
 struct ElectFbData {
@@ -209,6 +254,9 @@ struct ElectFbData {
   NodeId replica = kInvalidNode;
   Signature sig;
 
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static ElectFbData DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 
@@ -216,6 +264,8 @@ struct ElectFbMsg : MsgBase {
   ElectFbData elect;
 
   ElectFbMsg() { kind = kBasilElectFb; }
+  void EncodeTo(Encoder& enc) const;
+  static ElectFbMsg DecodeFrom(Decoder& dec);
 };
 
 struct DecFbMsg : MsgBase {
@@ -227,6 +277,9 @@ struct DecFbMsg : MsgBase {
   std::vector<ElectFbData> proof;  // 4f+1 ELECT FB messages with matching views.
 
   DecFbMsg() { kind = kBasilDecFb; }
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static DecFbMsg DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 

@@ -131,15 +131,11 @@ void BasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
     }
   }
 
-  reply->wire_size = 64 + reply->key.size() + reply->committed_value.size() +
-                     reply->prepared_value.size() +
-                     (reply->committed_cert ? reply->committed_cert->WireSize() : 0) +
-                     (reply->prepared_txn ? reply->prepared_txn->WireSize() : 0);
   const Hash256 digest = reply->Digest();
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<ReadReplyMsg*>(m.get());
-    r->wire_size += cert.WireSize();
     r->batch_cert = std::move(cert);
+    r->wire_size = WireSizeOf(*r);
   });
   counters_.Inc("reads_served");
 }
@@ -435,13 +431,11 @@ void BasilReplica::ReplyVote(NodeId dst, TxnState& s) {
   reply->vote.replica = id();
   reply->conflict_txn = s.conflict_txn;
   reply->conflict_cert = s.conflict_cert;
-  reply->wire_size = 96 + (s.conflict_cert ? s.conflict_cert->WireSize() : 0) +
-                     (s.conflict_txn ? s.conflict_txn->WireSize() : 0);
   const Hash256 digest = reply->vote.Digest();
   SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<St1ReplyMsg*>(m.get());
-    r->wire_size += cert.WireSize();
     r->vote.cert = std::move(cert);
+    r->wire_size = WireSizeOf(*r);
   });
 }
 
@@ -455,12 +449,11 @@ void BasilReplica::ReplySt2Ack(NodeId dst, TxnState& s) {
   reply->ack.view_decision = s.view_decision;
   reply->ack.view_current = s.view_current;
   reply->ack.replica = id();
-  reply->wire_size = 112;
   const Hash256 digest = reply->ack.Digest();
   SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<St2ReplyMsg*>(m.get());
-    r->wire_size += cert.WireSize();
     r->ack.cert = std::move(cert);
+    r->wire_size = WireSizeOf(*r);
   });
 }
 
@@ -471,8 +464,7 @@ void BasilReplica::ReplyCert(NodeId dst, TxnState& s) {
   auto reply = std::make_shared<WritebackMsg>();
   reply->cert = s.final_cert;
   reply->txn_body = s.txn;
-  reply->wire_size = 48 + s.final_cert->WireSize() +
-                     (s.txn != nullptr ? s.txn->WireSize() : 0);
+  reply->wire_size = WireSizeOf(*reply);
   Send(dst, std::move(reply));
 }
 
@@ -689,7 +681,7 @@ void BasilReplica::OnInvokeFb(NodeId src, const InvokeFbMsg& msg) {
     meter().ChargeSign();
   }
   elect->elect.sig = keys_->Sign(id(), elect->elect.Digest());
-  elect->wire_size = 112;
+  elect->wire_size = WireSizeOf(*elect);
   const ReplicaId leader = FallbackLeaderIndex(msg.txn, s.view_current, cfg_->n());
   Send(topo_->ReplicaNode(shard_, leader), std::move(elect));
 }
@@ -742,7 +734,7 @@ void BasilReplica::OnElectFb(NodeId src, const ElectFbMsg& msg) {
   }
   dfb->leader_sig = keys_->Sign(id(), dfb->Digest());
   dfb->proof = std::move(proof);
-  dfb->wire_size = 128 + dfb->proof.size() * 112;
+  dfb->wire_size = WireSizeOf(*dfb);
   const MsgPtr out = dfb;
   SendToAll(topo_->ShardReplicas(shard_), out);
 }
@@ -806,7 +798,7 @@ void BasilReplica::OnFetch(NodeId src, const FetchMsg& msg) {
   }
   auto reply = std::make_shared<FetchReplyMsg>();
   reply->txn = s->txn;
-  reply->wire_size = 32 + s->txn->WireSize();
+  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
 }
 

@@ -29,6 +29,10 @@ struct CostModel {
 struct NetConfig {
   uint64_t one_way_ns = 75'000;  // 0.15 ms ping.
   uint64_t jitter_ns = 10'000;
+  // Round-trips every sent message through its registered codec (encode -> decode ->
+  // re-encode) and aborts on any byte mismatch or wire_size drift. Enabled by tests
+  // to pin the canonical encoding; requires a codec for every message kind sent.
+  bool codec_check = false;
 };
 
 struct SimConfig {

@@ -2,31 +2,206 @@
 
 namespace basil {
 
+void Encoder::PutU16(uint16_t v) {
+  if (counting_) {
+    count_ += 2;
+    return;
+  }
+  for (int i = 0; i < 2; ++i) {
+    buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
 void Encoder::PutU32(uint32_t v) {
+  if (counting_) {
+    count_ += 4;
+    return;
+  }
   for (int i = 0; i < 4; ++i) {
     buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
 
 void Encoder::PutU64(uint64_t v) {
+  if (counting_) {
+    count_ += 8;
+    return;
+  }
   for (int i = 0; i < 8; ++i) {
     buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
   }
 }
 
+void Encoder::PatchU32(size_t pos, uint32_t v) {
+  if (counting_) {
+    return;
+  }
+  for (int i = 0; i < 4; ++i) {
+    buf_.at(pos + i) = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+void Encoder::PutVarint(uint64_t v) {
+  if (counting_) {
+    do {
+      ++count_;
+      v >>= 7;
+    } while (v != 0);
+    return;
+  }
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
 void Encoder::PutBytes(const void* data, size_t len) {
+  if (counting_) {
+    count_ += len;
+    return;
+  }
   const auto* p = static_cast<const uint8_t*>(data);
   buf_.insert(buf_.end(), p, p + len);
 }
 
+void Encoder::Append(const Encoder& sub) {
+  if (counting_) {
+    count_ += sub.size();
+    return;
+  }
+  buf_.insert(buf_.end(), sub.buf_.begin(), sub.buf_.end());
+}
+
 void Encoder::PutString(const std::string& s) {
-  PutU32(static_cast<uint32_t>(s.size()));
+  PutVarint(s.size());
   PutBytes(s.data(), s.size());
 }
 
 void Encoder::PutTimestamp(const Timestamp& ts) {
   PutU64(ts.time);
   PutU64(ts.client_id);
+}
+
+uint8_t Decoder::GetU8() {
+  if (!Need(1)) {
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+uint16_t Decoder::GetU16() {
+  if (!Need(2)) {
+    return 0;
+  }
+  uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<uint16_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint32_t Decoder::GetU32() {
+  if (!Need(4)) {
+    return 0;
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Decoder::GetU64() {
+  if (!Need(8)) {
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t Decoder::GetVarint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (!Need(1)) {
+      return 0;
+    }
+    const uint8_t byte = data_[pos_++];
+    // Final varint byte (shift 63) may only contribute one bit.
+    if (shift == 63 && (byte & 0x7e) != 0) {
+      Fail();
+      return 0;
+    }
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Canonical form: a multi-byte varint must not end in a zero group.
+      if (byte == 0 && shift > 0) {
+        Fail();
+        return 0;
+      }
+      return v;
+    }
+  }
+  Fail();
+  return 0;
+}
+
+bool Decoder::GetBool() {
+  const uint8_t v = GetU8();
+  if (v > 1) {
+    Fail();
+    return false;
+  }
+  return v == 1;
+}
+
+std::string Decoder::GetString() {
+  const uint64_t len = GetVarint();
+  if (!Need(len)) {
+    return {};
+  }
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+Timestamp Decoder::GetTimestamp() {
+  Timestamp ts;
+  ts.time = GetU64();
+  ts.client_id = GetU64();
+  return ts;
+}
+
+TxnDigest Decoder::GetDigest() {
+  TxnDigest d{};
+  GetBytes(d.data(), d.size());
+  return d;
+}
+
+bool Decoder::GetBytes(void* out, size_t len) {
+  if (!Need(len)) {
+    return false;
+  }
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return true;
+}
+
+bool Decoder::ReadNested(Decoder* sub) {
+  const uint64_t len = GetVarint();
+  if (!Need(len)) {
+    return false;
+  }
+  if (depth_ + 1 > kMaxNestingDepth) {
+    return Fail();
+  }
+  *sub = Decoder(data_ + pos_, len);
+  sub->depth_ = depth_ + 1;
+  pos_ += len;
+  return true;
 }
 
 std::string ToHex(const uint8_t* data, size_t len) {

@@ -1,11 +1,15 @@
-// Canonical byte encoding used for (a) computing message/transaction digests that are
-// signed, and (b) estimating wire sizes for the simulator's cost model. The encoding is
-// deterministic: two semantically equal values always encode to the same bytes, which is
-// what makes digests usable as equivocation-proof identifiers.
+// Canonical byte encoding for every protocol message: the same bytes are used to (a)
+// compute the digests that get signed, (b) derive wire sizes for the simulator's cost
+// model, and (c) round-trip messages through the network's codec-check mode. The
+// encoding is deterministic — two semantically equal values always encode to the same
+// bytes — which is what makes digests usable as equivocation-proof identifiers, and it
+// is fully specified in docs/WIRE_FORMAT.md (endianness, varints, framing, and which
+// fields each signature covers).
 #ifndef BASIL_SRC_COMMON_SERDE_H_
 #define BASIL_SRC_COMMON_SERDE_H_
 
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -15,20 +19,140 @@ namespace basil {
 
 class Encoder {
  public:
-  void PutU8(uint8_t v) { buf_.push_back(v); }
+  // A counting encoder produces no bytes, only the exact size the encoding would
+  // have. WireSize derivation runs on every message send, so it must not pay for
+  // buffering; bytes() is only meaningful on a buffering encoder.
+  Encoder() = default;
+  explicit Encoder(bool counting) : counting_(counting) {}
+
+  void PutU8(uint8_t v) {
+    if (counting_) {
+      ++count_;
+    } else {
+      buf_.push_back(v);
+    }
+  }
+  void PutU16(uint16_t v);
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
+  // Unsigned LEB128, at most 10 bytes. Used for element counts and length prefixes.
+  void PutVarint(uint64_t v);
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
   void PutBytes(const void* data, size_t len);
+  // Varint length prefix + raw bytes.
   void PutString(const std::string& s);
   void PutTimestamp(const Timestamp& ts);
   void PutDigest(const TxnDigest& d) { PutBytes(d.data(), d.size()); }
 
+  // Overwrites 4 already-written bytes at `pos` — for fixed-width length fields whose
+  // value is only known after the body is encoded (message frames). No-op when
+  // counting (the placeholder bytes were already counted).
+  void PatchU32(size_t pos, uint32_t v);
+
+  // Appends another encoder's output (used by nested-message framing).
+  void Append(const Encoder& sub);
+
+  bool counting() const { return counting_; }
   const std::vector<uint8_t>& bytes() const { return buf_; }
-  size_t size() const { return buf_.size(); }
+  size_t size() const { return counting_ ? count_ : buf_.size(); }
 
  private:
   std::vector<uint8_t> buf_;
+  size_t count_ = 0;
+  bool counting_ = false;
 };
+
+// Bounds-checked reader over a canonical encoding. Decoding never throws and never
+// reads out of bounds: any malformed input (truncation, over-long varint, non-boolean
+// byte where a bool is expected, over-deep nesting) trips the error state, after which
+// every getter returns a zero value and ok() is false. Callers check ok() once at the
+// end instead of after every field.
+class Decoder {
+ public:
+  Decoder() : data_(nullptr), len_(0) {}
+  Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
+  explicit Decoder(const std::vector<uint8_t>& buf) : Decoder(buf.data(), buf.size()) {}
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == len_; }
+  size_t remaining() const { return len_ - pos_; }
+
+  // Marks the decode as failed. Returns false so call sites can `return dec.Fail();`.
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  uint8_t GetU8();
+  uint16_t GetU16();
+  uint32_t GetU32();
+  uint64_t GetU64();
+  // Rejects over-long (non-canonical) encodings so decode(encode(x)) is the identity
+  // on bytes, not just on values.
+  uint64_t GetVarint();
+  bool GetBool();  // Rejects bytes other than 0 and 1.
+  std::string GetString();
+  Timestamp GetTimestamp();
+  TxnDigest GetDigest();
+  bool GetBytes(void* out, size_t len);
+
+  // Reads a varint length prefix and hands back a sub-decoder over exactly that many
+  // bytes (nested-message framing). The parent advances past the slice. Nesting deeper
+  // than kMaxNestingDepth fails — a defense against maliciously recursive input.
+  bool ReadNested(Decoder* sub);
+
+  // Upper bound for a following element count: each element encodes to >= 1 byte, so a
+  // count exceeding remaining() proves corruption without attempting any allocation.
+  bool CheckCount(uint64_t count) {
+    if (!ok_ || count > remaining()) {
+      return Fail();
+    }
+    return true;
+  }
+
+  static constexpr int kMaxNestingDepth = 32;
+
+ private:
+  bool Need(size_t n) {
+    if (!ok_ || n > remaining()) {
+      return Fail();
+    }
+    return true;
+  }
+
+  const uint8_t* data_;
+  size_t len_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+};
+
+// Encodes `v` (anything with EncodeTo) as a varint-length-prefixed nested message.
+// The sub-encoder inherits counting mode, so size derivation never buffers.
+template <typename T>
+void EncodeNested(Encoder& enc, const T& v) {
+  Encoder sub(enc.counting());
+  v.EncodeTo(sub);
+  enc.PutVarint(sub.size());
+  enc.Append(sub);
+}
+
+// Decodes a nested message written by EncodeNested. The nested body must be consumed
+// exactly — trailing bytes inside the frame are treated as corruption.
+template <typename T>
+bool DecodeNested(Decoder& dec, T* out) {
+  Decoder sub;
+  if (!dec.ReadNested(&sub)) {
+    return false;
+  }
+  *out = T::DecodeFrom(sub);
+  if (!sub.ok() || !sub.AtEnd()) {
+    return dec.Fail();
+  }
+  return true;
+}
+
+std::string ToHex(const uint8_t* data, size_t len);
 
 }  // namespace basil
 

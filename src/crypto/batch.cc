@@ -2,6 +2,26 @@
 
 namespace basil {
 
+void BatchCert::EncodeTo(Encoder& enc) const {
+  enc.PutBytes(root.data(), root.size());
+  root_sig.EncodeTo(enc);
+  proof.EncodeTo(enc);
+}
+
+BatchCert BatchCert::DecodeFrom(Decoder& dec) {
+  BatchCert cert;
+  dec.GetBytes(cert.root.data(), cert.root.size());
+  cert.root_sig = Signature::DecodeFrom(dec);
+  cert.proof = MerkleProof::DecodeFrom(dec);
+  return cert;
+}
+
+uint64_t BatchCert::WireSize() const {
+  Encoder enc(/*counting=*/true);
+  EncodeTo(enc);
+  return enc.size();
+}
+
 std::vector<BatchCert> SealBatch(const std::vector<Hash256>& reply_digests,
                                  const KeyRegistry& keys, NodeId signer,
                                  CostMeter* meter) {

@@ -22,8 +22,12 @@ struct BatchCert {
   Signature root_sig;
   MerkleProof proof;
 
-  // Extra wire bytes this certificate adds to a reply (root + sig + path).
-  uint64_t WireSize() const { return 32 + 64 + proof.siblings.size() * 32; }
+  void EncodeTo(Encoder& enc) const;
+  static BatchCert DecodeFrom(Decoder& dec);
+
+  // Extra wire bytes this certificate adds to a reply: the size of its canonical
+  // encoding (root + signature + proof path).
+  uint64_t WireSize() const;
 };
 
 // Signing side. The caller collects reply digests, then seals the batch; one signature

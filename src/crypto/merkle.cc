@@ -12,6 +12,40 @@ Hash256 HashPair(const Hash256& left, const Hash256& right) {
 
 }  // namespace
 
+void MerkleProof::EncodeTo(Encoder& enc) const {
+  enc.PutVarint(index);
+  enc.PutVarint(siblings.size());
+  for (const Hash256& s : siblings) {
+    enc.PutBytes(s.data(), s.size());
+  }
+  for (uint8_t left : sibling_left) {
+    enc.PutU8(left != 0 ? 1 : 0);
+  }
+}
+
+MerkleProof MerkleProof::DecodeFrom(Decoder& dec) {
+  MerkleProof proof;
+  const uint64_t index = dec.GetVarint();
+  if (index > UINT32_MAX) {
+    dec.Fail();  // Would truncate and re-encode to different bytes.
+    return proof;
+  }
+  proof.index = static_cast<uint32_t>(index);
+  const uint64_t count = dec.GetVarint();
+  if (!dec.CheckCount(count)) {
+    return proof;
+  }
+  proof.siblings.resize(count);
+  for (Hash256& s : proof.siblings) {
+    dec.GetBytes(s.data(), s.size());
+  }
+  proof.sibling_left.resize(count);
+  for (uint8_t& left : proof.sibling_left) {
+    left = dec.GetBool() ? 1 : 0;
+  }
+  return proof;
+}
+
 MerkleBatch BuildMerkleBatch(const std::vector<Hash256>& leaves) {
   MerkleBatch batch;
   batch.proofs.resize(leaves.size());

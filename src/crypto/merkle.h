@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/serde.h"
 #include "src/crypto/sha256.h"
 
 namespace basil {
@@ -15,6 +16,11 @@ struct MerkleProof {
   uint32_t index = 0;                 // Leaf position in the batch.
   std::vector<Hash256> siblings;      // Bottom-up sibling hashes actually consumed.
   std::vector<uint8_t> sibling_left;  // 1 if siblings[i] sits left of the running node.
+
+  // Canonical wire form (docs/WIRE_FORMAT.md): index, sibling count, then the sibling
+  // hashes followed by their side flags (one strict 0/1 byte each).
+  void EncodeTo(Encoder& enc) const;
+  static MerkleProof DecodeFrom(Decoder& dec);
 };
 
 struct MerkleBatch {

@@ -5,6 +5,31 @@
 
 namespace basil {
 
+// 32 reserved zero bytes pad the 32-byte HMAC tag to ed25519's 64-byte wire size.
+static constexpr size_t kSigPadding = 32;
+
+void Signature::EncodeTo(Encoder& enc) const {
+  enc.PutU32(signer);
+  enc.PutBytes(tag.data(), tag.size());
+  const uint8_t zeros[kSigPadding] = {};
+  enc.PutBytes(zeros, sizeof(zeros));
+}
+
+Signature Signature::DecodeFrom(Decoder& dec) {
+  Signature sig;
+  sig.signer = dec.GetU32();
+  dec.GetBytes(sig.tag.data(), sig.tag.size());
+  uint8_t padding[kSigPadding] = {};
+  dec.GetBytes(padding, sizeof(padding));
+  for (uint8_t b : padding) {
+    if (b != 0) {
+      dec.Fail();  // Reserved bytes must be zero: keeps re-encoding canonical.
+      break;
+    }
+  }
+  return sig;
+}
+
 KeyRegistry::KeyRegistry(size_t num_nodes, uint64_t seed, bool enabled)
     : enabled_(enabled) {
   Rng rng(seed ^ 0x5167'0000'0000'0001ULL);

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/serde.h"
 #include "src/common/types.h"
 #include "src/crypto/sha256.h"
 
@@ -23,6 +24,12 @@ struct Signature {
   Hash256 tag{};
 
   bool operator==(const Signature&) const = default;
+
+  // Wire form (docs/WIRE_FORMAT.md): signer + 64 signature bytes. The simulated HMAC
+  // tag is 32 bytes, so 32 zero bytes of reserved padding keep the on-wire size equal
+  // to the ed25519 signatures the cost model is calibrated against.
+  void EncodeTo(Encoder& enc) const;
+  static Signature DecodeFrom(Decoder& dec);
 };
 
 // Holds one secret key per simulation node. `enabled = false` is the paper's

@@ -45,6 +45,11 @@ struct RunResult {
   uint64_t faulty_processed = 0;
   double commit_rate = 0;      // committed / attempts.
   double faulty_fraction = 0;  // faulty / (faulty + attempts), as the paper reports.
+  // Network bytes actually put on the wire over the whole run (canonical encodings,
+  // warmup included) and the per-committed-transaction average: the measured basis of
+  // the Figure 2-style bandwidth comparison.
+  uint64_t wire_bytes = 0;
+  double wire_bytes_per_txn = 0;
   Counters clients;
   Counters replicas;
 };

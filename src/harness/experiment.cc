@@ -63,6 +63,15 @@ DriverConfig MakeDriverConfig(const ExperimentParams& params) {
   return dc;
 }
 
+// Whole-run wire bytes (canonical encodings) divided by whole-run commits: the
+// measured wire-bytes-per-transaction a deployment of this protocol would ship.
+void FillWireStats(RunResult& result, const Network& net) {
+  result.wire_bytes = net.bytes_sent();
+  const uint64_t commits = result.clients.Get("commits");
+  result.wire_bytes_per_txn =
+      commits > 0 ? static_cast<double>(result.wire_bytes) / commits : 0;
+}
+
 }  // namespace
 
 RunResult RunExperiment(const ExperimentParams& params) {
@@ -93,6 +102,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       result = driver.Run();
       result.clients = cluster.ClientCounters();
       result.replicas = cluster.ReplicaCounters();
+      FillWireStats(result, cluster.network());
       return result;
     }
     case SystemKind::kTapir: {
@@ -115,6 +125,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       result = driver.Run();
       result.clients = cluster.ClientCounters();
       result.replicas = cluster.ReplicaCounters();
+      FillWireStats(result, cluster.network());
       return result;
     }
     case SystemKind::kTxHotstuff:
@@ -140,6 +151,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       result = driver.Run();
       result.clients = cluster.ClientCounters();
       result.replicas = cluster.ReplicaCounters();
+      FillWireStats(result, cluster.network());
       return result;
     }
   }

@@ -60,13 +60,19 @@ std::string FmtX(double ratio) {
   return buf;
 }
 
+std::string FmtKb(double bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  return buf;
+}
+
 std::string Summarize(const RunResult& r) {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "tput=%.0f tx/s mean=%.2fms p50=%.2fms p99=%.2fms commit-rate=%.1f%% "
-                "(committed=%" PRIu64 ")",
+                "(committed=%" PRIu64 ") wire/txn=%s",
                 r.tput_tps, r.mean_ms, r.p50_ms, r.p99_ms, r.commit_rate * 100.0,
-                r.committed);
+                r.committed, FmtKb(r.wire_bytes_per_txn).c_str());
   return buf;
 }
 

@@ -29,8 +29,10 @@ std::string FmtTput(double tps);
 std::string FmtMs(double ms);
 std::string FmtPct(double fraction);
 std::string FmtX(double ratio);  // "3.4x".
+std::string FmtKb(double bytes);  // "1.4KB".
 
-// One-line summary of a run (throughput, latency, commit rate).
+// One-line summary of a run (throughput, latency, commit rate, measured wire bytes
+// per committed transaction).
 std::string Summarize(const RunResult& r);
 
 }  // namespace basil

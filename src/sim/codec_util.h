@@ -1,0 +1,76 @@
+// Shared helpers for protocol message codecs: strict enum decoding, optional
+// transaction framing, and the registry adapter templates. Used by every protocol's
+// codec translation unit (src/basil/messages.cc, src/tapir/tapir.cc, and the
+// pbft/hotstuff/txbft codecs when they arrive) so validation rules stay identical
+// across protocols.
+#ifndef BASIL_SRC_SIM_CODEC_UTIL_H_
+#define BASIL_SRC_SIM_CODEC_UTIL_H_
+
+#include <memory>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+#include "src/store/txn.h"
+
+namespace basil {
+
+// Enum bytes are decoded strictly: out-of-range values are corruption, not UB.
+inline Vote GetVote(Decoder& dec) {
+  const uint8_t v = dec.GetU8();
+  if (v > static_cast<uint8_t>(Vote::kMisbehavior)) {
+    dec.Fail();
+    return Vote::kAbort;
+  }
+  return static_cast<Vote>(v);
+}
+
+inline Decision GetDecision(Decoder& dec) {
+  const uint8_t v = dec.GetU8();
+  if (v > static_cast<uint8_t>(Decision::kAbort)) {
+    dec.Fail();
+    return Decision::kAbort;
+  }
+  return static_cast<Decision>(v);
+}
+
+inline void EncodeOptionalTxn(Encoder& enc, const TxnPtr& txn) {
+  enc.PutBool(txn != nullptr);
+  if (txn != nullptr) {
+    EncodeNested(enc, *txn);
+  }
+}
+
+inline TxnPtr DecodeOptionalTxn(Decoder& dec) {
+  if (!dec.GetBool()) {
+    return nullptr;
+  }
+  Transaction txn;
+  if (!DecodeNested(dec, &txn)) {
+    return nullptr;
+  }
+  return std::make_shared<const Transaction>(std::move(txn));
+}
+
+// Adapters between a concrete message type's EncodeTo/DecodeFrom pair and the
+// type-erased registry signatures.
+template <typename T>
+void EncodeAs(const MsgBase& msg, Encoder& enc) {
+  static_cast<const T&>(msg).EncodeTo(enc);
+}
+
+template <typename T>
+MsgPtr DecodeAs(Decoder& dec) {
+  auto msg = std::make_shared<T>();
+  *msg = T::DecodeFrom(dec);
+  return msg;
+}
+
+template <typename T>
+bool RegisterMsgCodecFor(uint16_t kind) {
+  return RegisterMsgCodec(kind, EncodeAs<T>, DecodeAs<T>);
+}
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_SIM_CODEC_UTIL_H_

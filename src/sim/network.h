@@ -10,6 +10,7 @@
 
 #include "src/common/config.h"
 #include "src/common/rng.h"
+#include "src/common/serde.h"
 #include "src/common/types.h"
 #include "src/sim/event_queue.h"
 
@@ -26,6 +27,35 @@ struct MsgBase {
 };
 
 using MsgPtr = std::shared_ptr<const MsgBase>;
+
+// ---------------------------------------------------------------------------
+// Message codec registry. Each protocol registers, per message kind, how to encode a
+// message body to canonical bytes and how to decode one back (static initializers in
+// src/basil/messages.cc and src/tapir/tapir.cc). The registry is what lets the network
+// round-trip messages in NetConfig::codec_check mode and lets senders derive
+// wire_size from real bytes instead of hand-tuned literals.
+// ---------------------------------------------------------------------------
+
+using MsgEncodeFn = void (*)(const MsgBase& msg, Encoder& enc);
+using MsgDecodeFn = MsgPtr (*)(Decoder& dec);
+
+// Returns false (and ignores the call) if `kind` is already registered.
+bool RegisterMsgCodec(uint16_t kind, MsgEncodeFn encode, MsgDecodeFn decode);
+bool HasMsgCodec(uint16_t kind);
+
+// Body-only dispatchers. EncodeMsg returns false if no codec is registered; DecodeMsg
+// returns null on unknown kind or malformed input (the decoder's error state is set).
+bool EncodeMsg(const MsgBase& msg, Encoder& enc);
+MsgPtr DecodeMsg(uint16_t kind, Decoder& dec);
+
+// Framed canonical form: [u16 kind][u32 body length][body] (docs/WIRE_FORMAT.md).
+bool EncodeMsgFrame(const MsgBase& msg, Encoder& enc);
+MsgPtr DecodeMsgFrame(Decoder& dec);
+
+// Exact wire bytes of `msg` (frame header + canonical body). Aborts if no codec is
+// registered for the kind: call sites that use it have committed to byte-accurate
+// sizing, and silently guessing would defeat the point.
+uint64_t WireSizeOf(const MsgBase& msg);
 
 struct MsgEnvelope {
   NodeId src = kInvalidNode;
@@ -57,6 +87,7 @@ class Network {
 
   uint64_t messages_sent() const { return messages_sent_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
+  uint64_t bytes_sent() const { return bytes_sent_; }
   size_t node_count() const { return nodes_.size(); }
 
   EventQueue* event_queue() { return eq_; }
@@ -70,6 +101,7 @@ class Network {
   DelayFn delay_fn_;
   uint64_t messages_sent_ = 0;
   uint64_t messages_dropped_ = 0;
+  uint64_t bytes_sent_ = 0;
 };
 
 }  // namespace basil

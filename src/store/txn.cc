@@ -7,26 +7,92 @@
 
 namespace basil {
 
-TxnDigest Transaction::ComputeDigest() const {
-  Encoder enc;
+namespace {
+
+// Domain-separation tag: transaction digests must never collide with message digests
+// (which use tags 1-6, see src/basil/messages.cc).
+constexpr uint8_t kDomTxn = 7;
+
+}  // namespace
+
+void Transaction::EncodeSignedTo(Encoder& enc) const {
   enc.PutTimestamp(ts);
   enc.PutU64(client);
-  enc.PutU32(static_cast<uint32_t>(read_set.size()));
+  enc.PutVarint(read_set.size());
   for (const auto& r : read_set) {
     enc.PutString(r.key);
     enc.PutTimestamp(r.version);
   }
-  enc.PutU32(static_cast<uint32_t>(write_set.size()));
+  enc.PutVarint(write_set.size());
   for (const auto& w : write_set) {
     enc.PutString(w.key);
     enc.PutString(w.value);
   }
-  enc.PutU32(static_cast<uint32_t>(deps.size()));
+  enc.PutVarint(deps.size());
   for (const auto& d : deps) {
     enc.PutDigest(d.txn);
     enc.PutTimestamp(d.version);
     enc.PutU32(d.shard);
   }
+  enc.PutVarint(involved_shards.size());
+  for (ShardId shard : involved_shards) {
+    enc.PutU32(shard);
+  }
+}
+
+void Transaction::EncodeTo(Encoder& enc) const {
+  EncodeSignedTo(enc);
+  enc.PutDigest(id);
+}
+
+Transaction Transaction::DecodeFrom(Decoder& dec) {
+  Transaction txn;
+  txn.ts = dec.GetTimestamp();
+  txn.client = dec.GetU64();
+  const uint64_t nreads = dec.GetVarint();
+  if (!dec.CheckCount(nreads)) {
+    return txn;
+  }
+  txn.read_set.resize(nreads);
+  for (auto& r : txn.read_set) {
+    r.key = dec.GetString();
+    r.version = dec.GetTimestamp();
+  }
+  const uint64_t nwrites = dec.GetVarint();
+  if (!dec.CheckCount(nwrites)) {
+    return txn;
+  }
+  txn.write_set.resize(nwrites);
+  for (auto& w : txn.write_set) {
+    w.key = dec.GetString();
+    w.value = dec.GetString();
+  }
+  const uint64_t ndeps = dec.GetVarint();
+  if (!dec.CheckCount(ndeps)) {
+    return txn;
+  }
+  txn.deps.resize(ndeps);
+  for (auto& d : txn.deps) {
+    d.txn = dec.GetDigest();
+    d.version = dec.GetTimestamp();
+    d.shard = dec.GetU32();
+  }
+  const uint64_t nshards = dec.GetVarint();
+  if (!dec.CheckCount(nshards)) {
+    return txn;
+  }
+  txn.involved_shards.resize(nshards);
+  for (ShardId& shard : txn.involved_shards) {
+    shard = dec.GetU32();
+  }
+  txn.id = dec.GetDigest();
+  return txn;
+}
+
+TxnDigest Transaction::ComputeDigest() const {
+  Encoder enc;
+  enc.PutU8(kDomTxn);
+  EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
 }
 
@@ -55,15 +121,9 @@ bool Transaction::WritesKey(const Key& key) const {
 }
 
 uint64_t Transaction::WireSize() const {
-  uint64_t size = 16 + 32;  // Timestamp + digest.
-  for (const auto& r : read_set) {
-    size += r.key.size() + 16 + 8;
-  }
-  for (const auto& w : write_set) {
-    size += w.key.size() + w.value.size() + 8;
-  }
-  size += deps.size() * (32 + 16 + 4);
-  return size;
+  Encoder enc(/*counting=*/true);
+  EncodeTo(enc);
+  return enc.size();
 }
 
 ShardId ShardOfKey(const Key& key, uint32_t num_shards) {

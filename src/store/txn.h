@@ -8,6 +8,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/serde.h"
 #include "src/common/types.h"
 
 namespace basil {
@@ -47,12 +48,21 @@ struct Transaction {
   // before the transaction is shared.
   void Finalize(uint32_t num_shards);
 
+  // SHA-256 over the canonical signed encoding (EncodeSignedTo). Requires
+  // involved_shards to be populated; Finalize() takes care of the ordering.
   TxnDigest ComputeDigest() const;
+
+  // Canonical wire encoding (docs/WIRE_FORMAT.md). EncodeSignedTo covers everything
+  // the digest commits to (timestamp, client, read/write/dependency sets, involved
+  // shards); EncodeTo appends the cached id so decoding needs no re-hash.
+  void EncodeSignedTo(Encoder& enc) const;
+  void EncodeTo(Encoder& enc) const;
+  static Transaction DecodeFrom(Decoder& dec);
 
   bool ReadsKey(const Key& key) const;
   bool WritesKey(const Key& key) const;
 
-  // Approximate serialized size, for the wire-cost model.
+  // Exact serialized size: the length of the canonical encoding.
   uint64_t WireSize() const;
 };
 

@@ -1,6 +1,121 @@
 #include "src/tapir/tapir.h"
 
+#include "src/sim/codec_util.h"
+
 namespace basil {
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+void TapirReadMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutString(key);
+  enc.PutTimestamp(ts);
+}
+
+TapirReadMsg TapirReadMsg::DecodeFrom(Decoder& dec) {
+  TapirReadMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.key = dec.GetString();
+  msg.ts = dec.GetTimestamp();
+  return msg;
+}
+
+void TapirReadReplyMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutBool(found);
+  if (found) {
+    enc.PutTimestamp(version);
+    enc.PutString(value);
+  }
+}
+
+TapirReadReplyMsg TapirReadReplyMsg::DecodeFrom(Decoder& dec) {
+  TapirReadReplyMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.found = dec.GetBool();
+  if (msg.found) {
+    msg.version = dec.GetTimestamp();
+    msg.value = dec.GetString();
+  }
+  return msg;
+}
+
+void TapirPrepareMsg::EncodeTo(Encoder& enc) const { EncodeOptionalTxn(enc, txn); }
+
+TapirPrepareMsg TapirPrepareMsg::DecodeFrom(Decoder& dec) {
+  TapirPrepareMsg msg;
+  msg.txn = DecodeOptionalTxn(dec);
+  return msg;
+}
+
+void TapirPrepareReplyMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU32(replica);
+  enc.PutU8(static_cast<uint8_t>(vote));
+}
+
+TapirPrepareReplyMsg TapirPrepareReplyMsg::DecodeFrom(Decoder& dec) {
+  TapirPrepareReplyMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.replica = dec.GetU32();
+  msg.vote = GetVote(dec);
+  return msg;
+}
+
+void TapirFinalizeMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(result));
+}
+
+TapirFinalizeMsg TapirFinalizeMsg::DecodeFrom(Decoder& dec) {
+  TapirFinalizeMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.result = GetVote(dec);
+  return msg;
+}
+
+void TapirFinalizeAckMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU32(replica);
+}
+
+TapirFinalizeAckMsg TapirFinalizeAckMsg::DecodeFrom(Decoder& dec) {
+  TapirFinalizeAckMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.replica = dec.GetU32();
+  return msg;
+}
+
+void TapirDecideMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  EncodeOptionalTxn(enc, txn_body);
+}
+
+TapirDecideMsg TapirDecideMsg::DecodeFrom(Decoder& dec) {
+  TapirDecideMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.decision = GetDecision(dec);
+  msg.txn_body = DecodeOptionalTxn(dec);
+  return msg;
+}
+
+namespace {
+
+[[maybe_unused]] const bool kTapirCodecsRegistered = [] {
+  RegisterMsgCodecFor<TapirReadMsg>(kTapirRead);
+  RegisterMsgCodecFor<TapirReadReplyMsg>(kTapirReadReply);
+  RegisterMsgCodecFor<TapirPrepareMsg>(kTapirPrepare);
+  RegisterMsgCodecFor<TapirPrepareReplyMsg>(kTapirPrepareReply);
+  RegisterMsgCodecFor<TapirFinalizeMsg>(kTapirFinalize);
+  RegisterMsgCodecFor<TapirFinalizeAckMsg>(kTapirFinalizeAck);
+  RegisterMsgCodecFor<TapirDecideMsg>(kTapirDecide);
+  return true;
+}();
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Replica.
@@ -39,7 +154,7 @@ void TapirReplica::OnRead(NodeId src, const TapirReadMsg& msg) {
     reply->version = v->ts;
     reply->value = v->value;
   }
-  reply->wire_size = 48 + reply->value.size();
+  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
   counters_.Inc("reads_served");
 }
@@ -91,7 +206,7 @@ void TapirReplica::OnPrepare(NodeId src, const TapirPrepareMsg& msg) {
   reply->txn = msg.txn->id;
   reply->replica = id();
   reply->vote = *s.vote;
-  reply->wire_size = 48;
+  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
 }
 
@@ -101,7 +216,7 @@ void TapirReplica::OnFinalize(NodeId src, const TapirFinalizeMsg& msg) {
   auto ack = std::make_shared<TapirFinalizeAckMsg>();
   ack->txn = msg.txn;
   ack->replica = id();
-  ack->wire_size = 40;
+  ack->wire_size = WireSizeOf(*ack);
   Send(src, std::move(ack));
 }
 
@@ -202,7 +317,7 @@ Task<std::optional<Value>> TapirClient::Get(const Key& key) {
   msg->req_id = req;
   msg->key = key;
   msg->ts = active_->ts;
-  msg->wire_size = 48 + key.size();
+  msg->wire_size = WireSizeOf(*msg);
   // TAPIR reads from a single (closest) replica; we model "closest" as random.
   Send(replicas[rng_.NextUint(replicas.size())], std::move(msg));
 
@@ -299,7 +414,7 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
 
   auto prep = std::make_shared<TapirPrepareMsg>();
   prep->txn = body;
-  prep->wire_size = 32 + body->WireSize();
+  prep->wire_size = WireSizeOf(*prep);
   const MsgPtr out = prep;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), out);
@@ -372,7 +487,7 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
       auto fin = std::make_shared<TapirFinalizeMsg>();
       fin->txn = body->id;
       fin->result = shard_result[shard];
-      fin->wire_size = 48;
+      fin->wire_size = WireSizeOf(*fin);
       const MsgPtr fout = fin;
       SendToAll(topo_->ShardReplicas(shard), fout);
     }
@@ -400,7 +515,7 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
   dec->txn = body->id;
   dec->decision = decision;
   dec->txn_body = body;
-  dec->wire_size = 48 + body->WireSize();
+  dec->wire_size = WireSizeOf(*dec);
   const MsgPtr dout = dec;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), dout);

@@ -35,11 +35,16 @@ enum TapirMsgKind : uint16_t {
   kTapirDecide = 206,      // Commit/abort broadcast.
 };
 
+// Tapir messages carry no signatures; their canonical encodings (registered with the
+// sim-layer codec registry, see docs/WIRE_FORMAT.md) exist so wire sizes are measured
+// from real bytes exactly like Basil's.
 struct TapirReadMsg : MsgBase {
   uint64_t req_id = 0;
   Key key;
   Timestamp ts;
   TapirReadMsg() { kind = kTapirRead; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirReadMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirReadReplyMsg : MsgBase {
@@ -48,11 +53,15 @@ struct TapirReadReplyMsg : MsgBase {
   Timestamp version;
   Value value;
   TapirReadReplyMsg() { kind = kTapirReadReply; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirReadReplyMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirPrepareMsg : MsgBase {
   TxnPtr txn;
   TapirPrepareMsg() { kind = kTapirPrepare; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirPrepareMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirPrepareReplyMsg : MsgBase {
@@ -60,18 +69,24 @@ struct TapirPrepareReplyMsg : MsgBase {
   NodeId replica = kInvalidNode;
   Vote vote = Vote::kAbort;
   TapirPrepareReplyMsg() { kind = kTapirPrepareReply; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirPrepareReplyMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirFinalizeMsg : MsgBase {
   TxnDigest txn{};
   Vote result = Vote::kAbort;
   TapirFinalizeMsg() { kind = kTapirFinalize; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirFinalizeMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirFinalizeAckMsg : MsgBase {
   TxnDigest txn{};
   NodeId replica = kInvalidNode;
   TapirFinalizeAckMsg() { kind = kTapirFinalizeAck; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirFinalizeAckMsg DecodeFrom(Decoder& dec);
 };
 
 struct TapirDecideMsg : MsgBase {
@@ -79,6 +94,8 @@ struct TapirDecideMsg : MsgBase {
   Decision decision = Decision::kAbort;
   TxnPtr txn_body;
   TapirDecideMsg() { kind = kTapirDecide; }
+  void EncodeTo(Encoder& enc) const;
+  static TapirDecideMsg DecodeFrom(Decoder& dec);
 };
 
 class TapirReplica : public Node {
@@ -189,6 +206,7 @@ class TapirCluster {
   }
   const Topology& topology() const { return topology_; }
   EventQueue& events() { return events_; }
+  Network& network() { return *network_; }
   void Load(const Key& key, const Value& value);
   void SetGenesisFn(VersionStore::GenesisFn fn);
   void RunFor(uint64_t ns) { events_.RunUntil(events_.now() + ns); }

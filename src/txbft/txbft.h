@@ -219,6 +219,7 @@ class TxBftCluster {
   }
   const Topology& topology() const { return topology_; }
   EventQueue& events() { return events_; }
+  Network& network() { return *network_; }
   void Load(const Key& key, const Value& value);
   void SetGenesisFn(VersionStore::GenesisFn fn);
   void RunFor(uint64_t ns) { events_.RunUntil(events_.now() + ns); }

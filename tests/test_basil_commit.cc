@@ -19,6 +19,9 @@ BasilClusterConfig DefaultConfig() {
   cfg.basil.batch_size = 1;  // Unit tests favour latency over amortization.
   cfg.num_clients = 4;
   cfg.sim.seed = 1234;
+  // Round-trip every message through the canonical codec: encode -> decode ->
+  // re-encode must be the identity on bytes, or the test aborts.
+  cfg.sim.net.codec_check = true;
   return cfg;
 }
 

@@ -31,6 +31,10 @@ TEST_P(SystemSmokeTest, YcsbUniformCommits) {
   EXPECT_GT(r.commit_rate, 0.9);
   EXPECT_GT(r.tput_tps, 0);
   EXPECT_GT(r.mean_ms, 0);
+  // Wire accounting comes from real encoded bytes; a committed transaction costs at
+  // least one ST1-sized message.
+  EXPECT_GT(r.wire_bytes, 0u);
+  EXPECT_GT(r.wire_bytes_per_txn, 100.0);
 }
 
 TEST_P(SystemSmokeTest, SmallbankCommits) {

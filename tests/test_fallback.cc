@@ -16,6 +16,8 @@ BasilClusterConfig DefaultConfig() {
   cfg.basil.batch_size = 1;
   cfg.num_clients = 4;
   cfg.sim.seed = 17;
+  // Fallback exercises every message kind; round-trip them all through the codec.
+  cfg.sim.net.codec_check = true;
   return cfg;
 }
 

@@ -1,0 +1,522 @@
+// Canonical wire codec: round-trip equality for every Basil message kind, golden byte
+// vectors pinning the encoding of fixed messages (accidental format changes must fail
+// loudly), and malformed-buffer cases proving the Decoder rejects instead of crashing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/basil/messages.h"
+#include "src/common/serde.h"
+#include "src/sim/network.h"
+#include "src/store/txn.h"
+#include "src/tapir/tapir.h"
+
+namespace basil {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures. Everything is fixed-valued so the golden vectors are stable.
+// ---------------------------------------------------------------------------
+
+TxnDigest PatternDigest(uint8_t seed) {
+  TxnDigest d;
+  for (size_t i = 0; i < d.size(); ++i) {
+    d[i] = static_cast<uint8_t>(seed + i);
+  }
+  return d;
+}
+
+TxnPtr MakeTxn() {
+  auto txn = std::make_shared<Transaction>();
+  txn->ts = Timestamp{5, 7};
+  txn->client = 7;
+  txn->read_set.push_back(ReadEntry{"alice", Timestamp{3, 2}});
+  txn->write_set.push_back(WriteEntry{"bob", "100"});
+  txn->Finalize(1);
+  return txn;
+}
+
+TxnPtr MakeTxnWithDeps() {
+  auto txn = std::make_shared<Transaction>();
+  txn->ts = Timestamp{11, 3};
+  txn->client = 3;
+  txn->read_set.push_back(ReadEntry{"x", Timestamp{9, 1}});
+  txn->write_set.push_back(WriteEntry{"y", "val"});
+  txn->deps.push_back(Dependency{PatternDigest(0x40), Timestamp{9, 1}, 0});
+  txn->Finalize(2);
+  return txn;
+}
+
+BatchCert MakeBatchCert() {
+  BatchCert cert;
+  cert.root = PatternDigest(0x10);
+  cert.root_sig.signer = 3;
+  cert.root_sig.tag = PatternDigest(0x20);
+  cert.proof.index = 1;
+  cert.proof.siblings = {PatternDigest(0x30), PatternDigest(0x31)};
+  cert.proof.sibling_left = {1, 0};
+  return cert;
+}
+
+SignedVote MakeVote(NodeId replica, Vote vote) {
+  SignedVote v;
+  v.txn = PatternDigest(0x50);
+  v.vote = vote;
+  v.replica = replica;
+  v.cert = MakeBatchCert();
+  return v;
+}
+
+SignedSt2Ack MakeAck(NodeId replica) {
+  SignedSt2Ack ack;
+  ack.txn = PatternDigest(0x50);
+  ack.decision = Decision::kCommit;
+  ack.view_decision = 1;
+  ack.view_current = 2;
+  ack.replica = replica;
+  ack.cert = MakeBatchCert();
+  return ack;
+}
+
+DecisionCertPtr MakeFastCert() {
+  auto cert = std::make_shared<DecisionCert>();
+  cert->txn = PatternDigest(0x50);
+  cert->decision = Decision::kCommit;
+  cert->kind = DecisionCert::Kind::kFastVotes;
+  cert->shard_votes[0] = {MakeVote(0, Vote::kCommit), MakeVote(1, Vote::kCommit)};
+  cert->shard_votes[1] = {MakeVote(6, Vote::kCommit)};
+  return cert;
+}
+
+DecisionCertPtr MakeConflictCert() {
+  auto cert = std::make_shared<DecisionCert>();
+  cert->txn = PatternDigest(0x60);
+  cert->decision = Decision::kAbort;
+  cert->kind = DecisionCert::Kind::kConflict;
+  cert->conflict_txn = MakeTxn();
+  cert->conflict_cert = MakeFastCert();
+  return cert;
+}
+
+DecisionCertPtr MakeSlowCert() {
+  auto cert = std::make_shared<DecisionCert>();
+  cert->txn = PatternDigest(0x50);
+  cert->decision = Decision::kCommit;
+  cert->kind = DecisionCert::Kind::kSlowLogged;
+  cert->st2_acks = {MakeAck(0), MakeAck(1)};
+  cert->log_shard = 0;
+  return cert;
+}
+
+std::vector<uint8_t> EncodeFrame(const MsgBase& msg) {
+  Encoder enc;
+  EXPECT_TRUE(EncodeMsgFrame(msg, enc)) << "no codec for kind " << msg.kind;
+  return enc.bytes();
+}
+
+void ExpectRoundTrip(const MsgBase& msg) {
+  Encoder e1;
+  ASSERT_TRUE(EncodeMsgFrame(msg, e1)) << "no codec for kind " << msg.kind;
+  Decoder dec(e1.bytes());
+  const MsgPtr decoded = DecodeMsgFrame(dec);
+  ASSERT_NE(decoded, nullptr) << "kind " << msg.kind;
+  EXPECT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_EQ(decoded->kind, msg.kind);
+  Encoder e2;
+  ASSERT_TRUE(EncodeMsgFrame(*decoded, e2));
+  EXPECT_EQ(e1.bytes(), e2.bytes()) << "re-encode differs for kind " << msg.kind;
+}
+
+// ---------------------------------------------------------------------------
+// (a) Round-trip equality for every Basil message kind.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, RoundTripRead) {
+  ReadMsg msg;
+  msg.req_id = 42;
+  msg.key = "balance:alice";
+  msg.ts = Timestamp{100, 9};
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripReadReply) {
+  ReadReplyMsg msg;
+  msg.req_id = 42;
+  msg.key = "balance:alice";
+  msg.replica = 4;
+  msg.has_committed = true;
+  msg.committed_ts = Timestamp{50, 2};
+  msg.committed_value = "90";
+  msg.committed_writer = PatternDigest(0x70);
+  msg.committed_cert = MakeSlowCert();
+  msg.committed_txn = MakeTxn();
+  msg.has_prepared = true;
+  msg.prepared_ts = Timestamp{60, 3};
+  msg.prepared_value = "80";
+  msg.prepared_txn = MakeTxnWithDeps();
+  msg.batch_cert = MakeBatchCert();
+  ExpectRoundTrip(msg);
+
+  // Decoded fields must survive, not just bytes.
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  Decoder dec(bytes);
+  const auto decoded =
+      std::static_pointer_cast<const ReadReplyMsg>(DecodeMsgFrame(dec));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->committed_value, "90");
+  ASSERT_NE(decoded->prepared_txn, nullptr);
+  EXPECT_EQ(decoded->prepared_txn->id, msg.prepared_txn->id);
+  EXPECT_EQ(decoded->Digest(), msg.Digest());
+}
+
+TEST(WireCodec, RoundTripSt1) {
+  St1Msg msg;
+  msg.txn = MakeTxnWithDeps();
+  msg.is_recovery = true;
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripSt1Reply) {
+  St1ReplyMsg msg;
+  msg.vote = MakeVote(2, Vote::kAbort);
+  msg.conflict_txn = MakeTxn();
+  msg.conflict_cert = MakeFastCert();
+  ExpectRoundTrip(msg);
+
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  Decoder dec(bytes);
+  const auto decoded =
+      std::static_pointer_cast<const St1ReplyMsg>(DecodeMsgFrame(dec));
+  ASSERT_NE(decoded, nullptr);
+  EXPECT_EQ(decoded->vote.Digest(), msg.vote.Digest());
+}
+
+TEST(WireCodec, RoundTripSt2) {
+  St2Msg msg;
+  msg.txn = PatternDigest(0x50);
+  msg.decision = Decision::kCommit;
+  msg.view = 3;
+  msg.shard_votes[0] = {MakeVote(0, Vote::kCommit), MakeVote(1, Vote::kCommit)};
+  msg.txn_body = MakeTxn();
+  msg.forced = false;
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripSt2Reply) {
+  St2ReplyMsg msg;
+  msg.ack = MakeAck(5);
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripWriteback) {
+  for (const DecisionCertPtr& cert :
+       {MakeFastCert(), MakeConflictCert(), MakeSlowCert()}) {
+    WritebackMsg msg;
+    msg.cert = cert;
+    msg.txn_body = MakeTxn();
+    ExpectRoundTrip(msg);
+  }
+}
+
+TEST(WireCodec, RoundTripAbortRead) {
+  AbortReadMsg msg;
+  msg.txn = PatternDigest(0x50);
+  msg.ts = Timestamp{77, 8};
+  msg.keys = {"a", "b", "c"};
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripInvokeFb) {
+  InvokeFbMsg msg;
+  msg.txn = PatternDigest(0x50);
+  msg.views = {MakeAck(0), MakeAck(3)};
+  msg.txn_body = MakeTxnWithDeps();
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripElectFb) {
+  ElectFbMsg msg;
+  msg.elect.txn = PatternDigest(0x50);
+  msg.elect.decision = Decision::kCommit;
+  msg.elect.view = 2;
+  msg.elect.replica = 4;
+  msg.elect.sig.signer = 4;
+  msg.elect.sig.tag = PatternDigest(0x21);
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripDecFb) {
+  DecFbMsg msg;
+  msg.txn = PatternDigest(0x50);
+  msg.decision = Decision::kAbort;
+  msg.view = 2;
+  msg.leader = 1;
+  msg.leader_sig.signer = 1;
+  msg.leader_sig.tag = PatternDigest(0x22);
+  for (NodeId r = 0; r < 5; ++r) {
+    ElectFbData e;
+    e.txn = msg.txn;
+    e.decision = Decision::kAbort;
+    e.view = 2;
+    e.replica = r;
+    e.sig.signer = r;
+    e.sig.tag = PatternDigest(static_cast<uint8_t>(r));
+    msg.proof.push_back(e);
+  }
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripFetch) {
+  FetchMsg msg;
+  msg.digest = PatternDigest(0x40);
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripFetchReply) {
+  FetchReplyMsg msg;
+  msg.txn = MakeTxnWithDeps();
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripEmptyOptionals) {
+  // Default-constructed messages (null pointers, empty sets) must round-trip too.
+  ExpectRoundTrip(ReadMsg{});
+  ExpectRoundTrip(ReadReplyMsg{});
+  ExpectRoundTrip(St1Msg{});
+  ExpectRoundTrip(St1ReplyMsg{});
+  ExpectRoundTrip(St2Msg{});
+  ExpectRoundTrip(St2ReplyMsg{});
+  ExpectRoundTrip(WritebackMsg{});
+  ExpectRoundTrip(AbortReadMsg{});
+  ExpectRoundTrip(InvokeFbMsg{});
+  ExpectRoundTrip(ElectFbMsg{});
+  ExpectRoundTrip(DecFbMsg{});
+  ExpectRoundTrip(FetchMsg{});
+  ExpectRoundTrip(FetchReplyMsg{});
+}
+
+TEST(WireCodec, RoundTripTapirMessages) {
+  TapirReadMsg read;
+  read.req_id = 1;
+  read.key = "k";
+  read.ts = Timestamp{4, 2};
+  ExpectRoundTrip(read);
+
+  TapirReadReplyMsg reply;
+  reply.req_id = 1;
+  reply.found = true;
+  reply.version = Timestamp{3, 1};
+  reply.value = "v";
+  ExpectRoundTrip(reply);
+
+  TapirPrepareMsg prep;
+  prep.txn = MakeTxn();
+  ExpectRoundTrip(prep);
+
+  TapirPrepareReplyMsg prep_reply;
+  prep_reply.txn = PatternDigest(0x50);
+  prep_reply.replica = 2;
+  prep_reply.vote = Vote::kCommit;
+  ExpectRoundTrip(prep_reply);
+
+  TapirFinalizeMsg fin;
+  fin.txn = PatternDigest(0x50);
+  fin.result = Vote::kCommit;
+  ExpectRoundTrip(fin);
+
+  TapirFinalizeAckMsg fin_ack;
+  fin_ack.txn = PatternDigest(0x50);
+  fin_ack.replica = 1;
+  ExpectRoundTrip(fin_ack);
+
+  TapirDecideMsg dec;
+  dec.txn = PatternDigest(0x50);
+  dec.decision = Decision::kCommit;
+  dec.txn_body = MakeTxn();
+  ExpectRoundTrip(dec);
+}
+
+TEST(WireCodec, TransactionRoundTripAndDigest) {
+  const TxnPtr txn = MakeTxnWithDeps();
+  Encoder enc;
+  txn->EncodeTo(enc);
+  Decoder dec(enc.bytes());
+  Transaction decoded = Transaction::DecodeFrom(dec);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.AtEnd());
+  EXPECT_EQ(decoded.id, txn->id);
+  EXPECT_EQ(decoded.ComputeDigest(), txn->id);
+  EXPECT_EQ(decoded.involved_shards, txn->involved_shards);
+  // WireSize is the canonical encoding's length, by definition.
+  EXPECT_EQ(txn->WireSize(), enc.size());
+}
+
+TEST(WireCodec, WireSizeMatchesEncoding) {
+  St1Msg msg;
+  msg.txn = MakeTxnWithDeps();
+  EXPECT_EQ(WireSizeOf(msg), EncodeFrame(msg).size());
+}
+
+TEST(WireCodec, CountingEncoderMatchesBufferedSize) {
+  // WireSizeOf runs in counting mode (no buffering); it must agree byte-for-byte
+  // with the buffered encoding for a deeply nested message.
+  WritebackMsg msg;
+  msg.cert = MakeConflictCert();
+  msg.txn_body = MakeTxnWithDeps();
+  Encoder counting(/*counting=*/true);
+  ASSERT_TRUE(EncodeMsgFrame(msg, counting));
+  EXPECT_EQ(counting.size(), EncodeFrame(msg).size());
+  EXPECT_EQ(WireSizeOf(msg), EncodeFrame(msg).size());
+}
+
+// ---------------------------------------------------------------------------
+// (b) Golden byte vectors. If these fail, the wire format changed: either revert the
+// change or consciously update docs/WIRE_FORMAT.md and these constants together.
+// ---------------------------------------------------------------------------
+
+constexpr char kGoldenSt1Hex[] =
+    "660061000000015e0500000000000000070000000000000007000000000000000105616c69636503"
+    "0000000000000002000000000000000103626f6203313030000100000000bbc6378ac6c1b7a3d004"
+    "506c14738e1a2d507b5b2a2045ba2e8fe65ec2e4242800";
+
+constexpr char kGoldenReadReplyHex[] =
+    "6500ab0000000900000000000000016b020000000001010000000000000001000000000000000176"
+    "00000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "000000000000000000000000000000000000000000000000000000ffffffff000000000000000000"
+    "00000000000000000000000000000000000000000000000000000000000000000000000000000000"
+    "0000000000000000000000000000000000";
+
+std::string HexOf(const std::vector<uint8_t>& bytes) {
+  return ToHex(bytes.data(), bytes.size());
+}
+
+TEST(WireCodec, GoldenSt1) {
+  St1Msg msg;
+  msg.txn = MakeTxn();
+  EXPECT_EQ(HexOf(EncodeFrame(msg)), kGoldenSt1Hex);
+}
+
+TEST(WireCodec, GoldenReadReply) {
+  ReadReplyMsg msg;
+  msg.req_id = 9;
+  msg.key = "k";
+  msg.replica = 2;
+  msg.has_prepared = true;
+  msg.prepared_ts = Timestamp{1, 1};
+  msg.prepared_value = "v";
+  EXPECT_EQ(HexOf(EncodeFrame(msg)), kGoldenReadReplyHex);
+}
+
+// ---------------------------------------------------------------------------
+// (c) Malformed buffers: the Decoder must reject, never crash.
+// ---------------------------------------------------------------------------
+
+TEST(WireCodec, TruncatedBuffersAreRejected) {
+  WritebackMsg msg;
+  msg.cert = MakeConflictCert();  // Deepest nesting we produce.
+  msg.txn_body = MakeTxn();
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Decoder dec(bytes.data(), len);
+    const MsgPtr decoded = DecodeMsgFrame(dec);
+    EXPECT_EQ(decoded, nullptr) << "truncation at " << len << " decoded anyway";
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, BitFlipsNeverCrash) {
+  St2Msg msg;
+  msg.txn = PatternDigest(0x50);
+  msg.decision = Decision::kCommit;
+  msg.shard_votes[0] = {MakeVote(0, Vote::kCommit)};
+  msg.txn_body = MakeTxn();
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+      std::vector<uint8_t> corrupted = bytes;
+      corrupted[i] ^= flip;
+      Decoder dec(corrupted);
+      const MsgPtr decoded = DecodeMsgFrame(dec);  // Must not crash or overread.
+      if (decoded != nullptr) {
+        Encoder enc;
+        EncodeMsgFrame(*decoded, enc);  // Re-encoding must be safe too.
+      }
+    }
+  }
+}
+
+TEST(WireCodec, NonCanonicalInputRejected) {
+  {
+    // Over-long varint (0x80 0x00 encodes 0 in two bytes).
+    const uint8_t overlong[] = {0x80, 0x00};
+    Decoder dec(overlong, sizeof(overlong));
+    dec.GetVarint();
+    EXPECT_FALSE(dec.ok());
+  }
+  {
+    // A bool byte other than 0/1.
+    const uint8_t bad_bool[] = {0x02};
+    Decoder dec(bad_bool, sizeof(bad_bool));
+    dec.GetBool();
+    EXPECT_FALSE(dec.ok());
+  }
+  {
+    // String length prefix exceeding the buffer: must fail without allocating.
+    Encoder enc;
+    enc.PutVarint(1'000'000'000);
+    Decoder dec(enc.bytes());
+    dec.GetString();
+    EXPECT_FALSE(dec.ok());
+  }
+  {
+    // Signature padding bytes must be zero.
+    Signature sig;
+    sig.signer = 1;
+    Encoder enc;
+    sig.EncodeTo(enc);
+    std::vector<uint8_t> bytes = enc.bytes();
+    bytes.back() = 0x5a;
+    Decoder dec(bytes);
+    Signature::DecodeFrom(dec);
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, NestingDepthIsBounded) {
+  // A buffer of nested length prefixes deeper than kMaxNestingDepth must fail
+  // instead of recursing unboundedly.
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < Decoder::kMaxNestingDepth + 4; ++i) {
+    bytes.insert(bytes.begin(), static_cast<uint8_t>(bytes.size()));
+  }
+  Decoder dec(bytes);
+  int depth = 0;
+  std::vector<Decoder> stack = {dec};
+  while (stack.back().remaining() > 0) {
+    Decoder sub;
+    if (!stack.back().ReadNested(&sub)) {
+      break;
+    }
+    stack.push_back(sub);
+    ++depth;
+  }
+  EXPECT_LE(depth, Decoder::kMaxNestingDepth);
+}
+
+TEST(WireCodec, VarintRoundTrip) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 300ull, 16383ull, 16384ull,
+                     0xffffffffull, 0xffffffffffffffffull}) {
+    Encoder enc;
+    enc.PutVarint(v);
+    Decoder dec(enc.bytes());
+    EXPECT_EQ(dec.GetVarint(), v);
+    EXPECT_TRUE(dec.ok());
+    EXPECT_TRUE(dec.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace basil
