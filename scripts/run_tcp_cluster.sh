@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Multi-process integration test: deploy one Basil shard (f=1 -> 6 replicas) plus one
+# client driver as separate OS processes over localhost TCP, commit >= TXNS real
+# transactions end-to-end, and kill one replica mid-run to assert liveness under f=1.
+#
+# Usage: run_tcp_cluster.sh <path-to-basil_node> [txns]
+set -u
+
+BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [txns]}"
+TXNS="${2:-1000}"
+
+WORKDIR="$(mktemp -d)"
+# Port base derived from the PID so parallel ctest invocations do not collide.
+PORT_BASE=$((20000 + ($$ % 20000)))
+PIDS=()
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null
+  done
+  wait 2>/dev/null
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+CFG="$WORKDIR/cluster.cfg"
+{
+  echo "f 1"
+  echo "shards 1"
+  echo "seed 4242"
+  echo "batch_size 4"
+  for i in 0 1 2 3 4 5; do
+    echo "node $i replica 127.0.0.1 $((PORT_BASE + i))"
+  done
+  echo "node 6 client 127.0.0.1 $((PORT_BASE + 6))"
+} > "$CFG"
+
+echo "== config =="
+cat "$CFG"
+
+for i in 0 1 2 3 4 5; do
+  "$BASIL_NODE" --config "$CFG" --id "$i" > "$WORKDIR/replica$i.log" 2>&1 &
+  PIDS+=($!)
+done
+
+# Wait for every replica to bind its listen socket.
+for i in 0 1 2 3 4 5; do
+  for _ in $(seq 1 100); do
+    grep -q READY "$WORKDIR/replica$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+  if ! grep -q READY "$WORKDIR/replica$i.log"; then
+    echo "FAIL: replica $i did not become ready"
+    cat "$WORKDIR/replica$i.log"
+    exit 1
+  fi
+done
+echo "== replicas ready =="
+
+"$BASIL_NODE" --config "$CFG" --id 6 --txns "$TXNS" --keys 16 --timeout 150 \
+  > "$WORKDIR/client.log" 2>&1 &
+CLIENT_PID=$!
+PIDS+=("$CLIENT_PID")
+
+# Once the client is past TXNS/3 commits, kill one replica (the highest index: it is
+# never the lone holder of anything with f=1) and require progress to continue.
+KILL_AT=$((TXNS / 3))
+KILLED=0
+while kill -0 "$CLIENT_PID" 2>/dev/null; do
+  PROGRESS=$(grep -c PROGRESS "$WORKDIR/client.log" 2>/dev/null || true)
+  COMMITTED=$((PROGRESS * 100))
+  if [ "$KILLED" -eq 0 ] && [ "$COMMITTED" -ge "$KILL_AT" ]; then
+    echo "== killing replica 5 at ~$COMMITTED commits =="
+    kill "${PIDS[5]}" 2>/dev/null
+    KILLED=1
+  fi
+  sleep 0.2
+done
+wait "$CLIENT_PID"
+CLIENT_RC=$?
+
+echo "== client log tail =="
+tail -5 "$WORKDIR/client.log"
+
+if [ "$KILLED" -ne 1 ]; then
+  echo "FAIL: client finished before the replica kill was exercised"
+  exit 1
+fi
+if [ "$CLIENT_RC" -ne 0 ]; then
+  echo "FAIL: client exited with $CLIENT_RC"
+  for i in 0 1 2 3 4; do
+    echo "-- replica$i.log --"; tail -3 "$WORKDIR/replica$i.log"
+  done
+  exit 1
+fi
+if ! grep -q "DONE committed=$TXNS" "$WORKDIR/client.log"; then
+  echo "FAIL: client did not report committed=$TXNS"
+  exit 1
+fi
+echo "PASS: $TXNS transactions committed over TCP with a mid-run replica kill"
+exit 0

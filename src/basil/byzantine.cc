@@ -36,7 +36,6 @@ void ByzantineBasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<ReadReplyMsg*>(m.get());
     r->batch_cert = std::move(cert);
-    r->wire_size = WireSizeOf(*r);
   });
   counters().Inc("byz_fabricated_reads");
 }

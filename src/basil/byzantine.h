@@ -27,10 +27,9 @@ enum class ByzReplicaMode : uint8_t {
 
 class ByzantineBasilReplica : public BasilReplica {
  public:
-  ByzantineBasilReplica(Network* net, NodeId id, const BasilConfig* cfg,
-                        const Topology* topo, const KeyRegistry* keys,
-                        const SimConfig* sim_cfg, ByzReplicaMode mode)
-      : BasilReplica(net, id, cfg, topo, keys, sim_cfg), mode_(mode) {}
+  ByzantineBasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* topo,
+                        const KeyRegistry* keys, ByzReplicaMode mode)
+      : BasilReplica(rt, cfg, topo, keys), mode_(mode) {}
 
   void Handle(const MsgEnvelope& env) override;
 

@@ -12,10 +12,9 @@ constexpr int kMaxFallbackRounds = 10;
 
 }  // namespace
 
-BasilClient::BasilClient(Network* net, NodeId id, ClientId client_id,
-                         const BasilConfig* cfg, const Topology* topo,
-                         const KeyRegistry* keys, const SimConfig* sim_cfg, Rng rng)
-    : Node(net, id, &sim_cfg->cost, /*workers=*/1),
+BasilClient::BasilClient(Runtime* rt, ClientId client_id, const BasilConfig* cfg,
+                         const Topology* topo, const KeyRegistry* keys, Rng rng)
+    : Process(rt),
       cfg_(cfg),
       topo_(topo),
       keys_(keys),
@@ -103,7 +102,6 @@ Task<void> BasilClient::Abort() {
     auto msg = std::make_shared<AbortReadMsg>();
     msg->ts = active_->ts;
     msg->keys = std::move(keys);
-    msg->wire_size = WireSizeOf(*msg);
     ChargeSignIfEnabled();
     const MsgPtr out = msg;
     SendToAll(topo_->ShardReplicas(shard), out);
@@ -166,7 +164,6 @@ Task<std::optional<BasilClient::ReadChoice>> BasilClient::DoRead(const Key& key,
   msg->req_id = req;
   msg->key = key;
   msg->ts = ts;
-  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();  // Read requests are authenticated (§4.1).
 
   const uint32_t fanout = std::min(cfg_->ReadFanout(), n);
@@ -361,7 +358,6 @@ void BasilClient::SendSt1(const PrepareCtx& ctx, bool is_recovery) {
   auto msg = std::make_shared<St1Msg>();
   msg->txn = ctx.body;
   msg->is_recovery = is_recovery;
-  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();
   const MsgPtr out = msg;
   for (ShardId shard : ctx.body->involved_shards) {
@@ -519,7 +515,6 @@ void BasilClient::SendSt2(PrepareCtx& ctx, Decision decision, uint32_t view,
   msg->shard_votes = CollectJustification(ctx, decision);
   msg->txn_body = ctx.body;
   msg->forced = forced;
-  msg->wire_size = WireSizeOf(*msg);
   ChargeSignIfEnabled();
   const MsgPtr out = msg;
   for (NodeId dst : targets) {
@@ -593,7 +588,6 @@ Task<BasilClient::AttemptResult> BasilClient::RunFallback(PrepareCtx& ctx) {
     msg->txn = ctx.body->id;
     msg->views = CollectedAcks(ctx);
     msg->txn_body = ctx.body;
-    msg->wire_size = WireSizeOf(*msg);
     ChargeSignIfEnabled();
     const MsgPtr out = msg;
     for (NodeId dst : targets) {
@@ -652,7 +646,6 @@ Task<TxnPtr> BasilClient::FetchBody(const Dependency& dep) {
   pending_fetches_[dep.txn] = fc.get();
   auto msg = std::make_shared<FetchMsg>();
   msg->digest = dep.txn;
-  msg->wire_size = WireSizeOf(*msg);
   const MsgPtr out = msg;
   const std::vector<NodeId> replicas = topo_->ShardReplicas(dep.shard);
   for (uint32_t i = 0; i < std::min<uint32_t>(2 * cfg_->f + 1, replicas.size()); ++i) {
@@ -758,7 +751,6 @@ void BasilClient::SendWriteback(const TxnPtr& body, const DecisionCertPtr& cert)
   auto msg = std::make_shared<WritebackMsg>();
   msg->cert = cert;
   msg->txn_body = body;
-  msg->wire_size = WireSizeOf(*msg);
   const MsgPtr out = msg;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), out);

@@ -18,14 +18,14 @@
 #include "src/common/config.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/task.h"
 #include "src/sim/db.h"
-#include "src/sim/node.h"
-#include "src/sim/task.h"
 #include "src/sim/topology.h"
 
 namespace basil {
 
-class BasilClient : public Node, public SystemClient, public TxnSession {
+class BasilClient : public Process, public SystemClient, public TxnSession {
  public:
   // Byzantine client behaviours evaluated in §6.4. Applied per transaction by the
   // failure benchmarks; kCorrect is the default.
@@ -37,9 +37,8 @@ class BasilClient : public Node, public SystemClient, public TxnSession {
     kEquivForced,  // Always equivocate (replicas accept unjustified ST2s).
   };
 
-  BasilClient(Network* net, NodeId id, ClientId client_id, const BasilConfig* cfg,
-              const Topology* topo, const KeyRegistry* keys, const SimConfig* sim_cfg,
-              Rng rng);
+  BasilClient(Runtime* rt, ClientId client_id, const BasilConfig* cfg,
+              const Topology* topo, const KeyRegistry* keys, Rng rng);
 
   // SystemClient.
   TxnSession& BeginTxn() override;

@@ -15,27 +15,31 @@ BasilCluster::BasilCluster(const BasilClusterConfig& cfg) : cfg_(cfg) {
   for (ShardId shard = 0; shard < topology_.num_shards; ++shard) {
     for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
       const NodeId id = topology_.ReplicaNode(shard, r);
+      nodes_.push_back(std::make_unique<Node>(network_.get(), id, &cfg_.sim.cost,
+                                              cfg_.sim.replica_workers));
+      network_->Register(nodes_.back().get());
       const bool byz =
           cfg_.byz_replica_mode != ByzReplicaMode::kNone &&
           r >= topology_.replicas_per_shard - cfg_.byz_replicas_per_shard;
       if (byz) {
         replicas_.push_back(std::make_unique<ByzantineBasilReplica>(
-            network_.get(), id, &cfg_.basil, &topology_, keys_.get(), &cfg_.sim,
+            nodes_.back().get(), &cfg_.basil, &topology_, keys_.get(),
             cfg_.byz_replica_mode));
       } else {
         replicas_.push_back(std::make_unique<BasilReplica>(
-            network_.get(), id, &cfg_.basil, &topology_, keys_.get(), &cfg_.sim));
+            nodes_.back().get(), &cfg_.basil, &topology_, keys_.get()));
       }
-      network_->Register(replicas_.back().get());
     }
   }
   for (uint32_t c = 0; c < cfg_.num_clients; ++c) {
     const NodeId id = topology_.ClientNode(c);
-    clients_.push_back(std::make_unique<BasilClient>(network_.get(), id,
+    nodes_.push_back(
+        std::make_unique<Node>(network_.get(), id, &cfg_.sim.cost, /*workers=*/1));
+    network_->Register(nodes_.back().get());
+    clients_.push_back(std::make_unique<BasilClient>(nodes_.back().get(),
                                                      /*client_id=*/c + 1, &cfg_.basil,
-                                                     &topology_, keys_.get(), &cfg_.sim,
+                                                     &topology_, keys_.get(),
                                                      rng.Fork()));
-    network_->Register(clients_.back().get());
   }
 }
 

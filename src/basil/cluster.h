@@ -21,6 +21,7 @@
 #include "src/common/config.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
+#include "src/sim/node.h"
 #include "src/sim/topology.h"
 
 namespace basil {
@@ -55,6 +56,7 @@ class BasilCluster {
   const BasilClusterConfig& config() const { return cfg_; }
   EventQueue& events() { return events_; }
   Network& network() { return *network_; }
+  Node& node(NodeId id) { return *nodes_.at(id); }  // The sim runtime under a process.
   const KeyRegistry& keys() const { return *keys_; }
 
   uint64_t now() const { return events_.now(); }
@@ -71,6 +73,7 @@ class BasilCluster {
   EventQueue events_;
   std::unique_ptr<KeyRegistry> keys_;
   std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // Sim runtimes, indexed by NodeId.
   std::vector<std::unique_ptr<BasilReplica>> replicas_;
   std::vector<std::unique_ptr<BasilClient>> clients_;
 };

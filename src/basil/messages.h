@@ -3,9 +3,9 @@
 // carries a BatchCert; standalone signatures (fallback election) carry a Signature.
 //
 // Every message has a canonical byte encoding (EncodeTo/DecodeFrom, specified in
-// docs/WIRE_FORMAT.md) registered with the sim-layer codec registry (RegisterMsgCodec
-// in src/sim/network.h): wire sizes and the signed digests below are derived from
-// those bytes, never estimated.
+// docs/WIRE_FORMAT.md) registered with the runtime-layer codec registry
+// (RegisterMsgCodec in src/runtime/msg.h): wire sizes and the signed digests below
+// are derived from those bytes, never estimated.
 #ifndef BASIL_SRC_BASIL_MESSAGES_H_
 #define BASIL_SRC_BASIL_MESSAGES_H_
 
@@ -17,7 +17,7 @@
 #include "src/common/types.h"
 #include "src/crypto/batch.h"
 #include "src/crypto/signer.h"
-#include "src/sim/network.h"
+#include "src/runtime/msg.h"
 #include "src/store/txn.h"
 
 namespace basil {

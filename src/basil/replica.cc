@@ -5,17 +5,16 @@
 
 namespace basil {
 
-BasilReplica::BasilReplica(Network* net, NodeId id, const BasilConfig* cfg,
-                           const Topology* topo, const KeyRegistry* keys,
-                           const SimConfig* sim_cfg)
-    : Node(net, id, &sim_cfg->cost, sim_cfg->replica_workers),
+BasilReplica::BasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* topo,
+                           const KeyRegistry* keys)
+    : Process(rt),
       cfg_(cfg),
       topo_(topo),
       keys_(keys),
       validator_(cfg, topo, keys),
       verifier_(keys),
-      shard_(topo->ShardOfReplicaNode(id)),
-      index_(topo->ReplicaIndex(id)) {}
+      shard_(topo->ShardOfReplicaNode(id())),
+      index_(topo->ReplicaIndex(id())) {}
 
 void BasilReplica::LoadGenesis(const Key& key, Value value) {
   store_.LoadGenesis(key, std::move(value));
@@ -135,7 +134,6 @@ void BasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<ReadReplyMsg*>(m.get());
     r->batch_cert = std::move(cert);
-    r->wire_size = WireSizeOf(*r);
   });
   counters_.Inc("reads_served");
 }
@@ -435,7 +433,6 @@ void BasilReplica::ReplyVote(NodeId dst, TxnState& s) {
   SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<St1ReplyMsg*>(m.get());
     r->vote.cert = std::move(cert);
-    r->wire_size = WireSizeOf(*r);
   });
 }
 
@@ -453,7 +450,6 @@ void BasilReplica::ReplySt2Ack(NodeId dst, TxnState& s) {
   SendBatched(dst, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<St2ReplyMsg*>(m.get());
     r->ack.cert = std::move(cert);
-    r->wire_size = WireSizeOf(*r);
   });
 }
 
@@ -464,7 +460,6 @@ void BasilReplica::ReplyCert(NodeId dst, TxnState& s) {
   auto reply = std::make_shared<WritebackMsg>();
   reply->cert = s.final_cert;
   reply->txn_body = s.txn;
-  reply->wire_size = WireSizeOf(*reply);
   Send(dst, std::move(reply));
 }
 
@@ -681,7 +676,6 @@ void BasilReplica::OnInvokeFb(NodeId src, const InvokeFbMsg& msg) {
     meter().ChargeSign();
   }
   elect->elect.sig = keys_->Sign(id(), elect->elect.Digest());
-  elect->wire_size = WireSizeOf(*elect);
   const ReplicaId leader = FallbackLeaderIndex(msg.txn, s.view_current, cfg_->n());
   Send(topo_->ReplicaNode(shard_, leader), std::move(elect));
 }
@@ -734,7 +728,6 @@ void BasilReplica::OnElectFb(NodeId src, const ElectFbMsg& msg) {
   }
   dfb->leader_sig = keys_->Sign(id(), dfb->Digest());
   dfb->proof = std::move(proof);
-  dfb->wire_size = WireSizeOf(*dfb);
   const MsgPtr out = dfb;
   SendToAll(topo_->ShardReplicas(shard_), out);
 }
@@ -798,7 +791,6 @@ void BasilReplica::OnFetch(NodeId src, const FetchMsg& msg) {
   }
   auto reply = std::make_shared<FetchReplyMsg>();
   reply->txn = s->txn;
-  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
 }
 

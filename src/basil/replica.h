@@ -18,16 +18,16 @@
 #include "src/basil/messages.h"
 #include "src/common/config.h"
 #include "src/common/stats.h"
-#include "src/sim/node.h"
+#include "src/runtime/runtime.h"
 #include "src/sim/topology.h"
 #include "src/store/version_store.h"
 
 namespace basil {
 
-class BasilReplica : public Node {
+class BasilReplica : public Process {
  public:
-  BasilReplica(Network* net, NodeId id, const BasilConfig* cfg, const Topology* topo,
-               const KeyRegistry* keys, const SimConfig* sim_cfg);
+  BasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* topo,
+               const KeyRegistry* keys);
 
   void Handle(const MsgEnvelope& env) override;
 

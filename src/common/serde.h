@@ -54,6 +54,8 @@ class Encoder {
 
   bool counting() const { return counting_; }
   const std::vector<uint8_t>& bytes() const { return buf_; }
+  // Moves the buffer out (send paths hand the frame to an outbox without copying).
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
   size_t size() const { return counting_ ? count_ : buf_.size(); }
 
  private:

@@ -12,9 +12,9 @@
 #include "src/basil/client.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/runtime/runtime.h"
 #include "src/sim/db.h"
 #include "src/sim/event_queue.h"
-#include "src/sim/node.h"
 #include "src/workload/workload.h"
 
 namespace basil {
@@ -58,7 +58,7 @@ class Driver {
  public:
   struct ClientSlot {
     SystemClient* client = nullptr;
-    Node* node = nullptr;           // For timers (backoff sleeps).
+    Runtime* node = nullptr;        // For timers (backoff sleeps).
     BasilClient* basil = nullptr;   // Non-null only on Basil (fault injection).
   };
 

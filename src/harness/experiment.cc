@@ -97,7 +97,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       Driver driver(&cluster.events(), dc, workload.get());
       for (uint32_t i = 0; i < params.clients; ++i) {
         BasilClient& c = cluster.client(i);
-        driver.AddClient(Driver::ClientSlot{&c, &c, &c});
+        driver.AddClient(Driver::ClientSlot{&c, &c.runtime(), &c});
       }
       result = driver.Run();
       result.clients = cluster.ClientCounters();
@@ -120,7 +120,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       Driver driver(&cluster.events(), dc, workload.get());
       for (uint32_t i = 0; i < params.clients; ++i) {
         TapirClient& c = cluster.client(i);
-        driver.AddClient(Driver::ClientSlot{&c, &c, nullptr});
+        driver.AddClient(Driver::ClientSlot{&c, &c.runtime(), nullptr});
       }
       result = driver.Run();
       result.clients = cluster.ClientCounters();
@@ -146,7 +146,7 @@ RunResult RunExperiment(const ExperimentParams& params) {
       Driver driver(&cluster.events(), dc, workload.get());
       for (uint32_t i = 0; i < params.clients; ++i) {
         TxBftClient& c = cluster.client(i);
-        driver.AddClient(Driver::ClientSlot{&c, &c, nullptr});
+        driver.AddClient(Driver::ClientSlot{&c, &c.runtime(), nullptr});
       }
       result = driver.Run();
       result.clients = cluster.ClientCounters();

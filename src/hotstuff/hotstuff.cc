@@ -3,8 +3,103 @@
 #include <algorithm>
 
 #include "src/common/serde.h"
+#include "src/sim/codec_util.h"
 
 namespace basil {
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+void QuorumCert::EncodeTo(Encoder& enc) const {
+  enc.PutU32(view);
+  enc.PutBytes(block.data(), block.size());
+  enc.PutVarint(sigs.size());
+  for (const Signature& sig : sigs) {
+    sig.EncodeTo(enc);
+  }
+}
+
+QuorumCert QuorumCert::DecodeFrom(Decoder& dec) {
+  QuorumCert qc;
+  qc.view = dec.GetU32();
+  dec.GetBytes(qc.block.data(), qc.block.size());
+  const uint64_t count = dec.GetVarint();
+  if (!dec.CheckCount(count)) {
+    return qc;
+  }
+  qc.sigs.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    qc.sigs.push_back(Signature::DecodeFrom(dec));
+  }
+  return qc;
+}
+
+void HsBlock::EncodeTo(Encoder& enc) const {
+  enc.PutBytes(hash.data(), hash.size());
+  enc.PutBytes(parent.data(), parent.size());
+  enc.PutU32(view);
+  justify.EncodeTo(enc);
+  enc.PutVarint(cmds.size());
+  for (const ConsensusCmd& c : cmds) {
+    EncodeNested(enc, c);
+  }
+}
+
+HsBlock HsBlock::DecodeFrom(Decoder& dec) {
+  HsBlock block;
+  dec.GetBytes(block.hash.data(), block.hash.size());
+  dec.GetBytes(block.parent.data(), block.parent.size());
+  block.view = dec.GetU32();
+  block.justify = QuorumCert::DecodeFrom(dec);
+  const uint64_t count = dec.GetVarint();
+  if (!dec.CheckCount(count)) {
+    return block;
+  }
+  block.cmds.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ConsensusCmd cmd;
+    if (!DecodeNested(dec, &cmd)) {
+      return block;
+    }
+    block.cmds.push_back(std::move(cmd));
+  }
+  return block;
+}
+
+void HsProposalMsg::EncodeTo(Encoder& enc) const { block.EncodeTo(enc); }
+
+HsProposalMsg HsProposalMsg::DecodeFrom(Decoder& dec) {
+  HsProposalMsg msg;
+  msg.block = HsBlock::DecodeFrom(dec);
+  return msg;
+}
+
+void HsVoteMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU32(view);
+  enc.PutBytes(block.data(), block.size());
+  enc.PutU32(replica);
+  sig.EncodeTo(enc);
+}
+
+HsVoteMsg HsVoteMsg::DecodeFrom(Decoder& dec) {
+  HsVoteMsg msg;
+  msg.view = dec.GetU32();
+  dec.GetBytes(msg.block.data(), msg.block.size());
+  msg.replica = dec.GetU32();
+  msg.sig = Signature::DecodeFrom(dec);
+  return msg;
+}
+
+namespace {
+
+[[maybe_unused]] const bool kHotstuffCodecsRegistered = [] {
+  RegisterMsgCodecFor<HsProposalMsg>(kHsProposal);
+  RegisterMsgCodecFor<HsVoteMsg>(kHsVote);
+  return true;
+}();
+
+}  // namespace
 
 Hash256 HsBlock::ComputeHash(uint32_t view, const Hash256& parent,
                              const std::vector<ConsensusCmd>& cmds) {
@@ -92,11 +187,6 @@ void HotstuffEngine::Propose() {
   mempool_.erase(mempool_.begin(), mempool_.begin() + take);
   block.hash = HsBlock::ComputeHash(block.view, block.parent, block.cmds);
 
-  uint64_t bytes = 160 + block.justify.sigs.size() * 96;
-  for (const ConsensusCmd& c : block.cmds) {
-    bytes += c.wire_size;
-  }
-  msg->wire_size = bytes;
   if (env_.keys->enabled()) {
     env_.node->meter().ChargeSign();  // Leader signs the proposal.
   }
@@ -183,7 +273,6 @@ void HotstuffEngine::ProcessBlock(const HsBlock& block) {
     }
     vote->sig =
         env_.keys->Sign(env_.node->id(), HsVoteMsg::VoteDigest(block.view, block.hash));
-    vote->wire_size = 144;
     const NodeId next_leader =
         env_.topo->ReplicaNode(env_.shard, LeaderOf(block.view + 1));
     env_.node->Send(next_leader, std::move(vote));

@@ -26,6 +26,9 @@ struct QuorumCert {
   uint32_t view = 0;
   Hash256 block{};
   std::vector<Signature> sigs;
+
+  void EncodeTo(Encoder& enc) const;
+  static QuorumCert DecodeFrom(Decoder& dec);
 };
 
 struct HsBlock {
@@ -37,11 +40,16 @@ struct HsBlock {
 
   static Hash256 ComputeHash(uint32_t view, const Hash256& parent,
                              const std::vector<ConsensusCmd>& cmds);
+
+  void EncodeTo(Encoder& enc) const;
+  static HsBlock DecodeFrom(Decoder& dec);
 };
 
 struct HsProposalMsg : MsgBase {
   HsBlock block;
   HsProposalMsg() { kind = kHsProposal; }
+  void EncodeTo(Encoder& enc) const;
+  static HsProposalMsg DecodeFrom(Decoder& dec);
 };
 
 struct HsVoteMsg : MsgBase {
@@ -50,6 +58,8 @@ struct HsVoteMsg : MsgBase {
   NodeId replica = kInvalidNode;
   Signature sig;
   HsVoteMsg() { kind = kHsVote; }
+  void EncodeTo(Encoder& enc) const;
+  static HsVoteMsg DecodeFrom(Decoder& dec);
   static Hash256 VoteDigest(uint32_t view, const Hash256& block);
 };
 

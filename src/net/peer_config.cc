@@ -1,0 +1,94 @@
+#include "src/net/peer_config.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace basil {
+
+Topology DeployConfig::MakeTopology() const {
+  Topology topo;
+  topo.num_shards = basil.num_shards;
+  topo.replicas_per_shard = basil.n();
+  topo.num_clients = num_clients;
+  return topo;
+}
+
+bool DeployConfig::Load(const std::string& path, DeployConfig* out,
+                        std::string* err) {
+  std::ifstream in(path);
+  if (!in) {
+    *err = "cannot open config file: " + path;
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ss(line);
+    std::string word;
+    if (!(ss >> word)) {
+      continue;  // Blank or comment-only line.
+    }
+    auto fail = [&](const std::string& what) {
+      *err = path + ":" + std::to_string(lineno) + ": " + what;
+      return false;
+    };
+    if (word == "f") {
+      if (!(ss >> out->basil.f)) {
+        return fail("expected: f <uint>");
+      }
+    } else if (word == "shards") {
+      if (!(ss >> out->basil.num_shards)) {
+        return fail("expected: shards <uint>");
+      }
+    } else if (word == "seed") {
+      if (!(ss >> out->seed)) {
+        return fail("expected: seed <uint>");
+      }
+    } else if (word == "batch_size") {
+      if (!(ss >> out->basil.batch_size)) {
+        return fail("expected: batch_size <uint>");
+      }
+    } else if (word == "node") {
+      NodeId id;
+      std::string role;
+      PeerAddr addr;
+      if (!(ss >> id >> role >> addr.host >> addr.port)) {
+        return fail("expected: node <id> <replica|client> <host> <port>");
+      }
+      if (role != "replica" && role != "client") {
+        return fail("role must be 'replica' or 'client'");
+      }
+      if (id != out->peers.size()) {
+        return fail("node ids must be dense and ascending");
+      }
+      const bool replica = role == "replica";
+      if (replica && out->num_clients > 0) {
+        return fail("replicas must precede clients (replica-major NodeIds)");
+      }
+      out->peers.push_back(std::move(addr));
+      out->is_replica.push_back(replica);
+      (replica ? out->num_replicas : out->num_clients)++;
+    } else {
+      return fail("unknown directive: " + word);
+    }
+  }
+  if (out->num_replicas != out->basil.num_shards * out->basil.n()) {
+    *err = path + ": replica count " + std::to_string(out->num_replicas) +
+           " does not match shards*n = " +
+           std::to_string(out->basil.num_shards * out->basil.n()) +
+           " (n = 5f+1 per shard)";
+    return false;
+  }
+  if (out->num_clients == 0) {
+    *err = path + ": at least one client node is required";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace basil

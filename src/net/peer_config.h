@@ -1,0 +1,43 @@
+// Deployment description for multi-process runs: which NodeIds exist, which are
+// replicas vs. clients, and where each one listens. Parsed from a plain-text file so
+// the same config can be handed to every basil_node process (docs/TRANSPORT.md):
+//
+//   # 1 shard, f=1 (6 replicas), 1 client
+//   f 1
+//   shards 1
+//   seed 1234
+//   node 0 replica 127.0.0.1 7101
+//   ...
+//   node 6 client 127.0.0.1 7107
+//
+// NodeIds must be dense and replica-major (all replicas of shard 0, shard 1, ...,
+// then clients) — the same assignment Topology uses in the simulator.
+#ifndef BASIL_SRC_NET_PEER_CONFIG_H_
+#define BASIL_SRC_NET_PEER_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/net/tcp_runtime.h"
+#include "src/sim/topology.h"
+
+namespace basil {
+
+struct DeployConfig {
+  BasilConfig basil;
+  uint64_t seed = 1;
+  std::vector<PeerAddr> peers;     // Indexed by NodeId.
+  std::vector<bool> is_replica;    // Indexed by NodeId.
+  uint32_t num_replicas = 0;
+  uint32_t num_clients = 0;
+
+  Topology MakeTopology() const;
+
+  // Parses `path`. On failure returns false and fills `err`.
+  static bool Load(const std::string& path, DeployConfig* out, std::string* err);
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_NET_PEER_CONFIG_H_

@@ -1,0 +1,474 @@
+#include "src/net/tcp_runtime.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "src/runtime/frame.h"
+
+namespace basil {
+namespace {
+
+// Connection hello: magic + protocol version + sender NodeId, all little-endian.
+// Written once by the connecting side; the accepting side learns who is talking.
+constexpr uint8_t kHelloMagic[4] = {'B', 'S', 'L', '1'};
+constexpr uint32_t kProtocolVersion = 1;
+constexpr size_t kHelloBytes = 12;
+
+// Per-peer outbox cap. A dead peer must not make a sender hoard unbounded memory;
+// Basil tolerates lost messages (clients retry, f replicas may be silent), so frames
+// beyond the cap are dropped oldest-first.
+constexpr size_t kMaxOutboxBytes = 64u << 20;
+
+uint64_t MonotonicNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void PutU32Le(uint8_t* p, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+uint32_t GetU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+bool WriteAll(int fd, const uint8_t* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAll(int fd, uint8_t* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::recv(fd, data, len, 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return false;
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+void CloseQuiet(int fd) {
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers)
+    : id_(id), peers_(std::move(peers)), meter_(&cost_model_) {
+  peer_state_.reserve(peers_.size());
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    peer_state_.push_back(std::make_unique<Peer>());
+  }
+}
+
+TcpRuntime::~TcpRuntime() { Stop(); }
+
+uint64_t TcpRuntime::now() const { return MonotonicNowNs(); }
+
+bool TcpRuntime::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(peers_.at(id_).port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 64) < 0) {
+    std::fprintf(stderr, "node %u: cannot listen on port %u: %s\n", id_,
+                 peers_.at(id_).port, std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  running_.store(true);
+  loop_thread_ = std::thread([this]() { LoopMain(); });
+  accept_thread_ = std::thread([this]() { AcceptMain(); });
+  return true;
+}
+
+void TcpRuntime::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Join order matters. Accept first: once it is gone, the reader set is frozen and
+  // every reader fd can be shut down (closing fds before this join would race a
+  // just-accepted connection whose fd misses the shutdown pass and whose reader then
+  // blocks in recv forever). The loop goes before the writers: it is still draining
+  // handler tasks, and a drained handler's Send may spawn a writer thread — joining
+  // writers while that can happen races the std::thread object and can leave a
+  // joinable thread behind at destruction.
+  CloseQuiet(listen_fd_);
+  listen_fd_ = -1;
+  if (accept_thread_.joinable()) {
+    accept_thread_.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (int fd : reader_fds_) {
+      CloseQuiet(fd);
+    }
+  }
+  loop_cv_.notify_all();
+  if (loop_thread_.joinable()) {
+    loop_thread_.join();
+  }
+  for (auto& peer : peer_state_) {
+    {
+      std::lock_guard<std::mutex> lock(peer->mu);
+      peer->cv.notify_all();
+    }
+    if (peer->writer.joinable()) {
+      peer->writer.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    for (auto& t : readers_) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+    readers_.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event loop: all protocol work (handlers, Execute items, timers) runs here.
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::LoopMain() {
+  std::unique_lock<std::mutex> lock(loop_mu_);
+  while (true) {
+    // Drain due timers and queued tasks.
+    const uint64_t t = MonotonicNowNs();
+    while (!timers_.empty() && timers_.begin()->first.first <= t) {
+      auto node = timers_.extract(timers_.begin());
+      const EventId tid = node.key().second;
+      if (cancelled_timers_.erase(tid) > 0) {
+        continue;
+      }
+      lock.unlock();
+      node.mapped().cb();
+      lock.lock();
+    }
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+      continue;
+    }
+    if (!running_.load()) {
+      return;
+    }
+    if (timers_.empty()) {
+      loop_cv_.wait(lock);
+    } else {
+      const uint64_t next = timers_.begin()->first.first;
+      const uint64_t now_ns = MonotonicNowNs();
+      if (next > now_ns) {
+        loop_cv_.wait_for(lock, std::chrono::nanoseconds(next - now_ns));
+      }
+    }
+  }
+}
+
+void TcpRuntime::Execute(std::function<void()> work) {
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    tasks_.push_back(std::move(work));
+  }
+  loop_cv_.notify_one();
+}
+
+EventId TcpRuntime::SetTimer(uint64_t delay_ns, std::function<void()> cb) {
+  EventId tid;
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    tid = next_timer_id_++;
+    timers_.emplace(std::make_pair(MonotonicNowNs() + delay_ns, tid),
+                    TimerEntry{std::move(cb)});
+  }
+  loop_cv_.notify_one();
+  return tid;
+}
+
+void TcpRuntime::CancelTimer(EventId id) {
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  cancelled_timers_.insert(id);
+}
+
+bool TcpRuntime::WaitUntil(const std::function<bool()>& pred, uint64_t timeout_ns) {
+  struct Probe {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool result = false;
+  };
+  const uint64_t deadline = MonotonicNowNs() + timeout_ns;
+  while (MonotonicNowNs() < deadline) {
+    // Shared state: if the loop is wedged past our patience, the straggling task may
+    // still run later and must not touch a dead stack frame.
+    auto probe = std::make_shared<Probe>();
+    Execute([probe, pred]() {
+      const bool r = pred();
+      std::lock_guard<std::mutex> lock(probe->mu);
+      probe->result = r;
+      probe->done = true;
+      probe->cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(probe->mu);
+    if (!probe->cv.wait_for(lock, std::chrono::seconds(5),
+                            [&]() { return probe->done; })) {
+      return false;  // Loop wedged or stopped.
+    }
+    if (probe->result) {
+      return true;
+    }
+    lock.unlock();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Send path: encode once, queue to the peer's writer thread.
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
+  if (dst == id_) {
+    // Loopback: deliver through the event loop without touching a socket.
+    messages_sent_.fetch_add(1);
+    Execute([this, msg = std::move(msg)]() {
+      if (handler_ != nullptr) {
+        handler_->Handle(MsgEnvelope{id_, id_, msg});
+      }
+    });
+    return;
+  }
+  if (dst >= peers_.size()) {
+    return;
+  }
+  Encoder enc;
+  if (!EncodeMsgFrame(*msg, enc)) {
+    std::fprintf(stderr,
+                 "node %u: dropping message kind %u with no codec (TCP transport "
+                 "requires canonical codecs)\n",
+                 id_, static_cast<unsigned>(msg->kind));
+    return;
+  }
+  std::vector<uint8_t> frame = enc.TakeBytes();
+  const size_t frame_size = frame.size();
+  Peer& peer = *peer_state_[dst];
+  {
+    std::lock_guard<std::mutex> lock(peer.mu);
+    // Shed oldest frames when a peer is unreachable for long: Basil's quorums and
+    // client retries tolerate message loss, unbounded buffering they do not.
+    while (peer.outbox_bytes + frame_size > kMaxOutboxBytes &&
+           !peer.outbox.empty()) {
+      peer.outbox_bytes -= peer.outbox.front().size();
+      peer.outbox.pop_front();
+    }
+    peer.outbox_bytes += frame_size;
+    peer.outbox.push_back(std::move(frame));
+    if (!peer.writer_running && running_.load()) {
+      peer.writer_running = true;
+      peer.writer = std::thread([this, dst]() { WriterMain(dst); });
+    }
+  }
+  peer.cv.notify_one();
+  messages_sent_.fetch_add(1);
+  bytes_sent_.fetch_add(frame_size);
+}
+
+int TcpRuntime::ConnectToPeer(NodeId dst) {
+  const PeerAddr& addr = peers_[dst];
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(addr.port);
+  if (::getaddrinfo(addr.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return -1;
+  }
+  int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  if (fd >= 0 && ::connect(fd, res->ai_addr, res->ai_addrlen) != 0) {
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0) {
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bound blocking writes so a wedged peer cannot hang the writer past Stop().
+  timeval send_timeout{.tv_sec = 5, .tv_usec = 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout, sizeof(send_timeout));
+  uint8_t hello[kHelloBytes];
+  std::memcpy(hello, kHelloMagic, 4);
+  PutU32Le(hello + 4, kProtocolVersion);
+  PutU32Le(hello + 8, id_);
+  if (!WriteAll(fd, hello, sizeof(hello))) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void TcpRuntime::WriterMain(NodeId dst) {
+  Peer& peer = *peer_state_[dst];
+  int fd = -1;
+  uint64_t backoff_ms = 50;
+  while (true) {
+    std::vector<uint8_t> frame;
+    {
+      std::unique_lock<std::mutex> lock(peer.mu);
+      peer.cv.wait(lock,
+                   [&]() { return !peer.outbox.empty() || !running_.load(); });
+      if (!running_.load()) {
+        break;
+      }
+      frame = std::move(peer.outbox.front());
+      peer.outbox.pop_front();
+      peer.outbox_bytes -= frame.size();
+    }
+    while (running_.load()) {
+      if (fd < 0) {
+        fd = ConnectToPeer(dst);
+        if (fd < 0) {
+          // Peer down: retry with capped exponential backoff. The frame stays in
+          // hand, so nothing is lost across reconnects.
+          std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          backoff_ms = std::min<uint64_t>(backoff_ms * 2, 1000);
+          continue;
+        }
+        reconnects_.fetch_add(1);
+        backoff_ms = 50;
+      }
+      if (WriteAll(fd, frame.data(), frame.size())) {
+        break;
+      }
+      // A frame may have landed partially: the peer's reassembler discards the tail
+      // when the connection dies, and the fresh connection re-sends the whole frame.
+      CloseQuiet(fd);
+      fd = -1;
+    }
+  }
+  CloseQuiet(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Receive path: accept -> per-connection reader -> frames -> event loop.
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::AcceptMain() {
+  while (running_.load()) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    const int fd =
+        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd < 0) {
+      if (!running_.load()) {
+        return;  // Listen socket closed by Stop().
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    reader_fds_.push_back(fd);
+    readers_.emplace_back([this, fd]() { ReaderMain(fd); });
+  }
+}
+
+void TcpRuntime::ReaderMain(int fd) {
+  uint8_t hello[kHelloBytes];
+  if (!ReadAll(fd, hello, sizeof(hello)) ||
+      std::memcmp(hello, kHelloMagic, 4) != 0 ||
+      GetU32Le(hello + 4) != kProtocolVersion) {
+    CloseQuiet(fd);
+    return;
+  }
+  const NodeId src = GetU32Le(hello + 8);
+
+  FrameReassembler reassembler;
+  std::vector<uint8_t> frame;
+  uint8_t buf[64 * 1024];
+  while (running_.load()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // Peer closed (mid-frame tails are discarded with the reassembler).
+    }
+    if (!reassembler.Feed(buf, static_cast<size_t>(n))) {
+      decode_failures_.fetch_add(1);  // Oversized length field: drop the connection.
+      break;
+    }
+    bool bad = false;
+    while (reassembler.Next(&frame)) {
+      Decoder dec(frame);
+      MsgPtr msg = DecodeMsgFrame(dec);
+      if (msg == nullptr || !dec.ok() || !dec.AtEnd()) {
+        decode_failures_.fetch_add(1);
+        bad = true;  // Malformed frame: the stream cannot be trusted further.
+        break;
+      }
+      msg->wire_size = frame.size();
+      messages_received_.fetch_add(1);
+      Execute([this, src, msg = std::move(msg)]() {
+        if (handler_ != nullptr) {
+          handler_->Handle(MsgEnvelope{src, id_, msg});
+        }
+      });
+    }
+    if (bad || reassembler.poisoned()) {
+      break;
+    }
+  }
+  CloseQuiet(fd);
+}
+
+}  // namespace basil

@@ -1,0 +1,141 @@
+// TcpRuntime: the real-network Runtime backend. One instance per node (usually one
+// per OS process, see tools/basil_node.cc); peers are reached over TCP using the
+// canonical message frames of docs/WIRE_FORMAT.md (stream rules in docs/TRANSPORT.md).
+//
+// Threading model:
+//   - One event-loop thread runs ALL protocol work: message handlers, Execute() items,
+//     and timer callbacks. Protocol code therefore needs no locking, exactly as on the
+//     simulator backend.
+//   - One acceptor thread owns the listening socket. Each accepted connection gets a
+//     reader thread that reassembles frames (partial reads included) and posts decoded
+//     messages to the event loop.
+//   - Each peer this node sends to gets a writer thread with an outbox queue; the
+//     writer (re)connects with capped exponential backoff, writes an identifying hello,
+//     then streams frames. A send while disconnected just queues.
+//
+// Clocks: now() is CLOCK_MONOTONIC, which on Linux is system-wide (time since boot),
+// so all processes on one host see the same timeline — MVTSO timestamp watermarks work
+// unchanged for localhost deployments. Cross-machine deployments would need the
+// watermark delta to absorb clock skew, as the paper's does.
+#ifndef BASIL_SRC_NET_TCP_RUNTIME_H_
+#define BASIL_SRC_NET_TCP_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/config.h"
+#include "src/common/cost.h"
+#include "src/runtime/runtime.h"
+
+namespace basil {
+
+struct PeerAddr {
+  std::string host;
+  uint16_t port = 0;
+};
+
+class TcpRuntime : public Runtime {
+ public:
+  // `peers` is the full node table indexed by NodeId; peers[id] is this node's own
+  // listen address. Call Start() to begin accepting and delivering.
+  TcpRuntime(NodeId id, std::vector<PeerAddr> peers);
+  ~TcpRuntime() override;
+
+  // Binds the listen socket, then launches the event loop and acceptor threads.
+  // Returns false if the listen address cannot be bound.
+  bool Start();
+
+  // Stops all threads and closes every socket. Idempotent; called by the destructor.
+  void Stop();
+
+  // Runtime interface.
+  NodeId id() const override { return id_; }
+  uint64_t now() const override;
+  void Execute(std::function<void()> work) override;
+  EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) override;
+  void CancelTimer(EventId id) override;
+  CostMeter& meter() override { return meter_; }
+  void Bind(MsgHandler* handler) override { handler_ = handler; }
+
+  // Blocks until `pred()` (evaluated on the event loop) returns true or `timeout_ns`
+  // elapses. The driver's bridge from the blocking main thread into the loop.
+  bool WaitUntil(const std::function<bool()>& pred, uint64_t timeout_ns);
+
+  uint64_t messages_sent() const { return messages_sent_.load(); }
+  uint64_t messages_received() const { return messages_received_.load(); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  uint64_t decode_failures() const { return decode_failures_.load(); }
+  uint64_t reconnects() const { return reconnects_.load(); }
+
+ protected:
+  void DoSend(NodeId dst, MsgPtr msg) override;
+
+ private:
+  struct Peer {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> outbox;  // Encoded frames awaiting the writer.
+    size_t outbox_bytes = 0;
+    bool writer_running = false;
+    std::thread writer;
+  };
+
+  struct TimerEntry {
+    std::function<void()> cb;
+  };
+
+  void LoopMain();
+  void AcceptMain();
+  void ReaderMain(int fd);
+  void WriterMain(NodeId dst);
+
+  // Connects to `dst` and writes the hello; returns the fd or -1.
+  int ConnectToPeer(NodeId dst);
+
+  const NodeId id_;
+  const std::vector<PeerAddr> peers_;
+  MsgHandler* handler_ = nullptr;
+
+  // The meter exists so shared protocol code can charge costs uniformly; on this
+  // backend nothing consumes it (real CPU time is the cost model).
+  CostModel cost_model_;
+  CostMeter meter_;
+
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+
+  // Event loop: task queue + timer heap, both guarded by loop_mu_.
+  std::mutex loop_mu_;
+  std::condition_variable loop_cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::map<std::pair<uint64_t, EventId>, TimerEntry> timers_;  // (deadline, id).
+  std::unordered_set<EventId> cancelled_timers_;
+  EventId next_timer_id_ = 1;
+  std::thread loop_thread_;
+
+  std::thread accept_thread_;
+  std::mutex readers_mu_;
+  std::vector<std::thread> readers_;
+  std::vector<int> reader_fds_;
+
+  std::vector<std::unique_ptr<Peer>> peer_state_;
+
+  std::atomic<uint64_t> messages_sent_{0};
+  std::atomic<uint64_t> messages_received_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> decode_failures_{0};
+  std::atomic<uint64_t> reconnects_{0};
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_NET_TCP_RUNTIME_H_

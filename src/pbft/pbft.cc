@@ -2,9 +2,76 @@
 
 #include "src/common/serde.h"
 #include "src/crypto/sha256.h"
+#include "src/sim/codec_util.h"
 
 namespace basil {
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+void PbftPrePrepareMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(seq);
+  enc.PutVarint(batch.size());
+  for (const ConsensusCmd& c : batch) {
+    EncodeNested(enc, c);
+  }
+}
+
+PbftPrePrepareMsg PbftPrePrepareMsg::DecodeFrom(Decoder& dec) {
+  PbftPrePrepareMsg msg;
+  msg.seq = dec.GetU64();
+  const uint64_t count = dec.GetVarint();
+  if (!dec.CheckCount(count)) {
+    return msg;
+  }
+  msg.batch.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ConsensusCmd cmd;
+    if (!DecodeNested(dec, &cmd)) {
+      return msg;
+    }
+    msg.batch.push_back(std::move(cmd));
+  }
+  return msg;
+}
+
+void PbftPrepareMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(seq);
+  enc.PutBytes(digest.data(), digest.size());
+  enc.PutU32(replica);
+}
+
+PbftPrepareMsg PbftPrepareMsg::DecodeFrom(Decoder& dec) {
+  PbftPrepareMsg msg;
+  msg.seq = dec.GetU64();
+  dec.GetBytes(msg.digest.data(), msg.digest.size());
+  msg.replica = dec.GetU32();
+  return msg;
+}
+
+void PbftCommitMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(seq);
+  enc.PutBytes(digest.data(), digest.size());
+  enc.PutU32(replica);
+}
+
+PbftCommitMsg PbftCommitMsg::DecodeFrom(Decoder& dec) {
+  PbftCommitMsg msg;
+  msg.seq = dec.GetU64();
+  dec.GetBytes(msg.digest.data(), msg.digest.size());
+  msg.replica = dec.GetU32();
+  return msg;
+}
+
 namespace {
+
+[[maybe_unused]] const bool kPbftCodecsRegistered = [] {
+  RegisterMsgCodecFor<PbftPrePrepareMsg>(kPbftPrePrepare);
+  RegisterMsgCodecFor<PbftPrepareMsg>(kPbftPrepare);
+  RegisterMsgCodecFor<PbftCommitMsg>(kPbftCommit);
+  return true;
+}();
 
 Hash256 BatchDigest(uint64_t seq, const std::vector<ConsensusCmd>& batch) {
   Encoder enc;
@@ -60,11 +127,6 @@ void PbftEngine::ProposeBatch() {
   msg->seq = next_seq_++;
   msg->batch.assign(mempool_.begin(), mempool_.begin() + take);
   mempool_.erase(mempool_.begin(), mempool_.begin() + take);
-  uint64_t bytes = 64;
-  for (const ConsensusCmd& c : msg->batch) {
-    bytes += c.wire_size;
-  }
-  msg->wire_size = bytes;
   ChargeMac();
   const MsgPtr out = msg;
   // Leader also processes its own pre-prepare (via loopback) to keep the code
@@ -102,7 +164,6 @@ void PbftEngine::OnPrePrepare(const PbftPrePrepareMsg& msg) {
   prep->seq = msg.seq;
   prep->digest = slot.digest;
   prep->replica = env_.node->id();
-  prep->wire_size = 80;
   ChargeMac();
   const MsgPtr out = prep;
   env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);
@@ -123,7 +184,6 @@ void PbftEngine::OnPrepare(const PbftPrepareMsg& msg) {
     com->seq = msg.seq;
     com->digest = slot.digest;
     com->replica = env_.node->id();
-    com->wire_size = 80;
     ChargeMac();
     const MsgPtr out = com;
     env_.node->SendToAll(env_.topo->ShardReplicas(env_.shard), out);

@@ -23,10 +23,14 @@ enum PbftMsgKind : uint16_t {
   kPbftCommit = 302,
 };
 
+// Canonical encodings (EncodeTo/DecodeFrom) are registered with the codec registry in
+// pbft.cc, so wire sizes come from real bytes and the TCP backend can ship these.
 struct PbftPrePrepareMsg : MsgBase {
   uint64_t seq = 0;
   std::vector<ConsensusCmd> batch;
   PbftPrePrepareMsg() { kind = kPbftPrePrepare; }
+  void EncodeTo(Encoder& enc) const;
+  static PbftPrePrepareMsg DecodeFrom(Decoder& dec);
 };
 
 struct PbftPrepareMsg : MsgBase {
@@ -34,6 +38,8 @@ struct PbftPrepareMsg : MsgBase {
   Hash256 digest{};
   NodeId replica = kInvalidNode;
   PbftPrepareMsg() { kind = kPbftPrepare; }
+  void EncodeTo(Encoder& enc) const;
+  static PbftPrepareMsg DecodeFrom(Decoder& dec);
 };
 
 struct PbftCommitMsg : MsgBase {
@@ -41,6 +47,8 @@ struct PbftCommitMsg : MsgBase {
   Hash256 digest{};
   NodeId replica = kInvalidNode;
   PbftCommitMsg() { kind = kPbftCommit; }
+  void EncodeTo(Encoder& enc) const;
+  static PbftCommitMsg DecodeFrom(Decoder& dec);
 };
 
 // Hash functor for Hash256 keys.

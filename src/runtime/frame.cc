@@ -1,0 +1,65 @@
+#include "src/runtime/frame.h"
+
+#include <cstring>
+
+namespace basil {
+namespace {
+
+uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) | (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool FrameReassembler::Feed(const uint8_t* data, size_t len) {
+  if (poisoned_) {
+    return false;
+  }
+  // Compact lazily: drop the already-consumed prefix before growing the buffer.
+  if (consumed_ > 0 && (consumed_ >= 4096 || consumed_ == buf_.size())) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+  // Validate the length field as soon as the header is complete, not when the body
+  // finishes: an oversized frame must poison the stream before we buffer toward it.
+  if (buf_.size() - consumed_ >= kFrameHeaderBytes) {
+    const uint32_t body_len = ReadU32Le(buf_.data() + consumed_ + 2);
+    if (body_len > kMaxFrameBodyBytes) {
+      poisoned_ = true;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool FrameReassembler::Next(std::vector<uint8_t>* frame) {
+  if (poisoned_) {
+    return false;
+  }
+  const size_t avail = buf_.size() - consumed_;
+  if (avail < kFrameHeaderBytes) {
+    return false;
+  }
+  const uint8_t* head = buf_.data() + consumed_;
+  const uint32_t body_len = ReadU32Le(head + 2);
+  if (body_len > kMaxFrameBodyBytes) {
+    poisoned_ = true;
+    return false;
+  }
+  const size_t total = kFrameHeaderBytes + body_len;
+  if (avail < total) {
+    return false;
+  }
+  frame->assign(head, head + total);
+  consumed_ += total;
+  // Re-check the next header eagerly so poisoning surfaces without another Feed.
+  if (buf_.size() - consumed_ >= kFrameHeaderBytes &&
+      ReadU32Le(buf_.data() + consumed_ + 2) > kMaxFrameBodyBytes) {
+    poisoned_ = true;
+  }
+  return true;
+}
+
+}  // namespace basil

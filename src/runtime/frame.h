@@ -1,0 +1,54 @@
+// Stream reassembly for canonical message frames. A TCP connection carries a sequence
+// of frames in the wire format of docs/WIRE_FORMAT.md ([u16 kind][u32 body len][body]);
+// the reassembler turns an arbitrary sequence of byte chunks (partial reads, coalesced
+// frames) back into complete frames. It owns no socket: the TCP runtime feeds it recv()
+// buffers, and the fuzzer and framing tests feed it adversarial splits.
+#ifndef BASIL_SRC_RUNTIME_FRAME_H_
+#define BASIL_SRC_RUNTIME_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/runtime/msg.h"
+
+namespace basil {
+
+// Frame header: kind (2 bytes) + body length (4 bytes), both little-endian like every
+// fixed-width integer in the canonical encoding.
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+// Upper bound on a frame body accepted off the wire. A length field above this is
+// treated as a protocol violation (corrupt or malicious peer) and poisons the stream —
+// it is far above any legitimate Basil message yet small enough that a hostile peer
+// cannot make us allocate gigabytes from six header bytes.
+inline constexpr uint32_t kMaxFrameBodyBytes = 64u << 20;  // 64 MiB.
+
+class FrameReassembler {
+ public:
+  // Appends `len` received bytes to the stream. Returns false once the stream is
+  // poisoned (oversized length field); no further input is accepted.
+  bool Feed(const uint8_t* data, size_t len);
+
+  // Pops the next complete frame's bytes (header + body) into `frame`. Returns false
+  // when no complete frame is buffered. Decoding is the caller's business: the
+  // reassembler splits the stream, DecodeMsgFrame judges the contents.
+  bool Next(std::vector<uint8_t>* frame);
+
+  // True once Feed saw a length field above kMaxFrameBodyBytes. The connection must
+  // be dropped: resynchronizing an untrusted byte stream is not possible.
+  bool poisoned() const { return poisoned_; }
+
+  // Bytes buffered but not yet returned (mid-frame tail). Non-zero at connection
+  // teardown means the peer died mid-frame; the partial frame is discarded.
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // Prefix of buf_ already returned as frames.
+  bool poisoned_ = false;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_RUNTIME_FRAME_H_

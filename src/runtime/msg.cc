@@ -1,0 +1,97 @@
+#include "src/runtime/msg.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace basil {
+namespace {
+
+struct CodecEntry {
+  MsgEncodeFn encode;
+  MsgDecodeFn decode;
+};
+
+// Function-local static avoids any initialization-order dependence on the protocol
+// translation units that register themselves at load time.
+std::unordered_map<uint16_t, CodecEntry>& CodecRegistry() {
+  static std::unordered_map<uint16_t, CodecEntry> registry;
+  return registry;
+}
+
+}  // namespace
+
+bool RegisterMsgCodec(uint16_t kind, MsgEncodeFn encode, MsgDecodeFn decode) {
+  return CodecRegistry().emplace(kind, CodecEntry{encode, decode}).second;
+}
+
+bool HasMsgCodec(uint16_t kind) { return CodecRegistry().contains(kind); }
+
+bool EncodeMsg(const MsgBase& msg, Encoder& enc) {
+  auto it = CodecRegistry().find(msg.kind);
+  if (it == CodecRegistry().end()) {
+    return false;
+  }
+  it->second.encode(msg, enc);
+  return true;
+}
+
+MsgPtr DecodeMsg(uint16_t kind, Decoder& dec) {
+  auto it = CodecRegistry().find(kind);
+  if (it == CodecRegistry().end()) {
+    dec.Fail();
+    return nullptr;
+  }
+  return it->second.decode(dec);
+}
+
+bool EncodeMsgFrame(const MsgBase& msg, Encoder& enc) {
+  auto it = CodecRegistry().find(msg.kind);
+  if (it == CodecRegistry().end()) {
+    return false;
+  }
+  // Encode the body straight into `enc` and patch the fixed-width length afterwards —
+  // no temporary body buffer.
+  enc.PutU16(msg.kind);
+  const size_t len_pos = enc.size();
+  enc.PutU32(0);
+  const size_t body_start = enc.size();
+  it->second.encode(msg, enc);
+  enc.PatchU32(len_pos, static_cast<uint32_t>(enc.size() - body_start));
+  return true;
+}
+
+MsgPtr DecodeMsgFrame(Decoder& dec) {
+  const uint16_t kind = dec.GetU16();
+  const uint32_t body_len = dec.GetU32();
+  if (!dec.ok() || body_len > dec.remaining()) {
+    dec.Fail();
+    return nullptr;
+  }
+  // The frame's length prefix must delimit the body exactly.
+  const size_t expect_remaining = dec.remaining() - body_len;
+  MsgPtr msg = DecodeMsg(kind, dec);
+  if (msg == nullptr || !dec.ok() || dec.remaining() != expect_remaining) {
+    dec.Fail();
+    return nullptr;
+  }
+  return msg;
+}
+
+uint64_t WireSizeOf(const MsgBase& msg) {
+  Encoder enc(/*counting=*/true);  // Exact size of the canonical frame, no buffering.
+  if (!EncodeMsgFrame(msg, enc)) {
+    std::fprintf(stderr, "WireSizeOf: no codec registered for message kind %u\n",
+                 static_cast<unsigned>(msg.kind));
+    std::abort();
+  }
+  return enc.size();
+}
+
+void FinalizeWireSize(const MsgBase& msg) {
+  if (HasMsgCodec(msg.kind)) {
+    msg.wire_size = WireSizeOf(msg);
+  }
+}
+
+}  // namespace basil

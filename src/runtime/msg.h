@@ -1,0 +1,71 @@
+// Protocol-message plumbing shared by every Runtime backend: the message base type,
+// delivery envelope, and the canonical-codec registry. This layer is deliberately free
+// of any simulator or socket dependency — src/sim and src/net both sit on top of it.
+#ifndef BASIL_SRC_RUNTIME_MSG_H_
+#define BASIL_SRC_RUNTIME_MSG_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+
+namespace basil {
+
+// Base of every protocol message. `kind` ranges are allocated per protocol (see each
+// protocol's messages header) so dispatch is a switch on an integer. `wire_size` is
+// the exact canonical frame size in bytes; for codec-registered kinds it is derived
+// from the real encoding at send time (FinalizeWireSize), which is why it is mutable
+// on a message that is otherwise const-shared.
+struct MsgBase {
+  uint16_t kind = 0;
+  mutable uint64_t wire_size = 64;
+
+  virtual ~MsgBase() = default;
+};
+
+using MsgPtr = std::shared_ptr<const MsgBase>;
+
+struct MsgEnvelope {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  MsgPtr msg;
+};
+
+// ---------------------------------------------------------------------------
+// Message codec registry. Each protocol registers, per message kind, how to encode a
+// message body to canonical bytes and how to decode one back (static initializers in
+// the protocol translation units). The registry is what lets the network round-trip
+// messages in NetConfig::codec_check mode, lets senders derive wire_size from real
+// bytes instead of hand-tuned literals, and gives the TCP backend its wire format.
+// ---------------------------------------------------------------------------
+
+using MsgEncodeFn = void (*)(const MsgBase& msg, Encoder& enc);
+using MsgDecodeFn = MsgPtr (*)(Decoder& dec);
+
+// Returns false (and ignores the call) if `kind` is already registered.
+bool RegisterMsgCodec(uint16_t kind, MsgEncodeFn encode, MsgDecodeFn decode);
+bool HasMsgCodec(uint16_t kind);
+
+// Body-only dispatchers. EncodeMsg returns false if no codec is registered; DecodeMsg
+// returns null on unknown kind or malformed input (the decoder's error state is set).
+bool EncodeMsg(const MsgBase& msg, Encoder& enc);
+MsgPtr DecodeMsg(uint16_t kind, Decoder& dec);
+
+// Framed canonical form: [u16 kind][u32 body length][body] (docs/WIRE_FORMAT.md).
+bool EncodeMsgFrame(const MsgBase& msg, Encoder& enc);
+MsgPtr DecodeMsgFrame(Decoder& dec);
+
+// Exact wire bytes of `msg` (frame header + canonical body). Aborts if no codec is
+// registered for the kind: call sites that use it have committed to byte-accurate
+// sizing, and silently guessing would defeat the point.
+uint64_t WireSizeOf(const MsgBase& msg);
+
+// Derives `msg.wire_size` from the canonical encoding when a codec is registered for
+// its kind; leaves hand-set sizes alone otherwise. Every Runtime backend calls this on
+// the send path, so no protocol call site needs to size messages by hand.
+void FinalizeWireSize(const MsgBase& msg);
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_RUNTIME_MSG_H_

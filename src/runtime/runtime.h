@@ -1,0 +1,133 @@
+// The messaging runtime a protocol actor runs on. Protocol code (Basil, Tapir, the
+// BFT baselines) is written against this interface only; the backend underneath is
+// swappable:
+//
+//   - sim::Node (src/sim/node.h): the deterministic discrete-event simulator with the
+//     CPU-cost queueing model. All tier-1 tests and the paper-figure benchmarks run on
+//     this backend.
+//   - net::TcpRuntime (src/net/tcp_runtime.h): real threads, a monotonic clock, and
+//     canonical frames over TCP sockets — one OS process per node (docs/TRANSPORT.md).
+//
+// A `Process` is the protocol-side half: it binds itself to a Runtime at construction
+// and receives messages through Handle(). The forwarding members keep protocol code
+// reading exactly as it did when nodes and protocol logic were one class.
+#ifndef BASIL_SRC_RUNTIME_RUNTIME_H_
+#define BASIL_SRC_RUNTIME_RUNTIME_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/cost.h"
+#include "src/common/types.h"
+#include "src/runtime/msg.h"
+#include "src/runtime/task.h"
+
+namespace basil {
+
+using EventId = uint64_t;
+
+// Protocol-side message sink; implemented by Process.
+class MsgHandler {
+ public:
+  virtual ~MsgHandler() = default;
+
+  // Protocol logic, invoked by the runtime for each delivered message. Backends
+  // guarantee handlers never run concurrently with each other or with timer/Execute
+  // work on the same runtime, so protocol state needs no locking.
+  virtual void Handle(const MsgEnvelope& env) = 0;
+};
+
+class Runtime {
+ public:
+  virtual ~Runtime() = default;
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  virtual NodeId id() const = 0;
+
+  // Current time in ns. Simulated time on sim::Node; CLOCK_MONOTONIC on TcpRuntime
+  // (consistent across processes on one host, which keeps MVTSO timestamps sane for
+  // localhost deployments).
+  virtual uint64_t now() const = 0;
+
+  // Sends `msg` to `dst`. For codec-registered kinds the message's wire_size is
+  // derived from its canonical encoding here — no call site sizes messages by hand.
+  void Send(NodeId dst, MsgPtr msg) {
+    FinalizeWireSize(*msg);
+    DoSend(dst, std::move(msg));
+  }
+
+  void SendToAll(const std::vector<NodeId>& dsts, const MsgPtr& msg) {
+    FinalizeWireSize(*msg);
+    for (NodeId dst : dsts) {
+      DoSend(dst, msg);
+    }
+  }
+
+  // Queues an arbitrary work item onto the runtime's handler context (timer bodies,
+  // batch flushes — anything that may touch protocol state or send messages).
+  virtual void Execute(std::function<void()> work) = 0;
+
+  // Timer facility: fires `cb` in the handler context after `delay_ns`. Cancelable.
+  virtual EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) = 0;
+  virtual void CancelTimer(EventId id) = 0;
+
+  // CPU-cost accounting. The simulator's queueing model consumes it; the TCP backend
+  // accepts charges but real time is what passes.
+  virtual CostMeter& meter() = 0;
+
+  // Attaches the protocol actor that receives this runtime's messages.
+  virtual void Bind(MsgHandler* handler) = 0;
+
+ protected:
+  Runtime() = default;
+
+  // Backend send: `msg` already has its final wire_size.
+  virtual void DoSend(NodeId dst, MsgPtr msg) = 0;
+};
+
+// Base class for protocol actors. Construction binds the actor to its runtime; the
+// protected forwarders give subclasses the familiar Send/SetTimer/now surface.
+class Process : public MsgHandler {
+ public:
+  explicit Process(Runtime* rt) : rt_(rt) { rt_->Bind(this); }
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  NodeId id() const { return rt_->id(); }
+  uint64_t now() const { return rt_->now(); }
+  CostMeter& meter() { return rt_->meter(); }
+  Runtime& runtime() { return *rt_; }
+
+  void Send(NodeId dst, MsgPtr msg) { rt_->Send(dst, std::move(msg)); }
+  void SendToAll(const std::vector<NodeId>& dsts, const MsgPtr& msg) {
+    rt_->SendToAll(dsts, msg);
+  }
+  void Execute(std::function<void()> work) { rt_->Execute(std::move(work)); }
+  EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) {
+    return rt_->SetTimer(delay_ns, std::move(cb));
+  }
+  void CancelTimer(EventId id) { rt_->CancelTimer(id); }
+
+ private:
+  Runtime* rt_;
+};
+
+// Coroutine sleep: resumes after `delay_ns` through the node's timer facility (used
+// by closed-loop clients for retry backoff). Works on anything exposing SetTimer —
+// a Runtime or a Process.
+template <typename N>
+Task<void> SleepNs(N& node, uint64_t delay_ns) {
+  OneShot done;
+  OneShot* signal = &done;
+  node.SetTimer(delay_ns, [signal]() { signal->Fire(); });
+  co_await done;
+}
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_RUNTIME_RUNTIME_H_

@@ -1,8 +1,7 @@
 // Shared helpers for protocol message codecs: strict enum decoding, optional
 // transaction framing, and the registry adapter templates. Used by every protocol's
-// codec translation unit (src/basil/messages.cc, src/tapir/tapir.cc, and the
-// pbft/hotstuff/txbft codecs when they arrive) so validation rules stay identical
-// across protocols.
+// codec translation unit (src/basil/messages.cc, src/tapir/tapir.cc, src/pbft,
+// src/hotstuff, src/txbft) so validation rules stay identical across protocols.
 #ifndef BASIL_SRC_SIM_CODEC_UTIL_H_
 #define BASIL_SRC_SIM_CODEC_UTIL_H_
 
@@ -10,7 +9,7 @@
 
 #include "src/common/serde.h"
 #include "src/common/types.h"
-#include "src/sim/network.h"
+#include "src/runtime/msg.h"
 #include "src/store/txn.h"
 
 namespace basil {

@@ -1,6 +1,7 @@
 // Simulated network: point-to-point messages with configurable one-way latency and
 // jitter, plus fault-injection hooks (drops, extra delay) used by partial-synchrony and
-// Byzantine tests.
+// Byzantine tests. Message types and the canonical-codec registry live one layer down
+// in src/runtime/msg.h; this header re-exports them for existing includes.
 #ifndef BASIL_SRC_SIM_NETWORK_H_
 #define BASIL_SRC_SIM_NETWORK_H_
 
@@ -12,56 +13,10 @@
 #include "src/common/rng.h"
 #include "src/common/serde.h"
 #include "src/common/types.h"
+#include "src/runtime/msg.h"
 #include "src/sim/event_queue.h"
 
 namespace basil {
-
-// Base of every protocol message. `kind` ranges are allocated per protocol (see each
-// protocol's messages header) so dispatch is a switch on an integer, and `wire_size`
-// feeds the serialization cost model.
-struct MsgBase {
-  uint16_t kind = 0;
-  uint64_t wire_size = 64;
-
-  virtual ~MsgBase() = default;
-};
-
-using MsgPtr = std::shared_ptr<const MsgBase>;
-
-// ---------------------------------------------------------------------------
-// Message codec registry. Each protocol registers, per message kind, how to encode a
-// message body to canonical bytes and how to decode one back (static initializers in
-// src/basil/messages.cc and src/tapir/tapir.cc). The registry is what lets the network
-// round-trip messages in NetConfig::codec_check mode and lets senders derive
-// wire_size from real bytes instead of hand-tuned literals.
-// ---------------------------------------------------------------------------
-
-using MsgEncodeFn = void (*)(const MsgBase& msg, Encoder& enc);
-using MsgDecodeFn = MsgPtr (*)(Decoder& dec);
-
-// Returns false (and ignores the call) if `kind` is already registered.
-bool RegisterMsgCodec(uint16_t kind, MsgEncodeFn encode, MsgDecodeFn decode);
-bool HasMsgCodec(uint16_t kind);
-
-// Body-only dispatchers. EncodeMsg returns false if no codec is registered; DecodeMsg
-// returns null on unknown kind or malformed input (the decoder's error state is set).
-bool EncodeMsg(const MsgBase& msg, Encoder& enc);
-MsgPtr DecodeMsg(uint16_t kind, Decoder& dec);
-
-// Framed canonical form: [u16 kind][u32 body length][body] (docs/WIRE_FORMAT.md).
-bool EncodeMsgFrame(const MsgBase& msg, Encoder& enc);
-MsgPtr DecodeMsgFrame(Decoder& dec);
-
-// Exact wire bytes of `msg` (frame header + canonical body). Aborts if no codec is
-// registered for the kind: call sites that use it have committed to byte-accurate
-// sizing, and silently guessing would defeat the point.
-uint64_t WireSizeOf(const MsgBase& msg);
-
-struct MsgEnvelope {
-  NodeId src = kInvalidNode;
-  NodeId dst = kInvalidNode;
-  MsgPtr msg;
-};
 
 class Node;
 

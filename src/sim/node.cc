@@ -16,7 +16,9 @@ void Node::Deliver(MsgEnvelope env) {
   Execute([this, env = std::move(env)]() {
     meter_.ChargeMsg(env.msg->wire_size);
     ++handled_;
-    Handle(env);
+    if (handler_ != nullptr) {
+      handler_->Handle(env);
+    }
   });
 }
 
@@ -71,19 +73,13 @@ void Node::RunWork(Work work, size_t worker) {
   outbox_.clear();
 }
 
-void Node::Send(NodeId dst, MsgPtr msg) {
+void Node::DoSend(NodeId dst, MsgPtr msg) {
   meter_.ChargeMsg(msg->wire_size);
   if (in_work_) {
     outbox_.emplace_back(dst, std::move(msg));
   } else {
     // Sends from outside a work item (setup code) depart immediately.
     net_->SendAt(now(), id_, dst, std::move(msg));
-  }
-}
-
-void Node::SendToAll(const std::vector<NodeId>& dsts, const MsgPtr& msg) {
-  for (NodeId dst : dsts) {
-    Send(dst, msg);
   }
 }
 

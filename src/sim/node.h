@@ -1,8 +1,11 @@
-// SimNode: a machine in the simulated cluster. Serializes protocol work through a
-// k-worker CPU queue (k = cores); handler work charges a CostMeter whose consumed time
-// advances the worker clock, and messages sent by a handler depart when its CPU work
-// completes. This queueing model is what turns crypto cost into the throughput ceilings
-// seen in the paper's Figures 5a and 6b.
+// Node: the simulator's Runtime backend — a machine in the simulated cluster.
+// Serializes protocol work through a k-worker CPU queue (k = cores); handler work
+// charges a CostMeter whose consumed time advances the worker clock, and messages sent
+// by a handler depart when its CPU work completes. This queueing model is what turns
+// crypto cost into the throughput ceilings seen in the paper's Figures 5a and 6b.
+//
+// Protocol logic lives in a Process (src/runtime/runtime.h) bound to this node; the
+// same protocol code runs unchanged on net::TcpRuntime for real deployments.
 #ifndef BASIL_SRC_SIM_NODE_H_
 #define BASIL_SRC_SIM_NODE_H_
 
@@ -14,51 +17,44 @@
 
 #include "src/common/cost.h"
 #include "src/common/types.h"
+#include "src/runtime/runtime.h"
 #include "src/sim/network.h"
-#include "src/sim/task.h"
 
 namespace basil {
 
-class Node {
+class Node : public Runtime {
  public:
   // `workers` models server cores (replicas: 8 on m510); client processes use 1.
   Node(Network* net, NodeId id, const CostModel* cost_model, uint32_t workers);
-  virtual ~Node() = default;
 
-  Node(const Node&) = delete;
-  Node& operator=(const Node&) = delete;
+  NodeId id() const override { return id_; }
+  uint64_t now() const override;
 
-  NodeId id() const { return id_; }
-  uint64_t now() const;
+  // Attaches the protocol actor (done by Process's constructor).
+  void Bind(MsgHandler* handler) override { handler_ = handler; }
 
   // Called by the network on message arrival; enqueues the handler into the CPU queue.
   void Deliver(MsgEnvelope env);
 
-  // Protocol logic, executed when a worker picks the message up. Runs with the node's
-  // CostMeter active; all Send() calls made inside are flushed when the charged CPU
-  // time elapses.
-  virtual void Handle(const MsgEnvelope& env) = 0;
-
   // Queues an arbitrary work item through the same CPU queue (timer bodies, batch
   // flushes — anything that costs CPU and may send messages).
-  void Execute(std::function<void()> work);
-
-  // Sends `msg` to `dst`; legal only inside Handle()/Execute() work. Charges the
-  // serialization cost and buffers the message until the work item's CPU time is spent.
-  void Send(NodeId dst, MsgPtr msg);
-
-  void SendToAll(const std::vector<NodeId>& dsts, const MsgPtr& msg);
+  void Execute(std::function<void()> work) override;
 
   // Timer facility: fires `cb` after `delay_ns` through the CPU queue. Cancelable.
-  EventId SetTimer(uint64_t delay_ns, std::function<void()> cb);
-  void CancelTimer(EventId id);
+  EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) override;
+  void CancelTimer(EventId id) override;
 
-  CostMeter& meter() { return meter_; }
+  CostMeter& meter() override { return meter_; }
 
   uint64_t busy_ns() const { return busy_ns_; }  // Total CPU time consumed.
   uint64_t handled_messages() const { return handled_; }
 
  protected:
+  // Sends `msg` to `dst`; legal only inside Handle()/Execute() work. Charges the
+  // serialization cost and buffers the message until the work item's CPU time is
+  // spent. (wire_size was already finalized by Runtime::Send.)
+  void DoSend(NodeId dst, MsgPtr msg) override;
+
   Network* network() { return net_; }
 
  private:
@@ -71,6 +67,7 @@ class Node {
 
   Network* net_;
   NodeId id_;
+  MsgHandler* handler_ = nullptr;
   CostMeter meter_;
   std::vector<uint64_t> worker_free_at_;
   std::deque<Work> queue_;
@@ -81,15 +78,6 @@ class Node {
   uint64_t busy_ns_ = 0;
   uint64_t handled_ = 0;
 };
-
-// Coroutine sleep: resumes after `delay_ns` of simulated time (used by closed-loop
-// clients for retry backoff).
-inline Task<void> SleepNs(Node& node, uint64_t delay_ns) {
-  OneShot done;
-  OneShot* signal = &done;
-  node.SetTimer(delay_ns, [signal]() { signal->Fire(); });
-  co_await done;
-}
 
 }  // namespace basil
 

@@ -1,185 +1,9 @@
-// Minimal C++20 coroutine support for writing client protocol logic in direct style.
-// Interactive transactions (TPC-C's new-order issues ~30 dependent operations) would be
-// unreadable as hand-written callback state machines; with Task<T> the client code in
-// src/basil/client.cc reads like the paper's pseudocode.
-//
-// Model: Task<T> is a lazy coroutine resumed when awaited (symmetric transfer). Detached
-// root coroutines (client loops) are launched with Spawn() and self-destroy. OneShot is
-// the bridge from the event-driven world: a message handler or timer Fire()s it, which
-// resumes the suspended client coroutine inline (the simulator is single-threaded).
-//
-// WARNING (GCC 12 miscompilation): do NOT `co_await` an object reached through a
-// lambda's by-reference capture — GCC 12 materializes a *copy* of the awaiter in the
-// coroutine frame, so Fire() on the original never resumes the waiter. Write coroutines
-// as free/member functions, or pass state into lambda coroutines as explicit pointer
-// parameters (parameters are copied into the frame correctly).
+// Forwarding header: Task/OneShot moved to src/runtime/task.h when protocol logic was
+// split from the simulator (they never depended on the event queue). Kept so existing
+// includes stay valid.
 #ifndef BASIL_SRC_SIM_TASK_H_
 #define BASIL_SRC_SIM_TASK_H_
 
-#include <cassert>
-#include <coroutine>
-#include <exception>
-#include <optional>
-#include <utility>
-
-namespace basil {
-
-template <typename T>
-class Task;
-
-namespace internal {
-
-template <typename T>
-struct TaskPromiseBase {
-  std::coroutine_handle<> continuation = std::noop_coroutine();
-
-  std::suspend_always initial_suspend() noexcept { return {}; }
-
-  struct FinalAwaiter {
-    bool await_ready() noexcept { return false; }
-    template <typename Promise>
-    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
-      return h.promise().continuation;
-    }
-    void await_resume() noexcept {}
-  };
-  FinalAwaiter final_suspend() noexcept { return {}; }
-
-  void unhandled_exception() { std::terminate(); }
-};
-
-}  // namespace internal
-
-template <typename T>
-class [[nodiscard]] Task {
- public:
-  struct promise_type : internal::TaskPromiseBase<T> {
-    std::optional<T> value;
-    Task get_return_object() {
-      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
-    }
-    void return_value(T v) { value = std::move(v); }
-  };
-
-  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
-  Task& operator=(Task&&) = delete;
-  ~Task() {
-    if (handle_) {
-      handle_.destroy();
-    }
-  }
-
-  auto operator co_await() && noexcept {
-    struct Awaiter {
-      std::coroutine_handle<promise_type> h;
-      bool await_ready() const noexcept { return false; }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
-        h.promise().continuation = cont;
-        return h;
-      }
-      T await_resume() { return std::move(*h.promise().value); }
-    };
-    return Awaiter{handle_};
-  }
-
- private:
-  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
-  std::coroutine_handle<promise_type> handle_;
-};
-
-template <>
-class [[nodiscard]] Task<void> {
- public:
-  struct promise_type : internal::TaskPromiseBase<void> {
-    Task get_return_object() {
-      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
-    }
-    void return_void() {}
-  };
-
-  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
-  Task(const Task&) = delete;
-  Task& operator=(const Task&) = delete;
-  Task& operator=(Task&&) = delete;
-  ~Task() {
-    if (handle_) {
-      handle_.destroy();
-    }
-  }
-
-  auto operator co_await() && noexcept {
-    struct Awaiter {
-      std::coroutine_handle<promise_type> h;
-      bool await_ready() const noexcept { return false; }
-      std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
-        h.promise().continuation = cont;
-        return h;
-      }
-      void await_resume() {}
-    };
-    return Awaiter{handle_};
-  }
-
- private:
-  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
-  std::coroutine_handle<promise_type> handle_;
-};
-
-// Fire-and-forget root coroutine: starts eagerly and frees its own frame on completion.
-struct Detached {
-  struct promise_type {
-    Detached get_return_object() { return {}; }
-    std::suspend_never initial_suspend() noexcept { return {}; }
-    std::suspend_never final_suspend() noexcept { return {}; }
-    void return_void() {}
-    void unhandled_exception() { std::terminate(); }
-  };
-};
-
-// Runs `task` as a detached root coroutine.
-template <typename T>
-Detached Spawn(Task<T> task) {
-  co_await std::move(task);
-}
-
-// One-shot completion signal. A coroutine co_awaits it; a handler (message arrival,
-// timeout) Fire()s it exactly once to resume the waiter. Safe to Fire with no waiter
-// (the awaiter then completes immediately). Re-arming after resumption is allowed via
-// Reset(), which collectors use for multi-round waits.
-class OneShot {
- public:
-  bool await_ready() const noexcept { return fired_; }
-  void await_suspend(std::coroutine_handle<> h) noexcept {
-    assert(!waiter_);
-    waiter_ = h;
-  }
-  void await_resume() noexcept {}
-
-  void Fire() {
-    if (fired_) {
-      return;
-    }
-    fired_ = true;
-    if (waiter_) {
-      auto h = std::exchange(waiter_, nullptr);
-      h.resume();
-    }
-  }
-
-  void Reset() {
-    assert(!waiter_);
-    fired_ = false;
-  }
-
-  bool fired() const { return fired_; }
-
- private:
-  bool fired_ = false;
-  std::coroutine_handle<> waiter_ = nullptr;
-};
-
-}  // namespace basil
+#include "src/runtime/task.h"
 
 #endif  // BASIL_SRC_SIM_TASK_H_

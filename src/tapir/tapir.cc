@@ -121,11 +121,8 @@ namespace {
 // Replica.
 // ---------------------------------------------------------------------------
 
-TapirReplica::TapirReplica(Network* net, NodeId id, const TapirConfig* cfg,
-                           const Topology* topo, const SimConfig* sim_cfg)
-    : Node(net, id, &sim_cfg->cost, sim_cfg->replica_workers),
-      cfg_(cfg),
-      topo_(topo) {}
+TapirReplica::TapirReplica(Runtime* rt, const TapirConfig* cfg, const Topology* topo)
+    : Process(rt), cfg_(cfg), topo_(topo) {}
 
 void TapirReplica::Handle(const MsgEnvelope& env) {
   switch (env.msg->kind) {
@@ -154,7 +151,6 @@ void TapirReplica::OnRead(NodeId src, const TapirReadMsg& msg) {
     reply->version = v->ts;
     reply->value = v->value;
   }
-  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
   counters_.Inc("reads_served");
 }
@@ -206,7 +202,6 @@ void TapirReplica::OnPrepare(NodeId src, const TapirPrepareMsg& msg) {
   reply->txn = msg.txn->id;
   reply->replica = id();
   reply->vote = *s.vote;
-  reply->wire_size = WireSizeOf(*reply);
   Send(src, std::move(reply));
 }
 
@@ -216,7 +211,6 @@ void TapirReplica::OnFinalize(NodeId src, const TapirFinalizeMsg& msg) {
   auto ack = std::make_shared<TapirFinalizeAckMsg>();
   ack->txn = msg.txn;
   ack->replica = id();
-  ack->wire_size = WireSizeOf(*ack);
   Send(src, std::move(ack));
 }
 
@@ -275,14 +269,9 @@ void TapirReplica::OnDecide(const TapirDecideMsg& msg) {
 // Client.
 // ---------------------------------------------------------------------------
 
-TapirClient::TapirClient(Network* net, NodeId id, ClientId client_id,
-                         const TapirConfig* cfg, const Topology* topo,
-                         const SimConfig* sim_cfg, Rng rng)
-    : Node(net, id, &sim_cfg->cost, 1),
-      cfg_(cfg),
-      topo_(topo),
-      client_id_(client_id),
-      rng_(rng) {}
+TapirClient::TapirClient(Runtime* rt, ClientId client_id, const TapirConfig* cfg,
+                         const Topology* topo, Rng rng)
+    : Process(rt), cfg_(cfg), topo_(topo), client_id_(client_id), rng_(rng) {}
 
 TxnSession& TapirClient::BeginTxn() {
   active_.emplace();
@@ -317,7 +306,6 @@ Task<std::optional<Value>> TapirClient::Get(const Key& key) {
   msg->req_id = req;
   msg->key = key;
   msg->ts = active_->ts;
-  msg->wire_size = WireSizeOf(*msg);
   // TAPIR reads from a single (closest) replica; we model "closest" as random.
   Send(replicas[rng_.NextUint(replicas.size())], std::move(msg));
 
@@ -329,7 +317,7 @@ Task<std::optional<Value>> TapirClient::Get(const Key& key) {
   });
   co_await rc->done;
   if (!rc->timed_out) {
-    Node::CancelTimer(timer);
+    Process::CancelTimer(timer);
   }
   pending_reads_.erase(req);
 
@@ -402,7 +390,7 @@ void TapirClient::ArmTimer(PrepareCtx& ctx, uint64_t delay) {
 
 void TapirClient::CancelTimer(PrepareCtx& ctx) {
   if (ctx.timer_armed) {
-    Node::CancelTimer(ctx.timer);
+    Process::CancelTimer(ctx.timer);
     ctx.timer_armed = false;
   }
 }
@@ -414,7 +402,6 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
 
   auto prep = std::make_shared<TapirPrepareMsg>();
   prep->txn = body;
-  prep->wire_size = WireSizeOf(*prep);
   const MsgPtr out = prep;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), out);
@@ -487,7 +474,6 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
       auto fin = std::make_shared<TapirFinalizeMsg>();
       fin->txn = body->id;
       fin->result = shard_result[shard];
-      fin->wire_size = WireSizeOf(*fin);
       const MsgPtr fout = fin;
       SendToAll(topo_->ShardReplicas(shard), fout);
     }
@@ -515,7 +501,6 @@ Task<Decision> TapirClient::RunCommit(TxnPtr body) {
   dec->txn = body->id;
   dec->decision = decision;
   dec->txn_body = body;
-  dec->wire_size = WireSizeOf(*dec);
   const MsgPtr dout = dec;
   for (ShardId shard : body->involved_shards) {
     SendToAll(topo_->ShardReplicas(shard), dout);
@@ -572,17 +557,22 @@ TapirCluster::TapirCluster(const TapirClusterConfig& cfg) : cfg_(cfg) {
   network_ = std::make_unique<Network>(&events_, cfg_.sim.net, rng.Fork());
   for (ShardId shard = 0; shard < topology_.num_shards; ++shard) {
     for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
-      replicas_.push_back(std::make_unique<TapirReplica>(
-          network_.get(), topology_.ReplicaNode(shard, r), &cfg_.tapir, &topology_,
-          &cfg_.sim));
-      network_->Register(replicas_.back().get());
+      nodes_.push_back(std::make_unique<Node>(network_.get(),
+                                              topology_.ReplicaNode(shard, r),
+                                              &cfg_.sim.cost,
+                                              cfg_.sim.replica_workers));
+      network_->Register(nodes_.back().get());
+      replicas_.push_back(std::make_unique<TapirReplica>(nodes_.back().get(),
+                                                         &cfg_.tapir, &topology_));
     }
   }
   for (uint32_t c = 0; c < cfg_.num_clients; ++c) {
-    clients_.push_back(std::make_unique<TapirClient>(
-        network_.get(), topology_.ClientNode(c), c + 1, &cfg_.tapir, &topology_,
-        &cfg_.sim, rng.Fork()));
-    network_->Register(clients_.back().get());
+    nodes_.push_back(std::make_unique<Node>(network_.get(), topology_.ClientNode(c),
+                                            &cfg_.sim.cost, /*workers=*/1));
+    network_->Register(nodes_.back().get());
+    clients_.push_back(std::make_unique<TapirClient>(nodes_.back().get(), c + 1,
+                                                     &cfg_.tapir, &topology_,
+                                                     rng.Fork()));
   }
 }
 

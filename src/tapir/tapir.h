@@ -17,9 +17,12 @@
 #include "src/common/config.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/task.h"
 #include "src/sim/db.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
 #include "src/sim/node.h"
-#include "src/sim/task.h"
 #include "src/sim/topology.h"
 #include "src/store/version_store.h"
 
@@ -36,8 +39,8 @@ enum TapirMsgKind : uint16_t {
 };
 
 // Tapir messages carry no signatures; their canonical encodings (registered with the
-// sim-layer codec registry, see docs/WIRE_FORMAT.md) exist so wire sizes are measured
-// from real bytes exactly like Basil's.
+// runtime-layer codec registry, see docs/WIRE_FORMAT.md) exist so wire sizes are
+// measured from real bytes exactly like Basil's.
 struct TapirReadMsg : MsgBase {
   uint64_t req_id = 0;
   Key key;
@@ -98,10 +101,9 @@ struct TapirDecideMsg : MsgBase {
   static TapirDecideMsg DecodeFrom(Decoder& dec);
 };
 
-class TapirReplica : public Node {
+class TapirReplica : public Process {
  public:
-  TapirReplica(Network* net, NodeId id, const TapirConfig* cfg, const Topology* topo,
-               const SimConfig* sim_cfg);
+  TapirReplica(Runtime* rt, const TapirConfig* cfg, const Topology* topo);
 
   void Handle(const MsgEnvelope& env) override;
   VersionStore& store() { return store_; }
@@ -134,10 +136,10 @@ class TapirReplica : public Node {
   std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
 };
 
-class TapirClient : public Node, public SystemClient, public TxnSession {
+class TapirClient : public Process, public SystemClient, public TxnSession {
  public:
-  TapirClient(Network* net, NodeId id, ClientId client_id, const TapirConfig* cfg,
-              const Topology* topo, const SimConfig* sim_cfg, Rng rng);
+  TapirClient(Runtime* rt, ClientId client_id, const TapirConfig* cfg,
+              const Topology* topo, Rng rng);
 
   TxnSession& BeginTxn() override;
   Task<std::optional<Value>> Get(const Key& key) override;
@@ -219,6 +221,7 @@ class TapirCluster {
   Topology topology_;
   EventQueue events_;
   std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // Sim runtimes, indexed by NodeId.
   std::vector<std::unique_ptr<TapirReplica>> replicas_;
   std::vector<std::unique_ptr<TapirClient>> clients_;
 };

@@ -1,0 +1,29 @@
+#include "src/txbft/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace basil {
+
+void ConsensusCmd::EncodeTo(Encoder& enc) const {
+  enc.PutBytes(id.data(), id.size());
+  enc.PutBool(payload != nullptr);
+  if (payload != nullptr && !EncodeMsgFrame(*payload, enc)) {
+    // A command whose payload cannot be encoded canonically can never cross the wire;
+    // proposing it would silently diverge replicas.
+    std::fprintf(stderr, "ConsensusCmd: no codec for payload kind %u\n",
+                 static_cast<unsigned>(payload->kind));
+    std::abort();
+  }
+}
+
+ConsensusCmd ConsensusCmd::DecodeFrom(Decoder& dec) {
+  ConsensusCmd cmd;
+  dec.GetBytes(cmd.id.data(), cmd.id.size());
+  if (dec.GetBool()) {
+    cmd.payload = DecodeMsgFrame(dec);
+  }
+  return cmd;
+}
+
+}  // namespace basil

@@ -9,7 +9,7 @@
 
 #include "src/common/config.h"
 #include "src/crypto/signer.h"
-#include "src/sim/node.h"
+#include "src/runtime/runtime.h"
 #include "src/sim/topology.h"
 
 namespace basil {
@@ -17,13 +17,17 @@ namespace basil {
 struct ConsensusCmd {
   Hash256 id{};     // Dedup key (commands may be submitted to several replicas).
   MsgPtr payload;   // Opaque to the engine; the transaction layer casts it back.
-  uint64_t wire_size = 64;
+
+  // Canonical encoding: the command id plus the payload's message frame (the payload's
+  // kind must have a registered codec). Engine messages embed batches of these.
+  void EncodeTo(Encoder& enc) const;
+  static ConsensusCmd DecodeFrom(Decoder& dec);
 };
 
 class ConsensusEngine {
  public:
   struct Env {
-    Node* node = nullptr;  // Host replica: used for sending and timers.
+    Runtime* node = nullptr;  // Host replica's runtime: used for sending and timers.
     const Topology* topo = nullptr;
     ShardId shard = 0;
     const KeyRegistry* keys = nullptr;

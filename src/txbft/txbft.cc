@@ -3,8 +3,123 @@
 #include "src/common/serde.h"
 #include "src/hotstuff/hotstuff.h"
 #include "src/pbft/pbft.h"
+#include "src/sim/codec_util.h"
 
 namespace basil {
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+TxCmdKind GetTxCmdKind(Decoder& dec) {
+  const uint8_t v = dec.GetU8();
+  if (v > static_cast<uint8_t>(TxCmdKind::kDecide)) {
+    dec.Fail();
+    return TxCmdKind::kPrepare;
+  }
+  return static_cast<TxCmdKind>(v);
+}
+
+}  // namespace
+
+void TxReadMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutString(key);
+}
+
+TxReadMsg TxReadMsg::DecodeFrom(Decoder& dec) {
+  TxReadMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.key = dec.GetString();
+  return msg;
+}
+
+void TxReadReplyMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutBool(found);
+  if (found) {
+    enc.PutTimestamp(version);
+    enc.PutString(value);
+  }
+  enc.PutU32(replica);
+  cert.EncodeTo(enc);
+}
+
+TxReadReplyMsg TxReadReplyMsg::DecodeFrom(Decoder& dec) {
+  TxReadReplyMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.found = dec.GetBool();
+  if (msg.found) {
+    msg.version = dec.GetTimestamp();
+    msg.value = dec.GetString();
+  }
+  msg.replica = dec.GetU32();
+  msg.cert = BatchCert::DecodeFrom(dec);
+  return msg;
+}
+
+void TxSubmitMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU8(static_cast<uint8_t>(cmd));
+  EncodeOptionalTxn(enc, txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(origin);
+}
+
+TxSubmitMsg TxSubmitMsg::DecodeFrom(Decoder& dec) {
+  TxSubmitMsg msg;
+  msg.cmd = GetTxCmdKind(dec);
+  msg.txn = DecodeOptionalTxn(dec);
+  msg.decision = GetDecision(dec);
+  msg.origin = dec.GetU32();
+  return msg;
+}
+
+void TxVoteReplyMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(vote));
+  enc.PutU32(replica);
+  cert.EncodeTo(enc);
+}
+
+TxVoteReplyMsg TxVoteReplyMsg::DecodeFrom(Decoder& dec) {
+  TxVoteReplyMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.vote = GetVote(dec);
+  msg.replica = dec.GetU32();
+  msg.cert = BatchCert::DecodeFrom(dec);
+  return msg;
+}
+
+void TxDecideReplyMsg::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(txn);
+  enc.PutU8(static_cast<uint8_t>(decision));
+  enc.PutU32(replica);
+  cert.EncodeTo(enc);
+}
+
+TxDecideReplyMsg TxDecideReplyMsg::DecodeFrom(Decoder& dec) {
+  TxDecideReplyMsg msg;
+  msg.txn = dec.GetDigest();
+  msg.decision = GetDecision(dec);
+  msg.replica = dec.GetU32();
+  msg.cert = BatchCert::DecodeFrom(dec);
+  return msg;
+}
+
+namespace {
+
+[[maybe_unused]] const bool kTxBftCodecsRegistered = [] {
+  RegisterMsgCodecFor<TxReadMsg>(kTxRead);
+  RegisterMsgCodecFor<TxReadReplyMsg>(kTxReadReply);
+  RegisterMsgCodecFor<TxSubmitMsg>(kTxSubmit);
+  RegisterMsgCodecFor<TxVoteReplyMsg>(kTxVoteReply);
+  RegisterMsgCodecFor<TxDecideReplyMsg>(kTxDecideReply);
+  return true;
+}();
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Message digests.
@@ -54,22 +169,26 @@ Hash256 TxDecideReplyMsg::Digest() const {
 // Replica.
 // ---------------------------------------------------------------------------
 
-TxBftReplica::TxBftReplica(Network* net, NodeId id, const TxBftConfig* cfg,
-                           const Topology* topo, const KeyRegistry* keys,
-                           const SimConfig* sim_cfg, BftEngineKind kind)
-    : Node(net, id, &sim_cfg->cost, sim_cfg->replica_workers),
+TxBftReplica::TxBftReplica(Runtime* rt, const TxBftConfig* cfg, const Topology* topo,
+                           const KeyRegistry* keys, BftEngineKind kind)
+    : Process(rt),
       cfg_(cfg),
       topo_(topo),
       keys_(keys) {
   ConsensusEngine::Env env;
-  env.node = this;
+  env.node = rt;
   env.topo = topo;
-  env.shard = topo->ShardOfReplicaNode(id);
+  env.shard = topo->ShardOfReplicaNode(id());
   env.keys = keys;
   env.cfg = cfg;
   env.deliver = [this](const ConsensusCmd& cmd) {
-    const auto* submit = static_cast<const TxSubmitMsg*>(cmd.payload.get());
-    ExecuteCommand(*submit);
+    // Commands can arrive decoded off the wire, so the payload is untrusted: a
+    // Byzantine proposer may batch a null or foreign-kind payload.
+    if (cmd.payload == nullptr || cmd.payload->kind != kTxSubmit) {
+      counters_.Inc("bad_consensus_payload");
+      return;
+    }
+    ExecuteCommand(static_cast<const TxSubmitMsg&>(*cmd.payload));
   };
   if (kind == BftEngineKind::kPbft) {
     engine_ = std::make_unique<PbftEngine>(env);
@@ -103,12 +222,9 @@ void TxBftReplica::OnRead(NodeId src, const TxReadMsg& msg) {
     reply->version = v->ts;
     reply->value = v->value;
   }
-  reply->wire_size = 64 + reply->value.size();
   const Hash256 digest = reply->Digest();
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
-    auto* r = static_cast<TxReadReplyMsg*>(m.get());
-    r->wire_size += cert.WireSize();
-    r->cert = std::move(cert);
+    static_cast<TxReadReplyMsg*>(m.get())->cert = std::move(cert);
   });
   counters_.Inc("reads_served");
 }
@@ -122,7 +238,6 @@ void TxBftReplica::OnSubmit(const TxSubmitMsg& msg) {
   // Re-wrap as an owned payload pointer (the envelope shares ownership).
   auto payload = std::make_shared<TxSubmitMsg>(msg);
   cmd.payload = payload;
-  cmd.wire_size = msg.wire_size;
   engine_->Submit(std::move(cmd));
 }
 
@@ -225,13 +340,10 @@ void TxBftReplica::ExecutePrepare(const TxSubmitMsg& cmd) {
   reply->txn = cmd.txn->id;
   reply->vote = *s.vote;
   reply->replica = id();
-  reply->wire_size = 96;
   const Hash256 digest = reply->Digest();
   SendBatched(cmd.origin, reply, digest,
               [](std::shared_ptr<MsgBase> m, BatchCert cert) {
-                auto* r = static_cast<TxVoteReplyMsg*>(m.get());
-                r->wire_size += cert.WireSize();
-                r->cert = std::move(cert);
+                static_cast<TxVoteReplyMsg*>(m.get())->cert = std::move(cert);
               });
 }
 
@@ -261,13 +373,10 @@ void TxBftReplica::ExecuteDecide(const TxSubmitMsg& cmd) {
   reply->txn = cmd.txn->id;
   reply->decision = cmd.decision;
   reply->replica = id();
-  reply->wire_size = 96;
   const Hash256 digest = reply->Digest();
   SendBatched(cmd.origin, reply, digest,
               [](std::shared_ptr<MsgBase> m, BatchCert cert) {
-                auto* r = static_cast<TxDecideReplyMsg*>(m.get());
-                r->wire_size += cert.WireSize();
-                r->cert = std::move(cert);
+                static_cast<TxDecideReplyMsg*>(m.get())->cert = std::move(cert);
               });
 }
 
@@ -316,10 +425,9 @@ void TxBftReplica::FlushBatch() {
 // Client.
 // ---------------------------------------------------------------------------
 
-TxBftClient::TxBftClient(Network* net, NodeId id, ClientId client_id,
-                         const TxBftConfig* cfg, const Topology* topo,
-                         const KeyRegistry* keys, const SimConfig* sim_cfg, Rng rng)
-    : Node(net, id, &sim_cfg->cost, 1),
+TxBftClient::TxBftClient(Runtime* rt, ClientId client_id, const TxBftConfig* cfg,
+                         const Topology* topo, const KeyRegistry* keys, Rng rng)
+    : Process(rt),
       cfg_(cfg),
       topo_(topo),
       keys_(keys),
@@ -358,7 +466,6 @@ Task<std::optional<Value>> TxBftClient::Get(const Key& key) {
   auto msg = std::make_shared<TxReadMsg>();
   msg->req_id = req;
   msg->key = key;
-  msg->wire_size = 48 + key.size();
   if (keys_->enabled()) {
     meter().ChargeSign();
   }
@@ -462,7 +569,6 @@ Task<Decision> TxBftClient::RunCommit(TxnPtr body) {
   prep->cmd = TxCmdKind::kPrepare;
   prep->txn = body;
   prep->origin = id();
-  prep->wire_size = 64 + body->WireSize();
   if (keys_->enabled()) {
     meter().ChargeSign();
   }
@@ -507,7 +613,6 @@ Task<Decision> TxBftClient::RunCommit(TxnPtr body) {
   dec->txn = body;
   dec->decision = decision;
   dec->origin = id();
-  dec->wire_size = 96 + body->WireSize();
   if (keys_->enabled()) {
     meter().ChargeSign();
   }
@@ -603,17 +708,22 @@ TxBftCluster::TxBftCluster(const TxBftClusterConfig& cfg) : cfg_(cfg) {
   network_ = std::make_unique<Network>(&events_, cfg_.sim.net, rng.Fork());
   for (ShardId shard = 0; shard < topology_.num_shards; ++shard) {
     for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
+      nodes_.push_back(std::make_unique<Node>(network_.get(),
+                                              topology_.ReplicaNode(shard, r),
+                                              &cfg_.sim.cost,
+                                              cfg_.sim.replica_workers));
+      network_->Register(nodes_.back().get());
       replicas_.push_back(std::make_unique<TxBftReplica>(
-          network_.get(), topology_.ReplicaNode(shard, r), &cfg_.txbft, &topology_,
-          keys_.get(), &cfg_.sim, cfg_.engine));
-      network_->Register(replicas_.back().get());
+          nodes_.back().get(), &cfg_.txbft, &topology_, keys_.get(), cfg_.engine));
     }
   }
   for (uint32_t c = 0; c < cfg_.num_clients; ++c) {
-    clients_.push_back(std::make_unique<TxBftClient>(
-        network_.get(), topology_.ClientNode(c), c + 1, &cfg_.txbft, &topology_,
-        keys_.get(), &cfg_.sim, rng.Fork()));
-    network_->Register(clients_.back().get());
+    nodes_.push_back(std::make_unique<Node>(network_.get(), topology_.ClientNode(c),
+                                            &cfg_.sim.cost, /*workers=*/1));
+    network_->Register(nodes_.back().get());
+    clients_.push_back(std::make_unique<TxBftClient>(nodes_.back().get(), c + 1,
+                                                     &cfg_.txbft, &topology_,
+                                                     keys_.get(), rng.Fork()));
   }
 }
 

@@ -18,7 +18,10 @@
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/crypto/batch.h"
+#include "src/runtime/runtime.h"
 #include "src/sim/db.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
 #include "src/sim/node.h"
 #include "src/sim/topology.h"
 #include "src/store/version_store.h"
@@ -36,10 +39,14 @@ enum TxBftMsgKind : uint16_t {
 
 enum class TxCmdKind : uint8_t { kPrepare = 0, kDecide = 1 };
 
+// Canonical encodings (EncodeTo/DecodeFrom) are registered with the codec registry in
+// txbft.cc, so wire sizes come from real bytes and the TCP backend can ship these.
 struct TxReadMsg : MsgBase {
   uint64_t req_id = 0;
   Key key;
   TxReadMsg() { kind = kTxRead; }
+  void EncodeTo(Encoder& enc) const;
+  static TxReadMsg DecodeFrom(Decoder& dec);
 };
 
 struct TxReadReplyMsg : MsgBase {
@@ -50,6 +57,8 @@ struct TxReadReplyMsg : MsgBase {
   NodeId replica = kInvalidNode;
   BatchCert cert;
   TxReadReplyMsg() { kind = kTxReadReply; }
+  void EncodeTo(Encoder& enc) const;
+  static TxReadReplyMsg DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 
@@ -59,6 +68,8 @@ struct TxSubmitMsg : MsgBase {
   Decision decision = Decision::kAbort;  // For kDecide.
   NodeId origin = kInvalidNode;          // Client to reply to.
   TxSubmitMsg() { kind = kTxSubmit; }
+  void EncodeTo(Encoder& enc) const;
+  static TxSubmitMsg DecodeFrom(Decoder& dec);
   Hash256 CmdId() const;
 };
 
@@ -68,6 +79,8 @@ struct TxVoteReplyMsg : MsgBase {
   NodeId replica = kInvalidNode;
   BatchCert cert;
   TxVoteReplyMsg() { kind = kTxVoteReply; }
+  void EncodeTo(Encoder& enc) const;
+  static TxVoteReplyMsg DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 
@@ -77,15 +90,17 @@ struct TxDecideReplyMsg : MsgBase {
   NodeId replica = kInvalidNode;
   BatchCert cert;
   TxDecideReplyMsg() { kind = kTxDecideReply; }
+  void EncodeTo(Encoder& enc) const;
+  static TxDecideReplyMsg DecodeFrom(Decoder& dec);
   Hash256 Digest() const;
 };
 
 enum class BftEngineKind : uint8_t { kPbft, kHotstuff };
 
-class TxBftReplica : public Node {
+class TxBftReplica : public Process {
  public:
-  TxBftReplica(Network* net, NodeId id, const TxBftConfig* cfg, const Topology* topo,
-               const KeyRegistry* keys, const SimConfig* sim_cfg, BftEngineKind kind);
+  TxBftReplica(Runtime* rt, const TxBftConfig* cfg, const Topology* topo,
+               const KeyRegistry* keys, BftEngineKind kind);
 
   void Handle(const MsgEnvelope& env) override;
   VersionStore& store() { return store_; }
@@ -144,11 +159,10 @@ class TxBftReplica : public Node {
   EventId batch_timer_ = 0;
 };
 
-class TxBftClient : public Node, public SystemClient, public TxnSession {
+class TxBftClient : public Process, public SystemClient, public TxnSession {
  public:
-  TxBftClient(Network* net, NodeId id, ClientId client_id, const TxBftConfig* cfg,
-              const Topology* topo, const KeyRegistry* keys, const SimConfig* sim_cfg,
-              Rng rng);
+  TxBftClient(Runtime* rt, ClientId client_id, const TxBftConfig* cfg,
+              const Topology* topo, const KeyRegistry* keys, Rng rng);
 
   TxnSession& BeginTxn() override;
   Task<std::optional<Value>> Get(const Key& key) override;
@@ -233,6 +247,7 @@ class TxBftCluster {
   EventQueue events_;
   std::unique_ptr<KeyRegistry> keys_;
   std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // Sim runtimes, indexed by NodeId.
   std::vector<std::unique_ptr<TxBftReplica>> replicas_;
   std::vector<std::unique_ptr<TxBftClient>> clients_;
 };

@@ -14,11 +14,11 @@
 namespace basil {
 namespace {
 
-// A bare replica node hosting just a consensus engine; delivered command ids are
+// A bare replica process hosting just a consensus engine; delivered command ids are
 // recorded per replica for cross-replica comparison.
-class EngineHost : public Node {
+class EngineHost : public Process {
  public:
-  EngineHost(Network* net, NodeId id, const CostModel* cost) : Node(net, id, cost, 8) {}
+  explicit EngineHost(Runtime* rt) : Process(rt) {}
 
   void Handle(const MsgEnvelope& env) override { engine->OnMessage(env); }
 
@@ -38,14 +38,18 @@ struct EngineFixture {
     NetConfig net_cfg;
     net_cfg.one_way_ns = 1000;
     net_cfg.jitter_ns = 100;
+    // Round-trip every engine message through its canonical codec: the encodings must
+    // be the identity on bytes, or the test aborts.
+    net_cfg.codec_check = true;
     net = std::make_unique<Network>(&eq, net_cfg, Rng(5));
     for (uint32_t r = 0; r < cfg.n(); ++r) {
-      hosts.push_back(std::make_unique<EngineHost>(net.get(), r, &cost));
-      net->Register(hosts.back().get());
+      nodes.push_back(std::make_unique<Node>(net.get(), r, &cost, 8));
+      net->Register(nodes.back().get());
+      hosts.push_back(std::make_unique<EngineHost>(nodes.back().get()));
     }
     for (uint32_t r = 0; r < cfg.n(); ++r) {
       ConsensusEngine::Env env;
-      env.node = hosts[r].get();
+      env.node = nodes[r].get();
       env.topo = &topo;
       env.shard = 0;
       env.keys = keys.get();
@@ -65,8 +69,9 @@ struct EngineFixture {
   ConsensusCmd MakeCmd(int i) {
     ConsensusCmd cmd;
     cmd.id = Sha256::Digest("cmd" + std::to_string(i));
-    cmd.payload = std::make_shared<MsgBase>();
-    cmd.wire_size = 100;
+    // The payload must be a codec-registered message so engine batches can cross the
+    // canonical wire; a default TxSubmitMsg is the smallest such payload.
+    cmd.payload = std::make_shared<TxSubmitMsg>();
     return cmd;
   }
 
@@ -86,6 +91,7 @@ struct EngineFixture {
   CostModel cost;
   std::unique_ptr<KeyRegistry> keys;
   std::unique_ptr<Network> net;
+  std::vector<std::unique_ptr<Node>> nodes;
   std::vector<std::unique_ptr<EngineHost>> hosts;
 };
 

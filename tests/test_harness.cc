@@ -25,7 +25,7 @@ struct Fixture {
     Driver driver(&cluster->events(), dc, workload.get());
     for (uint32_t i = 0; i < cluster->config().num_clients; ++i) {
       BasilClient& c = cluster->client(i);
-      driver.AddClient(Driver::ClientSlot{&c, &c, &c});
+      driver.AddClient(Driver::ClientSlot{&c, &c.runtime(), &c});
     }
     return driver.Run();
   }

@@ -1,6 +1,9 @@
-// Node/network timing model: latency, CPU queueing, outbox departure semantics.
+// Node/network timing model: latency, CPU queueing, outbox departure semantics, and
+// the Runtime/Process split (protocol logic bound to a sim node).
 #include "src/sim/network.h"
 #include "src/sim/node.h"
+
+#include "src/runtime/runtime.h"
 
 #include <gtest/gtest.h>
 
@@ -28,11 +31,10 @@ struct PongMsg : MsgBase {
   }
 };
 
-class EchoNode : public Node {
+class EchoProcess : public Process {
  public:
-  EchoNode(Network* net, NodeId id, const CostModel* cost, uint32_t workers,
-           uint64_t service_ns)
-      : Node(net, id, cost, workers), service_ns_(service_ns) {}
+  EchoProcess(Runtime* rt, uint64_t service_ns)
+      : Process(rt), service_ns_(service_ns) {}
 
   void Handle(const MsgEnvelope& env) override {
     if (env.msg->kind == kPing) {
@@ -57,17 +59,21 @@ struct Fixture {
     net_cfg.one_way_ns = 1000;
     net_cfg.jitter_ns = 0;
     net = std::make_unique<Network>(&eq, net_cfg, Rng(1));
-    server = std::make_unique<EchoNode>(net.get(), 0, &cost, workers, service_ns);
-    client = std::make_unique<EchoNode>(net.get(), 1, &cost, 1, 0);
-    net->Register(server.get());
-    net->Register(client.get());
+    server_node = std::make_unique<Node>(net.get(), 0, &cost, workers);
+    client_node = std::make_unique<Node>(net.get(), 1, &cost, 1);
+    net->Register(server_node.get());
+    net->Register(client_node.get());
+    server = std::make_unique<EchoProcess>(server_node.get(), service_ns);
+    client = std::make_unique<EchoProcess>(client_node.get(), 0);
   }
 
   EventQueue eq;
   CostModel cost{};
   std::unique_ptr<Network> net;
-  std::unique_ptr<EchoNode> server;
-  std::unique_ptr<EchoNode> client;
+  std::unique_ptr<Node> server_node;
+  std::unique_ptr<Node> client_node;
+  std::unique_ptr<EchoProcess> server;
+  std::unique_ptr<EchoProcess> client;
 };
 
 TEST(NodeNetwork, RoundTripLatency) {
@@ -125,8 +131,8 @@ TEST(NodeNetwork, BusyTimeAccounted) {
   Fixture f(1, 12345);
   f.net->SendAt(0, 1, 0, std::make_shared<PingMsg>());
   f.eq.RunAll();
-  EXPECT_GE(f.server->busy_ns(), 12345u);
-  EXPECT_EQ(f.server->handled_messages(), 1u);
+  EXPECT_GE(f.server_node->busy_ns(), 12345u);
+  EXPECT_EQ(f.server_node->handled_messages(), 1u);
 }
 
 }  // namespace

@@ -17,6 +17,9 @@ TxBftClusterConfig MakeConfig(BftEngineKind engine) {
   cfg.engine = engine;
   cfg.num_clients = 4;
   cfg.sim.seed = 5;
+  // Round-trip every message (engine-internal and transaction-layer) through its
+  // canonical codec: encode -> decode -> re-encode must be the identity on bytes.
+  cfg.sim.net.codec_check = true;
   return cfg;
 }
 

@@ -1,0 +1,210 @@
+// basil_node: one Basil node as one OS process, speaking canonical frames over TCP.
+//
+//   basil_node --config cluster.cfg --id 0                 # replica (runs until
+//                                                          # SIGTERM/SIGINT)
+//   basil_node --config cluster.cfg --id 6 --txns 1000     # client driver: runs
+//                                                          # read-modify-write
+//                                                          # transactions, then exits
+//
+// Every process reads the same config file (src/net/peer_config.h) and derives the
+// same topology and key registry from it, so signatures verify across processes. The
+// client driver prints "PROGRESS <n>" every 100 commits and a final
+// "DONE committed=<n> attempts=<n>"; scripts/run_tcp_cluster.sh builds the whole
+// deployment and asserts liveness through a replica kill.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "src/basil/client.h"
+#include "src/basil/replica.h"
+#include "src/net/peer_config.h"
+#include "src/net/tcp_runtime.h"
+#include "src/runtime/task.h"
+
+namespace basil {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+struct Options {
+  std::string config;
+  NodeId id = kInvalidNode;
+  uint64_t txns = 1000;    // Client role: transactions to commit before exiting.
+  uint32_t keys = 16;      // Client role: key-space width.
+  uint64_t timeout_s = 120;  // Client role: overall deadline.
+};
+
+bool ParseArgs(int argc, char** argv, Options* opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--config") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->config = v;
+    } else if (arg == "--id") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->id = static_cast<NodeId>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--txns") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->txns = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--keys") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->keys = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--timeout") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->timeout_s = std::strtoull(v, nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opt->config.empty() && opt->id != kInvalidNode;
+}
+
+struct DriverState {
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+  bool done = false;
+};
+
+// Closed-loop read-modify-write driver: the client-side workload of the integration
+// deployment. Retries system aborts with backoff, like the paper's clients.
+Task<void> RunDriver(BasilClient* client, const Options* opt, DriverState* state) {
+  uint64_t i = 0;
+  while (state->committed < opt->txns) {
+    const Key key = "k" + std::to_string(i++ % opt->keys);
+    int backoff_shift = 0;
+    while (true) {
+      ++state->attempts;
+      TxnSession& s = client->BeginTxn();
+      std::optional<Value> v = co_await s.Get(key);
+      const uint64_t counter =
+          v.has_value() ? std::strtoull(v->c_str(), nullptr, 10) + 1 : 1;
+      s.Put(key, std::to_string(counter));
+      const TxnOutcome out = co_await s.Commit();
+      if (out.committed) {
+        ++state->committed;
+        if (state->committed % 100 == 0) {
+          std::printf("PROGRESS %llu\n",
+                      static_cast<unsigned long long>(state->committed));
+          std::fflush(stdout);
+        }
+        break;
+      }
+      backoff_shift = std::min(backoff_shift + 1, 8);
+      co_await SleepNs(*client, (1ull << backoff_shift) * 250'000);
+    }
+  }
+  state->done = true;
+}
+
+int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
+               const KeyRegistry& keys) {
+  BasilReplica replica(&rt, &cfg.basil, &topo, &keys);
+  if (!rt.Start()) {
+    return 1;
+  }
+  std::printf("READY replica %u shard %u\n", rt.id(), replica.shard());
+  std::fflush(stdout);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  rt.Stop();
+  std::printf("STOPPED replica %u handled=%llu\n", rt.id(),
+              static_cast<unsigned long long>(rt.messages_received()));
+  return 0;
+}
+
+int RunClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
+              const KeyRegistry& keys, const Options& opt) {
+  const ClientId client_id = rt.id() - cfg.num_replicas + 1;
+  BasilClient client(&rt, client_id, &cfg.basil, &topo, &keys,
+                     Rng(cfg.seed * 77 + rt.id()));
+  if (!rt.Start()) {
+    return 1;
+  }
+  std::printf("READY client %u\n", rt.id());
+  std::fflush(stdout);
+
+  DriverState state;
+  rt.Execute([&]() { Spawn(RunDriver(&client, &opt, &state)); });
+
+  const bool ok = rt.WaitUntil([&]() { return state.done || g_stop != 0; },
+                               opt.timeout_s * 1'000'000'000ull);
+  // Snapshot results on the loop thread before stopping it.
+  DriverState final_state;
+  rt.WaitUntil(
+      [&]() {
+        final_state = state;
+        return true;
+      },
+      5'000'000'000ull);
+  rt.Stop();
+  std::printf("DONE committed=%llu attempts=%llu\n",
+              static_cast<unsigned long long>(final_state.committed),
+              static_cast<unsigned long long>(final_state.attempts));
+  std::fflush(stdout);
+  if (!ok || !final_state.done) {
+    std::fprintf(stderr, "client %u: timed out with %llu/%llu committed\n", rt.id(),
+                 static_cast<unsigned long long>(final_state.committed),
+                 static_cast<unsigned long long>(opt.txns));
+    return 2;
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  if (!ParseArgs(argc, argv, &opt)) {
+    std::fprintf(stderr,
+                 "usage: basil_node --config <file> --id <node> [--txns N] "
+                 "[--keys K] [--timeout S]\n");
+    return 1;
+  }
+  DeployConfig cfg;
+  std::string err;
+  if (!DeployConfig::Load(opt.config, &cfg, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
+  if (opt.id >= cfg.peers.size()) {
+    std::fprintf(stderr, "--id %u out of range (config has %zu nodes)\n", opt.id,
+                 cfg.peers.size());
+    return 1;
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  const Topology topo = cfg.MakeTopology();
+  // Deterministic from the shared seed: every process derives the same keys, so
+  // signatures made in one process verify in all others.
+  const KeyRegistry keys(topo.TotalNodes(), cfg.seed, /*enabled=*/true);
+  TcpRuntime rt(opt.id, cfg.peers);
+  return cfg.is_replica[opt.id] ? RunReplica(cfg, rt, topo, keys)
+                                : RunClient(cfg, rt, topo, keys, opt);
+}
+
+}  // namespace
+}  // namespace basil
+
+int main(int argc, char** argv) { return basil::Main(argc, argv); }
