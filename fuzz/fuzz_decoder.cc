@@ -156,6 +156,32 @@ std::vector<std::vector<uint8_t>> SeedFrames() {
     add(m);
   }
   {
+    StateRequestMsg m;
+    m.req_id = 3;
+    m.since = Timestamp{50, 2};
+    add(m);
+  }
+  {
+    StateChunkMsg m;
+    m.req_id = 3;
+    m.replica = 1;
+    m.done = true;
+    auto cert = std::make_shared<DecisionCert>();
+    cert->txn = PatternDigest(0x50);
+    cert->decision = Decision::kCommit;
+    cert->kind = DecisionCert::Kind::kFastVotes;
+    cert->shard_votes[0] = {[] {
+      SignedVote v;
+      v.txn = PatternDigest(0x50);
+      v.vote = Vote::kCommit;
+      v.replica = 0;
+      v.cert = MakeBatchCert();
+      return v;
+    }()};
+    m.entries.push_back(StateEntry{MakeTxn(), std::move(cert)});
+    add(m);
+  }
+  {
     TapirReadMsg m;
     m.req_id = 42;
     m.key = "k";

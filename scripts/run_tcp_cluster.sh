@@ -1,13 +1,29 @@
 #!/usr/bin/env bash
 # Multi-process integration test: deploy one Basil shard (f=1 -> 6 replicas) plus one
 # client driver as separate OS processes over localhost TCP, commit >= TXNS real
-# transactions end-to-end, and kill one replica mid-run to assert liveness under f=1.
+# transactions end-to-end, and exercise crash recovery under f=1:
+#
+#   1. kill replica 5 once a third of the transactions have committed (liveness with
+#      a dead replica),
+#   2. restart the same replica with its data dir shortly after: it must replay its
+#      WAL, catch up via peer state transfer (RECOVERED), and then participate in
+#      >= MIN_REJOIN_COMMITS further commits (docs/RECOVERY.md).
 #
 # Usage: run_tcp_cluster.sh <path-to-basil_node> [txns]
 set -u
 
 BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [txns]}"
 TXNS="${2:-1000}"
+# Recovery has a fixed wall-clock floor (~1 s: peers' reconnect backoff toward the
+# restarted node), and commits landing before the RECOVERED print do not count as
+# rejoin participation. Short smoke runs (< 600 txns) finish inside that floor, so
+# the participation threshold only applies to longer runs — the ctest config (1000)
+# asserts >= 100; smoke runs still assert kill + WAL replay + RECOVERED.
+if [ "$TXNS" -ge 600 ]; then
+  MIN_REJOIN_COMMITS=$((TXNS / 10))
+else
+  MIN_REJOIN_COMMITS=0
+fi
 
 WORKDIR="$(mktemp -d)"
 # Port base derived from the PID so parallel ctest invocations do not collide.
@@ -38,8 +54,10 @@ CFG="$WORKDIR/cluster.cfg"
 echo "== config =="
 cat "$CFG"
 
+DATA_DIR="$WORKDIR/data"
 for i in 0 1 2 3 4 5; do
-  "$BASIL_NODE" --config "$CFG" --id "$i" > "$WORKDIR/replica$i.log" 2>&1 &
+  "$BASIL_NODE" --config "$CFG" --id "$i" --data-dir "$DATA_DIR" \
+    > "$WORKDIR/replica$i.log" 2>&1 &
   PIDS+=($!)
 done
 
@@ -62,17 +80,31 @@ echo "== replicas ready =="
 CLIENT_PID=$!
 PIDS+=("$CLIENT_PID")
 
-# Once the client is past TXNS/3 commits, kill one replica (the highest index: it is
-# never the lone holder of anything with f=1) and require progress to continue.
+# Kill replica 5 (the highest index: never the lone holder of anything with f=1) at
+# a third of the run, restart it — same id, same data dir — shortly after (commits
+# landing in between are the missed state it must transfer), and require progress
+# throughout. Restarting early maximizes the post-recovery runway.
 KILL_AT=$((TXNS / 3))
+RESTART_AT=$((TXNS / 3 + TXNS / 12))
 KILLED=0
+RESTARTED=0
+RESTART_PID=
 while kill -0 "$CLIENT_PID" 2>/dev/null; do
   PROGRESS=$(grep -c PROGRESS "$WORKDIR/client.log" 2>/dev/null || true)
   COMMITTED=$((PROGRESS * 100))
   if [ "$KILLED" -eq 0 ] && [ "$COMMITTED" -ge "$KILL_AT" ]; then
     echo "== killing replica 5 at ~$COMMITTED commits =="
-    kill "${PIDS[5]}" 2>/dev/null
+    kill -9 "${PIDS[5]}" 2>/dev/null
     KILLED=1
+  fi
+  if [ "$KILLED" -eq 1 ] && [ "$RESTARTED" -eq 0 ] && \
+     [ "$COMMITTED" -ge "$RESTART_AT" ]; then
+    echo "== restarting replica 5 at ~$COMMITTED commits =="
+    "$BASIL_NODE" --config "$CFG" --id 5 --data-dir "$DATA_DIR" \
+      > "$WORKDIR/replica5b.log" 2>&1 &
+    RESTART_PID=$!
+    PIDS+=("$RESTART_PID")
+    RESTARTED=1
   fi
   sleep 0.2
 done
@@ -86,16 +118,66 @@ if [ "$KILLED" -ne 1 ]; then
   echo "FAIL: client finished before the replica kill was exercised"
   exit 1
 fi
+if [ "$RESTARTED" -ne 1 ]; then
+  echo "FAIL: client finished before the replica restart was exercised"
+  exit 1
+fi
 if [ "$CLIENT_RC" -ne 0 ]; then
   echo "FAIL: client exited with $CLIENT_RC"
   for i in 0 1 2 3 4; do
     echo "-- replica$i.log --"; tail -3 "$WORKDIR/replica$i.log"
   done
+  echo "-- replica5b.log --"; tail -3 "$WORKDIR/replica5b.log"
   exit 1
 fi
 if ! grep -q "DONE committed=$TXNS" "$WORKDIR/client.log"; then
   echo "FAIL: client did not report committed=$TXNS"
   exit 1
 fi
-echo "PASS: $TXNS transactions committed over TCP with a mid-run replica kill"
+
+# The restarted replica must have replayed a non-empty WAL/snapshot, completed state
+# transfer, and then participated in the quorum for >= MIN_REJOIN_COMMITS commits.
+echo "== restarted replica log =="
+cat "$WORKDIR/replica5b.log"
+if ! grep -q "REPLAY" "$WORKDIR/replica5b.log"; then
+  echo "FAIL: restarted replica did not report a WAL replay"
+  exit 1
+fi
+REPLAYED=$(grep -o "wal=[0-9]*" "$WORKDIR/replica5b.log" | cut -d= -f2)
+SNAPPED=$(grep -o "snapshot=[0-9]*" "$WORKDIR/replica5b.log" | cut -d= -f2)
+if [ "$((REPLAYED + SNAPPED))" -lt 1 ]; then
+  echo "FAIL: restarted replica replayed no durable state (wal=$REPLAYED snapshot=$SNAPPED)"
+  exit 1
+fi
+# Wait for RECOVERED (state transfer completes quickly once peers answer).
+for _ in $(seq 1 100); do
+  grep -q RECOVERED "$WORKDIR/replica5b.log" 2>/dev/null && break
+  sleep 0.1
+done
+if ! grep -q "RECOVERED" "$WORKDIR/replica5b.log"; then
+  echo "FAIL: restarted replica never completed state transfer"
+  exit 1
+fi
+# Stop it cleanly and compare its commit counter at recovery vs. shutdown.
+kill "$RESTART_PID" 2>/dev/null
+for _ in $(seq 1 100); do
+  grep -q STOPPED "$WORKDIR/replica5b.log" 2>/dev/null && break
+  sleep 0.1
+done
+C0=$(grep RECOVERED "$WORKDIR/replica5b.log" | grep -o "commits=[0-9]*" | cut -d= -f2)
+C1=$(grep STOPPED "$WORKDIR/replica5b.log" | grep -o "commits=[0-9]*" | cut -d= -f2)
+A0=$(grep RECOVERED "$WORKDIR/replica5b.log" | grep -o "applied=[0-9]*" | cut -d= -f2)
+A1=$(grep STOPPED "$WORKDIR/replica5b.log" | grep -o "applied=[0-9]*" | cut -d= -f2)
+if [ -z "$C0" ] || [ -z "$C1" ] || [ -z "$A0" ] || [ -z "$A1" ]; then
+  echo "FAIL: could not parse commit counters from the restarted replica"
+  exit 1
+fi
+# Late state-transfer chunks (peers beyond the 2f+1 done-quorum) also bump the
+# commit counter; subtract them so the assertion measures real quorum votes.
+REJOIN_COMMITS=$(((C1 - C0) - (A1 - A0)))
+if [ "$MIN_REJOIN_COMMITS" -gt 0 ] && [ "$REJOIN_COMMITS" -lt "$MIN_REJOIN_COMMITS" ]; then
+  echo "FAIL: restarted replica participated in only $REJOIN_COMMITS commits after recovery (need >= $MIN_REJOIN_COMMITS)"
+  exit 1
+fi
+echo "PASS: $TXNS transactions committed over TCP; replica 5 was killed, restarted from its WAL, recovered via state transfer, and participated in $REJOIN_COMMITS post-recovery commits"
 exit 0

@@ -57,4 +57,52 @@ void ByzantineBasilReplica::OnSt2(NodeId src, const St2Msg& msg) {
   ReplySt2Ack(src, s);
 }
 
+void ByzantineBasilReplica::OnStateRequest(NodeId src, const StateRequestMsg& msg) {
+  if (mode_ != ByzReplicaMode::kCorruptStateChunks) {
+    BasilReplica::OnStateRequest(src, msg);
+    return;
+  }
+  // Serve a stream of poisoned entries built from real commits: even entries carry a
+  // tampered body under the original digest (hash check must fail), odd entries keep
+  // the honest body but attach a fabricated certificate with no quorum behind it
+  // (cert validation must fail). Then claim to be done, hoping the rejoiner counts
+  // us toward its completion quorum anyway — which is exactly why that quorum is
+  // 2f+1, not f+1.
+  auto chunk = std::make_shared<StateChunkMsg>();
+  chunk->req_id = msg.req_id;
+  chunk->replica = id();
+  chunk->done = true;
+  size_t i = 0;
+  for (const auto& [digest, s] : txns_) {
+    (void)digest;
+    if (!s.decided || s.final_decision != Decision::kCommit || s.txn == nullptr ||
+        s.final_cert == nullptr) {
+      continue;
+    }
+    StateEntry entry;
+    if (i % 2 == 0) {
+      auto tampered = std::make_shared<Transaction>(*s.txn);
+      for (WriteEntry& w : tampered->write_set) {
+        w.value += "_corrupt";
+      }
+      // Keep the original id: the body no longer hashes to it.
+      entry.txn = std::move(tampered);
+      entry.cert = s.final_cert;
+    } else {
+      auto forged = std::make_shared<DecisionCert>();
+      forged->txn = s.txn->id;
+      forged->decision = Decision::kCommit;
+      forged->kind = DecisionCert::Kind::kFastVotes;  // Zero votes: no quorum.
+      entry.txn = s.txn;
+      entry.cert = std::move(forged);
+    }
+    chunk->entries.push_back(std::move(entry));
+    if (++i >= 8) {
+      break;
+    }
+  }
+  counters().Inc("byz_corrupt_state_entries", chunk->entries.size());
+  Send(src, std::move(chunk));
+}
+
 }  // namespace basil

@@ -23,6 +23,11 @@ enum class ByzReplicaMode : uint8_t {
   // regardless of the logged decision. Cannot forge the batch signature of others, so
   // its lies are confined to its own vote weight.
   kEquivocateAcks,
+  // Serves corrupted StateChunks to recovering peers: tampered transaction bodies
+  // (digest no longer matches) and fabricated certificates (no quorum behind them).
+  // A correct rejoiner must reject every entry via cert validation
+  // (docs/RECOVERY.md); otherwise it behaves correctly.
+  kCorruptStateChunks,
 };
 
 class ByzantineBasilReplica : public BasilReplica {
@@ -39,6 +44,7 @@ class ByzantineBasilReplica : public BasilReplica {
   Vote FilterVote(const TxnDigest& txn, Vote vote) override;
   void OnRead(NodeId src, const ReadMsg& msg) override;
   void OnSt2(NodeId src, const St2Msg& msg) override;
+  void OnStateRequest(NodeId src, const StateRequestMsg& msg) override;
 
  private:
   ByzReplicaMode mode_;

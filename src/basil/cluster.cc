@@ -46,20 +46,56 @@ BasilCluster::BasilCluster(const BasilClusterConfig& cfg) : cfg_(cfg) {
 void BasilCluster::Load(const Key& key, const Value& value) {
   const ShardId shard = ShardOfKey(key, topology_.num_shards);
   for (ReplicaId r = 0; r < topology_.replicas_per_shard; ++r) {
-    replicas_[topology_.ReplicaNode(shard, r)]->LoadGenesis(key, value);
+    auto& replica = replicas_[topology_.ReplicaNode(shard, r)];
+    if (replica != nullptr) {  // A crashed replica misses the load, as it would
+      replica->LoadGenesis(key, value);  // miss any traffic.
+    }
   }
 }
 
 void BasilCluster::SetGenesisFn(VersionStore::GenesisFn fn) {
+  genesis_fn_ = fn;  // Kept so restarted replicas regain it (genesis state is
+                     // derived, not WAL-logged or state-transferred).
   for (auto& r : replicas_) {
-    r->store().SetGenesisFn(fn);
+    if (r != nullptr) {
+      r->store().SetGenesisFn(fn);
+    }
   }
+}
+
+void BasilCluster::CrashReplica(ShardId shard, ReplicaId r) {
+  const NodeId id = topology_.ReplicaNode(shard, r);
+  nodes_[id]->Crash();
+  replicas_[id].reset();
+}
+
+BasilReplica& BasilCluster::RestartReplica(ShardId shard, ReplicaId r) {
+  const NodeId id = topology_.ReplicaNode(shard, r);
+  nodes_[id]->Restart();
+  // Mirror the constructor: the highest indices stay Byzantine across restarts, and
+  // the lazy genesis generator is re-installed (it is config, not durable state).
+  const bool byz = cfg_.byz_replica_mode != ByzReplicaMode::kNone &&
+                   r >= topology_.replicas_per_shard - cfg_.byz_replicas_per_shard;
+  if (byz) {
+    replicas_[id] = std::make_unique<ByzantineBasilReplica>(
+        nodes_[id].get(), &cfg_.basil, &topology_, keys_.get(),
+        cfg_.byz_replica_mode);
+  } else {
+    replicas_[id] = std::make_unique<BasilReplica>(nodes_[id].get(), &cfg_.basil,
+                                                   &topology_, keys_.get());
+  }
+  if (genesis_fn_) {
+    replicas_[id]->store().SetGenesisFn(genesis_fn_);
+  }
+  return *replicas_[id];
 }
 
 Counters BasilCluster::ReplicaCounters() const {
   Counters out;
   for (const auto& r : replicas_) {
-    out.Merge(r->counters());
+    if (r != nullptr) {
+      out.Merge(r->counters());
+    }
   }
   return out;
 }

@@ -12,6 +12,8 @@
 #ifndef BASIL_SRC_BASIL_CLUSTER_H_
 #define BASIL_SRC_BASIL_CLUSTER_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -49,8 +51,22 @@ class BasilCluster {
 
   BasilClient& client(uint32_t i) { return *clients_.at(i); }
   BasilReplica& replica(ShardId shard, ReplicaId r) {
-    return *replicas_.at(topology_.ReplicaNode(shard, r));
+    auto& p = replicas_.at(topology_.ReplicaNode(shard, r));
+    if (p == nullptr) {  // Crashed: fail loudly in every build configuration.
+      std::fprintf(stderr, "replica (%u,%u) is crashed; RestartReplica it first\n",
+                   shard, r);
+      std::abort();
+    }
+    return *p;
   }
+
+  // Crash/restart simulation (recovery tests, docs/RECOVERY.md). CrashReplica
+  // destroys the protocol actor and silences its node: deliveries drop, timers die.
+  // RestartReplica builds a fresh replica on the same node, as a restarted process
+  // would — rebuilding its store from a DurableStore and catching up via
+  // StartRecovery() are the caller's moves, exactly like tools/basil_node.cc.
+  void CrashReplica(ShardId shard, ReplicaId r);
+  BasilReplica& RestartReplica(ShardId shard, ReplicaId r);
 
   const Topology& topology() const { return topology_; }
   const BasilClusterConfig& config() const { return cfg_; }
@@ -76,6 +92,7 @@ class BasilCluster {
   std::vector<std::unique_ptr<Node>> nodes_;  // Sim runtimes, indexed by NodeId.
   std::vector<std::unique_ptr<BasilReplica>> replicas_;
   std::vector<std::unique_ptr<BasilClient>> clients_;
+  VersionStore::GenesisFn genesis_fn_;  // Re-installed on restarted replicas.
 };
 
 }  // namespace basil

@@ -429,6 +429,60 @@ FetchReplyMsg FetchReplyMsg::DecodeFrom(Decoder& dec) {
 }
 
 // ---------------------------------------------------------------------------
+// Replica recovery: state transfer.
+// ---------------------------------------------------------------------------
+
+void StateRequestMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutTimestamp(since);
+}
+
+StateRequestMsg StateRequestMsg::DecodeFrom(Decoder& dec) {
+  StateRequestMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.since = dec.GetTimestamp();
+  return msg;
+}
+
+void StateEntry::EncodeTo(Encoder& enc) const {
+  EncodeOptionalTxn(enc, txn);
+  EncodeOptionalCert(enc, cert);
+}
+
+StateEntry StateEntry::DecodeFrom(Decoder& dec) {
+  StateEntry e;
+  e.txn = DecodeOptionalTxn(dec);
+  e.cert = DecodeOptionalCert(dec);
+  return e;
+}
+
+void StateChunkMsg::EncodeTo(Encoder& enc) const {
+  enc.PutU64(req_id);
+  enc.PutU32(replica);
+  enc.PutBool(done);
+  enc.PutVarint(entries.size());
+  for (const StateEntry& e : entries) {
+    e.EncodeTo(enc);
+  }
+}
+
+StateChunkMsg StateChunkMsg::DecodeFrom(Decoder& dec) {
+  StateChunkMsg msg;
+  msg.req_id = dec.GetU64();
+  msg.replica = dec.GetU32();
+  msg.done = dec.GetBool();
+  const uint64_t n = dec.GetVarint();
+  if (!dec.CheckCount(n)) {
+    return msg;
+  }
+  msg.entries.resize(n);
+  for (StateEntry& e : msg.entries) {
+    e = StateEntry::DecodeFrom(dec);
+  }
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
 // Fallback.
 // ---------------------------------------------------------------------------
 
@@ -526,6 +580,8 @@ namespace {
   RegisterMsgCodecFor<DecFbMsg>(kBasilDecFb);
   RegisterMsgCodecFor<FetchMsg>(kBasilFetch);
   RegisterMsgCodecFor<FetchReplyMsg>(kBasilFetchReply);
+  RegisterMsgCodecFor<StateRequestMsg>(kBasilStateRequest);
+  RegisterMsgCodecFor<StateChunkMsg>(kBasilStateChunk);
   return true;
 }();
 

@@ -36,6 +36,8 @@ enum BasilMsgKind : uint16_t {
   kBasilDecFb = 110,
   kBasilFetch = 111,       // Retrieve a transaction body by digest (§5: any client can
   kBasilFetchReply = 112,  // obtain the ST1 of a dependency it needs to finish).
+  kBasilStateRequest = 113,  // Replica recovery: fetch missed commits from peers
+  kBasilStateChunk = 114,    // (docs/RECOVERY.md). Chunks are cert-validated.
 };
 
 // A replica's signed ST1 vote. V-CERTs and vote tallies are sets of these.
@@ -229,6 +231,41 @@ struct FetchReplyMsg : MsgBase {
   FetchReplyMsg() { kind = kBasilFetchReply; }
   void EncodeTo(Encoder& enc) const;
   static FetchReplyMsg DecodeFrom(Decoder& dec);
+};
+
+// ---- Replica recovery: peer state transfer (docs/RECOVERY.md) ----
+
+// A rejoining replica asks peers for the committed transactions it missed. Requests
+// are unsigned (like Fetch): the reply is self-certifying, entry by entry.
+struct StateRequestMsg : MsgBase {
+  uint64_t req_id = 0;
+  Timestamp since;  // Send commits with ts > since; zero means everything.
+
+  StateRequestMsg() { kind = kBasilStateRequest; }
+  void EncodeTo(Encoder& enc) const;
+  static StateRequestMsg DecodeFrom(Decoder& dec);
+};
+
+// One committed transaction plus the certificate that justifies applying it. The
+// receiver trusts neither: the body must hash to its claimed digest and the cert
+// must validate against it (a Byzantine peer's fabrications are rejected).
+struct StateEntry {
+  TxnPtr txn;
+  DecisionCertPtr cert;
+
+  void EncodeTo(Encoder& enc) const;
+  static StateEntry DecodeFrom(Decoder& dec);
+};
+
+struct StateChunkMsg : MsgBase {
+  uint64_t req_id = 0;
+  NodeId replica = kInvalidNode;
+  bool done = false;  // Last chunk of this peer's stream for req_id.
+  std::vector<StateEntry> entries;
+
+  StateChunkMsg() { kind = kBasilStateChunk; }
+  void EncodeTo(Encoder& enc) const;
+  static StateChunkMsg DecodeFrom(Decoder& dec);
 };
 
 // ---- Fallback (divergent case, §5) ----

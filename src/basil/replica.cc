@@ -83,6 +83,12 @@ void BasilReplica::Handle(const MsgEnvelope& env) {
     case kBasilFetch:
       OnFetch(env.src, static_cast<const FetchMsg&>(*env.msg));
       break;
+    case kBasilStateRequest:
+      OnStateRequest(env.src, static_cast<const StateRequestMsg&>(*env.msg));
+      break;
+    case kBasilStateChunk:
+      OnStateChunk(env.src, static_cast<const StateChunkMsg&>(*env.msg));
+      break;
     default:
       counters_.Inc("unknown_message");
       break;
@@ -611,10 +617,172 @@ void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr
     }
   }
   NotifyDependents(s);
+  if (durable_ != nullptr && decision == Decision::kCommit && s.txn != nullptr) {
+    WalCommitRecord rec;
+    rec.writer = s.txn->id;
+    rec.ts = s.txn->ts;
+    for (const WriteEntry& w : s.txn->write_set) {
+      if (OwnsKey(w.key)) {
+        rec.writes.emplace_back(w.key, w.value);
+      }
+    }
+    durable_->AppendCommit(rec, store_);
+  }
   for (NodeId c : s.interested) {
     ReplyCert(c, s);
   }
   s.interested.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Replica recovery: peer state transfer (docs/RECOVERY.md).
+// ---------------------------------------------------------------------------
+
+void BasilReplica::StartRecovery(std::function<void()> on_complete) {
+  if (recovery_timer_armed_) {  // Re-entry: retire the previous round's timer.
+    CancelTimer(recovery_timer_);
+    recovery_timer_armed_ = false;
+  }
+  recovering_ = true;
+  ++recovery_req_id_;
+  recovery_done_peers_.clear();
+  recovery_complete_cb_ = std::move(on_complete);
+  counters_.Inc("recovery_started");
+  SendStateRequests();
+}
+
+void BasilReplica::SendStateRequests() {
+  Timestamp since{};
+  if (durable_ != nullptr) {
+    since = durable_->high_water();
+    // Commits apply in writeback order, not timestamp order: rewind the cursor so
+    // commits below the high-water mark that we never logged are re-offered (the
+    // applied-set makes re-application idempotent).
+    since.time -= std::min(since.time, cfg_->recovery_lookback_ns);
+    since.client_id = 0;
+  }
+  for (NodeId peer : topo_->ShardReplicas(shard_)) {
+    if (peer == id() || recovery_done_peers_.contains(peer)) {
+      continue;
+    }
+    auto req = std::make_shared<StateRequestMsg>();
+    req->req_id = recovery_req_id_;
+    req->since = since;
+    Send(peer, std::move(req));
+  }
+  recovery_timer_armed_ = true;
+  recovery_timer_ = SetTimer(cfg_->recovery_retry_ns, [this]() {
+    recovery_timer_armed_ = false;
+    if (recovering_) {
+      SendStateRequests();  // Re-ask the peers that have not finished streaming.
+    }
+  });
+}
+
+void BasilReplica::OnStateRequest(NodeId src, const StateRequestMsg& msg) {
+  if (!topo_->IsReplicaNode(src) || topo_->ShardOfReplicaNode(src) != shard_) {
+    return;  // Only shard peers recover from us.
+  }
+  // Serve every decided commit we can still prove (body + certificate), in
+  // timestamp order so streams are deterministic under the simulator.
+  std::vector<const TxnState*> commits;
+  for (const auto& [digest, s] : txns_) {
+    (void)digest;
+    if (s.decided && s.final_decision == Decision::kCommit && s.txn != nullptr &&
+        s.final_cert != nullptr && msg.since < s.txn->ts) {
+      commits.push_back(&s);
+    }
+  }
+  std::sort(commits.begin(), commits.end(), [](const TxnState* a, const TxnState* b) {
+    return a->txn->ts < b->txn->ts;
+  });
+  const uint32_t per_chunk = std::max<uint32_t>(1, cfg_->state_chunk_entries);
+  size_t i = 0;
+  do {
+    auto chunk = std::make_shared<StateChunkMsg>();
+    chunk->req_id = msg.req_id;
+    chunk->replica = id();
+    for (size_t j = 0; j < per_chunk && i < commits.size(); ++j, ++i) {
+      chunk->entries.push_back(StateEntry{commits[i]->txn, commits[i]->final_cert});
+    }
+    chunk->done = i == commits.size();
+    counters_.Inc("state_entries_served", chunk->entries.size());
+    Send(src, std::move(chunk));
+  } while (i < commits.size());
+  counters_.Inc("state_requests_served");
+}
+
+bool BasilReplica::ApplyStateEntry(const StateEntry& entry) {
+  if (entry.txn == nullptr || entry.cert == nullptr) {
+    return false;
+  }
+  const Transaction& txn = *entry.txn;
+  // The body must hash to its claimed digest — a tampered body cannot reuse a
+  // correct transaction's certificate.
+  if (txn.ComputeDigest() != txn.id) {
+    return false;
+  }
+  if (entry.cert->txn != txn.id || entry.cert->decision != Decision::kCommit) {
+    return false;
+  }
+  if (const TxnState* existing = FindState(txn.id);
+      existing != nullptr && existing->decided) {
+    counters_.Inc("state_entries_duplicate");
+    return true;
+  }
+  // SplitBFT's lesson: recovered state is validated against commit certificates,
+  // never accepted on a peer's word. Validation runs before GetState so a rejected
+  // entry leaves no TxnState behind (a Byzantine stream must not grow the map).
+  if (!validator_.ValidateDecisionCert(*entry.cert, &txn, verifier_, &meter())) {
+    return false;
+  }
+  TxnState& s = GetState(txn.id);
+  if (s.txn == nullptr) {
+    s.txn = entry.txn;
+  }
+  // A commit already in the WAL (re-offered by the conservative `since` cursor) is
+  // re-applied only to regain its in-memory TxnState + certificate; it is not a
+  // missed commit.
+  const bool already_durable = durable_ != nullptr && durable_->HasApplied(txn.id);
+  ApplyDecision(s, Decision::kCommit, entry.cert);
+  counters_.Inc(already_durable ? "state_entries_reapplied"
+                                : "state_entries_applied");
+  return true;
+}
+
+void BasilReplica::OnStateChunk(NodeId src, const StateChunkMsg& msg) {
+  if (!topo_->IsReplicaNode(src) || topo_->ShardOfReplicaNode(src) != shard_ ||
+      msg.replica != src) {  // The claimed sender must be the actual one.
+    return;
+  }
+  // Entries are cert-validated, so applying them is safe whether or not a recovery
+  // is in flight (late chunks from slow peers still land).
+  for (const StateEntry& e : msg.entries) {
+    if (!ApplyStateEntry(e)) {
+      counters_.Inc("state_entries_rejected");
+    }
+  }
+  if (!recovering_ || msg.req_id != recovery_req_id_ || !msg.done) {
+    return;
+  }
+  recovery_done_peers_.insert(src);
+  if (recovery_done_peers_.size() >= cfg_->recovery_done_quorum()) {
+    FinishRecovery();
+  }
+}
+
+void BasilReplica::FinishRecovery() {
+  recovering_ = false;
+  if (recovery_timer_armed_) {
+    CancelTimer(recovery_timer_);
+    recovery_timer_armed_ = false;
+  }
+  counters_.Inc("recovery_completed");
+  if (recovery_complete_cb_) {
+    auto cb = std::move(recovery_complete_cb_);
+    recovery_complete_cb_ = nullptr;
+    cb();
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include "src/runtime/runtime.h"
 #include "src/sim/topology.h"
 #include "src/store/version_store.h"
+#include "src/store/wal.h"
 
 namespace basil {
 
@@ -38,6 +39,19 @@ class BasilReplica : public Process {
   ShardId shard() const { return shard_; }
   ReplicaId index() const { return index_; }
   Counters& counters() { return counters_; }
+
+  // ---- Recovery (docs/RECOVERY.md) ----
+
+  // Attaches the durable WAL/snapshot layer. Committed writebacks are logged to it;
+  // the caller is expected to have Open()ed it into store() beforehand.
+  void AttachDurable(DurableStore* durable) { durable_ = durable; }
+
+  // Begins peer state transfer: StateRequests go to every shard peer, validated
+  // chunks are applied, and `on_complete` fires once 2f+1 peers report done (so at
+  // least f+1 correct peers streamed their full commit history). The replica keeps
+  // serving protocol traffic while catching up — MVTSO stays safe either way.
+  void StartRecovery(std::function<void()> on_complete);
+  bool recovering() const { return recovering_; }
 
   // Test introspection.
   std::optional<Vote> VoteFor(const TxnDigest& txn) const;
@@ -90,6 +104,8 @@ class BasilReplica : public Process {
   virtual void OnElectFb(NodeId src, const ElectFbMsg& msg);
   virtual void OnDecFb(NodeId src, const DecFbMsg& msg);
   virtual void OnFetch(NodeId src, const FetchMsg& msg);
+  virtual void OnStateRequest(NodeId src, const StateRequestMsg& msg);
+  virtual void OnStateChunk(NodeId src, const StateChunkMsg& msg);
 
   // Hook: lets a Byzantine subclass flip its ST1 vote. Default: identity.
   virtual Vote FilterVote(const TxnDigest& /*txn*/, Vote vote) { return vote; }
@@ -124,6 +140,12 @@ class BasilReplica : public Process {
   void ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr cert);
   void ChargeClientAuthVerify();
 
+  // --- Recovery machinery ---
+  void SendStateRequests();
+  // Applies one validated state entry; returns false if it was rejected.
+  bool ApplyStateEntry(const StateEntry& entry);
+  void FinishRecovery();
+
   const BasilConfig* cfg_;
   const Topology* topo_;
   const KeyRegistry* keys_;
@@ -148,6 +170,15 @@ class BasilReplica : public Process {
 
   // Transactions whose arrival other transactions await: dep digest -> waiters.
   std::unordered_map<TxnDigest, std::vector<TxnDigest>, TxnDigestHash> arrival_waiters_;
+
+  // --- Recovery state ---
+  DurableStore* durable_ = nullptr;
+  bool recovering_ = false;
+  uint64_t recovery_req_id_ = 0;
+  std::set<NodeId> recovery_done_peers_;  // Ordered: deterministic in the simulator.
+  std::function<void()> recovery_complete_cb_;
+  EventId recovery_timer_ = 0;
+  bool recovery_timer_armed_ = false;
 };
 
 }  // namespace basil

@@ -79,6 +79,18 @@ struct BasilConfig {
   // the dependency as invalid (Algorithm 1 lines 3-4; see DESIGN.md).
   uint64_t dep_arrival_timeout_ns = 3'000'000;
 
+  // Replica recovery (docs/RECOVERY.md). A rejoining replica asks every shard peer
+  // for commits above its WAL high-water mark minus `recovery_lookback_ns` (the
+  // slack absorbs commits that were applied out of timestamp order), receives them
+  // in chunks of `state_chunk_entries`, and re-requests from peers that have not
+  // reported done every `recovery_retry_ns` (covers requests sent while TCP peers
+  // are still reconnecting).
+  uint32_t state_chunk_entries = 32;
+  uint64_t recovery_lookback_ns = 50'000'000;
+  uint64_t recovery_retry_ns = 250'000'000;
+  // WAL snapshot cadence: committed records between snapshots.
+  uint32_t wal_snapshot_every = 256;
+
   uint32_t n() const { return 5 * f + 1; }
   uint32_t commit_quorum() const { return 3 * f + 1; }       // CQ = (n+f+1)/2.
   uint32_t abort_quorum() const { return f + 1; }            // AQ.
@@ -86,6 +98,10 @@ struct BasilConfig {
   uint32_t fast_abort_quorum() const { return 3 * f + 1; }
   uint32_t st2_quorum() const { return 4 * f + 1; }  // n - f.
   uint32_t elect_quorum() const { return 4 * f + 1; }
+  // Recovery completes once 2f+1 peers report their state stream done: at least
+  // f+1 of them are correct, so the rejoining replica holds the union of f+1
+  // correct replicas' commit histories (docs/RECOVERY.md).
+  uint32_t recovery_done_quorum() const { return 2 * f + 1; }
 
   uint32_t ReadFanout() const { return read_fanout == 0 ? 2 * f + 1 : read_fanout; }
   uint32_t ReadWait() const { return read_wait == 0 ? f + 1 : read_wait; }

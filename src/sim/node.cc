@@ -23,8 +23,18 @@ void Node::Deliver(MsgEnvelope env) {
 }
 
 void Node::Execute(std::function<void()> work) {
+  if (crashed_) {
+    return;  // A crashed machine does no work.
+  }
   queue_.push_back(Work{std::move(work)});
   Dispatch();
+}
+
+void Node::Crash() {
+  crashed_ = true;
+  ++generation_;     // Pending timers belong to the dead incarnation.
+  queue_.clear();    // In-queue work captured the dying protocol actor.
+  handler_ = nullptr;
 }
 
 void Node::Dispatch() {
@@ -84,9 +94,13 @@ void Node::DoSend(NodeId dst, MsgPtr msg) {
 }
 
 EventId Node::SetTimer(uint64_t delay_ns, std::function<void()> cb) {
-  return net_->event_queue()->ScheduleAfter(delay_ns, [this, cb = std::move(cb)]() {
-    Execute(cb);
-  });
+  const uint64_t gen = generation_;
+  return net_->event_queue()->ScheduleAfter(
+      delay_ns, [this, gen, cb = std::move(cb)]() {
+        if (gen == generation_) {
+          Execute(cb);
+        }
+      });
 }
 
 void Node::CancelTimer(EventId id) { net_->event_queue()->Cancel(id); }

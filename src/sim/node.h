@@ -49,6 +49,15 @@ class Node : public Runtime {
   uint64_t busy_ns() const { return busy_ns_; }  // Total CPU time consumed.
   uint64_t handled_messages() const { return handled_; }
 
+  // Crash simulation (recovery tests): a crashed node silently drops deliveries and
+  // queued work, and every pending timer dies with the incarnation (a generation
+  // check — the Node object itself must stay alive because in-flight network events
+  // hold raw pointers to it). Restart() begins a fresh incarnation; the new protocol
+  // actor re-binds itself via its Process constructor.
+  void Crash();
+  void Restart() { crashed_ = false; }
+  bool crashed() const { return crashed_; }
+
  protected:
   // Sends `msg` to `dst`; legal only inside Handle()/Execute() work. Charges the
   // serialization cost and buffers the message until the work item's CPU time is
@@ -73,6 +82,8 @@ class Node : public Runtime {
   std::deque<Work> queue_;
   std::vector<std::pair<NodeId, MsgPtr>> outbox_;
   bool in_work_ = false;
+  bool crashed_ = false;
+  uint64_t generation_ = 0;  // Bumped by Crash(); orphans that incarnation's timers.
   bool wakeup_scheduled_ = false;
   uint64_t wakeup_at_ = 0;
   uint64_t busy_ns_ = 0;

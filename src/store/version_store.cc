@@ -1,5 +1,7 @@
 #include "src/store/version_store.h"
 
+#include <algorithm>
+
 namespace basil {
 
 const VersionStore::KeyState* VersionStore::Find(const Key& key) const {
@@ -159,6 +161,26 @@ std::vector<std::pair<Key, Value>> VersionStore::Snapshot() const {
       out.emplace_back(key, ks.committed.rbegin()->second.value);
     }
   }
+  return out;
+}
+
+std::vector<VersionStore::KeyChain> VersionStore::CommittedChains() const {
+  std::vector<KeyChain> out;
+  out.reserve(committed_.size());
+  for (const auto& [key, ks] : committed_) {
+    if (ks.committed.empty()) {
+      continue;
+    }
+    KeyChain chain;
+    chain.key = key;
+    chain.versions.reserve(ks.committed.size());
+    for (const auto& [ts, v] : ks.committed) {
+      chain.versions.push_back(v);
+    }
+    out.push_back(std::move(chain));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const KeyChain& a, const KeyChain& b) { return a.key < b.key; });
   return out;
 }
 

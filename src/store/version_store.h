@@ -96,6 +96,16 @@ class VersionStore {
   // examples to audit invariants (e.g. conservation of money in Smallbank).
   std::vector<std::pair<Key, Value>> Snapshot() const;
 
+  // Full committed version chains, sorted by key then timestamp (deterministic):
+  // the snapshot payload of the durable layer (src/store/wal.h). Prepared writes,
+  // readers, and RTS are deliberately excluded — they are protocol-transient and a
+  // restarted replica rebuilds them from live traffic.
+  struct KeyChain {
+    Key key;
+    std::vector<CommittedVersion> versions;
+  };
+  std::vector<KeyChain> CommittedChains() const;
+
  private:
   struct KeyState {
     bool genesis_checked = false;

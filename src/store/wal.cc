@@ -1,0 +1,327 @@
+#include "src/store/wal.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <tuple>
+
+namespace basil {
+namespace {
+
+// Snapshot body layout version; bumping it invalidates old snapshots (the loader
+// falls back to WAL-only replay).
+constexpr uint32_t kSnapshotVersion = 1;
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t len) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// Media backends.
+// ---------------------------------------------------------------------------
+
+bool MemMedia::Read(const std::string& name, std::vector<uint8_t>* out) {
+  out->clear();
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return false;
+  }
+  *out = it->second;
+  return true;
+}
+
+bool MemMedia::Append(const std::string& name, const uint8_t* data, size_t len) {
+  std::vector<uint8_t>& f = files_[name];
+  f.insert(f.end(), data, data + len);
+  return true;
+}
+
+bool MemMedia::WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) {
+  files_[name] = bytes;
+  return true;
+}
+
+DiskMedia::DiskMedia(std::string dir) : dir_(std::move(dir)) {
+  // mkdir -p: create each path component, tolerating the ones that exist.
+  std::string prefix;
+  for (size_t i = 0; i <= dir_.size(); ++i) {
+    if (i == dir_.size() || dir_[i] == '/') {
+      prefix = dir_.substr(0, i);
+      if (prefix.empty() || prefix == ".") {
+        continue;
+      }
+      if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+        return;
+      }
+    }
+  }
+  ok_ = true;
+}
+
+bool DiskMedia::Read(const std::string& name, std::vector<uint8_t>* out) {
+  out->clear();
+  std::FILE* f = std::fopen(Path(name).c_str(), "rb");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(len > 0 ? static_cast<size_t>(len) : 0);
+  const bool ok =
+      out->empty() || std::fread(out->data(), 1, out->size(), f) == out->size();
+  std::fclose(f);
+  if (!ok) {
+    out->clear();
+  }
+  return ok;
+}
+
+bool DiskMedia::Append(const std::string& name, const uint8_t* data, size_t len) {
+  std::FILE* f = std::fopen(Path(name).c_str(), "ab");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok = std::fwrite(data, 1, len, f) == len && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool DiskMedia::WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) {
+  const std::string tmp = Path(name) + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return false;
+  }
+  const bool ok =
+      (bytes.empty() || std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size()) &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), Path(name).c_str()) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Record codec.
+// ---------------------------------------------------------------------------
+
+void WalCommitRecord::EncodeTo(Encoder& enc) const {
+  enc.PutDigest(writer);
+  enc.PutTimestamp(ts);
+  enc.PutVarint(writes.size());
+  for (const auto& [key, value] : writes) {
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+}
+
+WalCommitRecord WalCommitRecord::DecodeFrom(Decoder& dec) {
+  WalCommitRecord rec;
+  rec.writer = dec.GetDigest();
+  rec.ts = dec.GetTimestamp();
+  const uint64_t n = dec.GetVarint();
+  if (!dec.CheckCount(n)) {
+    return rec;
+  }
+  rec.writes.resize(n);
+  for (auto& [key, value] : rec.writes) {
+    key = dec.GetString();
+    value = dec.GetString();
+  }
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// DurableStore.
+// ---------------------------------------------------------------------------
+
+DurableStore::DurableStore(WalMedia* media, uint32_t snapshot_every)
+    : media_(media), snapshot_every_(snapshot_every > 0 ? snapshot_every : 1) {}
+
+DurableStore::ReplayStats DurableStore::Open(VersionStore* store) {
+  ReplayStats stats;
+  LoadSnapshot(store, &stats);
+  ReplayWal(store, &stats);
+  return stats;
+}
+
+void DurableStore::LoadSnapshot(VersionStore* store, ReplayStats* stats) {
+  std::vector<uint8_t> bytes;
+  if (!media_->Read(kSnapshotFile, &bytes) || bytes.size() < 4) {
+    return;
+  }
+  const uint32_t crc = static_cast<uint32_t>(bytes[0]) | bytes[1] << 8 |
+                       bytes[2] << 16 | static_cast<uint32_t>(bytes[3]) << 24;
+  if (Crc32(bytes.data() + 4, bytes.size() - 4) != crc) {
+    return;  // Atomic replacement makes this near-impossible; treat as absent.
+  }
+  Decoder dec(bytes.data() + 4, bytes.size() - 4);
+  if (dec.GetU32() != kSnapshotVersion) {
+    return;
+  }
+  // Applied-writer set.
+  const uint64_t napplied = dec.GetVarint();
+  std::unordered_set<TxnDigest, TxnDigestHash> applied;
+  for (uint64_t i = 0; i < napplied && dec.ok(); ++i) {
+    applied.insert(dec.GetDigest());
+  }
+  Timestamp high = dec.GetTimestamp();
+  // Committed version chains.
+  const uint64_t nkeys = dec.GetVarint();
+  uint64_t versions = 0;
+  std::vector<std::tuple<Key, Timestamp, Value, TxnDigest>> restored;
+  for (uint64_t i = 0; i < nkeys && dec.ok(); ++i) {
+    const Key key = dec.GetString();
+    const uint64_t nvers = dec.GetVarint();
+    for (uint64_t j = 0; j < nvers && dec.ok(); ++j) {
+      const Timestamp ts = dec.GetTimestamp();
+      Value value = dec.GetString();
+      const TxnDigest writer = dec.GetDigest();
+      restored.emplace_back(key, ts, std::move(value), writer);
+      ++versions;
+    }
+  }
+  if (!dec.ok() || !dec.AtEnd()) {
+    return;  // Corrupt body despite the CRC: refuse the whole snapshot.
+  }
+  for (auto& [key, ts, value, writer] : restored) {
+    store->ApplyCommittedWrite(key, ts, std::move(value), writer);
+  }
+  applied_ = std::move(applied);
+  high_water_ = high;
+  stats->snapshot_versions = versions;
+}
+
+void DurableStore::ReplayWal(VersionStore* store, ReplayStats* stats) {
+  std::vector<uint8_t> bytes;
+  if (!media_->Read(kWalFile, &bytes)) {
+    return;
+  }
+  size_t good = 0;  // Offset just past the last fully valid record.
+  auto le32 = [&bytes](size_t at) {
+    return static_cast<uint32_t>(bytes[at]) | bytes[at + 1] << 8 |
+           bytes[at + 2] << 16 | static_cast<uint32_t>(bytes[at + 3]) << 24;
+  };
+  while (bytes.size() - good >= 8) {
+    const uint32_t body_len = le32(good);
+    const uint32_t crc = le32(good + 4);
+    if (body_len > bytes.size() - good - 8) {
+      break;  // Torn header or truncated body.
+    }
+    const uint8_t* body = bytes.data() + good + 8;
+    if (Crc32(body, body_len) != crc) {
+      break;  // Torn or corrupt body.
+    }
+    Decoder body_dec(body, body_len);
+    const WalCommitRecord rec = WalCommitRecord::DecodeFrom(body_dec);
+    if (!body_dec.ok() || !body_dec.AtEnd()) {
+      break;
+    }
+    ApplyRecord(rec, store);
+    good += 8 + body_len;
+    ++stats->wal_records;
+  }
+  if (good < bytes.size()) {
+    // Truncate the torn tail so future appends extend a clean log.
+    stats->torn_bytes_discarded = bytes.size() - good;
+    bytes.resize(good);
+    media_->WriteAtomic(kWalFile, bytes);
+  }
+  records_since_snapshot_ = static_cast<uint32_t>(stats->wal_records);
+}
+
+void DurableStore::ApplyRecord(const WalCommitRecord& rec, VersionStore* store) {
+  for (const auto& [key, value] : rec.writes) {
+    store->ApplyCommittedWrite(key, rec.ts, value, rec.writer);
+  }
+  applied_.insert(rec.writer);
+  if (high_water_ < rec.ts) {
+    high_water_ = rec.ts;
+  }
+}
+
+void DurableStore::AppendCommit(const WalCommitRecord& rec, const VersionStore& store) {
+  if (applied_.contains(rec.writer)) {
+    return;  // Re-delivered writeback or state-transfer duplicate.
+  }
+  Encoder body;
+  rec.EncodeTo(body);
+  Encoder frame;
+  frame.PutU32(static_cast<uint32_t>(body.size()));
+  frame.PutU32(Crc32(body.bytes().data(), body.bytes().size()));
+  frame.Append(body);
+  if (!media_->Append(kWalFile, frame.bytes().data(), frame.bytes().size())) {
+    // Not durable (disk full, I/O error): leave the writer out of the applied set
+    // so a re-delivered writeback or a re-offered state entry can try again.
+    return;
+  }
+  applied_.insert(rec.writer);
+  if (high_water_ < rec.ts) {
+    high_water_ = rec.ts;
+  }
+  ++appends_;
+  if (++records_since_snapshot_ >= snapshot_every_) {
+    TakeSnapshot(store);
+  }
+}
+
+void DurableStore::TakeSnapshot(const VersionStore& store) {
+  Encoder body;
+  body.PutU32(kSnapshotVersion);
+  // Applied set, sorted for a deterministic encoding.
+  std::vector<TxnDigest> applied(applied_.begin(), applied_.end());
+  std::sort(applied.begin(), applied.end());
+  body.PutVarint(applied.size());
+  for (const TxnDigest& d : applied) {
+    body.PutDigest(d);
+  }
+  body.PutTimestamp(high_water_);
+  const auto chains = store.CommittedChains();
+  body.PutVarint(chains.size());
+  for (const auto& chain : chains) {
+    body.PutString(chain.key);
+    body.PutVarint(chain.versions.size());
+    for (const CommittedVersion& v : chain.versions) {
+      body.PutTimestamp(v.ts);
+      body.PutString(v.value);
+      body.PutDigest(v.writer);
+    }
+  }
+  Encoder file;
+  file.PutU32(Crc32(body.bytes().data(), body.bytes().size()));
+  file.Append(body);
+  if (!media_->WriteAtomic(kSnapshotFile, file.bytes())) {
+    return;  // Keep the WAL intact if the snapshot did not land.
+  }
+  // Order matters: the snapshot is durable before the WAL is truncated. A crash in
+  // between replays snapshot + full WAL, which is idempotent.
+  media_->WriteAtomic(kWalFile, {});
+  records_since_snapshot_ = 0;
+  ++snapshots_;
+}
+
+}  // namespace basil

@@ -1,0 +1,151 @@
+// Durable layer under a replica's version store (docs/RECOVERY.md): an append-only
+// write-ahead log of committed writes plus periodic snapshots, and a replayer that
+// rebuilds the committed state of a VersionStore on restart.
+//
+// The byte layer is abstracted behind WalMedia so the same WAL/snapshot logic runs on
+// real files (DiskMedia, used by tools/basil_node.cc) and on an in-memory fake
+// (MemMedia, used by the deterministic simulator recovery tests, which also corrupt
+// the bytes to exercise torn-write truncation).
+//
+// Durability model: records survive process death (kill -9) once Append returns —
+// the bytes are in the kernel page cache. Surviving an OS crash would need fsync
+// group-commit, which this layer deliberately leaves out (see docs/RECOVERY.md).
+#ifndef BASIL_SRC_STORE_WAL_H_
+#define BASIL_SRC_STORE_WAL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/common/types.h"
+#include "src/store/version_store.h"
+
+namespace basil {
+
+// CRC-32 (ISO-HDLC polynomial) over `len` bytes; guards every WAL record and the
+// snapshot file against torn writes and bit rot.
+uint32_t Crc32(const uint8_t* data, size_t len);
+
+// Byte-level storage under the WAL: named append-only files with atomic whole-file
+// replacement (snapshots, torn-tail truncation).
+class WalMedia {
+ public:
+  virtual ~WalMedia() = default;
+
+  // Reads the whole file into `out`. Returns false (and leaves `out` empty) when the
+  // file does not exist.
+  virtual bool Read(const std::string& name, std::vector<uint8_t>* out) = 0;
+  virtual bool Append(const std::string& name, const uint8_t* data, size_t len) = 0;
+  // Replaces the file's contents atomically (write-temp-then-rename on disk): a crash
+  // leaves either the old or the new bytes, never a mixture.
+  virtual bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) = 0;
+};
+
+// In-memory media for the simulator tests: survives replica "restarts" because the
+// test owns it, and exposes the raw bytes so tests can model torn writes.
+class MemMedia : public WalMedia {
+ public:
+  bool Read(const std::string& name, std::vector<uint8_t>* out) override;
+  bool Append(const std::string& name, const uint8_t* data, size_t len) override;
+  bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) override;
+
+  // Direct access for fault injection (chopping a record in half, flipping bytes).
+  std::vector<uint8_t>& file(const std::string& name) { return files_[name]; }
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> files_;
+};
+
+// Real files under one directory (created, with parents, by the constructor).
+class DiskMedia : public WalMedia {
+ public:
+  explicit DiskMedia(std::string dir);
+
+  // False if the directory could not be created.
+  bool ok() const { return ok_; }
+
+  bool Read(const std::string& name, std::vector<uint8_t>* out) override;
+  bool Append(const std::string& name, const uint8_t* data, size_t len) override;
+  bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) override;
+
+ private:
+  std::string Path(const std::string& name) const { return dir_ + "/" + name; }
+
+  std::string dir_;
+  bool ok_ = false;
+};
+
+// One committed transaction's effect on this replica's shard partition: enough to
+// rebuild the committed version chains (not the certificates — those are re-fetched
+// from peers via state transfer when needed).
+struct WalCommitRecord {
+  TxnDigest writer{};
+  Timestamp ts;
+  std::vector<std::pair<Key, Value>> writes;  // Owned keys only.
+
+  void EncodeTo(Encoder& enc) const;
+  static WalCommitRecord DecodeFrom(Decoder& dec);
+};
+
+// The durable store: owns the WAL + snapshot files on a WalMedia and the replay
+// logic. One instance per replica process incarnation; Open() once before use.
+//
+// File layout (all under the media):
+//   wal.bin       records: [u32 body_len][u32 crc32(body)][body], appended per commit
+//   snapshot.bin  [u32 crc32(body)][body]; body = applied-writer set + full committed
+//                 version chains; rewritten atomically every `snapshot_every` appends,
+//                 after which wal.bin is truncated to empty
+//
+// Replay = load snapshot (if present and its CRC holds), then apply the WAL tail.
+// A torn or corrupt record ends replay and truncates the WAL back to the last good
+// record, so a crash mid-append never poisons the log.
+class DurableStore {
+ public:
+  struct ReplayStats {
+    uint64_t snapshot_versions = 0;    // Committed versions restored from snapshot.
+    uint64_t wal_records = 0;          // Records replayed from the WAL tail.
+    uint64_t torn_bytes_discarded = 0; // Bytes truncated off a torn/corrupt tail.
+  };
+
+  explicit DurableStore(WalMedia* media, uint32_t snapshot_every = 256);
+
+  // Rebuilds `store`'s committed state from snapshot + WAL. Call exactly once,
+  // before any AppendCommit.
+  ReplayStats Open(VersionStore* store);
+
+  // Logs one committed transaction; triggers a snapshot of `store` every
+  // `snapshot_every` appends. No-op (and no duplicate record) if `rec.writer` was
+  // already applied — re-delivered writebacks and state transfer stay idempotent.
+  void AppendCommit(const WalCommitRecord& rec, const VersionStore& store);
+
+  bool HasApplied(const TxnDigest& writer) const { return applied_.contains(writer); }
+  // Largest committed timestamp ever logged; the state-transfer request cursor.
+  Timestamp high_water() const { return high_water_; }
+
+  uint64_t appends() const { return appends_; }
+  uint64_t snapshots_taken() const { return snapshots_; }
+
+  static constexpr char kWalFile[] = "wal.bin";
+  static constexpr char kSnapshotFile[] = "snapshot.bin";
+
+ private:
+  void LoadSnapshot(VersionStore* store, ReplayStats* stats);
+  void ReplayWal(VersionStore* store, ReplayStats* stats);
+  void ApplyRecord(const WalCommitRecord& rec, VersionStore* store);
+  void TakeSnapshot(const VersionStore& store);
+
+  WalMedia* media_;
+  const uint32_t snapshot_every_;
+  std::unordered_set<TxnDigest, TxnDigestHash> applied_;
+  Timestamp high_water_{};
+  uint32_t records_since_snapshot_ = 0;
+  uint64_t appends_ = 0;
+  uint64_t snapshots_ = 0;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_STORE_WAL_H_

@@ -269,6 +269,34 @@ TEST(WireCodec, RoundTripDecFb) {
   ExpectRoundTrip(msg);
 }
 
+TEST(WireCodec, RoundTripStateRequest) {
+  StateRequestMsg msg;
+  msg.req_id = 7;
+  msg.since = Timestamp{90, 3};
+  ExpectRoundTrip(msg);
+}
+
+TEST(WireCodec, RoundTripStateChunk) {
+  StateChunkMsg msg;
+  msg.req_id = 7;
+  msg.replica = 4;
+  msg.done = true;
+  msg.entries.push_back(StateEntry{MakeTxn(), MakeFastCert()});
+  msg.entries.push_back(StateEntry{MakeTxnWithDeps(), MakeSlowCert()});
+  ExpectRoundTrip(msg);
+
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  Decoder dec(bytes);
+  const auto decoded =
+      std::static_pointer_cast<const StateChunkMsg>(DecodeMsgFrame(dec));
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->entries.size(), 2u);
+  ASSERT_NE(decoded->entries[0].txn, nullptr);
+  EXPECT_EQ(decoded->entries[0].txn->id, msg.entries[0].txn->id);
+  ASSERT_NE(decoded->entries[1].cert, nullptr);
+  EXPECT_EQ(decoded->entries[1].cert->st2_acks.size(), 2u);
+}
+
 TEST(WireCodec, RoundTripFetch) {
   FetchMsg msg;
   msg.digest = PatternDigest(0x40);
@@ -296,6 +324,8 @@ TEST(WireCodec, RoundTripEmptyOptionals) {
   ExpectRoundTrip(DecFbMsg{});
   ExpectRoundTrip(FetchMsg{});
   ExpectRoundTrip(FetchReplyMsg{});
+  ExpectRoundTrip(StateRequestMsg{});
+  ExpectRoundTrip(StateChunkMsg{});
 }
 
 TEST(WireCodec, RoundTripTapirMessages) {
@@ -389,6 +419,31 @@ constexpr char kGoldenReadReplyHex[] =
     "00000000000000000000000000000000000000000000000000000000000000000000000000000000"
     "0000000000000000000000000000000000";
 
+constexpr char kGoldenStateRequestHex[] =
+    "710018000000020000000000000040000000000000000900000000000000";
+
+constexpr char kGoldenStateChunkHex[] =
+    "72000c0300000200000000000000010000000101015e050000000000000007000000000000000700"
+    "0000000000000105616c696365030000000000000002000000000000000103626f62033130300001"
+    "00000000bbc6378ac6c1b7a3d004506c14738e1a2d507b5b2a2045ba2e8fe65ec2e42428019b0550"
+    "5152535455565758595a5b5c5d5e5f606162636465666768696a6b6c6d6e6f000002000000000250"
+    "5152535455565758595a5b5c5d5e5f606162636465666768696a6b6c6d6e6f000000000010111213"
+    "1415161718191a1b1c1d1e1f202122232425262728292a2b2c2d2e2f030000002021222324252627"
+    "28292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f00000000000000000000000000000000"
+    "000000000000000000000000000000000102303132333435363738393a3b3c3d3e3f404142434445"
+    "464748494a4b4c4d4e4f3132333435363738393a3b3c3d3e3f404142434445464748494a4b4c4d4e"
+    "4f500100505152535455565758595a5b5c5d5e5f606162636465666768696a6b6c6d6e6f00010000"
+    "00101112131415161718191a1b1c1d1e1f202122232425262728292a2b2c2d2e2f03000000202122"
+    "232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f0000000000000000000000"
+    "0000000000000000000000000000000000000000000102303132333435363738393a3b3c3d3e3f40"
+    "4142434445464748494a4b4c4d4e4f3132333435363738393a3b3c3d3e3f40414243444546474849"
+    "4a4b4c4d4e4f5001000100000001505152535455565758595a5b5c5d5e5f60616263646566676869"
+    "6a6b6c6d6e6f0006000000101112131415161718191a1b1c1d1e1f202122232425262728292a2b2c"
+    "2d2e2f03000000202122232425262728292a2b2c2d2e2f303132333435363738393a3b3c3d3e3f00"
+    "00000000000000000000000000000000000000000000000000000000000000010230313233343536"
+    "3738393a3b3c3d3e3f404142434445464748494a4b4c4d4e4f3132333435363738393a3b3c3d3e3f"
+    "404142434445464748494a4b4c4d4e4f50010000000000000000";
+
 std::string HexOf(const std::vector<uint8_t>& bytes) {
   return ToHex(bytes.data(), bytes.size());
 }
@@ -410,6 +465,22 @@ TEST(WireCodec, GoldenReadReply) {
   EXPECT_EQ(HexOf(EncodeFrame(msg)), kGoldenReadReplyHex);
 }
 
+TEST(WireCodec, GoldenStateRequest) {
+  StateRequestMsg msg;
+  msg.req_id = 2;
+  msg.since = Timestamp{64, 9};
+  EXPECT_EQ(HexOf(EncodeFrame(msg)), kGoldenStateRequestHex);
+}
+
+TEST(WireCodec, GoldenStateChunk) {
+  StateChunkMsg msg;
+  msg.req_id = 2;
+  msg.replica = 1;
+  msg.done = true;
+  msg.entries.push_back(StateEntry{MakeTxn(), MakeFastCert()});
+  EXPECT_EQ(HexOf(EncodeFrame(msg)), kGoldenStateChunkHex);
+}
+
 // ---------------------------------------------------------------------------
 // (c) Malformed buffers: the Decoder must reject, never crash.
 // ---------------------------------------------------------------------------
@@ -424,6 +495,41 @@ TEST(WireCodec, TruncatedBuffersAreRejected) {
     const MsgPtr decoded = DecodeMsgFrame(dec);
     EXPECT_EQ(decoded, nullptr) << "truncation at " << len << " decoded anyway";
     EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, TruncatedStateChunkIsRejected) {
+  StateChunkMsg msg;
+  msg.req_id = 9;
+  msg.replica = 2;
+  msg.entries.push_back(StateEntry{MakeTxnWithDeps(), MakeConflictCert()});
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Decoder dec(bytes.data(), len);
+    const MsgPtr decoded = DecodeMsgFrame(dec);
+    EXPECT_EQ(decoded, nullptr) << "truncation at " << len << " decoded anyway";
+    EXPECT_FALSE(dec.ok());
+  }
+}
+
+TEST(WireCodec, StateChunkBitFlipsNeverCrash) {
+  StateChunkMsg msg;
+  msg.req_id = 9;
+  msg.replica = 2;
+  msg.done = true;
+  msg.entries.push_back(StateEntry{MakeTxn(), MakeFastCert()});
+  const std::vector<uint8_t> bytes = EncodeFrame(msg);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+      std::vector<uint8_t> corrupted = bytes;
+      corrupted[i] ^= flip;
+      Decoder dec(corrupted);
+      const MsgPtr decoded = DecodeMsgFrame(dec);  // Must not crash or overread.
+      if (decoded != nullptr) {
+        Encoder enc;
+        EncodeMsgFrame(*decoded, enc);
+      }
+    }
   }
 }
 

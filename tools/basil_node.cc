@@ -2,6 +2,10 @@
 //
 //   basil_node --config cluster.cfg --id 0                 # replica (runs until
 //                                                          # SIGTERM/SIGINT)
+//   basil_node --config cluster.cfg --id 0 --data-dir d    # replica with a durable
+//                                                          # WAL + snapshot store and
+//                                                          # peer state transfer at
+//                                                          # startup (docs/RECOVERY.md)
 //   basil_node --config cluster.cfg --id 6 --txns 1000     # client driver: runs
 //                                                          # read-modify-write
 //                                                          # transactions, then exits
@@ -15,6 +19,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -34,6 +39,7 @@ void OnSignal(int) { g_stop = 1; }
 struct Options {
   std::string config;
   NodeId id = kInvalidNode;
+  std::string data_dir;    // Replica role: durable store root (empty = in-memory only).
   uint64_t txns = 1000;    // Client role: transactions to commit before exiting.
   uint32_t keys = 16;      // Client role: key-space width.
   uint64_t timeout_s = 120;  // Client role: overall deadline.
@@ -73,6 +79,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->timeout_s = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--data-dir") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->data_dir = v;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -119,19 +131,63 @@ Task<void> RunDriver(BasilClient* client, const Options* opt, DriverState* state
 }
 
 int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
-               const KeyRegistry& keys) {
+               const KeyRegistry& keys, const Options& opt) {
   BasilReplica replica(&rt, &cfg.basil, &topo, &keys);
+
+  // Durable store: replay the WAL + snapshot into the version store before any
+  // traffic, then catch up on missed commits from peers once the runtime is live.
+  std::unique_ptr<DiskMedia> media;
+  std::unique_ptr<DurableStore> durable;
+  if (!opt.data_dir.empty()) {
+    media = std::make_unique<DiskMedia>(opt.data_dir + "/node" +
+                                        std::to_string(rt.id()));
+    if (!media->ok()) {
+      std::fprintf(stderr, "cannot create data dir under %s\n",
+                   opt.data_dir.c_str());
+      return 1;
+    }
+    durable = std::make_unique<DurableStore>(media.get(),
+                                             cfg.basil.wal_snapshot_every);
+    const DurableStore::ReplayStats stats = durable->Open(&replica.store());
+    replica.AttachDurable(durable.get());
+    std::printf("REPLAY snapshot=%llu wal=%llu torn=%llu\n",
+                static_cast<unsigned long long>(stats.snapshot_versions),
+                static_cast<unsigned long long>(stats.wal_records),
+                static_cast<unsigned long long>(stats.torn_bytes_discarded));
+  }
   if (!rt.Start()) {
     return 1;
   }
   std::printf("READY replica %u shard %u\n", rt.id(), replica.shard());
   std::fflush(stdout);
+  // Transfer applications (fresh + re-offered) also bump "committed"; printing both
+  // lets the cluster script separate real quorum participation from late chunks.
+  auto transfer_applied = [&replica]() {
+    return replica.counters().Get("state_entries_applied") +
+           replica.counters().Get("state_entries_reapplied");
+  };
+  if (durable != nullptr) {
+    rt.Execute([&replica, &transfer_applied]() {
+      replica.StartRecovery([&replica, &transfer_applied]() {
+        std::printf("RECOVERED applied=%llu commits=%llu\n",
+                    static_cast<unsigned long long>(transfer_applied()),
+                    static_cast<unsigned long long>(
+                        replica.counters().Get("committed")));
+        std::fflush(stdout);
+      });
+    });
+  }
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   rt.Stop();
-  std::printf("STOPPED replica %u handled=%llu\n", rt.id(),
-              static_cast<unsigned long long>(rt.messages_received()));
+  std::printf("STOPPED replica %u handled=%llu commits=%llu applied=%llu rejected=%llu\n",
+              rt.id(),
+              static_cast<unsigned long long>(rt.messages_received()),
+              static_cast<unsigned long long>(replica.counters().Get("committed")),
+              static_cast<unsigned long long>(transfer_applied()),
+              static_cast<unsigned long long>(
+                  replica.counters().Get("state_entries_rejected")));
   return 0;
 }
 
@@ -177,8 +233,8 @@ int Main(int argc, char** argv) {
   Options opt;
   if (!ParseArgs(argc, argv, &opt)) {
     std::fprintf(stderr,
-                 "usage: basil_node --config <file> --id <node> [--txns N] "
-                 "[--keys K] [--timeout S]\n");
+                 "usage: basil_node --config <file> --id <node> [--data-dir D] "
+                 "[--txns N] [--keys K] [--timeout S]\n");
     return 1;
   }
   DeployConfig cfg;
@@ -200,7 +256,7 @@ int Main(int argc, char** argv) {
   // signatures made in one process verify in all others.
   const KeyRegistry keys(topo.TotalNodes(), cfg.seed, /*enabled=*/true);
   TcpRuntime rt(opt.id, cfg.peers);
-  return cfg.is_replica[opt.id] ? RunReplica(cfg, rt, topo, keys)
+  return cfg.is_replica[opt.id] ? RunReplica(cfg, rt, topo, keys, opt)
                                 : RunClient(cfg, rt, topo, keys, opt);
 }
 
