@@ -9,11 +9,13 @@
 #      WAL, catch up via peer state transfer (RECOVERED), and then participate in
 #      >= MIN_REJOIN_COMMITS further commits (docs/RECOVERY.md).
 #
-# Usage: run_tcp_cluster.sh <path-to-basil_node> [txns]
+# Usage: run_tcp_cluster.sh <path-to-basil_node> [txns] [workers]
+#   workers: strand + crypto pool threads per node (--workers, docs/TRANSPORT.md).
 set -u
 
-BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [txns]}"
+BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [txns] [workers]}"
 TXNS="${2:-1000}"
+WORKERS="${3:-2}"
 # Recovery has a fixed wall-clock floor (~1 s: peers' reconnect backoff toward the
 # restarted node), and commits landing before the RECOVERED print do not count as
 # rejoin participation. Short smoke runs (< 600 txns) finish inside that floor, so
@@ -45,6 +47,7 @@ CFG="$WORKDIR/cluster.cfg"
   echo "shards 1"
   echo "seed 4242"
   echo "batch_size 4"
+  echo "wal_fsync 8"  # Group-commit: one fdatasync per 8 WAL appends.
   for i in 0 1 2 3 4 5; do
     echo "node $i replica 127.0.0.1 $((PORT_BASE + i))"
   done
@@ -57,7 +60,7 @@ cat "$CFG"
 DATA_DIR="$WORKDIR/data"
 for i in 0 1 2 3 4 5; do
   "$BASIL_NODE" --config "$CFG" --id "$i" --data-dir "$DATA_DIR" \
-    > "$WORKDIR/replica$i.log" 2>&1 &
+    --workers "$WORKERS" > "$WORKDIR/replica$i.log" 2>&1 &
   PIDS+=($!)
 done
 
@@ -76,9 +79,35 @@ done
 echo "== replicas ready =="
 
 "$BASIL_NODE" --config "$CFG" --id 6 --txns "$TXNS" --keys 16 --timeout 150 \
-  > "$WORKDIR/client.log" 2>&1 &
+  --workers "$WORKERS" > "$WORKDIR/client.log" 2>&1 &
 CLIENT_PID=$!
 PIDS+=("$CLIENT_PID")
+
+# Fail fast if a replica that is supposed to be alive exits: without this a dead
+# replica leaves the client grinding against a short quorum until its timeout.
+# replica 5 is exempt between the deliberate kill and the restart.
+check_replicas_alive() {
+  local i pid
+  for i in 0 1 2 3 4; do
+    pid="${PIDS[$i]}"
+    if ! kill -0 "$pid" 2>/dev/null; then
+      echo "FAIL: replica $i (pid $pid) exited before the run finished"
+      echo "-- replica$i.log --"; tail -10 "$WORKDIR/replica$i.log"
+      exit 1
+    fi
+  done
+  if [ "$KILLED" -eq 0 ] && ! kill -0 "${PIDS[5]}" 2>/dev/null; then
+    echo "FAIL: replica 5 exited before the deliberate kill"
+    echo "-- replica5.log --"; tail -10 "$WORKDIR/replica5.log"
+    exit 1
+  fi
+  if [ "$RESTARTED" -eq 1 ] && [ -n "$RESTART_PID" ] && \
+     ! kill -0 "$RESTART_PID" 2>/dev/null; then
+    echo "FAIL: restarted replica 5 (pid $RESTART_PID) exited prematurely"
+    echo "-- replica5b.log --"; tail -10 "$WORKDIR/replica5b.log"
+    exit 1
+  fi
+}
 
 # Kill replica 5 (the highest index: never the lone holder of anything with f=1) at
 # a third of the run, restart it — same id, same data dir — shortly after (commits
@@ -90,6 +119,7 @@ KILLED=0
 RESTARTED=0
 RESTART_PID=
 while kill -0 "$CLIENT_PID" 2>/dev/null; do
+  check_replicas_alive
   PROGRESS=$(grep -c PROGRESS "$WORKDIR/client.log" 2>/dev/null || true)
   COMMITTED=$((PROGRESS * 100))
   if [ "$KILLED" -eq 0 ] && [ "$COMMITTED" -ge "$KILL_AT" ]; then
@@ -101,7 +131,7 @@ while kill -0 "$CLIENT_PID" 2>/dev/null; do
      [ "$COMMITTED" -ge "$RESTART_AT" ]; then
     echo "== restarting replica 5 at ~$COMMITTED commits =="
     "$BASIL_NODE" --config "$CFG" --id 5 --data-dir "$DATA_DIR" \
-      > "$WORKDIR/replica5b.log" 2>&1 &
+      --workers "$WORKERS" > "$WORKDIR/replica5b.log" 2>&1 &
     RESTART_PID=$!
     PIDS+=("$RESTART_PID")
     RESTARTED=1

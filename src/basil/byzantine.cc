@@ -40,19 +40,19 @@ void ByzantineBasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
   counters().Inc("byz_fabricated_reads");
 }
 
-void ByzantineBasilReplica::OnSt2(NodeId src, const St2Msg& msg) {
+void ByzantineBasilReplica::OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) {
   if (mode_ != ByzReplicaMode::kEquivocateAcks) {
-    BasilReplica::OnSt2(src, msg);
+    BasilReplica::OnSt2(src, std::move(msg));
     return;
   }
   // Log honestly (so state stays coherent) but ack with a decision chosen by the
   // requester's parity — pure equivocation within its own signature authority.
-  TxnState& s = GetState(msg.txn);
-  if (s.txn == nullptr && msg.txn_body != nullptr) {
-    s.txn = msg.txn_body;
+  TxnState& s = GetState(msg->txn);
+  if (s.txn == nullptr && msg->txn_body != nullptr) {
+    s.txn = msg->txn_body;
   }
   s.logged_decision = (src % 2 == 0) ? Decision::kCommit : Decision::kAbort;
-  s.view_decision = msg.view;
+  s.view_decision = msg->view;
   counters().Inc("byz_equivocated_acks");
   ReplySt2Ack(src, s);
 }

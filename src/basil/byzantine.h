@@ -43,7 +43,7 @@ class ByzantineBasilReplica : public BasilReplica {
  protected:
   Vote FilterVote(const TxnDigest& txn, Vote vote) override;
   void OnRead(NodeId src, const ReadMsg& msg) override;
-  void OnSt2(NodeId src, const St2Msg& msg) override;
+  void OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) override;
   void OnStateRequest(NodeId src, const StateRequestMsg& msg) override;
 
  private:

@@ -865,10 +865,10 @@ void BasilClient::Handle(const MsgEnvelope& env) {
       OnReadReply(std::static_pointer_cast<const ReadReplyMsg>(env.msg));
       break;
     case kBasilSt1Reply:
-      OnSt1Reply(static_cast<const St1ReplyMsg&>(*env.msg));
+      OnSt1Reply(std::static_pointer_cast<const St1ReplyMsg>(env.msg));
       break;
     case kBasilSt2Reply:
-      OnSt2Reply(static_cast<const St2ReplyMsg&>(*env.msg));
+      OnSt2Reply(std::static_pointer_cast<const St2ReplyMsg>(env.msg));
       break;
     case kBasilWriteback:
       OnWritebackToClient(static_cast<const WritebackMsg&>(*env.msg));
@@ -882,92 +882,155 @@ void BasilClient::Handle(const MsgEnvelope& env) {
 }
 
 void BasilClient::OnReadReply(std::shared_ptr<const ReadReplyMsg> msg) {
-  auto it = pending_reads_.find(msg->req_id);
-  if (it == pending_reads_.end()) {
-    return;
-  }
-  ReadCollector& rc = *it->second;
-  if (rc.from.contains(msg->replica)) {
-    return;
-  }
-  if (!verifier_.Verify(msg->Digest(), msg->batch_cert, &meter())) {
-    counters_.Inc("read_reply_bad_sig");
-    return;
-  }
-  rc.from.insert(msg->replica);
-  rc.replies.push_back(std::move(msg));
-  if (rc.from.size() >= rc.wait_for) {
-    rc.done.Fire();
-  }
-}
-
-void BasilClient::OnSt1Reply(const St1ReplyMsg& msg) {
-  auto it = active_prepares_.find(msg.vote.txn);
-  if (it == active_prepares_.end()) {
-    return;
-  }
-  PrepareCtx& ctx = *it->second;
-  if (!topo_->IsReplicaNode(msg.vote.replica)) {
-    return;
-  }
-  const ShardId shard = topo_->ShardOfReplicaNode(msg.vote.replica);
-  auto st = ctx.shards.find(shard);
-  if (st == ctx.shards.end()) {
-    return;
-  }
-  ShardState& ss = st->second;
-  if (ss.replied.contains(msg.vote.replica)) {
-    return;
-  }
-  if (!verifier_.Verify(msg.vote.Digest(), msg.vote.cert, &meter())) {
-    counters_.Inc("st1r_bad_sig");
-    return;
-  }
-  ss.replied.insert(msg.vote.replica);
-  ss.tally.replies++;
-  if (msg.vote.vote == Vote::kCommit) {
-    ss.tally.commit_votes.push_back(msg.vote);
-  } else {
-    ss.tally.abort_votes.push_back(msg.vote);
-    // Abort fast path case 5: a single valid conflict proof decides the shard.
-    if (msg.conflict_cert != nullptr && msg.conflict_txn != nullptr &&
-        ss.tally.conflict_cert == nullptr) {
-      DecisionCert probe;
-      probe.txn = ctx.body->id;
-      probe.decision = Decision::kAbort;
-      probe.kind = DecisionCert::Kind::kConflict;
-      probe.conflict_txn = msg.conflict_txn;
-      probe.conflict_cert = msg.conflict_cert;
-      if (validator_.ValidateDecisionCert(probe, ctx.body.get(), verifier_,
-                                          &meter())) {
-        ss.tally.conflict_txn = msg.conflict_txn;
-        ss.tally.conflict_cert = msg.conflict_cert;
-      }
+  {
+    auto it = pending_reads_.find(msg->req_id);
+    if (it == pending_reads_.end() || it->second->from.contains(msg->replica)) {
+      return;  // Stale or duplicate: not worth a signature check.
     }
   }
-  EvaluateStage1(ctx);
-  ctx.event.Fire();
+  VerifyThen(
+      cfg_->parallel_pipeline,
+      [this, msg](CostMeter& m) {
+        return verifier_.Verify(msg->Digest(), msg->batch_cert, &m);
+      },
+      [this, msg](bool ok) {
+        if (!ok) {
+          counters_.Inc("read_reply_bad_sig");
+          return;
+        }
+        auto it = pending_reads_.find(msg->req_id);
+        if (it == pending_reads_.end()) {
+          return;  // The read completed while the signature was being checked.
+        }
+        ReadCollector& rc = *it->second;
+        if (rc.from.contains(msg->replica)) {
+          return;
+        }
+        rc.from.insert(msg->replica);
+        rc.replies.push_back(msg);
+        if (rc.from.size() >= rc.wait_for) {
+          rc.done.Fire();
+        }
+      });
 }
 
-void BasilClient::OnSt2Reply(const St2ReplyMsg& msg) {
-  auto it = active_prepares_.find(msg.ack.txn);
-  if (it == active_prepares_.end()) {
+void BasilClient::OnSt1Reply(std::shared_ptr<const St1ReplyMsg> msg) {
+  {
+    auto it = active_prepares_.find(msg->vote.txn);
+    if (it == active_prepares_.end() || !topo_->IsReplicaNode(msg->vote.replica)) {
+      return;
+    }
+    const ShardId shard = topo_->ShardOfReplicaNode(msg->vote.replica);
+    auto st = it->second->shards.find(shard);
+    if (st == it->second->shards.end() ||
+        st->second.replied.contains(msg->vote.replica)) {
+      return;
+    }
+  }
+  const ShardId shard = topo_->ShardOfReplicaNode(msg->vote.replica);
+  VerifyThen(
+      cfg_->parallel_pipeline,
+      [this, msg](CostMeter& m) {
+        return verifier_.Verify(msg->vote.Digest(), msg->vote.cert, &m);
+      },
+      [this, msg, shard](bool ok) {
+        if (!ok) {
+          counters_.Inc("st1r_bad_sig");
+          return;
+        }
+        auto it = active_prepares_.find(msg->vote.txn);
+        if (it == active_prepares_.end()) {
+          return;  // Stage 1 completed while the signature was being checked.
+        }
+        PrepareCtx& ctx = *it->second;
+        auto st = ctx.shards.find(shard);
+        if (st == ctx.shards.end()) {
+          return;
+        }
+        ShardState& ss = st->second;
+        if (ss.replied.contains(msg->vote.replica)) {
+          return;
+        }
+        ss.replied.insert(msg->vote.replica);
+        ss.tally.replies++;
+        if (msg->vote.vote == Vote::kCommit) {
+          ss.tally.commit_votes.push_back(msg->vote);
+          EvaluateStage1(ctx);
+          ctx.event.Fire();
+          return;
+        }
+        ss.tally.abort_votes.push_back(msg->vote);
+        // Abort fast path case 5: a single valid conflict proof decides the shard.
+        // The proof is itself a nested certificate — its validation chains through
+        // the crypto pool before this shard's tally is re-evaluated.
+        if (msg->conflict_cert == nullptr || msg->conflict_txn == nullptr ||
+            ss.tally.conflict_cert != nullptr) {
+          EvaluateStage1(ctx);
+          ctx.event.Fire();
+          return;
+        }
+        auto probe = std::make_shared<DecisionCert>();
+        probe->txn = ctx.body->id;
+        probe->decision = Decision::kAbort;
+        probe->kind = DecisionCert::Kind::kConflict;
+        probe->conflict_txn = msg->conflict_txn;
+        probe->conflict_cert = msg->conflict_cert;
+        VerifyThen(
+            cfg_->parallel_pipeline,
+            [this, probe, body = ctx.body](CostMeter& m) {
+              return validator_.ValidateDecisionCert(*probe, body.get(), verifier_,
+                                                     &m);
+            },
+            [this, msg, shard](bool proof_ok) {
+              auto it = active_prepares_.find(msg->vote.txn);
+              if (it == active_prepares_.end()) {
+                return;
+              }
+              PrepareCtx& ctx = *it->second;
+              auto st = ctx.shards.find(shard);
+              if (st == ctx.shards.end()) {
+                return;
+              }
+              ShardState& ss = st->second;
+              if (proof_ok && ss.tally.conflict_cert == nullptr) {
+                ss.tally.conflict_txn = msg->conflict_txn;
+                ss.tally.conflict_cert = msg->conflict_cert;
+              }
+              EvaluateStage1(ctx);
+              ctx.event.Fire();
+            });
+      });
+}
+
+void BasilClient::OnSt2Reply(std::shared_ptr<const St2ReplyMsg> msg) {
+  if (!active_prepares_.contains(msg->ack.txn)) {
     return;
   }
-  PrepareCtx& ctx = *it->second;
-  if (!verifier_.Verify(msg.ack.Digest(), msg.ack.cert, &meter())) {
-    counters_.Inc("st2r_bad_sig");
-    return;
-  }
-  const ShardId log_shard = LogShardOf(*ctx.body);
-  if (!topo_->IsReplicaNode(msg.ack.replica) ||
-      topo_->ShardOfReplicaNode(msg.ack.replica) != log_shard) {
-    return;
-  }
-  ctx.ack_nodes.insert(msg.ack.replica);
-  ctx.ack_groups[{static_cast<uint8_t>(msg.ack.decision), msg.ack.view_decision}]
-      [msg.ack.replica] = msg.ack;
-  ctx.event.Fire();
+  VerifyThen(
+      cfg_->parallel_pipeline,
+      [this, msg](CostMeter& m) {
+        return verifier_.Verify(msg->ack.Digest(), msg->ack.cert, &m);
+      },
+      [this, msg](bool ok) {
+        if (!ok) {
+          counters_.Inc("st2r_bad_sig");
+          return;
+        }
+        auto it = active_prepares_.find(msg->ack.txn);
+        if (it == active_prepares_.end()) {
+          return;  // Stage 2 completed while the signature was being checked.
+        }
+        PrepareCtx& ctx = *it->second;
+        const ShardId log_shard = LogShardOf(*ctx.body);
+        if (!topo_->IsReplicaNode(msg->ack.replica) ||
+            topo_->ShardOfReplicaNode(msg->ack.replica) != log_shard) {
+          return;
+        }
+        ctx.ack_nodes.insert(msg->ack.replica);
+        ctx.ack_groups[{static_cast<uint8_t>(msg->ack.decision),
+                        msg->ack.view_decision}][msg->ack.replica] = msg->ack;
+        ctx.event.Fire();
+      });
 }
 
 void BasilClient::OnWritebackToClient(const WritebackMsg& msg) {

@@ -148,10 +148,12 @@ class BasilClient : public Process, public SystemClient, public TxnSession {
   // Byzantine commit flows (§6.4).
   Task<TxnOutcome> CommitByzantine(TxnPtr body, FaultMode mode);
 
-  // Message plumbing.
+  // Message plumbing. Reply handlers verify replica batch signatures through the
+  // runtime's crypto pool (Process::VerifyThen), so they take their message by
+  // shared_ptr and finish in a continuation that re-validates its context.
   void OnReadReply(std::shared_ptr<const ReadReplyMsg> msg);
-  void OnSt1Reply(const St1ReplyMsg& msg);
-  void OnSt2Reply(const St2ReplyMsg& msg);
+  void OnSt1Reply(std::shared_ptr<const St1ReplyMsg> msg);
+  void OnSt2Reply(std::shared_ptr<const St2ReplyMsg> msg);
   void OnWritebackToClient(const WritebackMsg& msg);
   void OnFetchReply(const FetchReplyMsg& msg);
 

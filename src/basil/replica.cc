@@ -60,13 +60,13 @@ void BasilReplica::Handle(const MsgEnvelope& env) {
       OnRead(env.src, static_cast<const ReadMsg&>(*env.msg));
       break;
     case kBasilSt1:
-      OnSt1(env.src, static_cast<const St1Msg&>(*env.msg));
+      OnSt1(env.src, std::static_pointer_cast<const St1Msg>(env.msg));
       break;
     case kBasilSt2:
-      OnSt2(env.src, static_cast<const St2Msg&>(*env.msg));
+      OnSt2(env.src, std::static_pointer_cast<const St2Msg>(env.msg));
       break;
     case kBasilWriteback:
-      OnWriteback(env.src, static_cast<const WritebackMsg&>(*env.msg));
+      OnWriteback(env.src, std::static_pointer_cast<const WritebackMsg>(env.msg));
       break;
     case kBasilAbortRead:
       OnAbortRead(static_cast<const AbortReadMsg&>(*env.msg));
@@ -155,16 +155,46 @@ void BasilReplica::OnAbortRead(const AbortReadMsg& msg) {
 // Prepare phase, Stage 1: MVTSO-Check (Algorithm 1).
 // ---------------------------------------------------------------------------
 
-void BasilReplica::OnSt1(NodeId src, const St1Msg& msg) {
+void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
   ChargeClientAuthVerify();
-  if (msg.txn == nullptr) {
+  if (msg->txn == nullptr) {
     return;
   }
-  TxnState& s = GetState(msg.txn->id);
+  // The body must hash to its claimed digest — every downstream structure (votes,
+  // certificates, version chains) is keyed by it. The hash is the heavy, pure part
+  // of ST1 intake: it runs on the strand of the claimed digest (serialized per
+  // transaction, parallel across transactions on the TCP backend; inline and
+  // cost-free on the simulator, whose ST1 bodies are shared pointers that were
+  // hashed at Finalize time), then intake continues in the handler context.
+  if (!cfg_->parallel_pipeline) {
+    if (msg->txn->ComputeDigest() != msg->txn->id) {
+      counters_.Inc("st1_bad_digest");
+      return;
+    }
+    St1Arrived(src, msg);
+    return;
+  }
+  auto body_ok = std::make_shared<bool>(false);
+  Post(
+      StrandOfDigest(msg->txn->id),
+      [msg, body_ok](CostMeter&) {
+        *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+      },
+      [this, src, msg, body_ok]() {
+        if (!*body_ok) {
+          counters_.Inc("st1_bad_digest");
+          return;
+        }
+        St1Arrived(src, msg);
+      });
+}
+
+void BasilReplica::St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& msg) {
+  TxnState& s = GetState(msg->txn->id);
   if (s.txn == nullptr) {
-    s.txn = msg.txn;
+    s.txn = msg->txn;
     // Another transaction may be waiting for this body to arrive (dependency check).
-    auto it = arrival_waiters_.find(msg.txn->id);
+    auto it = arrival_waiters_.find(msg->txn->id);
     if (it != arrival_waiters_.end()) {
       std::vector<TxnDigest> waiters = std::move(it->second);
       arrival_waiters_.erase(it);
@@ -173,7 +203,7 @@ void BasilReplica::OnSt1(NodeId src, const St1Msg& msg) {
       }
     }
   }
-  if (msg.is_recovery) {
+  if (msg->is_recovery) {
     s.interested.insert(src);
     counters_.Inc("recovery_prepares");
   }
@@ -182,7 +212,7 @@ void BasilReplica::OnSt1(NodeId src, const St1Msg& msg) {
     ReplyCert(src, s);
     return;
   }
-  if (msg.is_recovery && s.logged_decision.has_value()) {
+  if (msg->is_recovery && s.logged_decision.has_value()) {
     // RPR carries the most advanced state: the logged Stage-2 decision, plus the
     // pinned vote so the recovering client can assemble ST2 justifications.
     ReplySt2Ack(src, s);
@@ -498,70 +528,111 @@ void BasilReplica::FlushBatch() {
     CancelTimer(batch_timer_);
     batch_timer_armed_ = false;
   }
+  auto batch = std::make_shared<std::vector<PendingReply>>(std::move(pending_replies_));
+  pending_replies_.clear();
   std::vector<Hash256> digests;
-  digests.reserve(pending_replies_.size());
-  for (const PendingReply& p : pending_replies_) {
+  digests.reserve(batch->size());
+  for (const PendingReply& p : *batch) {
     digests.push_back(p.digest);
   }
-  std::vector<BatchCert> certs = SealBatch(digests, *keys_, id(), &meter());
-  for (size_t i = 0; i < pending_replies_.size(); ++i) {
-    PendingReply& p = pending_replies_[i];
-    p.set_cert(p.msg, std::move(certs[i]));
-    Send(p.dst, std::move(p.msg));
+  // Sealing builds the Merkle tree and signs its root — pure CPU over the collected
+  // digests. Batches rotate across strands (each batch is internally ordered; batch
+  // order against other batches is not), the certified sends run back in the
+  // handler context.
+  auto certs = std::make_shared<std::vector<BatchCert>>();
+  auto seal = [this, digests = std::move(digests), certs](CostMeter& m) {
+    *certs = SealBatch(digests, *keys_, id(), &m);
+  };
+  auto send_all = [this, batch, certs]() {
+    for (size_t i = 0; i < batch->size(); ++i) {
+      PendingReply& p = (*batch)[i];
+      p.set_cert(p.msg, std::move((*certs)[i]));
+      Send(p.dst, std::move(p.msg));
+    }
+    counters_.Inc("batches_flushed");
+  };
+  if (!cfg_->parallel_pipeline) {
+    seal(meter());
+    send_all();
+    return;
   }
-  pending_replies_.clear();
-  counters_.Inc("batches_flushed");
+  Post(seal_seq_++, std::move(seal), std::move(send_all));
 }
 
 // ---------------------------------------------------------------------------
 // Prepare phase, Stage 2: decision logging.
 // ---------------------------------------------------------------------------
 
-void BasilReplica::OnSt2(NodeId src, const St2Msg& msg) {
+void BasilReplica::OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) {
   ChargeClientAuthVerify();
-  TxnState& s = GetState(msg.txn);
-  if (s.txn == nullptr && msg.txn_body != nullptr && msg.txn_body->id == msg.txn) {
-    s.txn = msg.txn_body;
+  TxnState& s = GetState(msg->txn);
+  if (s.txn == nullptr && msg->txn_body != nullptr && msg->txn_body->id == msg->txn) {
+    s.txn = msg->txn_body;
   }
   if (s.decided) {
     ReplyCert(src, s);
     return;
   }
-  if (!s.logged_decision.has_value()) {
-    if (msg.view < s.view_current) {
-      counters_.Inc("st2_stale_view");
-      return;
-    }
-    if (!validator_.ValidateSt2Justification(msg, verifier_, &meter())) {
-      counters_.Inc("st2_unjustified");
-      return;
-    }
-    s.logged_decision = msg.decision;
-    s.view_decision = msg.view;
-    counters_.Inc("st2_logged");
+  if (s.logged_decision.has_value()) {
+    // Already logged: answered from storage, no justification work to do. If a
+    // different decision is logged, the stored one is returned; a client seeing
+    // non-matching acks enters the divergent fallback case (§5).
+    ReplySt2Ack(src, s);
+    return;
   }
-  // If a different decision is already logged, the stored one is returned; a client
-  // seeing non-matching acks enters the divergent fallback case (§5).
-  ReplySt2Ack(src, s);
+  if (msg->view < s.view_current) {
+    counters_.Inc("st2_stale_view");
+    return;
+  }
+  // The justification validates quorums of signed prepare votes — the heaviest
+  // verification a replica does. It runs on the crypto pool (TCP) or inline (sim);
+  // the continuation re-checks the guards, because the state may have advanced while
+  // the signatures were being checked.
+  VerifyThen(
+      cfg_->parallel_pipeline,
+      [this, msg](CostMeter& m) {
+        return validator_.ValidateSt2Justification(*msg, verifier_, &m);
+      },
+      [this, src, msg](bool justified) {
+        TxnState& s = GetState(msg->txn);
+        if (s.decided) {
+          ReplyCert(src, s);
+          return;
+        }
+        if (!s.logged_decision.has_value()) {
+          if (!justified) {
+            counters_.Inc("st2_unjustified");
+            return;
+          }
+          if (msg->view < s.view_current) {
+            counters_.Inc("st2_stale_view");
+            return;
+          }
+          s.logged_decision = msg->decision;
+          s.view_decision = msg->view;
+          counters_.Inc("st2_logged");
+        }
+        ReplySt2Ack(src, s);
+      });
 }
 
 // ---------------------------------------------------------------------------
 // Writeback phase.
 // ---------------------------------------------------------------------------
 
-void BasilReplica::OnWriteback(NodeId src, const WritebackMsg& msg) {
+void BasilReplica::OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> msg) {
   (void)src;
-  if (msg.cert == nullptr) {
+  if (msg->cert == nullptr) {
     return;
   }
-  TxnState& s = GetState(msg.cert->txn);
+  TxnState& s = GetState(msg->cert->txn);
   if (s.decided) {
     return;
   }
-  if (s.txn == nullptr && msg.txn_body != nullptr &&
-      msg.txn_body->id == msg.cert->txn) {
-    s.txn = msg.txn_body;
-    auto it = arrival_waiters_.find(msg.cert->txn);
+  if (s.txn == nullptr && msg->txn_body != nullptr &&
+      msg->txn_body->id == msg->cert->txn) {
+    s.txn = msg->txn_body;
+    auto it = arrival_waiters_.find(msg->cert->txn);
     if (it != arrival_waiters_.end()) {
       std::vector<TxnDigest> waiters = std::move(it->second);
       arrival_waiters_.erase(it);
@@ -570,11 +641,25 @@ void BasilReplica::OnWriteback(NodeId src, const WritebackMsg& msg) {
       }
     }
   }
-  if (!validator_.ValidateDecisionCert(*msg.cert, s.txn.get(), verifier_, &meter())) {
-    counters_.Inc("writeback_invalid");
-    return;
-  }
-  ApplyDecision(s, msg.cert->decision, msg.cert);
+  // C-CERT/A-CERT validation verifies a quorum of signed votes or acks: crypto-pool
+  // work. The body pointer is pinned here; the continuation re-fetches the state
+  // (another writeback may have decided the transaction while this one verified).
+  VerifyThen(
+      cfg_->parallel_pipeline,
+      [this, msg, body = s.txn](CostMeter& m) {
+        return validator_.ValidateDecisionCert(*msg->cert, body.get(), verifier_, &m);
+      },
+      [this, msg](bool valid) {
+        TxnState& s = GetState(msg->cert->txn);
+        if (s.decided) {
+          return;
+        }
+        if (!valid) {
+          counters_.Inc("writeback_invalid");
+          return;
+        }
+        ApplyDecision(s, msg->cert->decision, msg->cert);
+      });
 }
 
 void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr cert) {

@@ -95,10 +95,13 @@ class BasilReplica : public Process {
   };
 
   // Message handlers; virtual so Byzantine replica behaviours can override them.
+  // The hot three (ST1/ST2/Writeback) take the message by shared_ptr: their heavy
+  // stages (body hashing, signature verification) run on the runtime's strands /
+  // crypto pool, and the closures must keep the message alive past the handler.
   virtual void OnRead(NodeId src, const ReadMsg& msg);
-  virtual void OnSt1(NodeId src, const St1Msg& msg);
-  virtual void OnSt2(NodeId src, const St2Msg& msg);
-  virtual void OnWriteback(NodeId src, const WritebackMsg& msg);
+  virtual void OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg);
+  virtual void OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg);
+  virtual void OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> msg);
   virtual void OnAbortRead(const AbortReadMsg& msg);
   virtual void OnInvokeFb(NodeId src, const InvokeFbMsg& msg);
   virtual void OnElectFb(NodeId src, const ElectFbMsg& msg);
@@ -116,6 +119,9 @@ class BasilReplica : public Process {
   // True iff this replica's shard owns `key` (each shard checks and applies only its
   // partition of a transaction).
   bool OwnsKey(const Key& key) const;
+
+  // Stage 2 of OnSt1, after the body digest verified on the txn's strand.
+  void St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& msg);
 
   // --- MVTSO-Check machinery (Algorithm 1) ---
   void StartCheck(TxnState& s);
@@ -167,6 +173,7 @@ class BasilReplica : public Process {
   std::vector<PendingReply> pending_replies_;
   bool batch_timer_armed_ = false;
   EventId batch_timer_ = 0;
+  uint64_t seal_seq_ = 0;  // Rotates batch sealing (merkle + sign) across strands.
 
   // Transactions whose arrival other transactions await: dep digest -> waiters.
   std::unordered_map<TxnDigest, std::vector<TxnDigest>, TxnDigestHash> arrival_waiters_;

@@ -90,6 +90,17 @@ struct BasilConfig {
   uint64_t recovery_retry_ns = 250'000'000;
   // WAL snapshot cadence: committed records between snapshots.
   uint32_t wal_snapshot_every = 256;
+  // WAL fsync group-commit cadence: fdatasync the log once every N appends (and the
+  // snapshot before the WAL truncate). 0 = never sync — records survive process
+  // death (kernel page cache) but not OS crashes, the pre-group-commit behaviour.
+  uint32_t wal_fsync_every = 0;
+
+  // Parallel execution pipeline (docs/TRANSPORT.md): route heavy per-transaction
+  // work through Runtime::Post (strand = txn digest) and signature checks through
+  // Runtime::OffloadVerify. On the simulator both run inline, so results are
+  // bit-identical either way (tests/test_strands.cc pins this); on the TCP backend
+  // `false` keeps everything on the event-loop thread for A/B comparison.
+  bool parallel_pipeline = true;
 
   uint32_t n() const { return 5 * f + 1; }
   uint32_t commit_quorum() const { return 3 * f + 1; }       // CQ = (n+f+1)/2.
@@ -112,6 +123,9 @@ struct TapirConfig {
   uint32_t f = 1;
   uint32_t num_shards = 1;
   uint64_t prepare_timeout_ns = 8'000'000;
+  // Same toggle as BasilConfig::parallel_pipeline: prepare bodies are digest-checked
+  // on a strand keyed by txn digest before the OCC check runs in handler context.
+  bool parallel_pipeline = true;
 
   uint32_t n() const { return 2 * f + 1; }
   // IR fast quorum ceil(3f/2)+1; slow path needs a simple majority f+1.

@@ -57,8 +57,11 @@ bool BatchVerifier::Verify(const Hash256& reply_digest, const BatchCert& cert,
     return false;
   }
   const RootKey key{cert.root, cert.root_sig.signer};
-  if (cache_.contains(key)) {
-    return true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cache_.contains(key)) {
+      return true;
+    }
   }
   if (meter != nullptr) {
     meter->ChargeVerify();
@@ -66,6 +69,7 @@ bool BatchVerifier::Verify(const Hash256& reply_digest, const BatchCert& cert,
   if (!keys_->Verify(cert.root_sig, cert.root)) {
     return false;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   cache_.insert(key);
   return true;
 }

@@ -6,6 +6,7 @@
 #define BASIL_SRC_CRYPTO_BATCH_H_
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
@@ -36,7 +37,9 @@ std::vector<BatchCert> SealBatch(const std::vector<Hash256>& reply_digests,
                                  const KeyRegistry& keys, NodeId signer,
                                  CostMeter* meter);
 
-// Verifying side with the root-signature cache of Figure 2.
+// Verifying side with the root-signature cache of Figure 2. Thread-safe: Verify may
+// be called concurrently from a runtime's crypto-offload pool (the cache is guarded;
+// the signature check itself runs outside the lock so verification still parallelizes).
 class BatchVerifier {
  public:
   explicit BatchVerifier(const KeyRegistry* keys) : keys_(keys) {}
@@ -46,7 +49,10 @@ class BatchVerifier {
   // the (root, signer) pair has not been validated before.
   bool Verify(const Hash256& reply_digest, const BatchCert& cert, CostMeter* meter);
 
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
 
  private:
   struct RootKey {
@@ -64,6 +70,7 @@ class BatchVerifier {
   };
 
   const KeyRegistry* keys_;
+  mutable std::mutex mu_;  // Guards cache_ only; crypto runs outside the lock.
   std::unordered_set<RootKey, RootKeyHash> cache_;
 };
 

@@ -53,6 +53,12 @@ bool DeployConfig::Load(const std::string& path, DeployConfig* out,
       if (!(ss >> out->basil.batch_size)) {
         return fail("expected: batch_size <uint>");
       }
+    } else if (word == "wal_fsync") {
+      // Group-commit cadence for replicas running with --data-dir: fdatasync the
+      // WAL once every N appends (0 = never, the default).
+      if (!(ss >> out->basil.wal_fsync_every)) {
+        return fail("expected: wal_fsync <uint>");
+      }
     } else if (word == "node") {
       NodeId id;
       std::string role;

@@ -86,11 +86,15 @@ void CloseQuiet(int fd) {
 
 }  // namespace
 
-TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers)
+TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
     : id_(id), peers_(std::move(peers)), meter_(&cost_model_) {
   peer_state_.reserve(peers_.size());
   for (size_t i = 0; i < peers_.size(); ++i) {
     peer_state_.push_back(std::make_unique<Peer>());
+  }
+  for (uint32_t i = 0; i < workers; ++i) {
+    strand_workers_.push_back(std::make_unique<PoolWorker>());
+    crypto_workers_.push_back(std::make_unique<PoolWorker>());
   }
 }
 
@@ -119,7 +123,13 @@ bool TcpRuntime::Start() {
   }
   running_.store(true);
   loop_thread_ = std::thread([this]() { LoopMain(); });
-  accept_thread_ = std::thread([this]() { AcceptMain(); });
+  accept_thread_ = std::thread([this, fd = listen_fd_]() { AcceptMain(fd); });
+  for (auto& w : strand_workers_) {
+    w->thread = std::thread([this, w = w.get()]() { PoolMain(w); });
+  }
+  for (auto& w : crypto_workers_) {
+    w->thread = std::thread([this, w = w.get()]() { PoolMain(w); });
+  }
   return true;
 }
 
@@ -128,26 +138,49 @@ void TcpRuntime::Stop() {
     return;
   }
   // Join order matters. Accept first: once it is gone, the reader set is frozen and
-  // every reader fd can be shut down (closing fds before this join would race a
-  // just-accepted connection whose fd misses the shutdown pass and whose reader then
-  // blocks in recv forever). The loop goes before the writers: it is still draining
-  // handler tasks, and a drained handler's Send may spawn a writer thread — joining
-  // writers while that can happen races the std::thread object and can leave a
-  // joinable thread behind at destruction.
-  CloseQuiet(listen_fd_);
-  listen_fd_ = -1;
+  // every reader fd can be shut down (shutting fds down before this join would race
+  // a just-accepted connection whose fd misses the shutdown pass and whose reader
+  // then blocks in recv forever). Blocked threads are woken with shutdown(), never
+  // close(): an fd is closed only by its owning thread (readers close their own on
+  // exit, the acceptor's is closed here after its join), so no thread ever operates
+  // on a descriptor another thread has released for reuse. The loop goes before the
+  // writers: it is still draining handler tasks, and a drained handler's Send may
+  // spawn a writer thread — joining writers while that can happen races the
+  // std::thread object and can leave a joinable thread behind at destruction.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);  // accept() returns; the acceptor exits.
+  }
   if (accept_thread_.joinable()) {
     accept_thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
   {
     std::lock_guard<std::mutex> lock(readers_mu_);
     for (int fd : reader_fds_) {
-      CloseQuiet(fd);
+      if (fd >= 0) {
+        ::shutdown(fd, SHUT_RDWR);  // recv() returns 0; the reader exits.
+      }
     }
   }
   loop_cv_.notify_all();
   if (loop_thread_.joinable()) {
     loop_thread_.join();
+  }
+  // Pools after the loop (drained handlers may still Post), before the writers
+  // (pool work may Send, which only queues frames once running_ is false).
+  for (auto* pools : {&strand_workers_, &crypto_workers_}) {
+    for (auto& w : *pools) {
+      {
+        std::lock_guard<std::mutex> lock(w->mu);
+        w->cv.notify_all();
+      }
+      if (w->thread.joinable()) {
+        w->thread.join();
+      }
+    }
   }
   for (auto& peer : peer_state_) {
     {
@@ -158,14 +191,20 @@ void TcpRuntime::Stop() {
       peer->writer.join();
     }
   }
+  // Join readers without the mutex (their exit path takes it to release their fd).
+  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(readers_mu_);
-    for (auto& t : readers_) {
-      if (t.joinable()) {
-        t.join();
-      }
+    readers.swap(readers_);
+  }
+  for (auto& t : readers) {
+    if (t.joinable()) {
+      t.join();
     }
-    readers_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    reader_fds_.clear();
   }
 }
 
@@ -217,6 +256,94 @@ void TcpRuntime::Execute(std::function<void()> work) {
     tasks_.push_back(std::move(work));
   }
   loop_cv_.notify_one();
+}
+
+// ---------------------------------------------------------------------------
+// Strand workers + crypto offload pool (the parallel execution pipeline).
+// ---------------------------------------------------------------------------
+
+void TcpRuntime::EnqueuePool(PoolWorker* worker,
+                             std::function<void(CostMeter&)> task) {
+  {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    worker->queue.push_back(std::move(task));
+  }
+  worker->cv.notify_one();
+}
+
+void TcpRuntime::PoolMain(PoolWorker* worker) {
+  // Scratch meter: protocol closures charge simulated costs uniformly; here the
+  // accrual is discarded (real time is the cost) but must not race the loop's meter.
+  CostMeter scratch(&cost_model_);
+  while (true) {
+    std::function<void(CostMeter&)> task;
+    {
+      std::unique_lock<std::mutex> lock(worker->mu);
+      worker->cv.wait(lock, [&]() {
+        return !worker->queue.empty() || !running_.load();
+      });
+      if (!running_.load()) {
+        return;  // Shutdown drops queued strand work, like a crashed node.
+      }
+      task = std::move(worker->queue.front());
+      worker->queue.pop_front();
+    }
+    task(scratch);
+    scratch.TakeConsumed();
+  }
+}
+
+void TcpRuntime::Post(StrandKey strand, StrandFn work, std::function<void()> then) {
+  posted_tasks_.fetch_add(1);
+  if (strand_workers_.empty()) {
+    // No pool: keep the contract (work, then continuation, in the handler context)
+    // on the event loop — the pre-parallel placement.
+    Execute([this, work = std::move(work), then = std::move(then)]() {
+      work(meter_);
+      if (then) {
+        then();
+      }
+    });
+    return;
+  }
+  PoolWorker* worker = strand_workers_[strand % strand_workers_.size()].get();
+  EnqueuePool(worker, [this, work = std::move(work),
+                       then = std::move(then)](CostMeter& m) {
+    work(m);
+    if (then) {
+      Execute(then);
+    }
+  });
+}
+
+void TcpRuntime::OffloadVerify(std::vector<VerifyFn> batch,
+                               std::function<void(std::vector<uint8_t>)> done) {
+  if (crypto_workers_.empty()) {
+    // No pool: verify inline on the caller (the event-loop thread), synchronously —
+    // exactly the pre-parallel behaviour.
+    inline_checks_.fetch_add(batch.size());
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.size());
+    for (VerifyFn& check : batch) {
+      verdicts.push_back(check(meter_) ? 1 : 0);
+    }
+    done(std::move(verdicts));
+    return;
+  }
+  offloaded_checks_.fetch_add(batch.size());
+  PoolWorker* worker =
+      crypto_workers_[crypto_rr_.fetch_add(1) % crypto_workers_.size()].get();
+  EnqueuePool(worker, [this, batch = std::move(batch),
+                       done = std::move(done)](CostMeter& m) mutable {
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.size());
+    for (VerifyFn& check : batch) {
+      verdicts.push_back(check(m) ? 1 : 0);
+    }
+    Execute([done = std::move(done), verdicts = std::move(verdicts)]() mutable {
+      done(std::move(verdicts));
+    });
+  });
 }
 
 EventId TcpRuntime::SetTimer(uint64_t delay_ns, std::function<void()> cb) {
@@ -278,8 +405,8 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
     // Loopback: deliver through the event loop without touching a socket.
     messages_sent_.fetch_add(1);
     Execute([this, msg = std::move(msg)]() {
-      if (handler_ != nullptr) {
-        handler_->Handle(MsgEnvelope{id_, id_, msg});
+      if (MsgHandler* h = handler_.load()) {
+        h->Handle(MsgEnvelope{id_, id_, msg});
       }
     });
     return;
@@ -401,15 +528,14 @@ void TcpRuntime::WriterMain(NodeId dst) {
 // Receive path: accept -> per-connection reader -> frames -> event loop.
 // ---------------------------------------------------------------------------
 
-void TcpRuntime::AcceptMain() {
+void TcpRuntime::AcceptMain(int listen_fd) {
   while (running_.load()) {
     sockaddr_in addr{};
     socklen_t len = sizeof(addr);
-    const int fd =
-        ::accept(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    const int fd = ::accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
     if (fd < 0) {
       if (!running_.load()) {
-        return;  // Listen socket closed by Stop().
+        return;  // Listen socket shut down by Stop().
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       continue;
@@ -417,17 +543,25 @@ void TcpRuntime::AcceptMain() {
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     std::lock_guard<std::mutex> lock(readers_mu_);
+    const size_t slot = reader_fds_.size();
     reader_fds_.push_back(fd);
-    readers_.emplace_back([this, fd]() { ReaderMain(fd); });
+    readers_.emplace_back([this, slot, fd]() { ReaderMain(slot, fd); });
   }
 }
 
-void TcpRuntime::ReaderMain(int fd) {
+void TcpRuntime::ReaderMain(size_t slot, int fd) {
+  // Single owner of `fd`: releases it (and marks the slot) under readers_mu_ on
+  // every exit path, so Stop's shutdown pass never sees a stale descriptor.
+  auto close_own_fd = [this, slot, fd]() {
+    std::lock_guard<std::mutex> lock(readers_mu_);
+    CloseQuiet(fd);
+    reader_fds_[slot] = -1;
+  };
   uint8_t hello[kHelloBytes];
   if (!ReadAll(fd, hello, sizeof(hello)) ||
       std::memcmp(hello, kHelloMagic, 4) != 0 ||
       GetU32Le(hello + 4) != kProtocolVersion) {
-    CloseQuiet(fd);
+    close_own_fd();
     return;
   }
   const NodeId src = GetU32Le(hello + 8);
@@ -459,8 +593,8 @@ void TcpRuntime::ReaderMain(int fd) {
       msg->wire_size = frame.size();
       messages_received_.fetch_add(1);
       Execute([this, src, msg = std::move(msg)]() {
-        if (handler_ != nullptr) {
-          handler_->Handle(MsgEnvelope{src, id_, msg});
+        if (MsgHandler* h = handler_.load()) {
+          h->Handle(MsgEnvelope{src, id_, msg});
         }
       });
     }
@@ -468,7 +602,7 @@ void TcpRuntime::ReaderMain(int fd) {
       break;
     }
   }
-  CloseQuiet(fd);
+  close_own_fd();
 }
 
 }  // namespace basil

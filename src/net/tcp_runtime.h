@@ -2,10 +2,18 @@
 // per OS process, see tools/basil_node.cc); peers are reached over TCP using the
 // canonical message frames of docs/WIRE_FORMAT.md (stream rules in docs/TRANSPORT.md).
 //
-// Threading model:
-//   - One event-loop thread runs ALL protocol work: message handlers, Execute() items,
-//     and timer callbacks. Protocol code therefore needs no locking, exactly as on the
-//     simulator backend.
+// Threading model (docs/TRANSPORT.md has the full picture):
+//   - One event-loop thread runs the protocol's *stateful* work: message handlers,
+//     Execute() items, timer callbacks, and every Post/OffloadVerify continuation.
+//     Protocol state therefore needs no locking, exactly as on the simulator backend.
+//   - N strand workers (the `workers` constructor argument) run Post() work items:
+//     strand key -> worker by modulo, so tasks on one strand are FIFO-serialized on
+//     one thread while distinct strands use distinct cores. With workers == 0 the
+//     pool is absent and Post work runs on the event loop (the pre-parallel model).
+//   - A dedicated crypto pool (same size as the worker pool) runs OffloadVerify
+//     batches, so Ed25519/HMAC signature verification never blocks the event loop;
+//     verdicts are marshalled back to the loop via Execute. With no pool, checks run
+//     inline on the caller.
 //   - One acceptor thread owns the listening socket. Each accepted connection gets a
 //     reader thread that reassembles frames (partial reads included) and posts decoded
 //     messages to the event loop.
@@ -46,8 +54,10 @@ struct PeerAddr {
 class TcpRuntime : public Runtime {
  public:
   // `peers` is the full node table indexed by NodeId; peers[id] is this node's own
-  // listen address. Call Start() to begin accepting and delivering.
-  TcpRuntime(NodeId id, std::vector<PeerAddr> peers);
+  // listen address. `workers` sizes both the strand worker pool and the crypto
+  // offload pool (0 = no pools: all work on the event loop, the pre-parallel
+  // behaviour). Call Start() to begin accepting and delivering.
+  TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers = 0);
   ~TcpRuntime() override;
 
   // Binds the listen socket, then launches the event loop and acceptor threads.
@@ -61,10 +71,15 @@ class TcpRuntime : public Runtime {
   NodeId id() const override { return id_; }
   uint64_t now() const override;
   void Execute(std::function<void()> work) override;
+  void Post(StrandKey strand, StrandFn work, std::function<void()> then = {}) override;
+  void OffloadVerify(std::vector<VerifyFn> batch,
+                     std::function<void(std::vector<uint8_t>)> done) override;
   EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) override;
   void CancelTimer(EventId id) override;
   CostMeter& meter() override { return meter_; }
   void Bind(MsgHandler* handler) override { handler_ = handler; }
+
+  uint32_t workers() const { return static_cast<uint32_t>(strand_workers_.size()); }
 
   // Blocks until `pred()` (evaluated on the event loop) returns true or `timeout_ns`
   // elapses. The driver's bridge from the blocking main thread into the loop.
@@ -75,6 +90,11 @@ class TcpRuntime : public Runtime {
   uint64_t bytes_sent() const { return bytes_sent_.load(); }
   uint64_t decode_failures() const { return decode_failures_.load(); }
   uint64_t reconnects() const { return reconnects_.load(); }
+  // Parallel-pipeline accounting: how the heavy work was placed. The throughput
+  // bench uses these to prove signature verification left the event-loop thread.
+  uint64_t posted_tasks() const { return posted_tasks_.load(); }
+  uint64_t offloaded_checks() const { return offloaded_checks_.load(); }
+  uint64_t inline_checks() const { return inline_checks_.load(); }
 
  protected:
   void DoSend(NodeId dst, MsgPtr msg) override;
@@ -93,17 +113,30 @@ class TcpRuntime : public Runtime {
     std::function<void()> cb;
   };
 
+  // One strand/crypto pool thread: a FIFO queue of closures plus a scratch CostMeter
+  // (protocol code charges simulated costs uniformly; on this backend the charges
+  // are discarded, but they must not race the event loop's meter).
+  struct PoolWorker {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::function<void(CostMeter&)>> queue;
+    std::thread thread;
+  };
+
   void LoopMain();
-  void AcceptMain();
-  void ReaderMain(int fd);
+  void AcceptMain(int listen_fd);
+  void ReaderMain(size_t slot, int fd);
   void WriterMain(NodeId dst);
+  void PoolMain(PoolWorker* worker);
+  static void EnqueuePool(PoolWorker* worker, std::function<void(CostMeter&)> task);
 
   // Connects to `dst` and writes the hello; returns the fd or -1.
   int ConnectToPeer(NodeId dst);
 
   const NodeId id_;
   const std::vector<PeerAddr> peers_;
-  MsgHandler* handler_ = nullptr;
+  // Atomic: bound from the constructing thread, read by the event loop.
+  std::atomic<MsgHandler*> handler_{nullptr};
 
   // The meter exists so shared protocol code can charge costs uniformly; on this
   // backend nothing consumes it (real CPU time is the cost model).
@@ -123,17 +156,30 @@ class TcpRuntime : public Runtime {
   std::thread loop_thread_;
 
   std::thread accept_thread_;
+  // Reader-fd ownership: reader_fds_[slot] holds a live fd; the reader closes it
+  // and writes -1 under readers_mu_ when it exits, so Stop (which only shutdown()s
+  // under the same mutex to wake blocked recvs, then joins) never touches a closed
+  // or recycled descriptor.
   std::mutex readers_mu_;
   std::vector<std::thread> readers_;
   std::vector<int> reader_fds_;
 
   std::vector<std::unique_ptr<Peer>> peer_state_;
 
+  // Strand workers (Post) and the crypto offload pool (OffloadVerify). Sized by the
+  // `workers` constructor argument; empty pools degrade to the event loop / inline.
+  std::vector<std::unique_ptr<PoolWorker>> strand_workers_;
+  std::vector<std::unique_ptr<PoolWorker>> crypto_workers_;
+  std::atomic<uint64_t> crypto_rr_{0};  // Round-robin cursor over crypto_workers_.
+
   std::atomic<uint64_t> messages_sent_{0};
   std::atomic<uint64_t> messages_received_{0};
   std::atomic<uint64_t> bytes_sent_{0};
   std::atomic<uint64_t> decode_failures_{0};
   std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> posted_tasks_{0};
+  std::atomic<uint64_t> offloaded_checks_{0};
+  std::atomic<uint64_t> inline_checks_{0};
 };
 
 }  // namespace basil

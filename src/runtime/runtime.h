@@ -28,6 +28,33 @@ namespace basil {
 
 using EventId = uint64_t;
 
+// Key selecting a serialization strand for Runtime::Post. Tasks posted under the same
+// key are serialized in FIFO order; tasks under different keys may run concurrently
+// (on the TCP backend's worker pool), so strand work must only touch state that is
+// private to the strand — in practice: pure CPU work (hashing, signature checks,
+// batch sealing) over immutable inputs. Conventions (docs/TRANSPORT.md): transaction
+// execution work is keyed by txn digest, connection-scoped work by peer id.
+using StrandKey = uint64_t;
+
+inline StrandKey StrandOfDigest(const TxnDigest& digest) {
+  StrandKey k = 0;
+  static_assert(sizeof(k) <= sizeof(digest));
+  __builtin_memcpy(&k, digest.data(), sizeof(k));
+  return k;
+}
+
+inline StrandKey StrandOfNode(NodeId id) { return 0x9e3779b97f4a7c15ull ^ id; }
+
+// A unit of strand work. It receives the CostMeter it must charge: the node's own
+// meter when the backend runs it inline (the simulator), a per-worker scratch meter
+// when it runs on a real thread (the TCP backend, where real time is the cost and
+// the node meter must not be raced).
+using StrandFn = std::function<void(CostMeter&)>;
+
+// One signature-verification job for Runtime::OffloadVerify: a pure predicate over
+// immutable keys/certificates (plus thread-safe caches like BatchVerifier's).
+using VerifyFn = std::function<bool(CostMeter&)>;
+
 // Protocol-side message sink; implemented by Process.
 class MsgHandler {
  public:
@@ -71,6 +98,52 @@ class Runtime {
   // batch flushes — anything that may touch protocol state or send messages).
   virtual void Execute(std::function<void()> work) = 0;
 
+  // ---- Strand-sharded execution (the parallel pipeline, docs/TRANSPORT.md) ----
+  //
+  // Post: runs `work` on the strand selected by `strand`, then `then` (optional)
+  // back in the handler context. Contract: work posted under the same strand key is
+  // serialized in FIFO order; different keys may run concurrently, so `work` must be
+  // pure CPU over inputs it owns or that are immutable. `then` may touch protocol
+  // state — it runs where handlers run.
+  //
+  // The default implementation is the simulator's: both closures run inline,
+  // synchronously, charging the node meter. Parallelism there is already modeled by
+  // the k-worker CPU queue dispatching concurrent *messages* (sim::Node), so inline
+  // execution keeps simulated results bit-identical to pre-strand code while the
+  // same protocol source exploits real cores on TcpRuntime.
+  virtual void Post(StrandKey strand, StrandFn work, std::function<void()> then = {}) {
+    (void)strand;  // One handler context: every strand is trivially serialized.
+    work(meter());
+    if (then) {
+      then();
+    }
+  }
+
+  // OffloadVerify: runs a batch of signature checks off the handler thread (the
+  // TCP backend's dedicated crypto pool), then `done` with one verdict per check,
+  // back in the handler context. Same default as Post: inline and synchronous, so
+  // the simulator charges verification to the current work item exactly as the old
+  // inline call sites did.
+  virtual void OffloadVerify(std::vector<VerifyFn> batch,
+                             std::function<void(std::vector<uint8_t>)> done) {
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.size());
+    for (VerifyFn& check : batch) {
+      verdicts.push_back(check(meter()) ? 1 : 0);
+    }
+    done(std::move(verdicts));
+  }
+
+  // Single-check convenience over OffloadVerify.
+  void Verify1(VerifyFn check, std::function<void(bool)> then) {
+    std::vector<VerifyFn> batch;
+    batch.push_back(std::move(check));
+    OffloadVerify(std::move(batch),
+                  [then = std::move(then)](std::vector<uint8_t> verdicts) {
+                    then(!verdicts.empty() && verdicts[0] != 0);
+                  });
+  }
+
   // Timer facility: fires `cb` in the handler context after `delay_ns`. Cancelable.
   virtual EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) = 0;
   virtual void CancelTimer(EventId id) = 0;
@@ -108,6 +181,23 @@ class Process : public MsgHandler {
     rt_->SendToAll(dsts, msg);
   }
   void Execute(std::function<void()> work) { rt_->Execute(std::move(work)); }
+  void Post(StrandKey strand, StrandFn work, std::function<void()> then = {}) {
+    rt_->Post(strand, std::move(work), std::move(then));
+  }
+  void Verify1(VerifyFn check, std::function<void(bool)> then) {
+    rt_->Verify1(std::move(check), std::move(then));
+  }
+  // Runs one heavy signature check through the runtime's crypto offload, then
+  // `then` with the verdict back in the handler context. `parallel` is the
+  // protocol's parallel_pipeline knob: false verifies inline, synchronously (the
+  // pre-pipeline placement, and the A/B arm of tests/test_strands.cc).
+  void VerifyThen(bool parallel, VerifyFn check, std::function<void(bool)> then) {
+    if (!parallel) {
+      then(check(rt_->meter()));
+      return;
+    }
+    rt_->Verify1(std::move(check), std::move(then));
+  }
   EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) {
     return rt_->SetTimer(delay_ns, std::move(cb));
   }

@@ -6,6 +6,14 @@
 //
 // Protocol logic lives in a Process (src/runtime/runtime.h) bound to this node; the
 // same protocol code runs unchanged on net::TcpRuntime for real deployments.
+//
+// Strands (Runtime::Post / OffloadVerify): this backend keeps the Runtime base
+// implementation — work and continuation run inline, synchronously, charging this
+// node's meter. That *is* the k-worker mapping: each delivered message is already its
+// own work item dispatched to the earliest-free simulated worker, so cross-message
+// parallelism (including parallel signature verification) is modeled by the CPU
+// queue, while inline execution keeps event order — and therefore every simulated
+// result — bit-identical to the pre-strand code. tests/test_strands.cc pins this.
 #ifndef BASIL_SRC_SIM_NODE_H_
 #define BASIL_SRC_SIM_NODE_H_
 

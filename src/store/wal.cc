@@ -1,7 +1,9 @@
 #include "src/store/wal.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <array>
@@ -60,6 +62,22 @@ bool MemMedia::Append(const std::string& name, const uint8_t* data, size_t len) 
 bool MemMedia::WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) {
   files_[name] = bytes;
   return true;
+}
+
+bool MemMedia::Sync(const std::string& name) {
+  ++sync_counts_[name];
+  synced_bytes_[name] = files_[name].size();
+  return true;
+}
+
+uint64_t MemMedia::sync_count(const std::string& name) const {
+  auto it = sync_counts_.find(name);
+  return it == sync_counts_.end() ? 0 : it->second;
+}
+
+size_t MemMedia::synced_bytes(const std::string& name) const {
+  auto it = synced_bytes_.find(name);
+  return it == synced_bytes_.end() ? 0 : it->second;
 }
 
 DiskMedia::DiskMedia(std::string dir) : dir_(std::move(dir)) {
@@ -125,6 +143,25 @@ bool DiskMedia::WriteAtomic(const std::string& name, const std::vector<uint8_t>&
   return std::rename(tmp.c_str(), Path(name).c_str()) == 0;
 }
 
+bool DiskMedia::Sync(const std::string& name) {
+  const int fd = ::open(Path(name).c_str(), O_WRONLY);
+  if (fd < 0) {
+    return false;
+  }
+  bool ok = ::fdatasync(fd) == 0;
+  ::close(fd);
+  // The file may have just been renamed into place (WriteAtomic): its directory
+  // entry must reach the device too, or a power failure resurrects the old inode
+  // under this name with the new, synced bytes unreachable.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) {
+    return false;
+  }
+  ok = ::fsync(dfd) == 0 && ok;
+  ::close(dfd);
+  return ok;
+}
+
 // ---------------------------------------------------------------------------
 // Record codec.
 // ---------------------------------------------------------------------------
@@ -159,8 +196,11 @@ WalCommitRecord WalCommitRecord::DecodeFrom(Decoder& dec) {
 // DurableStore.
 // ---------------------------------------------------------------------------
 
-DurableStore::DurableStore(WalMedia* media, uint32_t snapshot_every)
-    : media_(media), snapshot_every_(snapshot_every > 0 ? snapshot_every : 1) {}
+DurableStore::DurableStore(WalMedia* media, uint32_t snapshot_every,
+                           uint32_t fsync_every)
+    : media_(media),
+      snapshot_every_(snapshot_every > 0 ? snapshot_every : 1),
+      fsync_every_(fsync_every) {}
 
 DurableStore::ReplayStats DurableStore::Open(VersionStore* store) {
   ReplayStats stats;
@@ -284,6 +324,18 @@ void DurableStore::AppendCommit(const WalCommitRecord& rec, const VersionStore& 
     high_water_ = rec.ts;
   }
   ++appends_;
+  // Group commit: one fdatasync covers the whole batch of appends since the last
+  // one, so the device flush is amortized across fsync_every commits. A failed
+  // sync keeps the cadence counter high — the very next append retries instead of
+  // silently widening the unsynced window by another full batch.
+  if (fsync_every_ > 0 && ++records_since_fsync_ >= fsync_every_) {
+    if (media_->Sync(kWalFile)) {
+      ++fsyncs_;
+      records_since_fsync_ = 0;
+    } else {
+      ++fsync_failures_;
+    }
+  }
   if (++records_since_snapshot_ >= snapshot_every_) {
     TakeSnapshot(store);
   }
@@ -318,9 +370,19 @@ void DurableStore::TakeSnapshot(const VersionStore& store) {
     return;  // Keep the WAL intact if the snapshot did not land.
   }
   // Order matters: the snapshot is durable before the WAL is truncated. A crash in
-  // between replays snapshot + full WAL, which is idempotent.
+  // between replays snapshot + full WAL, which is idempotent. With fsync enabled,
+  // "durable" must mean the device, not the page cache, before the log is cut — a
+  // failed snapshot sync keeps the WAL, the only durable copy of those records.
+  if (fsync_every_ > 0) {
+    if (!media_->Sync(kSnapshotFile)) {
+      ++fsync_failures_;
+      return;
+    }
+    ++fsyncs_;
+  }
   media_->WriteAtomic(kWalFile, {});
   records_since_snapshot_ = 0;
+  records_since_fsync_ = 0;
   ++snapshots_;
 }
 

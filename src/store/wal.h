@@ -8,8 +8,11 @@
 // the bytes to exercise torn-write truncation).
 //
 // Durability model: records survive process death (kill -9) once Append returns —
-// the bytes are in the kernel page cache. Surviving an OS crash would need fsync
-// group-commit, which this layer deliberately leaves out (see docs/RECOVERY.md).
+// the bytes are in the kernel page cache. With fsync group-commit enabled
+// (DurableStore's `fsync_every`), the log is additionally fdatasync'd once every N
+// appends — one device flush amortized over a batch of commits — so at most the
+// last N-1 commits can be lost to an OS crash or power failure; the torn-tail
+// truncation on replay already handles a record that was half-flushed.
 #ifndef BASIL_SRC_STORE_WAL_H_
 #define BASIL_SRC_STORE_WAL_H_
 
@@ -42,6 +45,9 @@ class WalMedia {
   // Replaces the file's contents atomically (write-temp-then-rename on disk): a crash
   // leaves either the old or the new bytes, never a mixture.
   virtual bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) = 0;
+  // Forces the file's bytes to stable storage (fdatasync on disk). The group-commit
+  // hook: DurableStore calls it once per batch of appends, never per record.
+  virtual bool Sync(const std::string& name) = 0;
 };
 
 // In-memory media for the simulator tests: survives replica "restarts" because the
@@ -51,12 +57,19 @@ class MemMedia : public WalMedia {
   bool Read(const std::string& name, std::vector<uint8_t>* out) override;
   bool Append(const std::string& name, const uint8_t* data, size_t len) override;
   bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) override;
+  bool Sync(const std::string& name) override;
 
   // Direct access for fault injection (chopping a record in half, flipping bytes).
   std::vector<uint8_t>& file(const std::string& name) { return files_[name]; }
+  // Group-commit observability: how often Sync hit this file, and how many bytes it
+  // covered last time (tests assert fsync batching without a real disk).
+  uint64_t sync_count(const std::string& name) const;
+  size_t synced_bytes(const std::string& name) const;
 
  private:
   std::map<std::string, std::vector<uint8_t>> files_;
+  std::map<std::string, uint64_t> sync_counts_;
+  std::map<std::string, size_t> synced_bytes_;
 };
 
 // Real files under one directory (created, with parents, by the constructor).
@@ -70,6 +83,7 @@ class DiskMedia : public WalMedia {
   bool Read(const std::string& name, std::vector<uint8_t>* out) override;
   bool Append(const std::string& name, const uint8_t* data, size_t len) override;
   bool WriteAtomic(const std::string& name, const std::vector<uint8_t>& bytes) override;
+  bool Sync(const std::string& name) override;
 
  private:
   std::string Path(const std::string& name) const { return dir_ + "/" + name; }
@@ -110,7 +124,11 @@ class DurableStore {
     uint64_t torn_bytes_discarded = 0; // Bytes truncated off a torn/corrupt tail.
   };
 
-  explicit DurableStore(WalMedia* media, uint32_t snapshot_every = 256);
+  // `fsync_every` is the group-commit knob (BasilConfig::wal_fsync_every): 0 means
+  // never sync (records survive process death only); N > 0 fdatasyncs the WAL once
+  // every N appends, and syncs snapshots before the WAL truncate that follows them.
+  explicit DurableStore(WalMedia* media, uint32_t snapshot_every = 256,
+                        uint32_t fsync_every = 0);
 
   // Rebuilds `store`'s committed state from snapshot + WAL. Call exactly once,
   // before any AppendCommit.
@@ -127,6 +145,8 @@ class DurableStore {
 
   uint64_t appends() const { return appends_; }
   uint64_t snapshots_taken() const { return snapshots_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t fsync_failures() const { return fsync_failures_; }
 
   static constexpr char kWalFile[] = "wal.bin";
   static constexpr char kSnapshotFile[] = "snapshot.bin";
@@ -139,11 +159,15 @@ class DurableStore {
 
   WalMedia* media_;
   const uint32_t snapshot_every_;
+  const uint32_t fsync_every_;
   std::unordered_set<TxnDigest, TxnDigestHash> applied_;
   Timestamp high_water_{};
   uint32_t records_since_snapshot_ = 0;
+  uint32_t records_since_fsync_ = 0;
   uint64_t appends_ = 0;
   uint64_t snapshots_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t fsync_failures_ = 0;
 };
 
 }  // namespace basil

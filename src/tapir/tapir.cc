@@ -130,7 +130,7 @@ void TapirReplica::Handle(const MsgEnvelope& env) {
       OnRead(env.src, static_cast<const TapirReadMsg&>(*env.msg));
       break;
     case kTapirPrepare:
-      OnPrepare(env.src, static_cast<const TapirPrepareMsg&>(*env.msg));
+      OnPrepare(env.src, std::static_pointer_cast<const TapirPrepareMsg>(env.msg));
       break;
     case kTapirFinalize:
       OnFinalize(env.src, static_cast<const TapirFinalizeMsg&>(*env.msg));
@@ -175,23 +175,54 @@ Vote TapirReplica::OccCheck(const Transaction& txn) {
   return Vote::kCommit;
 }
 
-void TapirReplica::OnPrepare(NodeId src, const TapirPrepareMsg& msg) {
-  TxnState& s = txns_[msg.txn->id];
+void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> msg) {
+  if (msg->txn == nullptr) {
+    return;
+  }
+  if (!cfg_->parallel_pipeline) {
+    if (msg->txn->ComputeDigest() != msg->txn->id) {
+      counters_.Inc("prepare_bad_digest");
+      return;
+    }
+    PrepareArrived(src, msg);
+    return;
+  }
+  // Hash the body on the transaction's strand; the OCC check and every store
+  // mutation continue in the handler context (inline and in unchanged order on the
+  // simulator, off the event loop on the TCP backend).
+  auto body_ok = std::make_shared<bool>(false);
+  Post(
+      StrandOfDigest(msg->txn->id),
+      [msg, body_ok](CostMeter&) {
+        *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+      },
+      [this, src, msg, body_ok]() {
+        if (!*body_ok) {
+          counters_.Inc("prepare_bad_digest");
+          return;
+        }
+        PrepareArrived(src, msg);
+      });
+}
+
+void TapirReplica::PrepareArrived(NodeId src,
+                                  const std::shared_ptr<const TapirPrepareMsg>& msg) {
+  TxnState& s = txns_[msg->txn->id];
   if (s.txn == nullptr) {
-    s.txn = msg.txn;
+    s.txn = msg->txn;
   }
   if (!s.vote.has_value()) {
-    const Vote v = OccCheck(*msg.txn);
+    const Vote v = OccCheck(*msg->txn);
     s.vote = v;
     if (v == Vote::kCommit) {
-      for (const WriteEntry& w : msg.txn->write_set) {
+      for (const WriteEntry& w : msg->txn->write_set) {
         if (OwnsKey(w.key)) {
-          store_.AddPreparedWrite(w.key, msg.txn->ts, w.value, msg.txn->id);
+          store_.AddPreparedWrite(w.key, msg->txn->ts, w.value, msg->txn->id);
         }
       }
-      for (const ReadEntry& r : msg.txn->read_set) {
+      for (const ReadEntry& r : msg->txn->read_set) {
         if (OwnsKey(r.key)) {
-          store_.AddReader(r.key, msg.txn->ts, r.version);
+          store_.AddReader(r.key, msg->txn->ts, r.version);
         }
       }
       s.prepared = true;
@@ -199,7 +230,7 @@ void TapirReplica::OnPrepare(NodeId src, const TapirPrepareMsg& msg) {
     counters_.Inc(v == Vote::kCommit ? "votes_commit" : "votes_abort");
   }
   auto reply = std::make_shared<TapirPrepareReplyMsg>();
-  reply->txn = msg.txn->id;
+  reply->txn = msg->txn->id;
   reply->replica = id();
   reply->vote = *s.vote;
   Send(src, std::move(reply));

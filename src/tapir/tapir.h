@@ -111,7 +111,12 @@ class TapirReplica : public Process {
 
  private:
   void OnRead(NodeId src, const TapirReadMsg& msg);
-  void OnPrepare(NodeId src, const TapirPrepareMsg& msg);
+  // Prepare intake is two-stage (docs/TRANSPORT.md): the body's digest is verified
+  // on the strand of the claimed txn digest (pure hashing, parallel across
+  // transactions on the TCP backend), then the OCC check and store mutation run in
+  // the handler context — hence the shared_ptr, which outlives the handler.
+  void OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> msg);
+  void PrepareArrived(NodeId src, const std::shared_ptr<const TapirPrepareMsg>& msg);
   void OnFinalize(NodeId src, const TapirFinalizeMsg& msg);
   void OnDecide(const TapirDecideMsg& msg);
 

@@ -1,0 +1,139 @@
+// The strand/offload contract on the simulator backend (src/runtime/runtime.h):
+// Post and OffloadVerify run inline and synchronously, so enabling the parallel
+// pipeline must not change a single simulated outcome. These tests pin that — the
+// tier-1 substrate stays deterministic and bit-identical with strands on — plus the
+// base-class execution semantics the contract rests on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/report.h"
+#include "src/runtime/runtime.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/network.h"
+#include "src/sim/node.h"
+
+namespace basil {
+namespace {
+
+void ExpectBitIdentical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.tput_tps, b.tput_tps);
+  EXPECT_EQ(a.mean_ms, b.mean_ms);
+  EXPECT_EQ(a.p50_ms, b.p50_ms);
+  EXPECT_EQ(a.p99_ms, b.p99_ms);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.user_aborts, b.user_aborts);
+  EXPECT_EQ(a.commit_rate, b.commit_rate);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  EXPECT_EQ(a.wire_bytes_per_txn, b.wire_bytes_per_txn);
+  // Every counter on every node, not just the headline numbers: any divergence in
+  // event order shows up here first.
+  EXPECT_EQ(a.clients.values(), b.clients.values());
+  EXPECT_EQ(a.replicas.values(), b.replicas.values());
+}
+
+TEST(Strands, PipelineDoesNotChangeBasilResults) {
+  ExperimentParams params;
+  params.system = SystemKind::kBasil;
+  params.clients = 8;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 400'000'000;
+  params.seed = 7;
+
+  params.basil.parallel_pipeline = true;
+  const RunResult with_strands = RunExperiment(params);
+  params.basil.parallel_pipeline = false;
+  const RunResult inline_exec = RunExperiment(params);
+
+  EXPECT_GT(with_strands.committed, 0u);
+  ExpectBitIdentical(with_strands, inline_exec);
+}
+
+TEST(Strands, PipelineIsDeterministicAcrossRuns) {
+  ExperimentParams params;
+  params.system = SystemKind::kBasil;
+  params.clients = 6;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 300'000'000;
+  params.seed = 21;
+  params.basil.parallel_pipeline = true;
+
+  const RunResult a = RunExperiment(params);
+  const RunResult b = RunExperiment(params);
+  EXPECT_GT(a.committed, 0u);
+  ExpectBitIdentical(a, b);
+}
+
+TEST(Strands, PipelineDoesNotChangeTapirResults) {
+  ExperimentParams params;
+  params.system = SystemKind::kTapir;
+  params.clients = 6;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 300'000'000;
+  params.seed = 11;
+
+  params.tapir.parallel_pipeline = true;
+  const RunResult with_strands = RunExperiment(params);
+  params.tapir.parallel_pipeline = false;
+  const RunResult inline_exec = RunExperiment(params);
+
+  EXPECT_GT(with_strands.committed, 0u);
+  ExpectBitIdentical(with_strands, inline_exec);
+}
+
+TEST(Strands, SimBackendRunsPostInlineAndSynchronously) {
+  // The determinism above rests on this: on sim::Node, Post's work and continuation
+  // complete before Post returns, in order, charging the node's own meter.
+  EventQueue events;
+  NetConfig net_cfg;
+  CostModel cost;
+  Network net(&events, net_cfg, Rng(1));
+  Node node(&net, 0, &cost, /*workers=*/4);
+
+  std::vector<int> order;
+  node.Execute([&]() {
+    order.push_back(0);
+    node.Post(
+        StrandOfNode(3),
+        [&](CostMeter& m) {
+          EXPECT_EQ(&m, &node.meter());  // Inline work charges the node meter.
+          order.push_back(1);
+        },
+        [&]() { order.push_back(2); });
+    order.push_back(3);  // Runs only after work + continuation returned.
+
+    node.Verify1([](CostMeter&) { return false; },
+                 [&](bool ok) { order.push_back(ok ? -1 : 4); });
+  });
+  events.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Strands, OffloadVerifyReportsPerCheckVerdicts) {
+  EventQueue events;
+  NetConfig net_cfg;
+  CostModel cost;
+  Network net(&events, net_cfg, Rng(1));
+  Node node(&net, 0, &cost, /*workers=*/2);
+
+  std::vector<uint8_t> got;
+  std::vector<VerifyFn> batch;
+  batch.push_back([](CostMeter&) { return true; });
+  batch.push_back([](CostMeter&) { return false; });
+  batch.push_back([](CostMeter& m) {
+    m.ChargeVerify();  // Charges land on the node meter, like the old inline code.
+    return true;
+  });
+  node.Execute([&]() {
+    node.OffloadVerify(std::move(batch),
+                       [&](std::vector<uint8_t> verdicts) { got = verdicts; });
+  });
+  events.RunAll();
+  EXPECT_EQ(got, (std::vector<uint8_t>{1, 0, 1}));
+  EXPECT_GT(node.busy_ns(), 0u);  // The ChargeVerify accrued simulated CPU.
+}
+
+}  // namespace
+}  // namespace basil

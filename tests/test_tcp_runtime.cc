@@ -169,6 +169,196 @@ TEST(TcpRuntime, TimersFireInOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
 }
 
+// ---------------------------------------------------------------------------
+// Strand workers + crypto offload pool (the parallel execution pipeline).
+// ---------------------------------------------------------------------------
+
+// Binds one runtime with a worker pool; no peer needed for strand tests.
+std::unique_ptr<TcpRuntime> UpSolo(uint32_t workers) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const uint16_t port = static_cast<uint16_t>(
+        30000 + (::getpid() * 13 + attempt * 307 + 17 * workers) % 30000);
+    auto rt = std::make_unique<TcpRuntime>(
+        0, std::vector<PeerAddr>{{"127.0.0.1", port}}, workers);
+    if (rt->Start()) {
+      return rt;
+    }
+  }
+  return nullptr;
+}
+
+// Spin-waits (off any runtime thread) until pred or deadline.
+bool SpinUntil(const std::function<bool()>& pred, uint64_t timeout_ms = 10'000) {
+  for (uint64_t waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(TcpRuntime, SameStrandTasksNeverInterleave) {
+  auto rt = UpSolo(/*workers=*/4);
+  ASSERT_NE(rt, nullptr);
+
+  // The canary is deliberately race-prone: a plain bool "in flight" flag and a
+  // non-atomic read-modify-write counter. If two same-strand tasks ever overlapped,
+  // the flag assertion would trip (and TSan would flag the counter).
+  constexpr int kTasks = 500;
+  static bool in_flight;
+  static int counter;
+  static std::vector<int> order;
+  in_flight = false;
+  counter = 0;
+  order.clear();
+  order.reserve(kTasks);
+  std::atomic<int> done{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < kTasks; ++i) {
+    rt->Post(/*strand=*/7, [i, &done, &overlapped](CostMeter&) {
+      if (in_flight) {
+        overlapped.store(true);
+      }
+      in_flight = true;
+      const int expected = counter;      // Read...
+      for (volatile int spin = 0; spin < 50; spin = spin + 1) {
+      }
+      counter = expected + 1;            // ...modify-write: loses updates if racy.
+      order.push_back(i);
+      in_flight = false;
+      done.fetch_add(1);
+    });
+  }
+  ASSERT_TRUE(SpinUntil([&]() { return done.load() == kTasks; }));
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(counter, kTasks);
+  // FIFO per strand: tasks ran in post order.
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(order[i], i);
+  }
+  rt->Stop();
+}
+
+TEST(TcpRuntime, DistinctStrandsOverlap) {
+  auto rt = UpSolo(/*workers=*/2);
+  ASSERT_NE(rt, nullptr);
+
+  // Strands 0 and 1 map to different workers. Each task waits (bounded) for the
+  // other to have started: serialized execution could never satisfy both.
+  std::atomic<bool> a_started{false};
+  std::atomic<bool> b_started{false};
+  std::atomic<int> both_seen{0};
+  auto rendezvous = [&](std::atomic<bool>& mine, std::atomic<bool>& other) {
+    mine.store(true);
+    for (int i = 0; i < 10'000 && !other.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (other.load()) {
+      both_seen.fetch_add(1);
+    }
+  };
+  rt->Post(0, [&](CostMeter&) { rendezvous(a_started, b_started); });
+  rt->Post(1, [&](CostMeter&) { rendezvous(b_started, a_started); });
+  ASSERT_TRUE(SpinUntil([&]() { return both_seen.load() == 2; }, 15'000));
+  rt->Stop();
+}
+
+TEST(TcpRuntime, PostContinuationRunsInHandlerContext) {
+  auto rt = UpSolo(/*workers=*/2);
+  ASSERT_NE(rt, nullptr);
+
+  std::atomic<bool> ids_captured{false};
+  std::thread::id loop_id;
+  rt->Execute([&]() {
+    loop_id = std::this_thread::get_id();
+    ids_captured.store(true);
+  });
+  ASSERT_TRUE(SpinUntil([&]() { return ids_captured.load(); }));
+
+  std::atomic<bool> done{false};
+  std::thread::id work_id, then_id;
+  rt->Post(
+      42, [&](CostMeter&) { work_id = std::this_thread::get_id(); },
+      [&]() {
+        then_id = std::this_thread::get_id();
+        done.store(true);
+      });
+  ASSERT_TRUE(SpinUntil([&]() { return done.load(); }));
+  EXPECT_NE(work_id, loop_id);  // Work left the event loop...
+  EXPECT_EQ(then_id, loop_id);  // ...and the continuation came back to it.
+  EXPECT_GE(rt->posted_tasks(), 1u);
+  rt->Stop();
+}
+
+TEST(TcpRuntime, OffloadVerifyLeavesTheLoopAndMarshalsBack) {
+  auto rt = UpSolo(/*workers=*/2);
+  ASSERT_NE(rt, nullptr);
+
+  std::atomic<bool> ids_captured{false};
+  std::thread::id loop_id;
+  rt->Execute([&]() {
+    loop_id = std::this_thread::get_id();
+    ids_captured.store(true);
+  });
+  ASSERT_TRUE(SpinUntil([&]() { return ids_captured.load(); }));
+
+  std::atomic<bool> done{false};
+  std::thread::id check_id, done_id;
+  std::vector<uint8_t> verdicts;
+  std::vector<VerifyFn> batch;
+  batch.push_back([&](CostMeter&) {
+    check_id = std::this_thread::get_id();
+    return true;
+  });
+  batch.push_back([](CostMeter&) { return false; });
+  rt->OffloadVerify(std::move(batch), [&](std::vector<uint8_t> v) {
+    done_id = std::this_thread::get_id();
+    verdicts = std::move(v);
+    done.store(true);
+  });
+  ASSERT_TRUE(SpinUntil([&]() { return done.load(); }));
+  EXPECT_NE(check_id, loop_id);  // Signature checks off the event loop.
+  EXPECT_EQ(done_id, loop_id);   // Verdicts delivered in the handler context.
+  EXPECT_EQ(verdicts, (std::vector<uint8_t>{1, 0}));
+  EXPECT_EQ(rt->offloaded_checks(), 2u);
+  EXPECT_EQ(rt->inline_checks(), 0u);
+  rt->Stop();
+}
+
+TEST(TcpRuntime, ZeroWorkersKeepsEverythingOnTheLoop) {
+  auto rt = UpSolo(/*workers=*/0);
+  ASSERT_NE(rt, nullptr);
+  EXPECT_EQ(rt->workers(), 0u);
+
+  std::atomic<bool> ids_captured{false};
+  std::thread::id loop_id;
+  rt->Execute([&]() {
+    loop_id = std::this_thread::get_id();
+    ids_captured.store(true);
+  });
+  ASSERT_TRUE(SpinUntil([&]() { return ids_captured.load(); }));
+
+  std::atomic<bool> done{false};
+  std::thread::id work_id;
+  rt->Post(
+      9, [&](CostMeter&) { work_id = std::this_thread::get_id(); },
+      [&]() { done.store(true); });
+  ASSERT_TRUE(SpinUntil([&]() { return done.load(); }));
+  EXPECT_EQ(work_id, loop_id);  // No pool: strand work degrades to the loop.
+
+  std::atomic<bool> verified{false};
+  rt->OffloadVerify({[](CostMeter&) { return true; }},
+                    [&](std::vector<uint8_t> v) {
+                      ASSERT_EQ(v.size(), 1u);
+                      verified.store(v[0] != 0);
+                    });
+  // No pool: OffloadVerify is synchronous on the caller.
+  EXPECT_TRUE(verified.load());
+  EXPECT_EQ(rt->inline_checks(), 1u);
+  rt->Stop();
+}
+
 TEST(TcpRuntime, MonotonicClockAdvances) {
   Pair pair;
   ASSERT_TRUE(pair.Up());

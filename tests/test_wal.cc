@@ -199,6 +199,62 @@ TEST(Wal, DuplicateCommitsAreLoggedOnce) {
   EXPECT_EQ(reopened.Open(&restored).wal_records, 1u);
 }
 
+TEST(Wal, FsyncGroupCommitBatchesSyncs) {
+  // wal_fsync toggled ON: one Sync covers every `fsync_every` appends — never one
+  // per record — and the synced watermark reaches the end of the log at each sync.
+  MemMedia media;
+  DurableStore durable(&media, /*snapshot_every=*/1000, /*fsync_every=*/4);
+  VersionStore store;
+  durable.Open(&store);
+  BuildLog(&durable, &store, 10);
+  EXPECT_EQ(durable.appends(), 10u);
+  // 10 appends at a cadence of 4 -> syncs after records 4 and 8 only.
+  EXPECT_EQ(durable.fsyncs(), 2u);
+  EXPECT_EQ(media.sync_count(DurableStore::kWalFile), 2u);
+  // The last sync covered the first 8 records: the watermark trails the file only
+  // by the unsynced tail (records 9 and 10).
+  EXPECT_LT(media.synced_bytes(DurableStore::kWalFile),
+            media.file(DurableStore::kWalFile).size());
+  EXPECT_GT(media.synced_bytes(DurableStore::kWalFile), 0u);
+}
+
+TEST(Wal, FsyncDisabledByDefaultNeverSyncs) {
+  // wal_fsync toggled OFF (the default): appends land in the media with no Sync
+  // calls at all — the pre-group-commit durability model.
+  MemMedia media;
+  DurableStore durable(&media, /*snapshot_every=*/1000);
+  VersionStore store;
+  durable.Open(&store);
+  BuildLog(&durable, &store, 10);
+  EXPECT_EQ(durable.appends(), 10u);
+  EXPECT_EQ(durable.fsyncs(), 0u);
+  EXPECT_EQ(media.sync_count(DurableStore::kWalFile), 0u);
+  EXPECT_EQ(media.sync_count(DurableStore::kSnapshotFile), 0u);
+}
+
+TEST(Wal, FsyncCoversSnapshotBeforeWalTruncate) {
+  // A snapshot taken under group commit must be synced before the WAL is cut, and
+  // the records_since_fsync counter resets with the fresh log.
+  MemMedia media;
+  DurableStore durable(&media, /*snapshot_every=*/6, /*fsync_every=*/4);
+  VersionStore store;
+  durable.Open(&store);
+  BuildLog(&durable, &store, 6);  // Snapshot fires on the 6th append.
+  EXPECT_EQ(durable.snapshots_taken(), 1u);
+  EXPECT_EQ(media.sync_count(DurableStore::kSnapshotFile), 1u);
+  EXPECT_EQ(media.synced_bytes(DurableStore::kSnapshotFile),
+            media.file(DurableStore::kSnapshotFile).size());
+  EXPECT_TRUE(media.file(DurableStore::kWalFile).empty());
+
+  // Replay after the synced snapshot + truncate sees the full history.
+  DurableStore reopened(&media, 6, 4);
+  VersionStore restored;
+  const DurableStore::ReplayStats stats = reopened.Open(&restored);
+  EXPECT_EQ(stats.wal_records, 0u);
+  EXPECT_GT(stats.snapshot_versions, 0u);
+  ExpectSameChains(store, restored);
+}
+
 TEST(Wal, EmptyMediaOpensClean) {
   MemMedia media;
   DurableStore durable(&media, 8);

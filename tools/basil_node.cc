@@ -40,6 +40,7 @@ struct Options {
   std::string config;
   NodeId id = kInvalidNode;
   std::string data_dir;    // Replica role: durable store root (empty = in-memory only).
+  uint32_t workers = 0;    // Strand + crypto pool threads (0 = event loop only).
   uint64_t txns = 1000;    // Client role: transactions to commit before exiting.
   uint32_t keys = 16;      // Client role: key-space width.
   uint64_t timeout_s = 120;  // Client role: overall deadline.
@@ -85,6 +86,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->data_dir = v;
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -147,7 +154,8 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
       return 1;
     }
     durable = std::make_unique<DurableStore>(media.get(),
-                                             cfg.basil.wal_snapshot_every);
+                                             cfg.basil.wal_snapshot_every,
+                                             cfg.basil.wal_fsync_every);
     const DurableStore::ReplayStats stats = durable->Open(&replica.store());
     replica.AttachDurable(durable.get());
     std::printf("REPLAY snapshot=%llu wal=%llu torn=%llu\n",
@@ -158,7 +166,8 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   if (!rt.Start()) {
     return 1;
   }
-  std::printf("READY replica %u shard %u\n", rt.id(), replica.shard());
+  std::printf("READY replica %u shard %u workers %u\n", rt.id(), replica.shard(),
+              rt.workers());
   std::fflush(stdout);
   // Transfer applications (fresh + re-offered) also bump "committed"; printing both
   // lets the cluster script separate real quorum participation from late chunks.
@@ -181,13 +190,17 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   rt.Stop();
-  std::printf("STOPPED replica %u handled=%llu commits=%llu applied=%llu rejected=%llu\n",
-              rt.id(),
-              static_cast<unsigned long long>(rt.messages_received()),
-              static_cast<unsigned long long>(replica.counters().Get("committed")),
-              static_cast<unsigned long long>(transfer_applied()),
-              static_cast<unsigned long long>(
-                  replica.counters().Get("state_entries_rejected")));
+  std::printf(
+      "STOPPED replica %u handled=%llu commits=%llu applied=%llu rejected=%llu "
+      "offloaded=%llu posted=%llu fsyncs=%llu\n",
+      rt.id(), static_cast<unsigned long long>(rt.messages_received()),
+      static_cast<unsigned long long>(replica.counters().Get("committed")),
+      static_cast<unsigned long long>(transfer_applied()),
+      static_cast<unsigned long long>(
+          replica.counters().Get("state_entries_rejected")),
+      static_cast<unsigned long long>(rt.offloaded_checks()),
+      static_cast<unsigned long long>(rt.posted_tasks()),
+      static_cast<unsigned long long>(durable ? durable->fsyncs() : 0));
   return 0;
 }
 
@@ -234,7 +247,7 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: basil_node --config <file> --id <node> [--data-dir D] "
-                 "[--txns N] [--keys K] [--timeout S]\n");
+                 "[--workers W] [--txns N] [--keys K] [--timeout S]\n");
     return 1;
   }
   DeployConfig cfg;
@@ -255,7 +268,7 @@ int Main(int argc, char** argv) {
   // Deterministic from the shared seed: every process derives the same keys, so
   // signatures made in one process verify in all others.
   const KeyRegistry keys(topo.TotalNodes(), cfg.seed, /*enabled=*/true);
-  TcpRuntime rt(opt.id, cfg.peers);
+  TcpRuntime rt(opt.id, cfg.peers, opt.workers);
   return cfg.is_replica[opt.id] ? RunReplica(cfg, rt, topo, keys, opt)
                                 : RunClient(cfg, rt, topo, keys, opt);
 }
