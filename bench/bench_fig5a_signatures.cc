@@ -28,6 +28,10 @@ void Run() {
       {WorkloadKind::kYcsbZipf, "RW-Z", false, 21978},
   };
 
+  BenchJson artifact("fig5a_signatures");
+  artifact.AddParam("workload", std::string("YCSB-T 2r2w"));
+  artifact.AddParam("batch_size", static_cast<uint64_t>(16));
+
   double tput[2][2] = {{0, 0}, {0, 0}};
   for (const Row& row : rows) {
     ExperimentParams p = BenchDefaults();
@@ -41,11 +45,16 @@ void Run() {
                   FmtTput(peak.best.tput_tps), FmtMs(peak.best.mean_ms),
                   FmtKb(peak.best.wire_bytes_per_txn),
                   std::to_string(peak.best_clients), FmtTput(row.paper)});
+    const std::string label = std::string(row.wl_name) + "/" +
+                              (row.signatures ? "Basil" : "Basil-NoProofs");
+    artifact.AddRow(label, peak.best);
+    artifact.AddParam("paper_tput " + label, row.paper);
     tput[row.wl == WorkloadKind::kYcsbZipf][row.signatures ? 0 : 1] =
         peak.best.tput_tps;
     std::fflush(stdout);
   }
   table.Print();
+  artifact.WriteFile("BENCH_fig5a_signatures.json");
   std::printf("\nSpeedup from dropping proofs: RW-U %s (paper 3.7x), RW-Z %s (paper 4.6x)\n",
               FmtX(tput[0][1] / tput[0][0]).c_str(),
               FmtX(tput[1][1] / tput[1][0]).c_str());

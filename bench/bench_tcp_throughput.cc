@@ -5,11 +5,16 @@
 // also reports where signature checks ran (crypto pool vs. event loop) and the
 // simulator's k-worker prediction for the same N, the model this refactor is chasing.
 //
-//   bench_tcp_throughput [--smoke] [--clients C] [--duration-ms D]
+//   bench_tcp_throughput [--smoke] [--clients C] [--duration-ms D] [--out PATH]
 //
 // --smoke (CI, ctest `tcp_throughput_smoke`): N=2 only, short duration, exits
 // nonzero unless transactions committed and every signature check ran on the crypto
 // pool — the regression guard for the parallel path.
+//
+// Every run (smoke included) also writes a "basil-bench-v1" artifact (default
+// BENCH_tcp_throughput.json) with the sweep rows plus per-stage latency
+// distributions merged from every runtime's metrics registry
+// (docs/OBSERVABILITY.md).
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -27,6 +32,7 @@
 #include "src/basil/client.h"
 #include "src/basil/replica.h"
 #include "src/harness/experiment.h"
+#include "src/harness/report.h"
 #include "src/net/tcp_runtime.h"
 #include "src/runtime/task.h"
 #include "src/sim/topology.h"
@@ -39,6 +45,7 @@ struct BenchOptions {
   uint32_t clients = 4;
   uint64_t duration_ms = 3000;
   uint32_t keys = 64;
+  std::string out = "BENCH_tcp_throughput.json";
 };
 
 struct ClientState {
@@ -78,6 +85,7 @@ struct Row {
   uint32_t workers = 0;
   double tcp_tps = 0;
   uint64_t committed = 0;
+  uint64_t attempts = 0;
   uint64_t offloaded = 0;
   uint64_t inline_checks = 0;
   double sim_tps = 0;
@@ -85,8 +93,9 @@ struct Row {
 
 // One measurement: a full in-process deployment at `workers` pool threads per node.
 // Returns false if the deployment could not come up (ports) or drivers wedged.
+// Folds every runtime's metrics registry into `artifact` before teardown.
 bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
-                Row* row) {
+                Row* row, BenchJson* artifact) {
   BasilConfig basil;  // f=1, 1 shard, signatures + batching on (defaults).
   Topology topo;
   topo.num_shards = 1;
@@ -147,12 +156,23 @@ bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
   row->workers = workers;
   for (const ClientState& st : states) {
     row->committed += st.committed;
+    row->attempts += st.attempts;
   }
   row->tcp_tps = static_cast<double>(row->committed) * 1000.0 /
                  static_cast<double>(opt.duration_ms);
   for (auto& rt : replica_rts) {
     row->offloaded += rt->offloaded_checks();
     row->inline_checks += rt->inline_checks();
+  }
+  // Per-stage spans and queue-wait distributions, merged across every node in the
+  // deployment (workers are quiescent by now; histogram merges add bucket-wise).
+  if (artifact != nullptr) {
+    for (auto& rt : replica_rts) {
+      artifact->AddStages(rt->metrics());
+    }
+    for (auto& rt : client_rts) {
+      artifact->AddStages(rt->metrics());
+    }
   }
   for (auto& rt : client_rts) {
     rt->Stop();
@@ -195,6 +215,11 @@ int Main(int argc, char** argv) {
       if (v != nullptr) {
         opt.duration_ms = std::strtoull(v, nullptr, 10);
       }
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v != nullptr) {
+        opt.out = v;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 1;
@@ -212,12 +237,19 @@ int Main(int argc, char** argv) {
       "  %-8s %12s %10s %16s %14s %14s\n", "workers", "tcp_tps", "commits",
       "offloaded_sigs", "loop_sigs", "sim_tps");
 
+  BenchJson artifact("tcp_throughput");
+  artifact.AddParam("smoke", static_cast<uint64_t>(opt.smoke ? 1 : 0));
+  artifact.AddParam("clients", static_cast<uint64_t>(opt.clients));
+  artifact.AddParam("duration_ms", opt.duration_ms);
+  artifact.AddParam("keys", static_cast<uint64_t>(opt.keys));
+  artifact.AddParam("host_cores", static_cast<uint64_t>(host_cores > 0 ? host_cores : 0));
+
   std::vector<Row> rows;
   for (size_t n = 0; n < sweep.size(); ++n) {
     Row row;
     const uint16_t port_base = static_cast<uint16_t>(
         22000 + (::getpid() * 31 + n * 701) % 30000);
-    if (!MeasureTcp(opt, sweep[n], port_base, &row)) {
+    if (!MeasureTcp(opt, sweep[n], port_base, &row, &artifact)) {
       std::fprintf(stderr, "FAIL: deployment at workers=%u did not run cleanly\n",
                    sweep[n]);
       return 1;
@@ -228,7 +260,20 @@ int Main(int argc, char** argv) {
                 static_cast<unsigned long long>(row.offloaded),
                 static_cast<unsigned long long>(row.inline_checks), row.sim_tps);
     std::fflush(stdout);
+
+    RunResult rr;
+    rr.tput_tps = row.tcp_tps;
+    rr.committed = row.committed;
+    rr.attempts = row.attempts;
+    rr.commit_rate = row.attempts > 0 ? static_cast<double>(row.committed) /
+                                            static_cast<double>(row.attempts)
+                                      : 0;
+    artifact.AddRow("workers=" + std::to_string(row.workers), rr);
+    artifact.AddParam("sim_tps_w" + std::to_string(row.workers), row.sim_tps);
     rows.push_back(row);
+  }
+  if (!opt.out.empty()) {
+    artifact.WriteFile(opt.out);
   }
 
   // Regression guard (both modes): work must flow, and with workers > 0 every

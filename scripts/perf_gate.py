@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json artifacts (docs/OBSERVABILITY.md).
+
+Compares "basil-bench-v1" artifacts produced by the test suite (BENCH_tcp_cluster.json
+from scripts/run_tcp_cluster.sh, BENCH_tcp_throughput.json from
+bench_tcp_throughput --smoke) against the committed baseline
+bench/baseline/perf_baseline.json:
+
+    perf_gate.py --baseline bench/baseline/perf_baseline.json build/BENCH_*.json
+
+The baseline maps each bench name to floors/ceilings:
+
+    {"gates": {"tcp_cluster": {
+        "min_tput_tps": 50,
+        "min_commit_rate": 0.9,
+        "max_stage_p95_ms": {"wal.fsync_ns": 250.0}}}}
+
+Ceilings are deliberately generous absolute bounds — shared CI runners are noisy, so
+this gate catches order-of-magnitude regressions (a lost fast path, an accidental
+fsync-per-commit, a serialized crypto pool), not single-digit-percent drift. Exit 0
+iff every gated bench passes; benches present in the artifacts but absent from the
+baseline are reported and skipped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msgs, text):
+    msgs.append("FAIL: " + text)
+
+
+def gate_artifact(path, gates, msgs):
+    with open(path) as f:
+        art = json.load(f)
+    if art.get("schema") != "basil-bench-v1":
+        fail(msgs, f"{path}: not a basil-bench-v1 artifact")
+        return
+    bench = art.get("bench", "?")
+    gate = gates.get(bench)
+    if gate is None:
+        print(f"SKIP {path}: no baseline gates for bench '{bench}'")
+        return
+
+    rows = art.get("rows", [])
+    if not rows:
+        fail(msgs, f"{path}: no rows")
+        return
+    # Throughput/commit-rate floors apply to the best row (sweeps include
+    # configurations that are expected to be slower, e.g. workers=1).
+    best_tput = max(r.get("tput_tps", 0.0) for r in rows)
+    best_rate = max(r.get("commit_rate", 0.0) for r in rows)
+    if "min_tput_tps" in gate and best_tput < gate["min_tput_tps"]:
+        fail(msgs, f"{bench}: tput {best_tput:.1f} tps < floor {gate['min_tput_tps']}")
+    if "min_commit_rate" in gate and best_rate < gate["min_commit_rate"]:
+        fail(msgs, f"{bench}: commit rate {best_rate:.3f} < floor {gate['min_commit_rate']}")
+
+    stages = art.get("stages", {})
+    for name in gate.get("require_stages", []):
+        if name not in stages or stages[name].get("count", 0) == 0:
+            fail(msgs, f"{bench}: required stage histogram '{name}' missing or empty")
+    for name, ceiling_ms in gate.get("max_stage_p95_ms", {}).items():
+        stage = stages.get(name)
+        if stage is None:
+            fail(msgs, f"{bench}: stage '{name}' absent (ceiling {ceiling_ms} ms)")
+            continue
+        p95_ms = stage.get("p95", 0.0) / 1e6
+        if p95_ms > ceiling_ms:
+            fail(msgs, f"{bench}: {name} p95 {p95_ms:.2f} ms > ceiling {ceiling_ms} ms")
+    print(f"OK   {path}: bench '{bench}' tput={best_tput:.1f} tps "
+          f"rate={best_rate:.3f} stages={len(stages)}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("artifacts", nargs="+")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        gates = json.load(f)["gates"]
+
+    msgs = []
+    for path in args.artifacts:
+        try:
+            gate_artifact(path, gates, msgs)
+        except (OSError, ValueError, KeyError) as e:
+            fail(msgs, f"{path}: {e}")
+    for m in msgs:
+        print(m)
+    if msgs:
+        return 1
+    print(f"PASS: {len(args.artifacts)} artifact(s) within baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

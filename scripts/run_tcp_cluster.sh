@@ -9,13 +9,22 @@
 #      WAL, catch up via peer state transfer (RECOVERED), and then participate in
 #      >= MIN_REJOIN_COMMITS further commits (docs/RECOVERY.md).
 #
-# Usage: run_tcp_cluster.sh <path-to-basil_node> [txns] [workers]
+# Every process also dumps a basil-metrics-v1 snapshot at shutdown (and every
+# METRICS_INTERVAL seconds when set); after PASS the snapshots are aggregated with
+# metrics_merge into BENCH_tcp_cluster.json in the current directory
+# (docs/OBSERVABILITY.md).
+#
+# Usage: run_tcp_cluster.sh <path-to-basil_node> [metrics_merge] [txns] [workers] \
+#          [metrics-interval-s]
+#   metrics_merge: path to the aggregator binary ("" skips the BENCH artifact).
 #   workers: strand + crypto pool threads per node (--workers, docs/TRANSPORT.md).
 set -u
 
-BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [txns] [workers]}"
-TXNS="${2:-1000}"
-WORKERS="${3:-2}"
+BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [metrics_merge] [txns] [workers] [metrics-interval-s]}"
+METRICS_MERGE="${2:-}"
+TXNS="${3:-1000}"
+WORKERS="${4:-2}"
+METRICS_INTERVAL="${5:-0}"
 # Recovery has a fixed wall-clock floor (~1 s: peers' reconnect backoff toward the
 # restarted node), and commits landing before the RECOVERED print do not count as
 # rejoin participation. Short smoke runs (< 600 txns) finish inside that floor, so
@@ -58,9 +67,13 @@ echo "== config =="
 cat "$CFG"
 
 DATA_DIR="$WORKDIR/data"
+# Per-process metrics snapshots (written at shutdown, on SIGUSR1, and every
+# METRICS_INTERVAL seconds when > 0).
+metrics_path() { echo "$WORKDIR/metrics_node$1.json"; }
 for i in 0 1 2 3 4 5; do
   "$BASIL_NODE" --config "$CFG" --id "$i" --data-dir "$DATA_DIR" \
-    --workers "$WORKERS" > "$WORKDIR/replica$i.log" 2>&1 &
+    --workers "$WORKERS" --metrics-out "$(metrics_path "$i")" \
+    --metrics-interval "$METRICS_INTERVAL" > "$WORKDIR/replica$i.log" 2>&1 &
   PIDS+=($!)
 done
 
@@ -79,7 +92,8 @@ done
 echo "== replicas ready =="
 
 "$BASIL_NODE" --config "$CFG" --id 6 --txns "$TXNS" --keys 16 --timeout 150 \
-  --workers "$WORKERS" > "$WORKDIR/client.log" 2>&1 &
+  --workers "$WORKERS" --metrics-out "$(metrics_path 6)" \
+  > "$WORKDIR/client.log" 2>&1 &
 CLIENT_PID=$!
 PIDS+=("$CLIENT_PID")
 
@@ -92,18 +106,21 @@ check_replicas_alive() {
     pid="${PIDS[$i]}"
     if ! kill -0 "$pid" 2>/dev/null; then
       echo "FAIL: replica $i (pid $pid) exited before the run finished"
+      echo "     final metrics snapshot (if written): $(metrics_path "$i")"
       echo "-- replica$i.log --"; tail -10 "$WORKDIR/replica$i.log"
       exit 1
     fi
   done
   if [ "$KILLED" -eq 0 ] && ! kill -0 "${PIDS[5]}" 2>/dev/null; then
     echo "FAIL: replica 5 exited before the deliberate kill"
+    echo "     final metrics snapshot (if written): $(metrics_path 5)"
     echo "-- replica5.log --"; tail -10 "$WORKDIR/replica5.log"
     exit 1
   fi
   if [ "$RESTARTED" -eq 1 ] && [ -n "$RESTART_PID" ] && \
      ! kill -0 "$RESTART_PID" 2>/dev/null; then
     echo "FAIL: restarted replica 5 (pid $RESTART_PID) exited prematurely"
+    echo "     final metrics snapshot (if written): $(metrics_path 5)"
     echo "-- replica5b.log --"; tail -10 "$WORKDIR/replica5b.log"
     exit 1
   fi
@@ -131,7 +148,8 @@ while kill -0 "$CLIENT_PID" 2>/dev/null; do
      [ "$COMMITTED" -ge "$RESTART_AT" ]; then
     echo "== restarting replica 5 at ~$COMMITTED commits =="
     "$BASIL_NODE" --config "$CFG" --id 5 --data-dir "$DATA_DIR" \
-      --workers "$WORKERS" > "$WORKDIR/replica5b.log" 2>&1 &
+      --workers "$WORKERS" --metrics-out "$(metrics_path 5)" \
+      --metrics-interval "$METRICS_INTERVAL" > "$WORKDIR/replica5b.log" 2>&1 &
     RESTART_PID=$!
     PIDS+=("$RESTART_PID")
     RESTARTED=1
@@ -209,5 +227,29 @@ if [ "$MIN_REJOIN_COMMITS" -gt 0 ] && [ "$REJOIN_COMMITS" -lt "$MIN_REJOIN_COMMI
   echo "FAIL: restarted replica participated in only $REJOIN_COMMITS commits after recovery (need >= $MIN_REJOIN_COMMITS)"
   exit 1
 fi
+# Stop the surviving replicas cleanly so each writes its final metrics snapshot,
+# then aggregate every per-process snapshot into BENCH_tcp_cluster.json.
+for i in 0 1 2 3 4; do
+  kill "${PIDS[$i]}" 2>/dev/null
+done
+for i in 0 1 2 3 4; do
+  for _ in $(seq 1 100); do
+    grep -q STOPPED "$WORKDIR/replica$i.log" 2>/dev/null && break
+    sleep 0.1
+  done
+done
+if [ -n "$METRICS_MERGE" ] && [ -x "$METRICS_MERGE" ]; then
+  SNAPSHOTS=("$WORKDIR"/metrics_node*.json)
+  if [ -e "${SNAPSHOTS[0]}" ]; then
+    if ! "$METRICS_MERGE" --out BENCH_tcp_cluster.json "${SNAPSHOTS[@]}"; then
+      echo "FAIL: metrics_merge could not aggregate ${#SNAPSHOTS[@]} snapshots"
+      exit 1
+    fi
+  else
+    echo "FAIL: no metrics snapshots were written under $WORKDIR"
+    exit 1
+  fi
+fi
+
 echo "PASS: $TXNS transactions committed over TCP; replica 5 was killed, restarted from its WAL, recovered via state transfer, and participated in $REJOIN_COMMITS post-recovery commits"
 exit 0

@@ -21,7 +21,8 @@ BasilClient::BasilClient(Runtime* rt, ClientId client_id, const BasilConfig* cfg
       validator_(cfg, topo, keys),
       verifier_(keys),
       client_id_(client_id),
-      rng_(rng) {}
+      rng_(rng),
+      tracer_(&rt->metrics()) {}
 
 void BasilClient::ChargeSignIfEnabled() {
   if (keys_->enabled()) {
@@ -61,7 +62,10 @@ Task<std::optional<Value>> BasilClient::Get(const Key& key) {
   }
 
   const Timestamp ts = active_->ts;
+  const uint64_t read_t0 = now();
   std::optional<ReadChoice> choice = co_await DoRead(key, ts);
+  // Zero digest: the transaction body is not finalized at read time.
+  tracer_.Record(obs::Stage::kClientRead, TxnDigest{}, now() - read_t0);
   if (!active_.has_value()) {
     co_return std::nullopt;  // Session was torn down while the read was in flight.
   }
@@ -140,7 +144,9 @@ Task<TxnOutcome> BasilClient::Commit() {
   if (fault_mode_ != FaultMode::kCorrect) {
     co_return co_await CommitByzantine(body, fault_mode_);
   }
+  const uint64_t commit_t0 = now();
   const Decision d = co_await FinishTransaction(body, /*depth=*/0);
+  tracer_.Record(obs::Stage::kClientCommit, body->id, now() - commit_t0);
   counters_.Inc(d == Decision::kCommit ? "commits" : "system_aborts");
   co_return TxnOutcome{d == Decision::kCommit, d != Decision::kCommit};
 }
@@ -322,7 +328,9 @@ Task<Decision> BasilClient::FinishTransaction(TxnPtr body, int depth) {
       ctx.shards[shard].tally.shard = shard;
     }
     active_prepares_[id] = &ctx;
+    const uint64_t prep_t0 = now();
     res = co_await RunPrepareAttempt(ctx, depth > 0 || attempt > 0);
+    tracer_.Record(obs::Stage::kClientPrepare, id, now() - prep_t0);
     CancelCtxTimer(ctx);
     active_prepares_.erase(id);
     if (!res.resolved) {
@@ -498,7 +506,10 @@ Task<BasilClient::AttemptResult> BasilClient::RunPrepareAttempt(PrepareCtx& ctx,
                                 true};
       }
       const Decision decision = all_commit ? Decision::kCommit : Decision::kAbort;
-      co_return co_await RunSt2Phase(ctx, decision);
+      const uint64_t st2_t0 = now();
+      AttemptResult st2_res = co_await RunSt2Phase(ctx, decision);
+      tracer_.Record(obs::Stage::kClientSt2, ctx.body->id, now() - st2_t0);
+      co_return st2_res;
     }
     if (ctx.timed_out) {
       co_return AttemptResult{};  // Unresolved: caller recovers dependencies.

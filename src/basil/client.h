@@ -18,6 +18,7 @@
 #include "src/common/config.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 #include "src/runtime/task.h"
 #include "src/sim/db.h"
@@ -167,6 +168,7 @@ class BasilClient : public Process, public SystemClient, public TxnSession {
   ClientId client_id_;
   Rng rng_;
   Counters counters_;
+  obs::TxnTracer tracer_;  // Client-side phase latencies, into runtime().metrics().
   FaultMode fault_mode_ = FaultMode::kCorrect;
 
   // Active transaction being built by the session API.

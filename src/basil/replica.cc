@@ -14,7 +14,8 @@ BasilReplica::BasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* 
       validator_(cfg, topo, keys),
       verifier_(keys),
       shard_(topo->ShardOfReplicaNode(id())),
-      index_(topo->ReplicaIndex(id())) {}
+      index_(topo->ReplicaIndex(id())),
+      tracer_(&rt->metrics()) {}
 
 void BasilReplica::LoadGenesis(const Key& key, Value value) {
   store_.LoadGenesis(key, std::move(value));
@@ -167,18 +168,24 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
   // cost-free on the simulator, whose ST1 bodies are shared pointers that were
   // hashed at Finalize time), then intake continues in the handler context.
   if (!cfg_->parallel_pipeline) {
+    const uint64_t t0 = now();
     if (msg->txn->ComputeDigest() != msg->txn->id) {
       counters_.Inc("st1_bad_digest");
       return;
     }
+    tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
     St1Arrived(src, msg);
     return;
   }
   auto body_ok = std::make_shared<bool>(false);
   Post(
       StrandOfDigest(msg->txn->id),
-      [msg, body_ok](CostMeter&) {
+      [this, msg, body_ok](CostMeter&) {
+        // Wall duration of the strand-side hash (0 on the simulator, whose clock
+        // stands still within one work item). now() is thread-safe on both backends.
+        const uint64_t t0 = now();
         *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+        tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
       },
       [this, src, msg, body_ok]() {
         if (!*body_ok) {
@@ -191,6 +198,9 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
 
 void BasilReplica::St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& msg) {
   TxnState& s = GetState(msg->txn->id);
+  if (s.st1_arrive_ns == 0) {
+    s.st1_arrive_ns = now();  // Trace anchor for the vote / st1->decision spans.
+  }
   if (s.txn == nullptr) {
     s.txn = msg->txn;
     // Another transaction may be waiting for this body to arrive (dependency check).
@@ -417,6 +427,11 @@ void BasilReplica::SetVote(TxnState& s, Vote vote) {
   if (vote != Vote::kCommit && s.prepared) {
     RemovePrepared(s);
   }
+  if (s.st1_arrive_ns != 0) {
+    // Arrival -> vote pinned, dependency waits included (cross-event, so the span
+    // is meaningful in simulated time too).
+    tracer_.Record(obs::Stage::kVote, s.txn->id, now() - s.st1_arrive_ns);
+  }
   counters_.Inc(vote == Vote::kCommit ? "votes_commit" : "votes_abort");
   std::vector<NodeId> waiters;
   waiters.swap(s.vote_waiters);
@@ -541,7 +556,10 @@ void BasilReplica::FlushBatch() {
   // handler context.
   auto certs = std::make_shared<std::vector<BatchCert>>();
   auto seal = [this, digests = std::move(digests), certs](CostMeter& m) {
+    const uint64_t t0 = now();
     *certs = SealBatch(digests, *keys_, id(), &m);
+    // Batches span transactions; the seal span is recorded under the zero digest.
+    tracer_.Record(obs::Stage::kBatchSeal, TxnDigest{}, now() - t0);
   };
   auto send_all = [this, batch, certs]() {
     for (size_t i = 0; i < batch->size(); ++i) {
@@ -591,7 +609,10 @@ void BasilReplica::OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) {
   VerifyThen(
       cfg_->parallel_pipeline,
       [this, msg](CostMeter& m) {
-        return validator_.ValidateSt2Justification(*msg, verifier_, &m);
+        const uint64_t t0 = now();
+        const bool ok = validator_.ValidateSt2Justification(*msg, verifier_, &m);
+        tracer_.Record(obs::Stage::kSt2CertVerify, msg->txn, now() - t0);
+        return ok;
       },
       [this, src, msg](bool justified) {
         TxnState& s = GetState(msg->txn);
@@ -647,7 +668,11 @@ void BasilReplica::OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> m
   VerifyThen(
       cfg_->parallel_pipeline,
       [this, msg, body = s.txn](CostMeter& m) {
-        return validator_.ValidateDecisionCert(*msg->cert, body.get(), verifier_, &m);
+        const uint64_t t0 = now();
+        const bool ok =
+            validator_.ValidateDecisionCert(*msg->cert, body.get(), verifier_, &m);
+        tracer_.Record(obs::Stage::kWbCertVerify, msg->cert->txn, now() - t0);
+        return ok;
       },
       [this, msg](bool valid) {
         TxnState& s = GetState(msg->cert->txn);
@@ -663,6 +688,7 @@ void BasilReplica::OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> m
 }
 
 void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr cert) {
+  const uint64_t t0 = now();
   s.decided = true;
   s.final_decision = decision;
   s.final_cert = std::move(cert);
@@ -712,6 +738,13 @@ void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr
       }
     }
     durable_->AppendCommit(rec, store_);
+  }
+  if (s.txn != nullptr) {
+    tracer_.Record(obs::Stage::kWbApply, s.txn->id, now() - t0);
+    if (s.st1_arrive_ns != 0) {
+      // Replica-observed end-to-end: first ST1 intake -> decision applied.
+      tracer_.Record(obs::Stage::kSt1ToDecision, s.txn->id, now() - s.st1_arrive_ns);
+    }
   }
   for (NodeId c : s.interested) {
     ReplyCert(c, s);

@@ -18,6 +18,7 @@
 #include "src/basil/messages.h"
 #include "src/common/config.h"
 #include "src/common/stats.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 #include "src/sim/topology.h"
 #include "src/store/version_store.h"
@@ -44,7 +45,12 @@ class BasilReplica : public Process {
 
   // Attaches the durable WAL/snapshot layer. Committed writebacks are logged to it;
   // the caller is expected to have Open()ed it into store() beforehand.
-  void AttachDurable(DurableStore* durable) { durable_ = durable; }
+  void AttachDurable(DurableStore* durable) {
+    durable_ = durable;
+    if (durable_ != nullptr) {
+      durable_->BindMetrics(&metrics());
+    }
+  }
 
   // Begins peer state transfer: StateRequests go to every shard peer, validated
   // chunks are applied, and `on_complete` fires once 2f+1 peers report done (so at
@@ -92,6 +98,9 @@ class BasilReplica : public Process {
     std::set<uint32_t> dec_fb_sent;
     EventId arrival_timer = 0;
     bool arrival_timer_armed = false;
+    // Trace anchor (docs/OBSERVABILITY.md): when the first ST1 for this txn passed
+    // intake, in runtime-now() ns. 0 = never arrived (e.g. writeback-first paths).
+    uint64_t st1_arrive_ns = 0;
   };
 
   // Message handlers; virtual so Byzantine replica behaviours can override them.
@@ -161,6 +170,7 @@ class BasilReplica : public Process {
   ShardId shard_;
   ReplicaId index_;
   Counters counters_;
+  obs::TxnTracer tracer_;  // Per-stage latency spans, into runtime().metrics().
 
   std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
 

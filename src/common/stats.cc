@@ -18,12 +18,16 @@ double LatencyStats::MeanMs() const {
 
 double LatencyStats::PercentileMs(double p) const {
   if (samples_.empty()) {
-    return 0;
+    return 0;  // No samples: every percentile is 0 by definition here.
   }
   if (!sorted_) {
     std::sort(samples_.begin(), samples_.end());
     sorted_ = true;
   }
+  // Clamp p into [0,100]: p<=0 is the minimum sample, p>=100 the maximum. NaN
+  // (which fails both comparisons) degrades to the minimum rather than indexing
+  // out of bounds through llround.
+  p = p > 0 ? (p < 100 ? p : 100) : 0;
   const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
   const auto idx = static_cast<size_t>(std::llround(rank));
   return static_cast<double>(samples_[std::min(idx, samples_.size() - 1)]) / 1e6;

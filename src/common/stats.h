@@ -20,7 +20,9 @@ class LatencyStats {
 
   size_t count() const { return samples_.size(); }
   double MeanMs() const;
-  double PercentileMs(double p) const;  // p in [0, 100]
+  // Nearest-rank percentile in milliseconds. `p` is clamped into [0,100] (p<=0 ->
+  // minimum sample, p>=100 -> maximum); an empty sample set yields 0.
+  double PercentileMs(double p) const;
   void Merge(const LatencyStats& other);
   void Clear() { samples_.clear(); }
 
@@ -33,6 +35,7 @@ class LatencyStats {
 class Counters {
  public:
   void Inc(const std::string& name, uint64_t delta = 1) { values_[name] += delta; }
+  // Total for `name`; a name never incremented reads as 0 (no entry is created).
   uint64_t Get(const std::string& name) const;
   void Merge(const Counters& other);
   const std::map<std::string, uint64_t>& values() const { return values_; }

@@ -1,12 +1,15 @@
-// Plain-text table printers for the benchmark binaries: each bench prints the same
-// rows/series its paper figure reports.
+// Plain-text table printers for the benchmark binaries (each bench prints the same
+// rows/series its paper figure reports), plus the machine-readable BENCH_*.json
+// artifact writer (schema "basil-bench-v1", docs/OBSERVABILITY.md).
 #ifndef BASIL_SRC_HARNESS_REPORT_H_
 #define BASIL_SRC_HARNESS_REPORT_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/harness/driver.h"
+#include "src/obs/metrics.h"
 
 namespace basil {
 
@@ -34,6 +37,41 @@ std::string FmtKb(double bytes);  // "1.4KB".
 // One-line summary of a run (throughput, latency, commit rate, measured wire bytes
 // per committed transaction).
 std::string Summarize(const RunResult& r);
+
+// Accumulates one benchmark's results into a BENCH_*.json artifact
+// ("basil-bench-v1"): run parameters, per-row throughput/latency numbers, and
+// per-stage latency distributions folded in from runtime metrics registries.
+// Percentiles come from obs::Histogram — the same bucketed type the live metrics
+// use — so the artifact and a SIGUSR1 snapshot agree on the math.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench);
+
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, uint64_t value);
+  void AddParam(const std::string& key, double value);
+
+  // One result row (a point on the bench's figure).
+  void AddRow(const std::string& label, const RunResult& r);
+
+  // Folds `reg`'s metrics into the artifact (mergeable across runtimes: call once
+  // per replica/client runtime; histograms add bucket-wise).
+  void AddStages(const obs::MetricsRegistry& reg);
+
+  std::string Text() const;
+  // Serializes to `path`; prints "BENCH artifact: <path>" on success.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;  // key -> encoded JSON.
+  struct Row {
+    std::string label;
+    RunResult r;
+  };
+  std::vector<Row> rows_;
+  obs::MetricsRegistry stages_;  // Merged runtime metrics across AddStages calls.
+};
 
 }  // namespace basil
 

@@ -92,9 +92,23 @@ TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
   for (size_t i = 0; i < peers_.size(); ++i) {
     peer_state_.push_back(std::make_unique<Peer>());
   }
+  loop_wait_hist_ = metrics_.RegisterHistogram("rt.loop.queue_wait_ns");
+  loop_depth_gauge_ = metrics_.RegisterGauge("rt.loop.queue_depth");
+  writer_frames_gauge_ = metrics_.RegisterGauge("rt.writer.outbox_frames");
+  writer_bytes_gauge_ = metrics_.RegisterGauge("rt.writer.outbox_bytes");
+  // All strand workers share one wait histogram (ditto crypto): the interesting
+  // signal is pipeline-stage backlog, not per-thread skew.
+  const obs::MetricId strand_wait = metrics_.RegisterHistogram("rt.strand.queue_wait_ns");
+  const obs::MetricId strand_depth = metrics_.RegisterGauge("rt.strand.queue_depth");
+  const obs::MetricId crypto_wait = metrics_.RegisterHistogram("rt.crypto.queue_wait_ns");
+  const obs::MetricId crypto_depth = metrics_.RegisterGauge("rt.crypto.queue_depth");
   for (uint32_t i = 0; i < workers; ++i) {
     strand_workers_.push_back(std::make_unique<PoolWorker>());
+    strand_workers_.back()->wait_hist = strand_wait;
+    strand_workers_.back()->depth_gauge = strand_depth;
     crypto_workers_.push_back(std::make_unique<PoolWorker>());
+    crypto_workers_.back()->wait_hist = crypto_wait;
+    crypto_workers_.back()->depth_gauge = crypto_depth;
   }
 }
 
@@ -228,10 +242,13 @@ void TcpRuntime::LoopMain() {
       lock.lock();
     }
     if (!tasks_.empty()) {
-      std::function<void()> task = std::move(tasks_.front());
+      LoopTask task = std::move(tasks_.front());
       tasks_.pop_front();
       lock.unlock();
-      task();
+      if (task.enq_ns != 0) {
+        metrics_.Observe(loop_wait_hist_, MonotonicNowNs() - task.enq_ns);
+      }
+      task.fn();
       lock.lock();
       continue;
     }
@@ -251,11 +268,17 @@ void TcpRuntime::LoopMain() {
 }
 
 void TcpRuntime::Execute(std::function<void()> work) {
+  const uint64_t enq = metrics_.enabled() ? MonotonicNowNs() : 0;
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(loop_mu_);
-    tasks_.push_back(std::move(work));
+    tasks_.push_back(LoopTask{std::move(work), enq});
+    depth = tasks_.size();
   }
   loop_cv_.notify_one();
+  if (enq != 0) {
+    metrics_.Set(loop_depth_gauge_, depth);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -264,11 +287,17 @@ void TcpRuntime::Execute(std::function<void()> work) {
 
 void TcpRuntime::EnqueuePool(PoolWorker* worker,
                              std::function<void(CostMeter&)> task) {
+  const uint64_t enq = metrics_.enabled() ? MonotonicNowNs() : 0;
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(worker->mu);
-    worker->queue.push_back(std::move(task));
+    worker->queue.push_back(PoolTask{std::move(task), enq});
+    depth = worker->queue.size();
   }
   worker->cv.notify_one();
+  if (enq != 0) {
+    metrics_.Set(worker->depth_gauge, depth);
+  }
 }
 
 void TcpRuntime::PoolMain(PoolWorker* worker) {
@@ -276,7 +305,7 @@ void TcpRuntime::PoolMain(PoolWorker* worker) {
   // accrual is discarded (real time is the cost) but must not race the loop's meter.
   CostMeter scratch(&cost_model_);
   while (true) {
-    std::function<void(CostMeter&)> task;
+    PoolTask task;
     {
       std::unique_lock<std::mutex> lock(worker->mu);
       worker->cv.wait(lock, [&]() {
@@ -288,7 +317,10 @@ void TcpRuntime::PoolMain(PoolWorker* worker) {
       task = std::move(worker->queue.front());
       worker->queue.pop_front();
     }
-    task(scratch);
+    if (task.enq_ns != 0) {
+      metrics_.Observe(worker->wait_hist, MonotonicNowNs() - task.enq_ns);
+    }
+    task.fn(scratch);
     scratch.TakeConsumed();
   }
 }
@@ -425,6 +457,8 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
   std::vector<uint8_t> frame = enc.TakeBytes();
   const size_t frame_size = frame.size();
   Peer& peer = *peer_state_[dst];
+  size_t outbox_frames;
+  size_t outbox_bytes;
   {
     std::lock_guard<std::mutex> lock(peer.mu);
     // Shed oldest frames when a peer is unreachable for long: Basil's quorums and
@@ -436,12 +470,19 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
     }
     peer.outbox_bytes += frame_size;
     peer.outbox.push_back(std::move(frame));
+    outbox_frames = peer.outbox.size();
+    outbox_bytes = peer.outbox_bytes;
     if (!peer.writer_running && running_.load()) {
       peer.writer_running = true;
       peer.writer = std::thread([this, dst]() { WriterMain(dst); });
     }
   }
   peer.cv.notify_one();
+  if (metrics_.enabled()) {
+    // Cross-peer gauges: `max` is the high-water outbox backlog of any writer.
+    metrics_.Set(writer_frames_gauge_, outbox_frames);
+    metrics_.Set(writer_bytes_gauge_, outbox_bytes);
+  }
   messages_sent_.fetch_add(1);
   bytes_sent_.fetch_add(frame_size);
 }

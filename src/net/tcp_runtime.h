@@ -113,14 +113,29 @@ class TcpRuntime : public Runtime {
     std::function<void()> cb;
   };
 
+  // Loop task stamped with its enqueue time (0 when metrics were off at enqueue):
+  // the delta to dequeue is the event-loop queue-wait histogram.
+  struct LoopTask {
+    std::function<void()> fn;
+    uint64_t enq_ns = 0;
+  };
+
+  struct PoolTask {
+    std::function<void(CostMeter&)> fn;
+    uint64_t enq_ns = 0;
+  };
+
   // One strand/crypto pool thread: a FIFO queue of closures plus a scratch CostMeter
   // (protocol code charges simulated costs uniformly; on this backend the charges
-  // are discarded, but they must not race the event loop's meter).
+  // are discarded, but they must not race the event loop's meter). `wait_hist` /
+  // `depth_gauge` identify the pool's queue metrics (strand vs crypto) in metrics().
   struct PoolWorker {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void(CostMeter&)>> queue;
+    std::deque<PoolTask> queue;
     std::thread thread;
+    obs::MetricId wait_hist = obs::kInvalidMetric;
+    obs::MetricId depth_gauge = obs::kInvalidMetric;
   };
 
   void LoopMain();
@@ -128,7 +143,7 @@ class TcpRuntime : public Runtime {
   void ReaderMain(size_t slot, int fd);
   void WriterMain(NodeId dst);
   void PoolMain(PoolWorker* worker);
-  static void EnqueuePool(PoolWorker* worker, std::function<void(CostMeter&)> task);
+  void EnqueuePool(PoolWorker* worker, std::function<void(CostMeter&)> task);
 
   // Connects to `dst` and writes the hello; returns the fd or -1.
   int ConnectToPeer(NodeId dst);
@@ -149,7 +164,7 @@ class TcpRuntime : public Runtime {
   // Event loop: task queue + timer heap, both guarded by loop_mu_.
   std::mutex loop_mu_;
   std::condition_variable loop_cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<LoopTask> tasks_;
   std::map<std::pair<uint64_t, EventId>, TimerEntry> timers_;  // (deadline, id).
   std::unordered_set<EventId> cancelled_timers_;
   EventId next_timer_id_ = 1;
@@ -180,6 +195,14 @@ class TcpRuntime : public Runtime {
   std::atomic<uint64_t> posted_tasks_{0};
   std::atomic<uint64_t> offloaded_checks_{0};
   std::atomic<uint64_t> inline_checks_{0};
+
+  // Queue observability (docs/OBSERVABILITY.md): wait histograms + depth gauges for
+  // the event loop and the per-peer writer outboxes (pool workers carry their own
+  // IDs). Interned once in the constructor; record paths are lock-free.
+  obs::MetricId loop_wait_hist_ = obs::kInvalidMetric;
+  obs::MetricId loop_depth_gauge_ = obs::kInvalidMetric;
+  obs::MetricId writer_frames_gauge_ = obs::kInvalidMetric;
+  obs::MetricId writer_bytes_gauge_ = obs::kInvalidMetric;
 };
 
 }  // namespace basil

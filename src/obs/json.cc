@@ -1,0 +1,403 @@
+#include "src/obs/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace basil {
+namespace obs {
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void JsonWriter::Separator() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": was just written; the value follows with no comma.
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Raw(const std::string& token) {
+  Separator();
+  out_ += token;
+}
+
+void JsonWriter::BeginObject() {
+  Separator();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  if (!needs_comma_.empty()) {
+    needs_comma_.pop_back();
+  }
+}
+
+void JsonWriter::BeginArray() {
+  Separator();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  if (!needs_comma_.empty()) {
+    needs_comma_.pop_back();
+  }
+}
+
+void JsonWriter::Key(const std::string& key) {
+  Separator();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  Separator();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  Raw(buf);
+}
+
+void JsonWriter::Int(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  Raw(buf);
+}
+
+void JsonWriter::Double(double value) {
+  if (!std::isfinite(value)) {
+    Raw("0");  // JSON has no NaN/Inf; metrics treat them as absent.
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  Raw(buf);
+}
+
+void JsonWriter::Bool(bool value) { Raw(value ? "true" : "false"); }
+
+void JsonWriter::Null() { Raw("null"); }
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsed tree accessors
+// ---------------------------------------------------------------------------
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+uint64_t JsonValue::AsU64(uint64_t def) const {
+  if (type != Type::kNumber) {
+    return def;
+  }
+  if (is_uint) {
+    return u64;
+  }
+  return num < 0 ? def : static_cast<uint64_t>(num);
+}
+
+double JsonValue::AsDouble(double def) const {
+  return type == Type::kNumber ? num : def;
+}
+
+const std::string& JsonValue::AsString(const std::string& def) const {
+  return type == Type::kString ? str : def;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* err) : text_(text), err_(err) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out, /*depth=*/0)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing bytes after value");
+    }
+    return true;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool Fail(const std::string& why) {
+    if (err_ != nullptr) {
+      *err_ = "json parse error at byte " + std::to_string(pos_) + ": " + why;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) {
+      return Fail("nesting too deep");
+    }
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+      case 'f': return ParseLiteral(out);
+      case 'n': return ParseLiteral(out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    auto match = [&](const char* lit) {
+      const size_t n = std::strlen(lit);
+      if (text_.compare(pos_, n, lit) == 0) {
+        pos_ += n;
+        return true;
+      }
+      return false;
+    };
+    if (match("true")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (match("false")) {
+      out->type = JsonValue::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (match("null")) {
+      out->type = JsonValue::Type::kNull;
+      return true;
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Fail("expected a value");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    out->type = JsonValue::Type::kNumber;
+    char* end = nullptr;
+    out->num = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') {
+      return Fail("bad number '" + token + "'");
+    }
+    if (integral && token[0] != '-') {
+      errno = 0;
+      const uint64_t u = std::strtoull(token.c_str(), &end, 10);
+      if (errno == 0 && *end == '\0') {
+        out->u64 = u;
+        out->is_uint = true;
+      }
+    }
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return Fail("expected '\"'");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          const unsigned long cp = std::strtoul(hex.c_str(), nullptr, 16);
+          // Metrics content is ASCII; non-ASCII escapes degrade to '?'.
+          *out += cp < 0x80 ? static_cast<char>(cp) : '?';
+          break;
+        }
+        default: return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseObject(JsonValue* out, int depth) {
+    Eat('{');
+    out->type = JsonValue::Type::kObject;
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':'");
+      }
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v, depth + 1)) {
+        return false;
+      }
+      out->obj.emplace(std::move(key), std::move(v));
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out, int depth) {
+    Eat('[');
+    out->type = JsonValue::Type::kArray;
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v, depth + 1)) {
+        return false;
+      }
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  std::string* err_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* err) {
+  *out = JsonValue();
+  return Parser(text, err).Parse(out);
+}
+
+}  // namespace obs
+}  // namespace basil

@@ -1,0 +1,88 @@
+// Minimal JSON support for the observability layer (docs/OBSERVABILITY.md): a
+// streaming writer used to emit metrics snapshots and BENCH_*.json artifacts, and a
+// small recursive-descent parser used by tools/metrics_merge to aggregate snapshots
+// across processes. Deliberately in-repo — the toolchain has no JSON dependency, and
+// the schemas we read are our own ("basil-metrics-v1" / "basil-bench-v1").
+#ifndef BASIL_SRC_OBS_JSON_H_
+#define BASIL_SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace basil {
+namespace obs {
+
+// Streaming JSON writer with automatic comma placement. Usage:
+//   JsonWriter w;
+//   w.BeginObject(); w.Key("schema"); w.String("basil-metrics-v1"); w.EndObject();
+//   std::string text = w.Take();
+// Values written at the top level or inside arrays need no Key(); inside objects
+// every value must be preceded by one. No validation beyond comma bookkeeping — the
+// caller is trusted to balance Begin/End.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& key);
+  void String(const std::string& value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Double(double value);  // Emitted with enough digits to round-trip.
+  void Bool(bool value);
+  void Null();
+  // Emits `encoded` verbatim as one value (comma bookkeeping applied). The caller
+  // guarantees it is a well-formed JSON value.
+  void RawValue(const std::string& encoded) { Raw(encoded); }
+
+  const std::string& text() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Separator();  // Emits "," when a sibling value precedes the next one.
+  void Raw(const std::string& token);
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // One frame per open object/array.
+  bool pending_key_ = false;
+};
+
+// Escapes `s` as the body of a JSON string (no surrounding quotes).
+std::string JsonEscape(const std::string& s);
+
+// Parsed JSON tree. Integers that fit uint64 keep exact precision via `u64`
+// (bucket counts can exceed 2^53 in pathological merges); `num` always holds the
+// double view.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0;
+  uint64_t u64 = 0;     // Valid when is_uint.
+  bool is_uint = false; // The token was a non-negative integer within uint64 range.
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  // Object member lookup; nullptr when absent or when this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  // Typed accessors with defaults (never throw).
+  uint64_t AsU64(uint64_t def = 0) const;
+  double AsDouble(double def = 0) const;
+  const std::string& AsString(const std::string& def) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and describes the problem in
+// `*err` (byte offset included). Accepts exactly the JSON this repo writes plus
+// ordinary whitespace; no comments, no trailing commas.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* err);
+
+}  // namespace obs
+}  // namespace basil
+
+#endif  // BASIL_SRC_OBS_JSON_H_

@@ -1,0 +1,408 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/obs/json.h"
+
+namespace basil {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+void SetGlobalEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+bool GlobalEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+// ---------------------------------------------------------------------------
+// Histogram ("log16-v1" buckets)
+// ---------------------------------------------------------------------------
+
+uint32_t Histogram::BucketOf(uint64_t value) {
+  if (value < kSubBuckets) {
+    return static_cast<uint32_t>(value);  // Exact unit buckets below 16.
+  }
+  const uint32_t exp = 63 - static_cast<uint32_t>(__builtin_clzll(value));
+  const uint32_t sub = static_cast<uint32_t>((value >> (exp - 4)) & 15u);
+  const uint32_t idx = kSubBuckets + (exp - 4) * kSubBuckets + sub;
+  return std::min(idx, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketLow(uint32_t idx) {
+  if (idx < kSubBuckets) {
+    return idx;
+  }
+  const uint32_t octave = (idx - kSubBuckets) / kSubBuckets;
+  const uint32_t sub = (idx - kSubBuckets) % kSubBuckets;
+  return static_cast<uint64_t>(kSubBuckets + sub) << octave;
+}
+
+uint64_t Histogram::BucketMid(uint32_t idx) {
+  if (idx < kSubBuckets) {
+    return idx;
+  }
+  const uint32_t octave = (idx - kSubBuckets) / kSubBuckets;
+  const uint64_t width = 1ull << octave;  // Values per sub-bucket in this octave.
+  return BucketLow(idx) + width / 2;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = Count();
+  return n == 0 ? 0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t n = Count();
+  if (n == 0) {
+    return 0;
+  }
+  // Rank of the q-th sample, 1-based; q=0 selects the first, q=1 the last.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(n - 1)) + 1);
+  uint64_t seen = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    seen += BucketCount(i);
+    if (seen >= rank) {
+      return static_cast<double>(BucketMid(i));
+    }
+  }
+  return static_cast<double>(Max());  // Counts raced ahead of buckets; best effort.
+}
+
+void Histogram::MergeFrom(const Histogram& other) {
+  uint64_t total = 0;
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < kBuckets; ++i) {
+    const uint64_t c = other.BucketCount(i);
+    if (c != 0) {
+      buckets_[i].fetch_add(c, std::memory_order_relaxed);
+      total += c;
+      sum += c * BucketMid(i);
+    }
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  // Prefer the exact sum when the source still has it; bucket-mid reconstruction
+  // is the fallback for snapshot-ingested histograms (AddBucket leaves sum 0).
+  const uint64_t other_sum = other.Sum();
+  sum_.fetch_add(other_sum != 0 ? other_sum : sum, std::memory_order_relaxed);
+  uint64_t om = other.Max();
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (om > prev &&
+         !max_.compare_exchange_weak(prev, om, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::RaiseMax(uint64_t value) {
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::AddBucket(uint32_t idx, uint64_t count) {
+  idx = std::min(idx, kBuckets - 1);
+  buckets_[idx].fetch_add(count, std::memory_order_relaxed);
+  count_.fetch_add(count, std::memory_order_relaxed);
+  const uint64_t hi = BucketMid(idx);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (hi > prev &&
+         !max_.compare_exchange_weak(prev, hi, std::memory_order_relaxed)) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& chunk : chunks_) {
+    delete[] chunk.load(std::memory_order_relaxed);
+  }
+}
+
+MetricId MetricsRegistry::RegisterNamed(const std::string& name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    Entry* e = EntryOf(it->second);
+    return (e != nullptr && e->kind == kind) ? it->second : kInvalidMetric;
+  }
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  if (id >= kChunks * kChunkSize) {
+    return kInvalidMetric;
+  }
+  const uint32_t chunk_idx = id / kChunkSize;
+  Entry* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Entry[kChunkSize];
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  Entry& e = chunk[id % kChunkSize];
+  e.name = name;
+  e.kind = kind;
+  if (kind == MetricKind::kHistogram) {
+    e.hist = std::make_unique<Histogram>();
+  }
+  // Publish after the entry is fully initialized: readers gate on size_.
+  size_.store(id + 1, std::memory_order_release);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::RegisterCounter(const std::string& name) {
+  return RegisterNamed(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::RegisterGauge(const std::string& name) {
+  return RegisterNamed(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::RegisterHistogram(const std::string& name) {
+  return RegisterNamed(name, MetricKind::kHistogram);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::EntryOf(MetricId id) const {
+  if (id >= SizeAcquire()) {
+    return nullptr;
+  }
+  Entry* chunk = chunks_[id / kChunkSize].load(std::memory_order_acquire);
+  return chunk == nullptr ? nullptr : &chunk[id % kChunkSize];
+}
+
+void MetricsRegistry::Inc(MetricId id, uint64_t delta) {
+  if (!enabled()) {
+    return;
+  }
+  Entry* e = EntryOf(id);
+  if (e != nullptr) {
+    e->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::Set(MetricId id, uint64_t value) {
+  if (!enabled()) {
+    return;
+  }
+  Entry* e = EntryOf(id);
+  if (e == nullptr) {
+    return;
+  }
+  e->value.store(value, std::memory_order_relaxed);
+  uint64_t prev = e->max.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !e->max.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+void MetricsRegistry::Observe(MetricId id, uint64_t value) {
+  if (!enabled()) {
+    return;
+  }
+  Entry* e = EntryOf(id);
+  if (e != nullptr && e->hist != nullptr) {
+    e->hist->Record(value);
+  }
+}
+
+MetricId MetricsRegistry::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidMetric : it->second;
+}
+
+uint64_t MetricsRegistry::CounterValue(MetricId id) const {
+  Entry* e = EntryOf(id);
+  return e == nullptr ? 0 : e->value.load(std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::GaugeValue(MetricId id) const {
+  return CounterValue(id);
+}
+
+uint64_t MetricsRegistry::GaugeMax(MetricId id) const {
+  Entry* e = EntryOf(id);
+  return e == nullptr ? 0 : e->max.load(std::memory_order_relaxed);
+}
+
+const Histogram* MetricsRegistry::histogram(MetricId id) const {
+  Entry* e = EntryOf(id);
+  return e == nullptr ? nullptr : e->hist.get();
+}
+
+Histogram* MetricsRegistry::mutable_histogram(MetricId id) {
+  Entry* e = EntryOf(id);
+  return e == nullptr ? nullptr : e->hist.get();
+}
+
+void MetricsRegistry::ForEachMetric(
+    const std::function<void(const std::string& name, MetricKind kind, MetricId id)>&
+        fn) const {
+  const uint32_t n = SizeAcquire();
+  for (uint32_t id = 0; id < n; ++id) {
+    Entry* e = EntryOf(id);
+    if (e != nullptr) {
+      fn(e->name, e->kind, id);
+    }
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  const uint32_t n = other.SizeAcquire();
+  for (uint32_t id = 0; id < n; ++id) {
+    Entry* src = other.EntryOf(id);
+    if (src == nullptr) {
+      continue;
+    }
+    const MetricId mine = RegisterNamed(src->name, src->kind);
+    Entry* dst = EntryOf(mine);
+    if (dst == nullptr) {
+      continue;  // Kind clash or capacity: skip rather than corrupt.
+    }
+    switch (src->kind) {
+      case MetricKind::kCounter:
+        dst->value.fetch_add(src->value.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        break;
+      case MetricKind::kGauge: {
+        const uint64_t v = src->value.load(std::memory_order_relaxed);
+        const uint64_t m =
+            std::max(v, src->max.load(std::memory_order_relaxed));
+        uint64_t prev = dst->max.load(std::memory_order_relaxed);
+        while (m > prev && !dst->max.compare_exchange_weak(
+                               prev, m, std::memory_order_relaxed)) {
+        }
+        dst->value.store(std::max(dst->value.load(std::memory_order_relaxed), v),
+                         std::memory_order_relaxed);
+        break;
+      }
+      case MetricKind::kHistogram:
+        if (src->hist != nullptr && dst->hist != nullptr) {
+          dst->hist->MergeFrom(*src->hist);
+        }
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::WriteJson(JsonWriter& w) const {
+  const uint32_t n = SizeAcquire();
+  // Names sorted for stable output (registration order varies across backends).
+  std::vector<std::pair<std::string, MetricId>> order;
+  order.reserve(n);
+  for (uint32_t id = 0; id < n; ++id) {
+    Entry* e = EntryOf(id);
+    if (e != nullptr) {
+      order.emplace_back(e->name, id);
+    }
+  }
+  std::sort(order.begin(), order.end());
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, id] : order) {
+    Entry* e = EntryOf(id);
+    if (e->kind == MetricKind::kCounter) {
+      w.Key(name);
+      w.Uint(e->value.load(std::memory_order_relaxed));
+    }
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, id] : order) {
+    Entry* e = EntryOf(id);
+    if (e->kind == MetricKind::kGauge) {
+      w.Key(name);
+      w.BeginObject();
+      w.Key("value");
+      w.Uint(e->value.load(std::memory_order_relaxed));
+      w.Key("max");
+      w.Uint(e->max.load(std::memory_order_relaxed));
+      w.EndObject();
+    }
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, id] : order) {
+    Entry* e = EntryOf(id);
+    if (e->kind != MetricKind::kHistogram || e->hist == nullptr) {
+      continue;
+    }
+    const Histogram& h = *e->hist;
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.Count());
+    w.Key("sum");
+    w.Uint(h.Sum());
+    w.Key("max");
+    w.Uint(h.Max());
+    w.Key("mean");
+    w.Double(h.Mean());
+    w.Key("p50");
+    w.Double(h.Quantile(0.50));
+    w.Key("p95");
+    w.Double(h.Quantile(0.95));
+    w.Key("p99");
+    w.Double(h.Quantile(0.99));
+    // Raw nonzero buckets: lets tools/metrics_merge rebuild the distribution and
+    // compute exact aggregate percentiles across processes.
+    w.Key("bucket_scheme");
+    w.String("log16-v1");
+    w.Key("buckets");
+    w.BeginArray();
+    for (uint32_t i = 0; i < Histogram::kBuckets; ++i) {
+      const uint64_t c = h.BucketCount(i);
+      if (c != 0) {
+        w.BeginArray();
+        w.Uint(i);
+        w.Uint(c);
+        w.EndArray();
+      }
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+}
+
+std::string SnapshotJson(const MetricsRegistry& reg, const SnapshotMeta& meta,
+                         const std::map<std::string, uint64_t>& extra_counters) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("basil-metrics-v1");
+  w.Key("node");
+  w.Uint(meta.node);
+  w.Key("role");
+  w.String(meta.role);
+  w.Key("uptime_ns");
+  w.Uint(meta.uptime_ns);
+  reg.WriteJson(w);
+  w.Key("proto");
+  w.BeginObject();
+  for (const auto& [name, value] : extra_counters) {
+    w.Key(name);
+    w.Uint(value);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Take();
+}
+
+}  // namespace obs
+}  // namespace basil

@@ -1,0 +1,191 @@
+// Thread-safe metrics for long-running processes (docs/OBSERVABILITY.md).
+//
+// The harness's LatencyStats/Counters (src/common/stats.h) serve bounded simulation
+// runs: raw-sample vectors, std::map lookups by name, no thread safety. A TCP
+// deployment needs the opposite trade-offs, so this registry provides:
+//
+//   - Pre-interned metric IDs: names are resolved to dense uint32 IDs once, at
+//     registration (mutex-guarded); the record path (`Inc`/`Set`/`Observe`) is an
+//     array index plus relaxed atomics — no string hashing, no map, no lock.
+//   - Log-bucketed histograms with bounded memory (~6KB each, forever), accurate to
+//     ~3% relative error: 16 sub-buckets per power of two ("log16-v1" scheme).
+//   - Mergeability: registries from strand workers, the crypto pool, or other
+//     processes merge by name; histogram buckets add exactly, so aggregated
+//     percentiles are computed from the merged distribution, not averaged.
+//
+// Recording is passive — nothing in the protocol reads a metric — so simulated
+// results stay bit-identical with metrics on or off (pinned by tests/test_strands.cc).
+// SetGlobalEnabled(false) turns every record call into a cheap early return for
+// benchmarks that want to prove that.
+#ifndef BASIL_SRC_OBS_METRICS_H_
+#define BASIL_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace basil {
+namespace obs {
+
+class JsonWriter;
+
+// Process-wide kill switch, default on. Checked (relaxed) by every record path.
+void SetGlobalEnabled(bool on);
+bool GlobalEnabled();
+
+using MetricId = uint32_t;
+constexpr MetricId kInvalidMetric = 0xffffffffu;
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+// Fixed-size log-bucketed histogram of uint64 values (nanoseconds, bytes, depths).
+//
+// Bucket scheme "log16-v1": values below 16 get exact unit buckets; above, each
+// power-of-two octave is split into 16 linear sub-buckets, so the relative error of
+// a bucket's midpoint representative is at most 1/32 (~3.1%). 768 buckets cover
+// values up to 2^51 (≈26 days in ns); larger values clamp into the last bucket.
+// All state is atomic; Record is wait-free and Merge/Quantile read racily but
+// monotonically (counts only grow).
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBuckets = 16;  // Per octave.
+  static constexpr uint32_t kBuckets = 768;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // q in [0,1], clamped. Returns the representative (midpoint) value of the bucket
+  // holding the q-th ranked sample; 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t BucketCount(uint32_t idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  // Adds every bucket (and count/sum, max) of `other` into this histogram.
+  void MergeFrom(const Histogram& other);
+  // Adds `count` samples recorded at bucket `idx` (snapshot ingestion); out-of-range
+  // indices clamp into the last bucket.
+  void AddBucket(uint32_t idx, uint64_t count);
+  // Snapshot-ingestion companions to AddBucket: restore the exact sum/max the source
+  // histogram reported (AddBucket alone leaves sum 0 and bounds max by bucket mid).
+  void AddSum(uint64_t delta) { sum_.fetch_add(delta, std::memory_order_relaxed); }
+  void RaiseMax(uint64_t value);
+
+  static uint32_t BucketOf(uint64_t value);
+  static uint64_t BucketLow(uint32_t idx);  // Smallest value mapping to `idx`.
+  static uint64_t BucketMid(uint32_t idx);  // Representative for quantiles.
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+// The registry: a process/runtime-scoped set of named metrics.
+//
+// Concurrency: Register* calls take a mutex and may come from any thread at any
+// time (late registration — e.g. a WAL attached after Start — is safe). Record
+// calls (`Inc`/`Set`/`Observe`) are lock-free: entries live in fixed-capacity
+// chunks whose pointers are published with release stores, so a MetricId obtained
+// from Register* is always safe to use from any thread. Entries are never freed or
+// moved. Capacity is kChunks * kChunkSize metrics; exceeding it returns
+// kInvalidMetric (and record calls on it are no-ops).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Idempotent by name: re-registering returns the existing ID (the kind must
+  // match; a mismatch returns kInvalidMetric).
+  MetricId RegisterCounter(const std::string& name);
+  MetricId RegisterGauge(const std::string& name);
+  MetricId RegisterHistogram(const std::string& name);
+
+  // Record paths. Invalid IDs and disabled registries are cheap no-ops.
+  void Inc(MetricId id, uint64_t delta = 1);
+  void Set(MetricId id, uint64_t value);  // Gauge: stores value, tracks max.
+  void Observe(MetricId id, uint64_t value);
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed) && GlobalEnabled();
+  }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  // Readers (tests, snapshots). Racy-but-monotonic like the histogram reads.
+  MetricId Find(const std::string& name) const;
+  uint64_t CounterValue(MetricId id) const;
+  uint64_t GaugeValue(MetricId id) const;
+  uint64_t GaugeMax(MetricId id) const;
+  const Histogram* histogram(MetricId id) const;
+  // For snapshot ingestion (tools/metrics_merge); nullptr unless `id` is a histogram.
+  Histogram* mutable_histogram(MetricId id);
+
+  // Folds every metric of `other` into this registry, matching (and registering)
+  // by name. Counters add, gauges take the max, histograms merge bucket-wise.
+  void MergeFrom(const MetricsRegistry& other);
+
+  // Visits every registered metric in registration order. The ID is valid for the
+  // reader accessors above; reads are racy-but-monotonic like everything else here.
+  void ForEachMetric(
+      const std::function<void(const std::string& name, MetricKind kind, MetricId id)>&
+          fn) const;
+
+  // Emits this registry's metrics as three JSON objects — "counters" (name ->
+  // value), "gauges" (name -> {value,max}), "histograms" (name -> {count, sum,
+  // max, p50/p95/p99, bucket_scheme, buckets:[[idx,count],…]}) — as keys of the
+  // writer's currently open object. Schema: docs/OBSERVABILITY.md.
+  void WriteJson(JsonWriter& w) const;
+
+ private:
+  static constexpr uint32_t kChunkSize = 64;
+  static constexpr uint32_t kChunks = 64;
+
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::atomic<uint64_t> value{0};  // Counter total or gauge last-set.
+    std::atomic<uint64_t> max{0};    // Gauge high-water.
+    std::unique_ptr<Histogram> hist;
+  };
+
+  MetricId RegisterNamed(const std::string& name, MetricKind kind);
+  Entry* EntryOf(MetricId id) const;
+  uint32_t SizeAcquire() const { return size_.load(std::memory_order_acquire); }
+
+  mutable std::mutex mu_;                       // Guards registration only.
+  std::map<std::string, MetricId> by_name_;     // Under mu_.
+  std::atomic<Entry*> chunks_[kChunks] = {};    // Each chunk: Entry[kChunkSize].
+  std::atomic<uint32_t> size_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+// Snapshot envelope metadata for one process's dump.
+struct SnapshotMeta {
+  uint64_t node = 0;
+  std::string role;  // "replica" | "client" | "bench".
+  uint64_t uptime_ns = 0;
+};
+
+// Serializes one full snapshot ("basil-metrics-v1"): envelope + the registry's
+// metrics + `extra_counters` (protocol-level Counters folded in by the caller,
+// e.g. replica commit/abort counts) under "proto".
+std::string SnapshotJson(const MetricsRegistry& reg, const SnapshotMeta& meta,
+                         const std::map<std::string, uint64_t>& extra_counters);
+
+}  // namespace obs
+}  // namespace basil
+
+#endif  // BASIL_SRC_OBS_METRICS_H_

@@ -1,0 +1,67 @@
+#include "src/obs/trace.h"
+
+#include <string>
+
+namespace basil {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClientRead: return "client_read";
+    case Stage::kClientPrepare: return "client_prepare";
+    case Stage::kClientSt2: return "client_st2";
+    case Stage::kClientCommit: return "client_commit";
+    case Stage::kSt1DigestCheck: return "st1_digest_check";
+    case Stage::kVote: return "vote";
+    case Stage::kSt2CertVerify: return "st2_cert_verify";
+    case Stage::kWbCertVerify: return "wb_cert_verify";
+    case Stage::kWbApply: return "wb_apply";
+    case Stage::kBatchSeal: return "batch_seal";
+    case Stage::kSt1ToDecision: return "st1_to_decision";
+    case Stage::kNumStages: break;
+  }
+  return "unknown";
+}
+
+TxnTracer::TxnTracer(MetricsRegistry* reg) : reg_(reg) {
+  for (size_t i = 0; i < stage_ids_.size(); ++i) {
+    stage_ids_[i] = reg_->RegisterHistogram(
+        std::string("span.") + StageName(static_cast<Stage>(i)) + "_ns");
+  }
+}
+
+void TxnTracer::Record(Stage stage, const TxnDigest& digest, uint64_t dur_ns) {
+  if (stage >= Stage::kNumStages || !reg_->enabled()) {
+    return;
+  }
+  reg_->Observe(stage_ids_[static_cast<size_t>(stage)], dur_ns);
+  std::lock_guard<std::mutex> lock(mu_);
+  RingEntry& e = ring_[ring_next_];
+  ring_next_ = (ring_next_ + 1) % kRingSize;
+  e.digest = digest;
+  e.span = Span{stage, dur_ns};
+  e.used = true;
+}
+
+std::vector<TxnTracer::Span> TxnTracer::TraceOf(const TxnDigest& digest) const {
+  std::vector<Span> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Oldest-first: start at the next overwrite position and walk the whole ring.
+  for (size_t i = 0; i < kRingSize; ++i) {
+    const RingEntry& e = ring_[(ring_next_ + i) % kRingSize];
+    if (e.used && e.digest == digest) {
+      out.push_back(e.span);
+    }
+  }
+  return out;
+}
+
+const Histogram* TxnTracer::StageHistogram(Stage stage) const {
+  if (stage >= Stage::kNumStages) {
+    return nullptr;
+  }
+  return reg_->histogram(stage_ids_[static_cast<size_t>(stage)]);
+}
+
+}  // namespace obs
+}  // namespace basil

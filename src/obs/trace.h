@@ -1,0 +1,87 @@
+// Txn-lifecycle trace spans (docs/OBSERVABILITY.md): attributes latency to the
+// pipeline stages a transaction passes through — client phases on the client
+// (read / ST1 prepare / ST2 / commit end-to-end) and replica stages on each replica
+// (digest-check strand, vote, ST2 cert verify on the crypto pool, writeback cert
+// verify, writeback apply, batch seal, and the ST1-arrival→decision span).
+//
+// Each recorded span lands twice: in a per-stage histogram of the owning
+// MetricsRegistry (name "span.<stage>_ns", aggregated like any other metric) and in
+// a small bounded ring of recent per-digest spans used by tests and debugging to
+// reconstruct one transaction's flow. The ring is mutex-guarded — span recording is
+// per-stage per-txn, far off the per-message hot path — and recording is passive,
+// so simulated results stay bit-identical with tracing on.
+#ifndef BASIL_SRC_OBS_TRACE_H_
+#define BASIL_SRC_OBS_TRACE_H_
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/obs/metrics.h"
+
+namespace basil {
+namespace obs {
+
+enum class Stage : uint8_t {
+  // Client-side phases (durations span simulated/real events, so they are
+  // meaningful on both backends).
+  kClientRead,     // Get() issue -> read reply quorum.
+  kClientPrepare,  // One ST1 round: send -> fast/slow path resolution.
+  kClientSt2,      // ST2 round: send -> ack quorum.
+  kClientCommit,   // Commit() -> outcome (all retries included).
+  // Replica-side stages.
+  kSt1DigestCheck,  // Body re-hash on the txn's strand (wall time on TCP).
+  kVote,            // ST1 arrival -> MVTSO-Check vote pinned (includes dep waits).
+  kSt2CertVerify,   // ST2 justification check on the crypto pool.
+  kWbCertVerify,    // Writeback decision-cert check on the crypto pool.
+  kWbApply,         // Version-store apply + WAL append.
+  kBatchSeal,       // Reply batch merkle + sign on a strand.
+  kSt1ToDecision,   // ST1 arrival -> writeback applied (replica-observed e2e).
+  kNumStages,
+};
+
+// Stable snake_case stage name, e.g. "st1_digest_check"; metric names are
+// "span." + StageName(stage) + "_ns".
+const char* StageName(Stage stage);
+
+class TxnTracer {
+ public:
+  static constexpr size_t kRingSize = 256;
+
+  // Registers the per-stage histograms in `reg`; `reg` must outlive the tracer.
+  explicit TxnTracer(MetricsRegistry* reg);
+
+  // Records `dur_ns` for `stage` of the transaction `digest`.
+  void Record(Stage stage, const TxnDigest& digest, uint64_t dur_ns);
+
+  // Recent spans recorded for `digest`, oldest first (ring-bounded). Test/debug
+  // introspection; takes the ring mutex.
+  struct Span {
+    Stage stage = Stage::kNumStages;
+    uint64_t dur_ns = 0;
+  };
+  std::vector<Span> TraceOf(const TxnDigest& digest) const;
+
+  const Histogram* StageHistogram(Stage stage) const;
+
+ private:
+  struct RingEntry {
+    TxnDigest digest{};
+    Span span;
+    bool used = false;
+  };
+
+  MetricsRegistry* reg_;
+  std::array<MetricId, static_cast<size_t>(Stage::kNumStages)> stage_ids_;
+
+  mutable std::mutex mu_;
+  std::array<RingEntry, kRingSize> ring_;
+  size_t ring_next_ = 0;
+};
+
+}  // namespace obs
+}  // namespace basil
+
+#endif  // BASIL_SRC_OBS_TRACE_H_

@@ -21,6 +21,7 @@
 
 #include "src/common/cost.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/msg.h"
 #include "src/runtime/task.h"
 
@@ -152,6 +153,13 @@ class Runtime {
   // accepts charges but real time is what passes.
   virtual CostMeter& meter() = 0;
 
+  // Observability registry for this runtime (docs/OBSERVABILITY.md): backends record
+  // queue wait/depth here, protocol actors intern their counters and trace-span
+  // histograms through it. Recording is passive — nothing in the protocol reads a
+  // metric — so simulated results stay bit-identical with metrics on.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
   // Attaches the protocol actor that receives this runtime's messages.
   virtual void Bind(MsgHandler* handler) = 0;
 
@@ -160,6 +168,8 @@ class Runtime {
 
   // Backend send: `msg` already has its final wire_size.
   virtual void DoSend(NodeId dst, MsgPtr msg) = 0;
+
+  obs::MetricsRegistry metrics_;
 };
 
 // Base class for protocol actors. Construction binds the actor to its runtime; the
@@ -174,6 +184,7 @@ class Process : public MsgHandler {
   NodeId id() const { return rt_->id(); }
   uint64_t now() const { return rt_->now(); }
   CostMeter& meter() { return rt_->meter(); }
+  obs::MetricsRegistry& metrics() { return rt_->metrics(); }
   Runtime& runtime() { return *rt_; }
 
   void Send(NodeId dst, MsgPtr msg) { rt_->Send(dst, std::move(msg)); }

@@ -8,6 +8,8 @@ namespace basil {
 Node::Node(Network* net, NodeId id, const CostModel* cost_model, uint32_t workers)
     : net_(net), id_(id), meter_(cost_model), worker_free_at_(workers, 0) {
   assert(workers > 0);
+  queue_wait_hist_ = metrics_.RegisterHistogram("rt.sim.queue_wait_ns");
+  queue_depth_gauge_ = metrics_.RegisterGauge("rt.sim.queue_depth");
 }
 
 uint64_t Node::now() const { return net_->event_queue()->now(); }
@@ -26,7 +28,8 @@ void Node::Execute(std::function<void()> work) {
   if (crashed_) {
     return;  // A crashed machine does no work.
   }
-  queue_.push_back(Work{std::move(work)});
+  queue_.push_back(Work{std::move(work), now()});
+  metrics_.Set(queue_depth_gauge_, queue_.size());
   Dispatch();
 }
 
@@ -66,6 +69,8 @@ void Node::Dispatch() {
 
 void Node::RunWork(Work work, size_t worker) {
   const uint64_t start = now();
+  // Simulated queue wait: delay between enqueue and a simulated worker freeing up.
+  metrics_.Observe(queue_wait_hist_, start - work.enq_ns);
   in_work_ = true;
   outbox_.clear();
   meter_.TakeConsumed();  // Discard any stray accrual.

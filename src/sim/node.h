@@ -77,6 +77,7 @@ class Node : public Runtime {
  private:
   struct Work {
     std::function<void()> fn;
+    uint64_t enq_ns = 0;  // Simulated enqueue time; start - enq is queue wait.
   };
 
   void Dispatch();
@@ -96,6 +97,11 @@ class Node : public Runtime {
   uint64_t wakeup_at_ = 0;
   uint64_t busy_ns_ = 0;
   uint64_t handled_ = 0;
+  // Queue observability in simulated time (docs/OBSERVABILITY.md). Recording is
+  // passive — nothing reads these during a run — so results stay bit-identical
+  // with metrics on (tests/test_strands.cc).
+  obs::MetricId queue_wait_hist_ = obs::kInvalidMetric;
+  obs::MetricId queue_depth_gauge_ = obs::kInvalidMetric;
 };
 
 }  // namespace basil

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <tuple>
 
@@ -17,6 +18,12 @@ namespace {
 // Snapshot body layout version; bumping it invalidates old snapshots (the loader
 // falls back to WAL-only replay).
 constexpr uint32_t kSnapshotVersion = 1;
+
+uint64_t WallNowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
 
 }  // namespace
 
@@ -304,10 +311,20 @@ void DurableStore::ApplyRecord(const WalCommitRecord& rec, VersionStore* store) 
   }
 }
 
+void DurableStore::BindMetrics(obs::MetricsRegistry* reg) {
+  metrics_ = reg;
+  if (reg != nullptr) {
+    append_hist_ = reg->RegisterHistogram("wal.append_ns");
+    fsync_hist_ = reg->RegisterHistogram("wal.fsync_ns");
+  }
+}
+
 void DurableStore::AppendCommit(const WalCommitRecord& rec, const VersionStore& store) {
   if (applied_.contains(rec.writer)) {
     return;  // Re-delivered writeback or state-transfer duplicate.
   }
+  const bool timed = metrics_ != nullptr && metrics_->enabled();
+  const uint64_t t0 = timed ? WallNowNs() : 0;
   Encoder body;
   rec.EncodeTo(body);
   Encoder frame;
@@ -329,15 +346,22 @@ void DurableStore::AppendCommit(const WalCommitRecord& rec, const VersionStore& 
   // sync keeps the cadence counter high — the very next append retries instead of
   // silently widening the unsynced window by another full batch.
   if (fsync_every_ > 0 && ++records_since_fsync_ >= fsync_every_) {
+    const uint64_t s0 = timed ? WallNowNs() : 0;
     if (media_->Sync(kWalFile)) {
       ++fsyncs_;
       records_since_fsync_ = 0;
     } else {
       ++fsync_failures_;
     }
+    if (timed) {
+      metrics_->Observe(fsync_hist_, WallNowNs() - s0);
+    }
   }
   if (++records_since_snapshot_ >= snapshot_every_) {
     TakeSnapshot(store);
+  }
+  if (timed) {
+    metrics_->Observe(append_hist_, WallNowNs() - t0);
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include "src/common/serde.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/store/version_store.h"
 
 namespace basil {
@@ -148,6 +149,12 @@ class DurableStore {
   uint64_t fsyncs() const { return fsyncs_; }
   uint64_t fsync_failures() const { return fsync_failures_; }
 
+  // Observability (docs/OBSERVABILITY.md): interns "wal.append_ns" (whole
+  // AppendCommit, group-commit sync included) and "wal.fsync_ns" (the device flush
+  // alone) histograms in `reg`. Unbound (the simulator recovery tests), timing is
+  // skipped entirely — no wall-clock reads on the deterministic path.
+  void BindMetrics(obs::MetricsRegistry* reg);
+
   static constexpr char kWalFile[] = "wal.bin";
   static constexpr char kSnapshotFile[] = "snapshot.bin";
 
@@ -168,6 +175,9 @@ class DurableStore {
   uint64_t snapshots_ = 0;
   uint64_t fsyncs_ = 0;
   uint64_t fsync_failures_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricId append_hist_ = obs::kInvalidMetric;
+  obs::MetricId fsync_hist_ = obs::kInvalidMetric;
 };
 
 }  // namespace basil

@@ -122,7 +122,7 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TapirReplica::TapirReplica(Runtime* rt, const TapirConfig* cfg, const Topology* topo)
-    : Process(rt), cfg_(cfg), topo_(topo) {}
+    : Process(rt), cfg_(cfg), topo_(topo), tracer_(&rt->metrics()) {}
 
 void TapirReplica::Handle(const MsgEnvelope& env) {
   switch (env.msg->kind) {
@@ -180,10 +180,12 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
     return;
   }
   if (!cfg_->parallel_pipeline) {
+    const uint64_t t0 = now();
     if (msg->txn->ComputeDigest() != msg->txn->id) {
       counters_.Inc("prepare_bad_digest");
       return;
     }
+    tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
     PrepareArrived(src, msg);
     return;
   }
@@ -193,8 +195,12 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
   auto body_ok = std::make_shared<bool>(false);
   Post(
       StrandOfDigest(msg->txn->id),
-      [msg, body_ok](CostMeter&) {
+      [this, msg, body_ok](CostMeter&) {
+        // Duration is 0 on the simulator (virtual time does not advance inside a
+        // work item); now() is thread-safe on both backends.
+        const uint64_t t0 = now();
         *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+        tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
       },
       [this, src, msg, body_ok]() {
         if (!*body_ok) {

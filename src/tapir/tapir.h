@@ -17,6 +17,7 @@
 #include "src/common/config.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
+#include "src/obs/trace.h"
 #include "src/runtime/runtime.h"
 #include "src/runtime/task.h"
 #include "src/sim/db.h"
@@ -138,6 +139,7 @@ class TapirReplica : public Process {
   const Topology* topo_;
   VersionStore store_;
   Counters counters_;
+  obs::TxnTracer tracer_;  // Per-stage latency spans, into runtime().metrics().
   std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
 };
 

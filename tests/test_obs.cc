@@ -1,0 +1,332 @@
+// Observability layer (docs/OBSERVABILITY.md): histogram bucket accuracy against
+// exact percentiles, cross-thread merge determinism, registry concurrency (the TSan
+// job runs this file), snapshot JSON round-trips, and trace-span stage accounting
+// for a known single-transaction flow on the simulated cluster.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/basil/cluster.h"
+#include "src/common/rng.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/sim/task.h"
+
+namespace basil {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram: bucket scheme + quantile accuracy.
+// ---------------------------------------------------------------------------
+
+TEST(ObsHistogram, BucketSchemeIsMonotoneAndTight) {
+  uint32_t prev_idx = 0;
+  for (uint64_t v : std::vector<uint64_t>{0, 1, 15, 16, 17, 31, 32, 33, 100, 1000,
+                                          65535, 65536, 1'000'000, 1'000'000'000,
+                                          1ull << 50}) {
+    const uint32_t idx = obs::Histogram::BucketOf(v);
+    EXPECT_GE(idx, prev_idx) << "v=" << v;
+    prev_idx = idx;
+    EXPECT_LE(obs::Histogram::BucketLow(idx), v) << "v=" << v;
+    if (idx + 1 < obs::Histogram::kBuckets) {
+      EXPECT_GT(obs::Histogram::BucketLow(idx + 1), v) << "v=" << v;
+    }
+  }
+  // Values below 16 get exact unit buckets.
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(obs::Histogram::BucketOf(v), v);
+    EXPECT_EQ(obs::Histogram::BucketLow(static_cast<uint32_t>(v)), v);
+  }
+}
+
+TEST(ObsHistogram, QuantilesTrackExactPercentiles) {
+  // Log-uniform samples over [1, 2^40): the regime queue waits and span latencies
+  // live in. Bucket midpoints must stay within the scheme's ~3.1% relative error.
+  Rng rng(7);
+  obs::Histogram h;
+  std::vector<uint64_t> exact;
+  for (int i = 0; i < 200'000; ++i) {
+    const double e = rng.NextDouble() * 40.0;
+    const uint64_t v = static_cast<uint64_t>(std::pow(2.0, e)) + 1;
+    h.Record(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+  for (double q : {0.5, 0.95, 0.99}) {
+    const size_t rank = std::max<size_t>(
+        1, static_cast<size_t>(q * static_cast<double>(exact.size() - 1)) + 1);
+    const double truth = static_cast<double>(exact[rank - 1]);
+    const double approx = h.Quantile(q);
+    EXPECT_NEAR(approx / truth, 1.0, 0.035) << "q=" << q;
+  }
+  EXPECT_EQ(h.Count(), exact.size());
+  EXPECT_EQ(h.Max(), exact.back());
+}
+
+TEST(ObsHistogram, QuantileEdgeCases) {
+  obs::Histogram h;
+  EXPECT_EQ(h.Quantile(0.5), 0);  // Empty.
+  h.Record(42);
+  EXPECT_EQ(h.Quantile(0.0), h.Quantile(1.0));  // Single sample: same bucket.
+  // Out-of-range q clamps instead of reading past the distribution.
+  EXPECT_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+// ---------------------------------------------------------------------------
+// Merging: cross-thread determinism and exactness.
+// ---------------------------------------------------------------------------
+
+TEST(ObsRegistry, MergeIsOrderIndependent) {
+  // Three "worker" registries with overlapping names, filled from separate threads,
+  // merged in both orders: the aggregated JSON must be byte-identical.
+  auto fill = [](obs::MetricsRegistry* reg, uint32_t salt) {
+    const obs::MetricId c = reg->RegisterCounter("msgs");
+    const obs::MetricId g = reg->RegisterGauge("depth");
+    const obs::MetricId h = reg->RegisterHistogram("wait_ns");
+    Rng rng(salt);
+    for (int i = 0; i < 10'000; ++i) {
+      reg->Inc(c);
+      reg->Set(g, rng.NextUint(100));
+      reg->Observe(h, rng.NextUint(1'000'000));
+    }
+  };
+  obs::MetricsRegistry a, b, c;
+  std::thread ta(fill, &a, 1), tb(fill, &b, 2), tc(fill, &c, 3);
+  ta.join();
+  tb.join();
+  tc.join();
+
+  auto merged_json = [](const obs::MetricsRegistry& x, const obs::MetricsRegistry& y,
+                        const obs::MetricsRegistry& z) {
+    obs::MetricsRegistry m;
+    m.MergeFrom(x);
+    m.MergeFrom(y);
+    m.MergeFrom(z);
+    obs::JsonWriter w;
+    w.BeginObject();
+    m.WriteJson(w);
+    w.EndObject();
+    return w.Take();
+  };
+  const std::string abc = merged_json(a, b, c);
+  const std::string cba = merged_json(c, b, a);
+  EXPECT_EQ(abc, cba);
+
+  obs::MetricsRegistry m;
+  m.MergeFrom(a);
+  m.MergeFrom(b);
+  m.MergeFrom(c);
+  EXPECT_EQ(m.CounterValue(m.Find("msgs")), 30'000u);
+  const obs::Histogram* h = m.histogram(m.Find("wait_ns"));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), 30'000u);
+  // Exact sums survive the merge (no bucket-mid reconstruction for live sources).
+  const obs::Histogram* ha = a.histogram(a.Find("wait_ns"));
+  const obs::Histogram* hb = b.histogram(b.Find("wait_ns"));
+  const obs::Histogram* hc = c.histogram(c.Find("wait_ns"));
+  EXPECT_EQ(h->Sum(), ha->Sum() + hb->Sum() + hc->Sum());
+}
+
+TEST(ObsRegistry, ConcurrentRegisterAndRecord) {
+  // Registration (mutex) racing record calls (lock-free) from many threads; the
+  // TSan CI job proves the chunk-publishing protocol. Totals must be exact.
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, t]() {
+      // Half the names are shared across threads, half private: exercises both the
+      // idempotent-registration path and fresh chunk publication.
+      const obs::MetricId shared = reg.RegisterCounter("shared");
+      const obs::MetricId mine =
+          reg.RegisterCounter("private." + std::to_string(t));
+      const obs::MetricId hist = reg.RegisterHistogram("lat");
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.Inc(shared);
+        reg.Inc(mine);
+        reg.Observe(hist, static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(reg.CounterValue(reg.Find("shared")),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.CounterValue(reg.Find("private." + std::to_string(t))),
+              static_cast<uint64_t>(kPerThread));
+  }
+  const obs::Histogram* h = reg.histogram(reg.Find("lat"));
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsRegistry, KindMismatchAndDisable) {
+  obs::MetricsRegistry reg;
+  const obs::MetricId c = reg.RegisterCounter("x");
+  ASSERT_NE(c, obs::kInvalidMetric);
+  EXPECT_EQ(reg.RegisterGauge("x"), obs::kInvalidMetric);  // Kind clash.
+  EXPECT_EQ(reg.RegisterCounter("x"), c);                  // Idempotent.
+  EXPECT_EQ(reg.Find("missing"), obs::kInvalidMetric);
+  EXPECT_EQ(reg.CounterValue(obs::kInvalidMetric), 0u);
+
+  reg.set_enabled(false);
+  reg.Inc(c, 7);
+  EXPECT_EQ(reg.CounterValue(c), 0u);  // Disabled: record paths are no-ops.
+  reg.set_enabled(true);
+  reg.Inc(c, 7);
+  EXPECT_EQ(reg.CounterValue(c), 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot JSON round-trip.
+// ---------------------------------------------------------------------------
+
+TEST(ObsSnapshot, JsonRoundTripsThroughParser) {
+  obs::MetricsRegistry reg;
+  reg.Inc(reg.RegisterCounter("msgs"), 12);
+  reg.Set(reg.RegisterGauge("depth"), 5);
+  const obs::MetricId h = reg.RegisterHistogram("wait_ns");
+  for (uint64_t v : {10, 100, 1000, 10'000, 100'000}) {
+    reg.Observe(h, v);
+  }
+  obs::SnapshotMeta meta;
+  meta.node = 3;
+  meta.role = "replica";
+  meta.uptime_ns = 123456789;
+  const std::string text = obs::SnapshotJson(reg, meta, {{"commits", 42}});
+
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::ParseJson(text, &root, &err)) << err;
+  EXPECT_EQ(root.Find("schema")->AsString(""), "basil-metrics-v1");
+  EXPECT_EQ(root.Find("node")->AsU64(), 3u);
+  EXPECT_EQ(root.Find("role")->AsString(""), "replica");
+  EXPECT_EQ(root.Find("uptime_ns")->AsU64(), 123456789u);
+  EXPECT_EQ(root.Find("counters")->Find("msgs")->AsU64(), 12u);
+  EXPECT_EQ(root.Find("gauges")->Find("depth")->Find("value")->AsU64(), 5u);
+  EXPECT_EQ(root.Find("proto")->Find("commits")->AsU64(), 42u);
+
+  const obs::JsonValue* hist = root.Find("histograms")->Find("wait_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->Find("count")->AsU64(), 5u);
+  EXPECT_EQ(hist->Find("sum")->AsU64(), 111'110u);
+  EXPECT_EQ(hist->Find("bucket_scheme")->AsString(""), "log16-v1");
+
+  // Rebuild a histogram from the raw buckets: counts and quantiles must agree.
+  obs::MetricsRegistry rebuilt;
+  obs::Histogram* rh = rebuilt.mutable_histogram(rebuilt.RegisterHistogram("wait_ns"));
+  ASSERT_NE(rh, nullptr);
+  for (const obs::JsonValue& pair : hist->Find("buckets")->arr) {
+    ASSERT_EQ(pair.arr.size(), 2u);
+    rh->AddBucket(static_cast<uint32_t>(pair.arr[0].AsU64()), pair.arr[1].AsU64());
+  }
+  const obs::Histogram* orig = reg.histogram(h);
+  EXPECT_EQ(rh->Count(), orig->Count());
+  EXPECT_EQ(rh->Quantile(0.5), orig->Quantile(0.5));
+  EXPECT_EQ(rh->Quantile(0.99), orig->Quantile(0.99));
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans: stage accounting for a known single-transaction flow.
+// ---------------------------------------------------------------------------
+
+struct TxnRun {
+  bool done = false;
+  TxnOutcome outcome;
+  std::optional<Value> read_value;
+};
+
+Task<void> RunRmw(BasilClient& client, Key key, Value value, TxnRun* out) {
+  TxnSession& s = client.BeginTxn();
+  out->read_value = co_await s.Get(key);
+  s.Put(key, std::move(value));
+  out->outcome = co_await s.Commit();
+  out->done = true;
+}
+
+TEST(ObsTrace, SingleTxnStageAccounting) {
+  BasilClusterConfig cfg;
+  cfg.basil.f = 1;
+  cfg.basil.num_shards = 1;
+  cfg.basil.batch_size = 1;
+  cfg.num_clients = 1;
+  cfg.sim.seed = 1234;
+  cfg.sim.net.codec_check = true;
+  BasilCluster cluster(cfg);
+  cluster.Load("x", "0");
+
+  TxnRun run;
+  Spawn(RunRmw(cluster.client(0), "x", "1", &run));
+  cluster.RunUntilIdle();
+  ASSERT_TRUE(run.done);
+  ASSERT_TRUE(run.outcome.committed);
+
+  // Client phases: exactly one read, one prepare round, one commit; the fast path
+  // means no ST2 round.
+  const obs::MetricsRegistry& cm = cluster.client(0).metrics();
+  auto count_of = [](const obs::MetricsRegistry& reg, const std::string& name) {
+    const obs::Histogram* h = reg.histogram(reg.Find(name));
+    return h == nullptr ? uint64_t{0} : h->Count();
+  };
+  EXPECT_EQ(count_of(cm, "span.client_read_ns"), 1u);
+  EXPECT_EQ(count_of(cm, "span.client_prepare_ns"), 1u);
+  EXPECT_EQ(count_of(cm, "span.client_commit_ns"), 1u);
+  EXPECT_EQ(count_of(cm, "span.client_st2_ns"), 0u);
+  // End-to-end commit took simulated time and covers the prepare round.
+  const obs::Histogram* commit = cm.histogram(cm.Find("span.client_commit_ns"));
+  const obs::Histogram* prepare = cm.histogram(cm.Find("span.client_prepare_ns"));
+  ASSERT_NE(commit, nullptr);
+  EXPECT_GT(commit->Sum(), 0u);
+  EXPECT_GE(commit->Sum(), prepare->Sum());
+
+  // Replica stages: every replica of the shard voted once, applied one writeback,
+  // and verified one decision cert; ST1-arrival -> decision covers the vote span.
+  for (ReplicaId r = 0; r < cluster.topology().replicas_per_shard; ++r) {
+    const NodeId node = cluster.topology().ReplicaNode(0, r);
+    const obs::MetricsRegistry& rm = cluster.node(node).metrics();
+    EXPECT_EQ(count_of(rm, "span.vote_ns"), 1u) << "replica " << r;
+    EXPECT_EQ(count_of(rm, "span.wb_apply_ns"), 1u) << "replica " << r;
+    EXPECT_EQ(count_of(rm, "span.wb_cert_verify_ns"), 1u) << "replica " << r;
+    EXPECT_EQ(count_of(rm, "span.st1_digest_check_ns"), 1u) << "replica " << r;
+    EXPECT_EQ(count_of(rm, "span.st1_to_decision_ns"), 1u) << "replica " << r;
+    const obs::Histogram* e2e = rm.histogram(rm.Find("span.st1_to_decision_ns"));
+    const obs::Histogram* vote = rm.histogram(rm.Find("span.vote_ns"));
+    EXPECT_GE(e2e->Sum(), vote->Sum()) << "replica " << r;
+  }
+}
+
+TEST(ObsTrace, RingTracksPerDigestSpans) {
+  obs::MetricsRegistry reg;
+  obs::TxnTracer tracer(&reg);
+  TxnDigest d1{};
+  d1[0] = 1;
+  TxnDigest d2{};
+  d2[0] = 2;
+  tracer.Record(obs::Stage::kVote, d1, 100);
+  tracer.Record(obs::Stage::kWbApply, d1, 200);
+  tracer.Record(obs::Stage::kVote, d2, 300);
+
+  const auto spans = tracer.TraceOf(d1);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].stage, obs::Stage::kVote);
+  EXPECT_EQ(spans[0].dur_ns, 100u);
+  EXPECT_EQ(spans[1].stage, obs::Stage::kWbApply);
+  EXPECT_EQ(spans[1].dur_ns, 200u);
+  ASSERT_NE(tracer.StageHistogram(obs::Stage::kVote), nullptr);
+  EXPECT_EQ(tracer.StageHistogram(obs::Stage::kVote)->Count(), 2u);
+}
+
+}  // namespace
+}  // namespace basil

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace basil {
 namespace {
 
@@ -22,6 +24,19 @@ TEST(LatencyStats, EmptyIsZero) {
   LatencyStats stats;
   EXPECT_EQ(stats.MeanMs(), 0.0);
   EXPECT_EQ(stats.PercentileMs(50), 0.0);
+}
+
+TEST(LatencyStats, PercentileClampsOutOfRangeP) {
+  LatencyStats stats;
+  stats.Add(1'000'000);
+  stats.Add(2'000'000);
+  stats.Add(3'000'000);
+  // p<=0 is the minimum sample, p>=100 the maximum; NaN degrades to the minimum.
+  EXPECT_NEAR(stats.PercentileMs(-50), 1.0, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(0), 1.0, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(100), 3.0, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(1e9), 3.0, 0.01);
+  EXPECT_NEAR(stats.PercentileMs(std::nan("")), 1.0, 0.01);
 }
 
 TEST(LatencyStats, MergeCombinesSamples) {

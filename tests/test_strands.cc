@@ -9,6 +9,7 @@
 
 #include "src/harness/experiment.h"
 #include "src/harness/report.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/runtime.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
@@ -64,6 +65,27 @@ TEST(Strands, PipelineIsDeterministicAcrossRuns) {
   const RunResult b = RunExperiment(params);
   EXPECT_GT(a.committed, 0u);
   ExpectBitIdentical(a, b);
+}
+
+TEST(Strands, MetricsRecordingDoesNotChangeResults) {
+  // Metrics recording is passive (docs/OBSERVABILITY.md): spans, queue gauges, and
+  // histograms observe the run but feed nothing back into the protocol, so disabling
+  // them globally must leave every simulated outcome bit-identical.
+  ExperimentParams params;
+  params.system = SystemKind::kBasil;
+  params.clients = 8;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 400'000'000;
+  params.seed = 7;
+  params.basil.parallel_pipeline = true;
+
+  const RunResult with_metrics = RunExperiment(params);
+  obs::SetGlobalEnabled(false);
+  const RunResult without_metrics = RunExperiment(params);
+  obs::SetGlobalEnabled(true);
+
+  EXPECT_GT(with_metrics.committed, 0u);
+  ExpectBitIdentical(with_metrics, without_metrics);
 }
 
 TEST(Strands, PipelineDoesNotChangeTapirResults) {

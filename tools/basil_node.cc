@@ -15,6 +15,12 @@
 // client driver prints "PROGRESS <n>" every 100 commits and a final
 // "DONE committed=<n> attempts=<n>"; scripts/run_tcp_cluster.sh builds the whole
 // deployment and asserts liveness through a replica kill.
+//
+// Observability (docs/OBSERVABILITY.md): every role writes a "basil-metrics-v1"
+// snapshot (--metrics-out PATH, default basil_metrics_<id>.json) at shutdown, on
+// SIGUSR1, and every --metrics-interval seconds; each dump prints "METRICS <path>".
+// tools/metrics_merge aggregates the per-process snapshots into one cluster view.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -27,14 +33,17 @@
 #include "src/basil/replica.h"
 #include "src/net/peer_config.h"
 #include "src/net/tcp_runtime.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/task.h"
 
 namespace basil {
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;  // SIGUSR1: dump a metrics snapshot.
 
 void OnSignal(int) { g_stop = 1; }
+void OnDumpSignal(int) { g_dump = 1; }
 
 struct Options {
   std::string config;
@@ -44,6 +53,8 @@ struct Options {
   uint64_t txns = 1000;    // Client role: transactions to commit before exiting.
   uint32_t keys = 16;      // Client role: key-space width.
   uint64_t timeout_s = 120;  // Client role: overall deadline.
+  std::string metrics_out;       // Snapshot path ("" = basil_metrics_<id>.json).
+  uint64_t metrics_interval_s = 0;  // Periodic snapshot cadence (0 = on demand only).
 };
 
 bool ParseArgs(int argc, char** argv, Options* opt) {
@@ -92,12 +103,74 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->metrics_out = v;
+    } else if (arg == "--metrics-interval") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->metrics_interval_s = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
     }
   }
   return !opt->config.empty() && opt->id != kInvalidNode;
+}
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+std::string SnapshotPath(const Options& opt, NodeId id) {
+  return opt.metrics_out.empty() ? "basil_metrics_" + std::to_string(id) + ".json"
+                                 : opt.metrics_out;
+}
+
+// Writes one "basil-metrics-v1" snapshot (docs/OBSERVABILITY.md) and prints
+// "METRICS <path>". `proto` is a loop-thread-consistent copy of the protocol
+// counters; the registry itself is safe to read from any thread.
+bool WriteSnapshot(TcpRuntime& rt, const std::string& role, const Counters& proto,
+                   uint64_t start_ns, const std::string& path) {
+  obs::SnapshotMeta meta;
+  meta.node = rt.id();
+  meta.role = role;
+  meta.uptime_ns = NowNs() - start_ns;
+  const std::string text = obs::SnapshotJson(rt.metrics(), meta, proto.values());
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write metrics snapshot %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+                  std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  std::printf("METRICS %s\n", path.c_str());
+  std::fflush(stdout);
+  return ok;
+}
+
+// Copies `src` counters on the runtime's loop thread (they are loop-owned state);
+// falls back to a direct racy read if the loop is already gone.
+Counters CopyCountersOnLoop(TcpRuntime& rt, const Counters& src) {
+  Counters copy;
+  const bool ran = rt.WaitUntil(
+      [&]() {
+        copy = src;
+        return true;
+      },
+      2'000'000'000ull);
+  if (!ran) {
+    copy = src;
+  }
+  return copy;
 }
 
 struct DriverState {
@@ -139,6 +212,7 @@ Task<void> RunDriver(BasilClient* client, const Options* opt, DriverState* state
 
 int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
                const KeyRegistry& keys, const Options& opt) {
+  const uint64_t start_ns = NowNs();
   BasilReplica replica(&rt, &cfg.basil, &topo, &keys);
 
   // Durable store: replay the WAL + snapshot into the version store before any
@@ -186,10 +260,27 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
       });
     });
   }
+  // Serve until signalled; SIGUSR1 or the --metrics-interval timer dumps a metrics
+  // snapshot without disturbing the protocol.
+  uint64_t next_dump_ns =
+      opt.metrics_interval_s > 0 ? start_ns + opt.metrics_interval_s * 1'000'000'000ull
+                                 : 0;
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const bool interval_due = next_dump_ns != 0 && NowNs() >= next_dump_ns;
+    if (g_dump != 0 || interval_due) {
+      g_dump = 0;
+      if (interval_due) {
+        next_dump_ns = NowNs() + opt.metrics_interval_s * 1'000'000'000ull;
+      }
+      WriteSnapshot(rt, "replica", CopyCountersOnLoop(rt, replica.counters()),
+                    start_ns, SnapshotPath(opt, rt.id()));
+    }
   }
   rt.Stop();
+  // Final snapshot: the loop is stopped, so the counters are safe to read directly.
+  WriteSnapshot(rt, "replica", replica.counters(), start_ns,
+                SnapshotPath(opt, rt.id()));
   std::printf(
       "STOPPED replica %u handled=%llu commits=%llu applied=%llu rejected=%llu "
       "offloaded=%llu posted=%llu fsyncs=%llu\n",
@@ -206,6 +297,7 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
 
 int RunClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
               const KeyRegistry& keys, const Options& opt) {
+  const uint64_t start_ns = NowNs();
   const ClientId client_id = rt.id() - cfg.num_replicas + 1;
   BasilClient client(&rt, client_id, &cfg.basil, &topo, &keys,
                      Rng(cfg.seed * 77 + rt.id()));
@@ -218,8 +310,19 @@ int RunClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   DriverState state;
   rt.Execute([&]() { Spawn(RunDriver(&client, &opt, &state)); });
 
-  const bool ok = rt.WaitUntil([&]() { return state.done || g_stop != 0; },
-                               opt.timeout_s * 1'000'000'000ull);
+  const bool ok = rt.WaitUntil(
+      [&]() { return state.done || g_stop != 0 || g_dump != 0; },
+      opt.timeout_s * 1'000'000'000ull);
+  while (ok && g_dump != 0 && !state.done && g_stop == 0) {
+    g_dump = 0;
+    WriteSnapshot(rt, "client", CopyCountersOnLoop(rt, client.counters()), start_ns,
+                  SnapshotPath(opt, rt.id()));
+    if (rt.WaitUntil([&]() { return state.done || g_stop != 0 || g_dump != 0; },
+                     opt.timeout_s * 1'000'000'000ull)) {
+      continue;
+    }
+    break;
+  }
   // Snapshot results on the loop thread before stopping it.
   DriverState final_state;
   rt.WaitUntil(
@@ -229,6 +332,7 @@ int RunClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
       },
       5'000'000'000ull);
   rt.Stop();
+  WriteSnapshot(rt, "client", client.counters(), start_ns, SnapshotPath(opt, rt.id()));
   std::printf("DONE committed=%llu attempts=%llu\n",
               static_cast<unsigned long long>(final_state.committed),
               static_cast<unsigned long long>(final_state.attempts));
@@ -247,7 +351,8 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: basil_node --config <file> --id <node> [--data-dir D] "
-                 "[--workers W] [--txns N] [--keys K] [--timeout S]\n");
+                 "[--workers W] [--txns N] [--keys K] [--timeout S] "
+                 "[--metrics-out PATH] [--metrics-interval S]\n");
     return 1;
   }
   DeployConfig cfg;
@@ -263,6 +368,7 @@ int Main(int argc, char** argv) {
   }
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
+  std::signal(SIGUSR1, OnDumpSignal);
 
   const Topology topo = cfg.MakeTopology();
   // Deterministic from the shared seed: every process derives the same keys, so
