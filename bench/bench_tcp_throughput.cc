@@ -34,6 +34,7 @@
 #include "src/harness/experiment.h"
 #include "src/harness/report.h"
 #include "src/net/tcp_runtime.h"
+#include "src/obs/metrics.h"
 #include "src/runtime/task.h"
 #include "src/sim/topology.h"
 
@@ -83,13 +84,34 @@ Task<void> DriveUntilStopped(BasilClient* client, uint32_t keyspace,
 
 struct Row {
   uint32_t workers = 0;
+  uint32_t partitions = 0;
   double tcp_tps = 0;
   uint64_t committed = 0;
   uint64_t attempts = 0;
   uint64_t offloaded = 0;
   uint64_t inline_checks = 0;
+  uint64_t posted = 0;       // Strand tasks: partitioned handlers leaving the loop.
+  double depth_p99 = 0;      // Worst per-partition strand queue depth p99.
   double sim_tps = 0;
 };
+
+// Worst p99 across the per-worker strand queue depth histograms
+// (rt.strand.w<i>.queue_depth, docs/OBSERVABILITY.md): partition imbalance shows
+// up here long before it shows in throughput.
+double MaxStrandDepthP99(const obs::MetricsRegistry& metrics, uint32_t workers) {
+  double worst = 0;
+  for (uint32_t w = 0; w < workers; ++w) {
+    const obs::MetricId id =
+        metrics.Find("rt.strand.w" + std::to_string(w) + ".queue_depth");
+    if (id == obs::kInvalidMetric) {
+      continue;
+    }
+    if (const obs::Histogram* h = metrics.histogram(id); h != nullptr) {
+      worst = std::max(worst, h->Quantile(0.99));
+    }
+  }
+  return worst;
+}
 
 // One measurement: a full in-process deployment at `workers` pool threads per node.
 // Returns false if the deployment could not come up (ports) or drivers wedged.
@@ -97,6 +119,9 @@ struct Row {
 bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
                 Row* row, BenchJson* artifact) {
   BasilConfig basil;  // f=1, 1 shard, signatures + batching on (defaults).
+  // One execution partition per strand worker (docs/TRANSPORT.md "Partitioned
+  // execution state"): handlers run end-to-end on the owning strand.
+  basil.exec_partitions = workers;
   Topology topo;
   topo.num_shards = 1;
   topo.replicas_per_shard = basil.n();
@@ -154,6 +179,7 @@ bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
         [st = &states[i]]() { return st->stopped; }, 20'000'000'000ull);
   }
   row->workers = workers;
+  row->partitions = basil.exec_partitions;
   for (const ClientState& st : states) {
     row->committed += st.committed;
     row->attempts += st.attempts;
@@ -163,6 +189,8 @@ bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
   for (auto& rt : replica_rts) {
     row->offloaded += rt->offloaded_checks();
     row->inline_checks += rt->inline_checks();
+    row->posted += rt->posted_tasks();
+    row->depth_p99 = std::max(row->depth_p99, MaxStrandDepthP99(rt->metrics(), workers));
   }
   // Per-stage spans and queue-wait distributions, merged across every node in the
   // deployment (workers are quiescent by now; histogram merges add bucket-wise).
@@ -234,8 +262,8 @@ int Main(int argc, char** argv) {
       "%llu ms per point, %ld host core(s)\n",
       opt.clients, static_cast<unsigned long long>(opt.duration_ms), host_cores);
   std::printf(
-      "  %-8s %12s %10s %16s %14s %14s\n", "workers", "tcp_tps", "commits",
-      "offloaded_sigs", "loop_sigs", "sim_tps");
+      "  %-8s %6s %12s %10s %16s %14s %10s %14s\n", "workers", "parts", "tcp_tps",
+      "commits", "offloaded_sigs", "loop_sigs", "depth_p99", "sim_tps");
 
   BenchJson artifact("tcp_throughput");
   artifact.AddParam("smoke", static_cast<uint64_t>(opt.smoke ? 1 : 0));
@@ -255,10 +283,12 @@ int Main(int argc, char** argv) {
       return 1;
     }
     row.sim_tps = SimPrediction(opt, sweep[n]);
-    std::printf("  %-8u %12.1f %10llu %16llu %14llu %14.1f\n", row.workers,
-                row.tcp_tps, static_cast<unsigned long long>(row.committed),
+    std::printf("  %-8u %6u %12.1f %10llu %16llu %14llu %10.1f %14.1f\n",
+                row.workers, row.partitions, row.tcp_tps,
+                static_cast<unsigned long long>(row.committed),
                 static_cast<unsigned long long>(row.offloaded),
-                static_cast<unsigned long long>(row.inline_checks), row.sim_tps);
+                static_cast<unsigned long long>(row.inline_checks), row.depth_p99,
+                row.sim_tps);
     std::fflush(stdout);
 
     RunResult rr;
@@ -270,6 +300,10 @@ int Main(int argc, char** argv) {
                                       : 0;
     artifact.AddRow("workers=" + std::to_string(row.workers), rr);
     artifact.AddParam("sim_tps_w" + std::to_string(row.workers), row.sim_tps);
+    artifact.AddParam("partitions_w" + std::to_string(row.workers),
+                      static_cast<uint64_t>(row.partitions));
+    artifact.AddParam("depth_p99_w" + std::to_string(row.workers), row.depth_p99);
+    artifact.AddParam("posted_w" + std::to_string(row.workers), row.posted);
     rows.push_back(row);
   }
   if (!opt.out.empty()) {
@@ -289,6 +323,13 @@ int Main(int argc, char** argv) {
                    "(%llu offloaded)\n",
                    row.workers, static_cast<unsigned long long>(row.inline_checks),
                    static_cast<unsigned long long>(row.offloaded));
+      return 1;
+    }
+    if (row.workers > 0 && row.partitions > 0 && row.posted == 0) {
+      std::fprintf(stderr,
+                   "FAIL: workers=%u partitions=%u but no handler work was posted "
+                   "to the strands — partitioned execution never left the loop\n",
+                   row.workers, row.partitions);
       return 1;
     }
   }

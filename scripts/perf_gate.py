@@ -8,18 +8,29 @@ bench/baseline/perf_baseline.json:
 
     perf_gate.py --baseline bench/baseline/perf_baseline.json build/BENCH_*.json
 
-The baseline maps each bench name to floors/ceilings:
+The baseline maps each bench name to floors/ceilings and relative bands:
 
     {"gates": {"tcp_cluster": {
         "min_tput_tps": 50,
         "min_commit_rate": 0.9,
+        "bands": {"tput_tps": {"center": 365, "tolerance": 0.35}},
         "max_stage_p95_ms": {"wal.fsync_ns": 250.0}}}}
 
-Ceilings are deliberately generous absolute bounds — shared CI runners are noisy, so
-this gate catches order-of-magnitude regressions (a lost fast path, an accidental
-fsync-per-commit, a serialized crypto pool), not single-digit-percent drift. Exit 0
-iff every gated bench passes; benches present in the artifacts but absent from the
-baseline are reported and skipped.
+Two kinds of bound:
+
+  - Absolute floors/ceilings (min_*, max_stage_p95_ms): for metrics dominated by
+    hardware (fsync latency) these stay generous and catch order-of-magnitude
+    regressions only. For the metrics the parallel pipeline improves (queue waits,
+    commit spans) the committed ceilings are baseline p95 * 1.35 — a +35% regression
+    fails the gate.
+  - Bands: value must stay within center*(1 - tolerance) .. center*(1 + tolerance)
+    of the committed baseline. "one_sided": true drops the upper check for metrics
+    that legitimately scale with host cores (throughput on a bigger runner is an
+    improvement, not a regression). A value above a two-sided band means the code
+    got faster than the baseline knows — regenerate perf_baseline.json.
+
+Exit 0 iff every gated bench passes; benches present in the artifacts but absent
+from the baseline are reported and skipped.
 """
 
 import argparse
@@ -55,6 +66,25 @@ def gate_artifact(path, gates, msgs):
         fail(msgs, f"{bench}: tput {best_tput:.1f} tps < floor {gate['min_tput_tps']}")
     if "min_commit_rate" in gate and best_rate < gate["min_commit_rate"]:
         fail(msgs, f"{bench}: commit rate {best_rate:.3f} < floor {gate['min_commit_rate']}")
+
+    for metric, band in gate.get("bands", {}).items():
+        if metric == "tput_tps":
+            value = best_tput
+        elif metric == "commit_rate":
+            value = best_rate
+        else:
+            fail(msgs, f"{bench}: unknown band metric '{metric}'")
+            continue
+        center = band["center"]
+        tol = band.get("tolerance", 0.35)
+        lo = center * (1 - tol)
+        if value < lo:
+            fail(msgs, f"{bench}: {metric} {value:.1f} < band floor {lo:.1f} "
+                       f"(baseline {center} - {tol:.0%})")
+        if not band.get("one_sided", False) and value > center * (1 + tol):
+            fail(msgs, f"{bench}: {metric} {value:.1f} > band ceiling "
+                       f"{center * (1 + tol):.1f} — faster than the committed "
+                       f"baseline; regenerate perf_baseline.json")
 
     stages = art.get("stages", {})
     for name in gate.get("require_stages", []):

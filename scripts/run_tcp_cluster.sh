@@ -15,16 +15,20 @@
 # (docs/OBSERVABILITY.md).
 #
 # Usage: run_tcp_cluster.sh <path-to-basil_node> [metrics_merge] [txns] [workers] \
-#          [metrics-interval-s]
+#          [metrics-interval-s] [partitions]
 #   metrics_merge: path to the aggregator binary ("" skips the BENCH artifact).
 #   workers: strand + crypto pool threads per node (--workers, docs/TRANSPORT.md).
+#   partitions: execution-state partitions per replica (--partitions,
+#     docs/TRANSPORT.md "Partitioned execution state"). Defaults to workers; 0 keeps
+#     the legacy loop-owned state.
 set -u
 
-BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [metrics_merge] [txns] [workers] [metrics-interval-s]}"
+BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [metrics_merge] [txns] [workers] [metrics-interval-s] [partitions]}"
 METRICS_MERGE="${2:-}"
 TXNS="${3:-1000}"
 WORKERS="${4:-2}"
 METRICS_INTERVAL="${5:-0}"
+PARTITIONS="${6:-$WORKERS}"
 # Recovery has a fixed wall-clock floor (~1 s: peers' reconnect backoff toward the
 # restarted node), and commits landing before the RECOVERED print do not count as
 # rejoin participation. Short smoke runs (< 600 txns) finish inside that floor, so
@@ -72,7 +76,8 @@ DATA_DIR="$WORKDIR/data"
 metrics_path() { echo "$WORKDIR/metrics_node$1.json"; }
 for i in 0 1 2 3 4 5; do
   "$BASIL_NODE" --config "$CFG" --id "$i" --data-dir "$DATA_DIR" \
-    --workers "$WORKERS" --metrics-out "$(metrics_path "$i")" \
+    --workers "$WORKERS" --partitions "$PARTITIONS" \
+    --metrics-out "$(metrics_path "$i")" \
     --metrics-interval "$METRICS_INTERVAL" > "$WORKDIR/replica$i.log" 2>&1 &
   PIDS+=($!)
 done
@@ -84,7 +89,7 @@ for i in 0 1 2 3 4 5; do
     sleep 0.1
   done
   if ! grep -q READY "$WORKDIR/replica$i.log"; then
-    echo "FAIL: replica $i did not become ready"
+    echo "FAIL: replica $i did not become ready (workers=$WORKERS partitions=$PARTITIONS)"
     cat "$WORKDIR/replica$i.log"
     exit 1
   fi
@@ -105,7 +110,7 @@ check_replicas_alive() {
   for i in 0 1 2 3 4; do
     pid="${PIDS[$i]}"
     if ! kill -0 "$pid" 2>/dev/null; then
-      echo "FAIL: replica $i (pid $pid) exited before the run finished"
+      echo "FAIL: replica $i (pid $pid) exited before the run finished (workers=$WORKERS partitions=$PARTITIONS)"
       echo "     final metrics snapshot (if written): $(metrics_path "$i")"
       echo "-- replica$i.log --"; tail -10 "$WORKDIR/replica$i.log"
       exit 1
@@ -148,7 +153,8 @@ while kill -0 "$CLIENT_PID" 2>/dev/null; do
      [ "$COMMITTED" -ge "$RESTART_AT" ]; then
     echo "== restarting replica 5 at ~$COMMITTED commits =="
     "$BASIL_NODE" --config "$CFG" --id 5 --data-dir "$DATA_DIR" \
-      --workers "$WORKERS" --metrics-out "$(metrics_path 5)" \
+      --workers "$WORKERS" --partitions "$PARTITIONS" \
+      --metrics-out "$(metrics_path 5)" \
       --metrics-interval "$METRICS_INTERVAL" > "$WORKDIR/replica5b.log" 2>&1 &
     RESTART_PID=$!
     PIDS+=("$RESTART_PID")
@@ -251,5 +257,5 @@ if [ -n "$METRICS_MERGE" ] && [ -x "$METRICS_MERGE" ]; then
   fi
 fi
 
-echo "PASS: $TXNS transactions committed over TCP; replica 5 was killed, restarted from its WAL, recovered via state transfer, and participated in $REJOIN_COMMITS post-recovery commits"
+echo "PASS: $TXNS transactions committed over TCP (workers=$WORKERS partitions=$PARTITIONS); replica 5 was killed, restarted from its WAL, recovered via state transfer, and participated in $REJOIN_COMMITS post-recovery commits"
 exit 0

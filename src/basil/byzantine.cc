@@ -18,19 +18,19 @@ Vote ByzantineBasilReplica::FilterVote(const TxnDigest& txn, Vote vote) {
   return BasilReplica::FilterVote(txn, vote);
 }
 
-void ByzantineBasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
+void ByzantineBasilReplica::OnRead(NodeId src, std::shared_ptr<const ReadMsg> msg) {
   if (mode_ != ByzReplicaMode::kFabricateReads) {
-    BasilReplica::OnRead(src, msg);
+    BasilReplica::OnRead(src, std::move(msg));
     return;
   }
   // Fabricate a juicy-looking version just below the reader's timestamp, with no
   // certificate and no f+1 backing. A correct client must discard it.
   auto reply = std::make_shared<ReadReplyMsg>();
-  reply->req_id = msg.req_id;
-  reply->key = msg.key;
+  reply->req_id = msg->req_id;
+  reply->key = msg->key;
   reply->replica = id();
   reply->has_committed = true;
-  reply->committed_ts = Timestamp{msg.ts.time - 1, msg.ts.client_id};
+  reply->committed_ts = Timestamp{msg->ts.time - 1, msg->ts.client_id};
   reply->committed_value = "fabricated";
   const Hash256 digest = reply->Digest();
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
@@ -73,32 +73,34 @@ void ByzantineBasilReplica::OnStateRequest(NodeId src, const StateRequestMsg& ms
   chunk->replica = id();
   chunk->done = true;
   size_t i = 0;
-  for (const auto& [digest, s] : txns_) {
-    (void)digest;
-    if (!s.decided || s.final_decision != Decision::kCommit || s.txn == nullptr ||
-        s.final_cert == nullptr) {
-      continue;
-    }
-    StateEntry entry;
-    if (i % 2 == 0) {
-      auto tampered = std::make_shared<Transaction>(*s.txn);
-      for (WriteEntry& w : tampered->write_set) {
-        w.value += "_corrupt";
+  for (size_t p = 0; i < 8 && p < parts_.size(); ++p) {
+    for (const auto& [digest, s] : parts_[p].txns) {
+      (void)digest;
+      if (!s.decided || s.final_decision != Decision::kCommit || s.txn == nullptr ||
+          s.final_cert == nullptr) {
+        continue;
       }
-      // Keep the original id: the body no longer hashes to it.
-      entry.txn = std::move(tampered);
-      entry.cert = s.final_cert;
-    } else {
-      auto forged = std::make_shared<DecisionCert>();
-      forged->txn = s.txn->id;
-      forged->decision = Decision::kCommit;
-      forged->kind = DecisionCert::Kind::kFastVotes;  // Zero votes: no quorum.
-      entry.txn = s.txn;
-      entry.cert = std::move(forged);
-    }
-    chunk->entries.push_back(std::move(entry));
-    if (++i >= 8) {
-      break;
+      StateEntry entry;
+      if (i % 2 == 0) {
+        auto tampered = std::make_shared<Transaction>(*s.txn);
+        for (WriteEntry& w : tampered->write_set) {
+          w.value += "_corrupt";
+        }
+        // Keep the original id: the body no longer hashes to it.
+        entry.txn = std::move(tampered);
+        entry.cert = s.final_cert;
+      } else {
+        auto forged = std::make_shared<DecisionCert>();
+        forged->txn = s.txn->id;
+        forged->decision = Decision::kCommit;
+        forged->kind = DecisionCert::Kind::kFastVotes;  // Zero votes: no quorum.
+        entry.txn = s.txn;
+        entry.cert = std::move(forged);
+      }
+      chunk->entries.push_back(std::move(entry));
+      if (++i >= 8) {
+        break;
+      }
     }
   }
   counters().Inc("byz_corrupt_state_entries", chunk->entries.size());

@@ -42,7 +42,7 @@ class ByzantineBasilReplica : public BasilReplica {
 
  protected:
   Vote FilterVote(const TxnDigest& txn, Vote vote) override;
-  void OnRead(NodeId src, const ReadMsg& msg) override;
+  void OnRead(NodeId src, std::shared_ptr<const ReadMsg> msg) override;
   void OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) override;
   void OnStateRequest(NodeId src, const StateRequestMsg& msg) override;
 

@@ -5,6 +5,13 @@
 
 namespace basil {
 
+namespace {
+
+// Outcome of peeking a dependency on its owning strand (MVTSO-Check step 2).
+enum class DepPeek : uint8_t { kMissing, kTsMismatch, kDecidedAbort, kOk };
+
+}  // namespace
+
 BasilReplica::BasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* topo,
                            const KeyRegistry* keys)
     : Process(rt),
@@ -15,15 +22,43 @@ BasilReplica::BasilReplica(Runtime* rt, const BasilConfig* cfg, const Topology* 
       verifier_(keys),
       shard_(topo->ShardOfReplicaNode(id())),
       index_(topo->ReplicaIndex(id())),
-      tracer_(&rt->metrics()) {}
+      tracer_(&rt->metrics()) {
+  const uint32_t n_parts = std::max<uint32_t>(1, cfg->exec_partitions);
+  parts_.resize(n_parts);
+  // Key partitions line up with execution partitions, so a read routed by
+  // PartOfKey lands on the strand whose store shard it touches.
+  store_.SetPartitions(n_parts);
+}
 
 void BasilReplica::LoadGenesis(const Key& key, Value value) {
   store_.LoadGenesis(key, std::move(value));
 }
 
 const BasilReplica::TxnState* BasilReplica::FindState(const TxnDigest& digest) const {
-  auto it = txns_.find(digest);
-  return it == txns_.end() ? nullptr : &it->second;
+  const Part& part = parts_[PartOfDigest(digest)];
+  auto it = part.txns.find(digest);
+  return it == part.txns.end() ? nullptr : &it->second;
+}
+
+void BasilReplica::RunOnPart(size_t part, std::function<void()> fn) {
+  if (!partitioned()) {
+    fn();
+    return;
+  }
+  Post(static_cast<StrandKey>(part), [fn = std::move(fn)](CostMeter&) { fn(); });
+}
+
+void BasilReplica::VerifyOnHome(size_t part, VerifyFn check,
+                                std::function<void(bool)> then) {
+  if (!partitioned()) {
+    VerifyThen(cfg_->parallel_pipeline, std::move(check), std::move(then));
+    return;
+  }
+  if (!cfg_->parallel_pipeline) {
+    then(check(meter()));
+    return;
+  }
+  Verify1On(static_cast<StrandKey>(part), std::move(check), std::move(then));
 }
 
 std::optional<Vote> BasilReplica::VoteFor(const TxnDigest& txn) const {
@@ -58,7 +93,7 @@ void BasilReplica::ChargeClientAuthVerify() {
 void BasilReplica::Handle(const MsgEnvelope& env) {
   switch (env.msg->kind) {
     case kBasilRead:
-      OnRead(env.src, static_cast<const ReadMsg&>(*env.msg));
+      OnRead(env.src, std::static_pointer_cast<const ReadMsg>(env.msg));
       break;
     case kBasilSt1:
       OnSt1(env.src, std::static_pointer_cast<const St1Msg>(env.msg));
@@ -73,13 +108,13 @@ void BasilReplica::Handle(const MsgEnvelope& env) {
       OnAbortRead(static_cast<const AbortReadMsg&>(*env.msg));
       break;
     case kBasilInvokeFb:
-      OnInvokeFb(env.src, static_cast<const InvokeFbMsg&>(*env.msg));
+      OnInvokeFb(env.src, std::static_pointer_cast<const InvokeFbMsg>(env.msg));
       break;
     case kBasilElectFb:
-      OnElectFb(env.src, static_cast<const ElectFbMsg&>(*env.msg));
+      OnElectFb(env.src, std::static_pointer_cast<const ElectFbMsg>(env.msg));
       break;
     case kBasilDecFb:
-      OnDecFb(env.src, static_cast<const DecFbMsg&>(*env.msg));
+      OnDecFb(env.src, std::static_pointer_cast<const DecFbMsg>(env.msg));
       break;
     case kBasilFetch:
       OnFetch(env.src, static_cast<const FetchMsg&>(*env.msg));
@@ -88,7 +123,7 @@ void BasilReplica::Handle(const MsgEnvelope& env) {
       OnStateRequest(env.src, static_cast<const StateRequestMsg&>(*env.msg));
       break;
     case kBasilStateChunk:
-      OnStateChunk(env.src, static_cast<const StateChunkMsg&>(*env.msg));
+      OnStateChunk(env.src, std::static_pointer_cast<const StateChunkMsg>(env.msg));
       break;
     default:
       counters_.Inc("unknown_message");
@@ -100,43 +135,69 @@ void BasilReplica::Handle(const MsgEnvelope& env) {
 // Execution phase: reads.
 // ---------------------------------------------------------------------------
 
-void BasilReplica::OnRead(NodeId src, const ReadMsg& msg) {
+void BasilReplica::OnRead(NodeId src, std::shared_ptr<const ReadMsg> msg) {
   ChargeClientAuthVerify();
   // §4.1: ignore requests with timestamps beyond the local watermark.
-  if (msg.ts.time > now() + cfg_->delta_ns) {
+  if (msg->ts.time > now() + cfg_->delta_ns) {
     counters_.Inc("read_rejected_watermark");
     return;
   }
-  store_.AddRts(msg.key, msg.ts);
+  // The read runs on the strand owning the key's store partition; writer bodies and
+  // certificates are attached by hopping to the writers' own partitions.
+  RunOnPart(PartOfKey(msg->key), [this, src, msg]() { ServeRead(src, msg); });
+}
+
+void BasilReplica::ServeRead(NodeId src, const std::shared_ptr<const ReadMsg>& msg) {
+  store_.AddRts(msg->key, msg->ts);
 
   auto reply = std::make_shared<ReadReplyMsg>();
-  reply->req_id = msg.req_id;
-  reply->key = msg.key;
+  reply->req_id = msg->req_id;
+  reply->key = msg->key;
   reply->replica = id();
 
-  if (const CommittedVersion* cv = store_.LatestCommittedBefore(msg.key, msg.ts)) {
+  const std::optional<CommittedVersion> cv = store_.CommittedBefore(msg->key, msg->ts);
+  if (cv.has_value()) {
     reply->has_committed = true;
     reply->committed_ts = cv->ts;
     reply->committed_value = cv->value;
     reply->committed_writer = cv->writer;
-    if (const TxnState* ws = FindState(cv->writer); ws != nullptr && ws->decided) {
-      reply->committed_cert = ws->final_cert;
-      reply->committed_txn = ws->txn;
-    }
   }
-  if (const PreparedWrite* pw = store_.LatestPreparedBefore(msg.key, msg.ts)) {
-    // Only report the prepared version if it is newer than the committed one; the
-    // client picks the highest valid version anyway.
-    if (!reply->has_committed || reply->committed_ts < pw->ts) {
+  const std::optional<PreparedWrite> pw = store_.PreparedBefore(msg->key, msg->ts);
+  // Only report the prepared version if it is newer than the committed one; the
+  // client picks the highest valid version anyway.
+  const bool want_prepared = pw.has_value() && (!cv.has_value() || cv->ts < pw->ts);
+
+  auto attach_prepared = [this, src, reply, pw, want_prepared]() {
+    if (!want_prepared) {
+      FinishRead(src, reply);
+      return;
+    }
+    RunOnPart(PartOfDigest(pw->writer), [this, src, reply, pw]() {
       if (const TxnState* ws = FindState(pw->writer); ws != nullptr && ws->txn) {
         reply->has_prepared = true;
         reply->prepared_ts = pw->ts;
         reply->prepared_value = pw->value;
         reply->prepared_txn = ws->txn;
       }
-    }
-  }
+      FinishRead(src, reply);
+    });
+  };
 
+  if (cv.has_value()) {
+    const TxnDigest writer = cv->writer;
+    RunOnPart(PartOfDigest(writer), [this, reply, writer, attach_prepared]() {
+      if (const TxnState* ws = FindState(writer); ws != nullptr && ws->decided) {
+        reply->committed_cert = ws->final_cert;
+        reply->committed_txn = ws->txn;
+      }
+      attach_prepared();
+    });
+  } else {
+    attach_prepared();
+  }
+}
+
+void BasilReplica::FinishRead(NodeId src, const std::shared_ptr<ReadReplyMsg>& reply) {
   const Hash256 digest = reply->Digest();
   SendBatched(src, reply, digest, [](std::shared_ptr<MsgBase> m, BatchCert cert) {
     auto* r = static_cast<ReadReplyMsg*>(m.get());
@@ -167,6 +228,20 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
   // transaction, parallel across transactions on the TCP backend; inline and
   // cost-free on the simulator, whose ST1 bodies are shared pointers that were
   // hashed at Finalize time), then intake continues in the handler context.
+  if (partitioned()) {
+    // Partitioned mode: hash and the full intake run on the owning strand — one
+    // hop, end-to-end, nothing returns to the loop.
+    RunOnPart(PartOfDigest(msg->txn->id), [this, src, msg]() {
+      const uint64_t t0 = now();
+      if (msg->txn->ComputeDigest() != msg->txn->id) {
+        counters_.Inc("st1_bad_digest");
+        return;
+      }
+      tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
+      St1Arrived(src, msg);
+    });
+    return;
+  }
   if (!cfg_->parallel_pipeline) {
     const uint64_t t0 = now();
     if (msg->txn->ComputeDigest() != msg->txn->id) {
@@ -204,14 +279,7 @@ void BasilReplica::St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& m
   if (s.txn == nullptr) {
     s.txn = msg->txn;
     // Another transaction may be waiting for this body to arrive (dependency check).
-    auto it = arrival_waiters_.find(msg->txn->id);
-    if (it != arrival_waiters_.end()) {
-      std::vector<TxnDigest> waiters = std::move(it->second);
-      arrival_waiters_.erase(it);
-      for (const TxnDigest& w : waiters) {
-        ContinueCheck(w);
-      }
-    }
+    DrainArrivalWaiters(msg->txn->id);
   }
   if (msg->is_recovery) {
     s.interested.insert(src);
@@ -241,6 +309,19 @@ void BasilReplica::St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& m
   }
 }
 
+void BasilReplica::DrainArrivalWaiters(const TxnDigest& digest) {
+  Part& part = parts_[PartOfDigest(digest)];
+  auto it = part.arrival_waiters.find(digest);
+  if (it == part.arrival_waiters.end()) {
+    return;
+  }
+  std::vector<TxnDigest> waiters = std::move(it->second);
+  part.arrival_waiters.erase(it);
+  for (const TxnDigest& w : waiters) {
+    RunOnPart(PartOfDigest(w), [this, w]() { ContinueCheck(w); });
+  }
+}
+
 void BasilReplica::StartCheck(TxnState& s) {
   const Transaction& txn = *s.txn;
   // Step 1: timestamp watermark.
@@ -250,58 +331,107 @@ void BasilReplica::StartCheck(TxnState& s) {
     return;
   }
   s.phase = CheckPhase::kAwaitArrival;
-  // Step 2 needs every dependency's body; register for those not yet seen.
-  bool any_missing = false;
-  for (const Dependency& dep : txn.deps) {
-    const TxnState* ds = FindState(dep.txn);
-    if (ds == nullptr || ds->txn == nullptr) {
-      arrival_waiters_[dep.txn].push_back(txn.id);
-      any_missing = true;
+  // Step 2 needs every dependency's body; registration for the ones not yet seen
+  // hops to each dependency's partition in turn, then the check continues here.
+  RegisterArrivalWaits(txn.id, 0, /*any_missing=*/false);
+}
+
+void BasilReplica::RegisterArrivalWaits(const TxnDigest& digest, size_t i,
+                                        bool any_missing) {
+  TxnState& s = GetState(digest);
+  if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+    return;  // A vote raced the registration hops (TCP backend only).
+  }
+  const Transaction& txn = *s.txn;
+  if (i >= txn.deps.size()) {
+    if (any_missing) {
+      s.arrival_timer_armed = true;
+      s.arrival_timer = SetTimer(cfg_->dep_arrival_timeout_ns, [this, digest]() {
+        RunOnPart(PartOfDigest(digest), [this, digest]() {
+          TxnState& st = GetState(digest);
+          if (st.phase == CheckPhase::kAwaitArrival && !st.vote.has_value()) {
+            SetVote(st, Vote::kAbort);
+            counters_.Inc("abort_dep_missing");
+          }
+        });
+      });
     }
+    ContinueCheck(digest);
+    return;
   }
-  if (any_missing) {
-    const TxnDigest digest = txn.id;
-    s.arrival_timer_armed = true;
-    s.arrival_timer = SetTimer(cfg_->dep_arrival_timeout_ns, [this, digest]() {
-      TxnState& st = GetState(digest);
-      if (st.phase == CheckPhase::kAwaitArrival && !st.vote.has_value()) {
-        SetVote(st, Vote::kAbort);
-        counters_.Inc("abort_dep_missing");
-      }
+  const TxnDigest dep = txn.deps[i].txn;
+  RunOnPart(PartOfDigest(dep), [this, digest, dep, i, any_missing]() {
+    const TxnState* ds = FindState(dep);
+    const bool missing = ds == nullptr || ds->txn == nullptr;
+    if (missing) {
+      parts_[PartOfDigest(dep)].arrival_waiters[dep].push_back(digest);
+    }
+    RunOnPart(PartOfDigest(digest), [this, digest, i, any_missing, missing]() {
+      RegisterArrivalWaits(digest, i + 1, any_missing || missing);
     });
-  }
-  ContinueCheck(txn.id);
+  });
 }
 
 void BasilReplica::ContinueCheck(const TxnDigest& digest) {
-  auto it = txns_.find(digest);
-  if (it == txns_.end()) {
+  Part& part = parts_[PartOfDigest(digest)];
+  auto it = part.txns.find(digest);
+  if (it == part.txns.end()) {
     return;
   }
   TxnState& s = it->second;
   if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
     return;
   }
+  DepScan(digest, 0);
+}
+
+void BasilReplica::DepScan(const TxnDigest& digest, size_t i) {
+  TxnState& s = GetState(digest);
+  if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+    return;
+  }
   const Transaction& txn = *s.txn;
 
-  // Step 2: every dependency must be known, its claimed version must match the
-  // dependency transaction's timestamp, and it must not already be aborted.
-  for (const Dependency& dep : txn.deps) {
-    const TxnState* ds = FindState(dep.txn);
-    if (ds == nullptr || ds->txn == nullptr) {
-      return;  // Still waiting for arrival (or the arrival timer to fire).
-    }
-    if (ds->txn->ts != dep.version) {
-      SetVote(s, Vote::kAbort);
-      counters_.Inc("abort_invalid_dep");
-      return;
-    }
-    if (ds->decided && ds->final_decision == Decision::kAbort) {
-      SetVote(s, Vote::kAbort);
-      counters_.Inc("abort_dep_aborted");
-      return;
-    }
+  if (i < txn.deps.size()) {
+    // Step 2: every dependency must be known, its claimed version must match the
+    // dependency transaction's timestamp, and it must not already be aborted. The
+    // peek runs on the dependency's owning strand; the verdict returns here.
+    const Dependency dep = txn.deps[i];
+    RunOnPart(PartOfDigest(dep.txn), [this, digest, dep, i]() {
+      const TxnState* ds = FindState(dep.txn);
+      DepPeek peek = DepPeek::kOk;
+      if (ds == nullptr || ds->txn == nullptr) {
+        peek = DepPeek::kMissing;
+      } else if (ds->txn->ts != dep.version) {
+        peek = DepPeek::kTsMismatch;
+      } else if (ds->decided && ds->final_decision == Decision::kAbort) {
+        peek = DepPeek::kDecidedAbort;
+      }
+      RunOnPart(PartOfDigest(digest), [this, digest, i, peek]() {
+        TxnState& s = GetState(digest);
+        if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+          return;
+        }
+        switch (peek) {
+          case DepPeek::kMissing:
+            return;  // Still waiting for arrival (or the arrival timer to fire).
+          case DepPeek::kTsMismatch:
+            SetVote(s, Vote::kAbort);
+            counters_.Inc("abort_invalid_dep");
+            return;
+          case DepPeek::kDecidedAbort:
+            SetVote(s, Vote::kAbort);
+            counters_.Inc("abort_dep_aborted");
+            return;
+          case DepPeek::kOk:
+            DepScan(digest, i + 1);
+            return;
+        }
+      });
+    });
+    return;
   }
+
   if (s.arrival_timer_armed) {
     CancelTimer(s.arrival_timer);
     s.arrival_timer_armed = false;
@@ -310,18 +440,64 @@ void BasilReplica::ContinueCheck(const TxnDigest& digest) {
   // Steps 3-6.
   const Vote check = RunConflictChecks(s);
   if (check != Vote::kCommit) {
-    SetVote(s, check);
+    FinishVoteWithConflict(digest, s, check);
     return;
   }
 
   // Step 7: wait until all dependencies are decided.
   s.unresolved_deps.clear();
-  for (const Dependency& dep : txn.deps) {
-    TxnState& ds = GetState(dep.txn);
-    if (!ds.decided) {
-      s.unresolved_deps.insert(dep.txn);
-      ds.dependents.push_back(txn.id);
+  Step7Register(digest, 0);
+}
+
+void BasilReplica::Step7Register(const TxnDigest& digest, size_t i) {
+  TxnState& s = GetState(digest);
+  if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+    return;
+  }
+  const Transaction& txn = *s.txn;
+  if (i >= txn.deps.size()) {
+    FinishStep7(s);
+    return;
+  }
+  const TxnDigest dep = txn.deps[i].txn;
+  RunOnPart(PartOfDigest(dep), [this, digest, dep, i]() {
+    TxnState& ds = GetState(dep);
+    const bool decided = ds.decided;
+    const Decision dec = ds.final_decision;
+    if (!decided) {
+      ds.dependents.push_back(digest);
     }
+    RunOnPart(PartOfDigest(digest), [this, digest, dep, i, decided, dec]() {
+      TxnState& s = GetState(digest);
+      if (s.phase != CheckPhase::kAwaitArrival || s.vote.has_value()) {
+        return;
+      }
+      if (decided && dec == Decision::kAbort) {
+        // The dependency's abort surfaced between the step-2 peek and this
+        // registration — impossible inline (the simulator), possible on TCP.
+        SetVote(s, Vote::kAbort);
+        counters_.Inc("abort_dep_aborted");
+        return;
+      }
+      if (!decided) {
+        s.unresolved_deps.insert(dep);
+      }
+      Step7Register(digest, i + 1);
+    });
+  });
+}
+
+void BasilReplica::FinishStep7(TxnState& s) {
+  // Consume decisions that landed while the registration hops were in flight
+  // (recorded by ResolveDepDecision; always empty on the simulator, where the hops
+  // run inline).
+  for (const auto& [dep, dec] : s.dep_outcomes) {
+    if (dec == Decision::kAbort) {
+      SetVote(s, Vote::kAbort);
+      counters_.Inc("abort_dep_aborted");
+      return;
+    }
+    s.unresolved_deps.erase(dep);
   }
   if (s.unresolved_deps.empty()) {
     SetVote(s, Vote::kCommit);
@@ -344,13 +520,12 @@ Vote BasilReplica::RunConflictChecks(TxnState& s) {
       continue;
     }
     if (store_.HasCommittedWriteBetween(r.key, r.version, txn.ts)) {
-      // Attach the conflicting committed transaction as an abort proof if available.
-      if (const CommittedVersion* cv = store_.LatestCommittedBefore(r.key, txn.ts)) {
-        if (const TxnState* ws = FindState(cv->writer);
-            ws != nullptr && ws->decided && ws->final_cert != nullptr && ws->txn) {
-          s.conflict_txn = ws->txn;
-          s.conflict_cert = ws->final_cert;
-        }
+      // Remember the conflicting committed writer: its body and certificate live on
+      // its own partition, so FinishVoteWithConflict fetches them with a hop before
+      // the abort vote is published (abort fast path case 5).
+      if (std::optional<CommittedVersion> cv = store_.CommittedBefore(r.key, txn.ts);
+          cv.has_value()) {
+        s.conflict_writer = cv->writer;
       }
       counters_.Inc("abort_read_missed_committed");
       return Vote::kAbort;
@@ -378,6 +553,35 @@ Vote BasilReplica::RunConflictChecks(TxnState& s) {
   // Step 6 (line 14): prepare T and make its writes visible.
   InsertPrepared(s);
   return Vote::kCommit;
+}
+
+void BasilReplica::FinishVoteWithConflict(const TxnDigest& digest, TxnState& s,
+                                          Vote vote) {
+  if (!s.conflict_writer.has_value()) {
+    SetVote(s, vote);
+    return;
+  }
+  const TxnDigest writer = *s.conflict_writer;
+  RunOnPart(PartOfDigest(writer), [this, digest, writer, vote]() {
+    const TxnState* ws = FindState(writer);
+    TxnPtr conflict_txn;
+    DecisionCertPtr conflict_cert;
+    if (ws != nullptr && ws->decided && ws->final_cert != nullptr &&
+        ws->txn != nullptr) {
+      conflict_txn = ws->txn;
+      conflict_cert = ws->final_cert;
+    }
+    RunOnPart(PartOfDigest(digest),
+              [this, digest, vote, conflict_txn, conflict_cert]() {
+                TxnState& s = GetState(digest);
+                if (s.vote.has_value()) {
+                  return;  // Pinned while the fetch hops were in flight.
+                }
+                s.conflict_txn = conflict_txn;
+                s.conflict_cert = conflict_cert;
+                SetVote(s, vote);
+              });
+  });
 }
 
 bool BasilReplica::OwnsKey(const Key& key) const {
@@ -448,24 +652,34 @@ void BasilReplica::NotifyDependents(TxnState& s) {
   const Decision dec = s.final_decision;
   const TxnDigest my_id = s.txn != nullptr ? s.txn->id : TxnDigest{};
   for (const TxnDigest& d : dependents) {
-    auto it = txns_.find(d);
-    if (it == txns_.end()) {
-      continue;
-    }
-    TxnState& ds = it->second;
-    if (ds.vote.has_value() || ds.phase != CheckPhase::kAwaitDecision) {
-      continue;
-    }
-    if (dec == Decision::kAbort) {
-      // Line 16-18: a dependency aborted, so the dependent must abort.
-      SetVote(ds, Vote::kAbort);
-      counters_.Inc("abort_dep_aborted");
-      continue;
-    }
-    ds.unresolved_deps.erase(my_id);
-    if (ds.unresolved_deps.empty()) {
-      SetVote(ds, Vote::kCommit);
-    }
+    RunOnPart(PartOfDigest(d),
+              [this, d, my_id, dec]() { ResolveDepDecision(d, my_id, dec); });
+  }
+}
+
+void BasilReplica::ResolveDepDecision(const TxnDigest& digest, const TxnDigest& dep,
+                                      Decision dec) {
+  Part& part = parts_[PartOfDigest(digest)];
+  auto it = part.txns.find(digest);
+  if (it == part.txns.end()) {
+    return;
+  }
+  TxnState& ds = it->second;
+  // Recorded unconditionally: if the dependent is still mid-registration (step-7
+  // hops in flight), FinishStep7 consumes this outcome instead.
+  ds.dep_outcomes[dep] = dec;
+  if (ds.vote.has_value() || ds.phase != CheckPhase::kAwaitDecision) {
+    return;
+  }
+  if (dec == Decision::kAbort) {
+    // Line 16-18: a dependency aborted, so the dependent must abort.
+    SetVote(ds, Vote::kAbort);
+    counters_.Inc("abort_dep_aborted");
+    return;
+  }
+  ds.unresolved_deps.erase(dep);
+  if (ds.unresolved_deps.empty()) {
+    SetVote(ds, Vote::kCommit);
   }
 }
 
@@ -517,34 +731,48 @@ void BasilReplica::ReplyCert(NodeId dst, TxnState& s) {
 void BasilReplica::SendBatched(
     NodeId dst, std::shared_ptr<MsgBase> msg, const Hash256& digest,
     std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert) {
-  pending_replies_.push_back(PendingReply{dst, std::move(msg), digest,
-                                          std::move(set_cert)});
-  // NoProofs runs have nothing to amortize: flush immediately (no batch latency),
-  // matching the paper's Basil-NoProofs configuration.
-  const uint32_t batch_size = keys_->enabled() ? cfg_->batch_size : 1;
-  if (pending_replies_.size() >= batch_size) {
-    FlushBatch();
-    return;
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    pending_replies_.push_back(PendingReply{dst, std::move(msg), digest,
+                                            std::move(set_cert)});
+    // NoProofs runs have nothing to amortize: flush immediately (no batch latency),
+    // matching the paper's Basil-NoProofs configuration.
+    const uint32_t batch_size = keys_->enabled() ? cfg_->batch_size : 1;
+    if (pending_replies_.size() >= batch_size) {
+      flush = true;
+    } else if (!batch_timer_armed_) {
+      batch_timer_armed_ = true;
+      batch_timer_ = SetTimer(cfg_->batch_timeout_ns, [this]() {
+        {
+          std::lock_guard<std::mutex> timer_lock(batch_mu_);
+          batch_timer_armed_ = false;
+        }
+        FlushBatch();
+      });
+    }
   }
-  if (!batch_timer_armed_) {
-    batch_timer_armed_ = true;
-    batch_timer_ = SetTimer(cfg_->batch_timeout_ns, [this]() {
-      batch_timer_armed_ = false;
-      FlushBatch();
-    });
+  if (flush) {
+    FlushBatch();
   }
 }
 
 void BasilReplica::FlushBatch() {
-  if (pending_replies_.empty()) {
-    return;
+  std::vector<PendingReply> pending;
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(batch_mu_);
+    if (pending_replies_.empty()) {
+      return;
+    }
+    if (batch_timer_armed_) {
+      CancelTimer(batch_timer_);
+      batch_timer_armed_ = false;
+    }
+    pending.swap(pending_replies_);
+    seq = seal_seq_++;
   }
-  if (batch_timer_armed_) {
-    CancelTimer(batch_timer_);
-    batch_timer_armed_ = false;
-  }
-  auto batch = std::make_shared<std::vector<PendingReply>>(std::move(pending_replies_));
-  pending_replies_.clear();
+  auto batch = std::make_shared<std::vector<PendingReply>>(std::move(pending));
   std::vector<Hash256> digests;
   digests.reserve(batch->size());
   for (const PendingReply& p : *batch) {
@@ -574,7 +802,7 @@ void BasilReplica::FlushBatch() {
     send_all();
     return;
   }
-  Post(seal_seq_++, std::move(seal), std::move(send_all));
+  Post(seq, std::move(seal), std::move(send_all));
 }
 
 // ---------------------------------------------------------------------------
@@ -583,6 +811,10 @@ void BasilReplica::FlushBatch() {
 
 void BasilReplica::OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) {
   ChargeClientAuthVerify();
+  RunOnPart(PartOfDigest(msg->txn), [this, src, msg]() { St2OnOwner(src, msg); });
+}
+
+void BasilReplica::St2OnOwner(NodeId src, const std::shared_ptr<const St2Msg>& msg) {
   TxnState& s = GetState(msg->txn);
   if (s.txn == nullptr && msg->txn_body != nullptr && msg->txn_body->id == msg->txn) {
     s.txn = msg->txn_body;
@@ -605,9 +837,10 @@ void BasilReplica::OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg) {
   // The justification validates quorums of signed prepare votes — the heaviest
   // verification a replica does. It runs on the crypto pool (TCP) or inline (sim);
   // the continuation re-checks the guards, because the state may have advanced while
-  // the signatures were being checked.
-  VerifyThen(
-      cfg_->parallel_pipeline,
+  // the signatures were being checked. In partitioned mode the verdict returns to
+  // this transaction's owning strand, not the loop.
+  VerifyOnHome(
+      PartOfDigest(msg->txn),
       [this, msg](CostMeter& m) {
         const uint64_t t0 = now();
         const bool ok = validator_.ValidateSt2Justification(*msg, verifier_, &m);
@@ -646,6 +879,10 @@ void BasilReplica::OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> m
   if (msg->cert == nullptr) {
     return;
   }
+  RunOnPart(PartOfDigest(msg->cert->txn), [this, msg]() { WritebackOnOwner(msg); });
+}
+
+void BasilReplica::WritebackOnOwner(const std::shared_ptr<const WritebackMsg>& msg) {
   TxnState& s = GetState(msg->cert->txn);
   if (s.decided) {
     return;
@@ -653,20 +890,13 @@ void BasilReplica::OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> m
   if (s.txn == nullptr && msg->txn_body != nullptr &&
       msg->txn_body->id == msg->cert->txn) {
     s.txn = msg->txn_body;
-    auto it = arrival_waiters_.find(msg->cert->txn);
-    if (it != arrival_waiters_.end()) {
-      std::vector<TxnDigest> waiters = std::move(it->second);
-      arrival_waiters_.erase(it);
-      for (const TxnDigest& w : waiters) {
-        ContinueCheck(w);
-      }
-    }
+    DrainArrivalWaiters(msg->cert->txn);
   }
   // C-CERT/A-CERT validation verifies a quorum of signed votes or acks: crypto-pool
   // work. The body pointer is pinned here; the continuation re-fetches the state
   // (another writeback may have decided the transaction while this one verified).
-  VerifyThen(
-      cfg_->parallel_pipeline,
+  VerifyOnHome(
+      PartOfDigest(msg->cert->txn),
       [this, msg, body = s.txn](CostMeter& m) {
         const uint64_t t0 = now();
         const bool ok =
@@ -737,6 +967,7 @@ void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr
         rec.writes.emplace_back(w.key, w.value);
       }
     }
+    std::lock_guard<std::mutex> lock(wal_mu_);
     durable_->AppendCommit(rec, store_);
   }
   if (s.txn != nullptr) {
@@ -757,14 +988,17 @@ void BasilReplica::ApplyDecision(TxnState& s, Decision decision, DecisionCertPtr
 // ---------------------------------------------------------------------------
 
 void BasilReplica::StartRecovery(std::function<void()> on_complete) {
-  if (recovery_timer_armed_) {  // Re-entry: retire the previous round's timer.
-    CancelTimer(recovery_timer_);
-    recovery_timer_armed_ = false;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    if (recovery_timer_armed_) {  // Re-entry: retire the previous round's timer.
+      CancelTimer(recovery_timer_);
+      recovery_timer_armed_ = false;
+    }
+    recovering_ = true;
+    ++recovery_req_id_;
+    recovery_done_peers_.clear();
+    recovery_complete_cb_ = std::move(on_complete);
   }
-  recovering_ = true;
-  ++recovery_req_id_;
-  recovery_done_peers_.clear();
-  recovery_complete_cb_ = std::move(on_complete);
   counters_.Inc("recovery_started");
   SendStateRequests();
 }
@@ -772,13 +1006,17 @@ void BasilReplica::StartRecovery(std::function<void()> on_complete) {
 void BasilReplica::SendStateRequests() {
   Timestamp since{};
   if (durable_ != nullptr) {
-    since = durable_->high_water();
+    {
+      std::lock_guard<std::mutex> lock(wal_mu_);
+      since = durable_->high_water();
+    }
     // Commits apply in writeback order, not timestamp order: rewind the cursor so
     // commits below the high-water mark that we never logged are re-offered (the
     // applied-set makes re-application idempotent).
     since.time -= std::min(since.time, cfg_->recovery_lookback_ns);
     since.client_id = 0;
   }
+  std::lock_guard<std::mutex> lock(recovery_mu_);
   for (NodeId peer : topo_->ShardReplicas(shard_)) {
     if (peer == id() || recovery_done_peers_.contains(peer)) {
       continue;
@@ -790,8 +1028,13 @@ void BasilReplica::SendStateRequests() {
   }
   recovery_timer_armed_ = true;
   recovery_timer_ = SetTimer(cfg_->recovery_retry_ns, [this]() {
-    recovery_timer_armed_ = false;
-    if (recovering_) {
+    bool again = false;
+    {
+      std::lock_guard<std::mutex> timer_lock(recovery_mu_);
+      recovery_timer_armed_ = false;
+      again = recovering_;
+    }
+    if (again) {
       SendStateRequests();  // Re-ask the peers that have not finished streaming.
     }
   });
@@ -801,27 +1044,46 @@ void BasilReplica::OnStateRequest(NodeId src, const StateRequestMsg& msg) {
   if (!topo_->IsReplicaNode(src) || topo_->ShardOfReplicaNode(src) != shard_) {
     return;  // Only shard peers recover from us.
   }
-  // Serve every decided commit we can still prove (body + certificate), in
-  // timestamp order so streams are deterministic under the simulator.
-  std::vector<const TxnState*> commits;
-  for (const auto& [digest, s] : txns_) {
-    (void)digest;
-    if (s.decided && s.final_decision == Decision::kCommit && s.txn != nullptr &&
-        s.final_cert != nullptr && msg.since < s.txn->ts) {
-      commits.push_back(&s);
-    }
+  // Serve every decided commit we can still prove (body + certificate). Collection
+  // hops across the execution partitions in order; the final sort by timestamp
+  // makes the chunk stream deterministic for any partition count.
+  CollectStateFromPart(src, msg.req_id, msg.since, 0,
+                       std::make_shared<std::vector<StateEntry>>());
+}
+
+void BasilReplica::CollectStateFromPart(
+    NodeId src, uint64_t req_id, Timestamp since, size_t p,
+    std::shared_ptr<std::vector<StateEntry>> commits) {
+  if (p >= parts_.size()) {
+    SendStateChunks(src, req_id, std::move(*commits));
+    return;
   }
-  std::sort(commits.begin(), commits.end(), [](const TxnState* a, const TxnState* b) {
-    return a->txn->ts < b->txn->ts;
+  RunOnPart(p, [this, src, req_id, since, p, commits]() {
+    for (const auto& [digest, s] : parts_[p].txns) {
+      (void)digest;
+      if (s.decided && s.final_decision == Decision::kCommit && s.txn != nullptr &&
+          s.final_cert != nullptr && since < s.txn->ts) {
+        commits->push_back(StateEntry{s.txn, s.final_cert});
+      }
+    }
+    CollectStateFromPart(src, req_id, since, p + 1, commits);
   });
+}
+
+void BasilReplica::SendStateChunks(NodeId src, uint64_t req_id,
+                                   std::vector<StateEntry> commits) {
+  std::sort(commits.begin(), commits.end(),
+            [](const StateEntry& a, const StateEntry& b) {
+              return a.txn->ts < b.txn->ts;
+            });
   const uint32_t per_chunk = std::max<uint32_t>(1, cfg_->state_chunk_entries);
   size_t i = 0;
   do {
     auto chunk = std::make_shared<StateChunkMsg>();
-    chunk->req_id = msg.req_id;
+    chunk->req_id = req_id;
     chunk->replica = id();
     for (size_t j = 0; j < per_chunk && i < commits.size(); ++j, ++i) {
-      chunk->entries.push_back(StateEntry{commits[i]->txn, commits[i]->final_cert});
+      chunk->entries.push_back(commits[i]);
     }
     chunk->done = i == commits.size();
     counters_.Inc("state_entries_served", chunk->entries.size());
@@ -861,44 +1123,82 @@ bool BasilReplica::ApplyStateEntry(const StateEntry& entry) {
   // A commit already in the WAL (re-offered by the conservative `since` cursor) is
   // re-applied only to regain its in-memory TxnState + certificate; it is not a
   // missed commit.
-  const bool already_durable = durable_ != nullptr && durable_->HasApplied(txn.id);
+  bool already_durable = false;
+  if (durable_ != nullptr) {
+    std::lock_guard<std::mutex> lock(wal_mu_);
+    already_durable = durable_->HasApplied(txn.id);
+  }
   ApplyDecision(s, Decision::kCommit, entry.cert);
   counters_.Inc(already_durable ? "state_entries_reapplied"
                                 : "state_entries_applied");
   return true;
 }
 
-void BasilReplica::OnStateChunk(NodeId src, const StateChunkMsg& msg) {
+void BasilReplica::OnStateChunk(NodeId src, std::shared_ptr<const StateChunkMsg> msg) {
   if (!topo_->IsReplicaNode(src) || topo_->ShardOfReplicaNode(src) != shard_ ||
-      msg.replica != src) {  // The claimed sender must be the actual one.
+      msg->replica != src) {  // The claimed sender must be the actual one.
     return;
   }
   // Entries are cert-validated, so applying them is safe whether or not a recovery
-  // is in flight (late chunks from slow peers still land).
-  for (const StateEntry& e : msg.entries) {
-    if (!ApplyStateEntry(e)) {
-      counters_.Inc("state_entries_rejected");
-    }
-  }
-  if (!recovering_ || msg.req_id != recovery_req_id_ || !msg.done) {
+  // is in flight (late chunks from slow peers still land). Each entry applies on
+  // its transaction's owning strand; the done bookkeeping runs after the last one.
+  ApplyChunkEntries(src, msg, 0);
+}
+
+void BasilReplica::ApplyChunkEntries(NodeId src,
+                                     const std::shared_ptr<const StateChunkMsg>& msg,
+                                     size_t i) {
+  if (i >= msg->entries.size()) {
+    StateChunkDone(src, msg);
     return;
   }
-  recovery_done_peers_.insert(src);
-  if (recovery_done_peers_.size() >= cfg_->recovery_done_quorum()) {
-    FinishRecovery();
+  const StateEntry& e = msg->entries[i];
+  if (e.txn == nullptr) {
+    // No digest to route by; rejected in place.
+    counters_.Inc("state_entries_rejected");
+    ApplyChunkEntries(src, msg, i + 1);
+    return;
   }
+  RunOnPart(PartOfDigest(e.txn->id), [this, src, msg, i]() {
+    if (!ApplyStateEntry(msg->entries[i])) {
+      counters_.Inc("state_entries_rejected");
+    }
+    ApplyChunkEntries(src, msg, i + 1);
+  });
+}
+
+void BasilReplica::StateChunkDone(NodeId src,
+                                  const std::shared_ptr<const StateChunkMsg>& msg) {
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    if (!recovering_ || msg->req_id != recovery_req_id_ || !msg->done) {
+      return;
+    }
+    recovery_done_peers_.insert(src);
+    if (recovery_done_peers_.size() < cfg_->recovery_done_quorum()) {
+      return;
+    }
+  }
+  FinishRecovery();
 }
 
 void BasilReplica::FinishRecovery() {
-  recovering_ = false;
-  if (recovery_timer_armed_) {
-    CancelTimer(recovery_timer_);
-    recovery_timer_armed_ = false;
+  std::function<void()> cb;
+  {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    if (!recovering_) {
+      return;  // Another chunk's bookkeeping finished this round first.
+    }
+    recovering_ = false;
+    if (recovery_timer_armed_) {
+      CancelTimer(recovery_timer_);
+      recovery_timer_armed_ = false;
+    }
+    cb = std::move(recovery_complete_cb_);
+    recovery_complete_cb_ = nullptr;
   }
   counters_.Inc("recovery_completed");
-  if (recovery_complete_cb_) {
-    auto cb = std::move(recovery_complete_cb_);
-    recovery_complete_cb_ = nullptr;
+  if (cb) {
     cb();
   }
 }
@@ -907,177 +1207,187 @@ void BasilReplica::FinishRecovery() {
 // Fallback protocol (§5, divergent case).
 // ---------------------------------------------------------------------------
 
-void BasilReplica::OnInvokeFb(NodeId src, const InvokeFbMsg& msg) {
+void BasilReplica::OnInvokeFb(NodeId src, std::shared_ptr<const InvokeFbMsg> msg) {
   ChargeClientAuthVerify();
-  TxnState& s = GetState(msg.txn);
-  s.interested.insert(src);
-  if (s.txn == nullptr && msg.txn_body != nullptr && msg.txn_body->id == msg.txn) {
-    s.txn = msg.txn_body;
-  }
-  if (s.decided) {
-    ReplyCert(src, s);
-    return;
-  }
-  counters_.Inc("fb_invocations");
-
-  // Determine the new current view from the signed view evidence.
-  std::vector<uint32_t> views;
-  for (const SignedSt2Ack& ack : msg.views) {
-    if (ack.txn != msg.txn || !topo_->IsReplicaNode(ack.replica) ||
-        topo_->ShardOfReplicaNode(ack.replica) != shard_) {
-      continue;
+  RunOnPart(PartOfDigest(msg->txn), [this, src, msg]() {
+    TxnState& s = GetState(msg->txn);
+    s.interested.insert(src);
+    if (s.txn == nullptr && msg->txn_body != nullptr && msg->txn_body->id == msg->txn) {
+      s.txn = msg->txn_body;
     }
-    if (!verifier_.Verify(ack.Digest(), ack.cert, &meter())) {
-      continue;
+    if (s.decided) {
+      ReplyCert(src, s);
+      return;
     }
-    views.push_back(ack.view_current);
-  }
-  uint32_t target = ComputeTargetView(views, s.view_current,
-                                      3 * cfg_->f + 1, cfg_->f + 1);
-  if (msg.views.empty() && s.view_current == 0) {
-    target = 1;  // Appendix B.5: the 0 -> 1 transition needs no proof.
-  }
-  if (target > s.view_current) {
-    s.view_current = target;
-  }
-  if (s.view_current == 0) {
-    return;  // No election in view 0: clients drive directly.
-  }
+    counters_.Inc("fb_invocations");
 
-  // ELECT FB to the view's leader. Correct replicas vote their logged decision; a
-  // replica that never logged one falls back to its ST1 vote (DESIGN.md notes why
-  // this preserves Lemma 4's majority argument).
-  Decision d = Decision::kAbort;
-  if (s.logged_decision.has_value()) {
-    d = *s.logged_decision;
-  } else if (s.vote.has_value() && *s.vote == Vote::kCommit) {
-    d = Decision::kCommit;
-  }
-  auto elect = std::make_shared<ElectFbMsg>();
-  elect->elect.txn = msg.txn;
-  elect->elect.decision = d;
-  elect->elect.view = s.view_current;
-  elect->elect.replica = id();
-  if (keys_->enabled()) {
-    meter().ChargeSign();
-  }
-  elect->elect.sig = keys_->Sign(id(), elect->elect.Digest());
-  const ReplicaId leader = FallbackLeaderIndex(msg.txn, s.view_current, cfg_->n());
-  Send(topo_->ReplicaNode(shard_, leader), std::move(elect));
+    // Determine the new current view from the signed view evidence.
+    std::vector<uint32_t> views;
+    for (const SignedSt2Ack& ack : msg->views) {
+      if (ack.txn != msg->txn || !topo_->IsReplicaNode(ack.replica) ||
+          topo_->ShardOfReplicaNode(ack.replica) != shard_) {
+        continue;
+      }
+      if (!verifier_.Verify(ack.Digest(), ack.cert, &meter())) {
+        continue;
+      }
+      views.push_back(ack.view_current);
+    }
+    uint32_t target = ComputeTargetView(views, s.view_current,
+                                        3 * cfg_->f + 1, cfg_->f + 1);
+    if (msg->views.empty() && s.view_current == 0) {
+      target = 1;  // Appendix B.5: the 0 -> 1 transition needs no proof.
+    }
+    if (target > s.view_current) {
+      s.view_current = target;
+    }
+    if (s.view_current == 0) {
+      return;  // No election in view 0: clients drive directly.
+    }
+
+    // ELECT FB to the view's leader. Correct replicas vote their logged decision; a
+    // replica that never logged one falls back to its ST1 vote (DESIGN.md notes why
+    // this preserves Lemma 4's majority argument).
+    Decision d = Decision::kAbort;
+    if (s.logged_decision.has_value()) {
+      d = *s.logged_decision;
+    } else if (s.vote.has_value() && *s.vote == Vote::kCommit) {
+      d = Decision::kCommit;
+    }
+    auto elect = std::make_shared<ElectFbMsg>();
+    elect->elect.txn = msg->txn;
+    elect->elect.decision = d;
+    elect->elect.view = s.view_current;
+    elect->elect.replica = id();
+    if (keys_->enabled()) {
+      meter().ChargeSign();
+    }
+    elect->elect.sig = keys_->Sign(id(), elect->elect.Digest());
+    const ReplicaId leader = FallbackLeaderIndex(msg->txn, s.view_current, cfg_->n());
+    Send(topo_->ReplicaNode(shard_, leader), std::move(elect));
+  });
 }
 
-void BasilReplica::OnElectFb(NodeId src, const ElectFbMsg& msg) {
-  const ElectFbData& e = msg.elect;
-  if (keys_->enabled()) {
-    meter().ChargeVerify();
-  }
-  if (!keys_->Verify(e.sig, e.Digest())) {
-    counters_.Inc("elect_bad_sig");
-    return;
-  }
-  if (FallbackLeaderIndex(e.txn, e.view, cfg_->n()) != index_) {
-    return;  // Not this view's leader.
-  }
-  TxnState& s = GetState(e.txn);
-  if (s.decided) {
-    ReplyCert(src, s);
-    return;
-  }
-  s.elect_msgs[e.view][src] = e;
-  const auto& bucket = s.elect_msgs[e.view];
-  if (bucket.size() < cfg_->elect_quorum() || s.dec_fb_sent.contains(e.view)) {
-    return;
-  }
-  // Propose the majority decision (§5 step 3).
-  uint32_t commits = 0;
-  std::vector<ElectFbData> proof;
-  proof.reserve(bucket.size());
-  for (const auto& [node, data] : bucket) {
-    (void)node;
-    proof.push_back(data);
-    if (data.decision == Decision::kCommit) {
-      ++commits;
-    }
-  }
-  const Decision dec = commits * 2 > bucket.size() ? Decision::kCommit
-                                                   : Decision::kAbort;
-  s.dec_fb_sent.insert(e.view);
-  counters_.Inc("fb_elected_leader");
-
-  auto dfb = std::make_shared<DecFbMsg>();
-  dfb->txn = e.txn;
-  dfb->decision = dec;
-  dfb->view = e.view;
-  dfb->leader = id();
-  if (keys_->enabled()) {
-    meter().ChargeSign();
-  }
-  dfb->leader_sig = keys_->Sign(id(), dfb->Digest());
-  dfb->proof = std::move(proof);
-  const MsgPtr out = dfb;
-  SendToAll(topo_->ShardReplicas(shard_), out);
-}
-
-void BasilReplica::OnDecFb(NodeId src, const DecFbMsg& msg) {
-  (void)src;
-  if (keys_->enabled()) {
-    meter().ChargeVerify();
-  }
-  if (!keys_->Verify(msg.leader_sig, msg.Digest())) {
-    return;
-  }
-  if (FallbackLeaderIndex(msg.txn, msg.view, cfg_->n()) !=
-      topo_->ReplicaIndex(msg.leader)) {
-    return;
-  }
-  // Validate the 4f+1 ELECT FB proof and the majority rule.
-  std::set<NodeId> seen;
-  uint32_t commits = 0;
-  for (const ElectFbData& e : msg.proof) {
-    if (e.txn != msg.txn || e.view != msg.view || !topo_->IsReplicaNode(e.replica) ||
-        topo_->ShardOfReplicaNode(e.replica) != shard_) {
-      continue;
-    }
+void BasilReplica::OnElectFb(NodeId src, std::shared_ptr<const ElectFbMsg> msg) {
+  RunOnPart(PartOfDigest(msg->elect.txn), [this, src, msg]() {
+    const ElectFbData& e = msg->elect;
     if (keys_->enabled()) {
       meter().ChargeVerify();
     }
     if (!keys_->Verify(e.sig, e.Digest())) {
-      continue;
+      counters_.Inc("elect_bad_sig");
+      return;
     }
-    if (seen.insert(e.replica).second && e.decision == Decision::kCommit) {
-      ++commits;
+    if (FallbackLeaderIndex(e.txn, e.view, cfg_->n()) != index_) {
+      return;  // Not this view's leader.
     }
-  }
-  if (seen.size() < cfg_->elect_quorum()) {
-    return;
-  }
-  const Decision majority = commits * 2 > seen.size() ? Decision::kCommit
-                                                      : Decision::kAbort;
-  if (majority != msg.decision) {
-    counters_.Inc("decfb_bad_majority");
-    return;
-  }
-  TxnState& s = GetState(msg.txn);
-  if (s.decided || s.view_current > msg.view) {
-    return;
-  }
-  s.logged_decision = msg.decision;
-  s.view_decision = msg.view;
-  s.view_current = msg.view;
-  counters_.Inc("fb_decisions_adopted");
-  for (NodeId c : s.interested) {
-    ReplySt2Ack(c, s);
-  }
+    TxnState& s = GetState(e.txn);
+    if (s.decided) {
+      ReplyCert(src, s);
+      return;
+    }
+    s.elect_msgs[e.view][src] = e;
+    const auto& bucket = s.elect_msgs[e.view];
+    if (bucket.size() < cfg_->elect_quorum() || s.dec_fb_sent.contains(e.view)) {
+      return;
+    }
+    // Propose the majority decision (§5 step 3).
+    uint32_t commits = 0;
+    std::vector<ElectFbData> proof;
+    proof.reserve(bucket.size());
+    for (const auto& [node, data] : bucket) {
+      (void)node;
+      proof.push_back(data);
+      if (data.decision == Decision::kCommit) {
+        ++commits;
+      }
+    }
+    const Decision dec = commits * 2 > bucket.size() ? Decision::kCommit
+                                                     : Decision::kAbort;
+    s.dec_fb_sent.insert(e.view);
+    counters_.Inc("fb_elected_leader");
+
+    auto dfb = std::make_shared<DecFbMsg>();
+    dfb->txn = e.txn;
+    dfb->decision = dec;
+    dfb->view = e.view;
+    dfb->leader = id();
+    if (keys_->enabled()) {
+      meter().ChargeSign();
+    }
+    dfb->leader_sig = keys_->Sign(id(), dfb->Digest());
+    dfb->proof = std::move(proof);
+    const MsgPtr out = dfb;
+    SendToAll(topo_->ShardReplicas(shard_), out);
+  });
+}
+
+void BasilReplica::OnDecFb(NodeId src, std::shared_ptr<const DecFbMsg> msg) {
+  (void)src;
+  RunOnPart(PartOfDigest(msg->txn), [this, msg]() {
+    if (keys_->enabled()) {
+      meter().ChargeVerify();
+    }
+    if (!keys_->Verify(msg->leader_sig, msg->Digest())) {
+      return;
+    }
+    if (FallbackLeaderIndex(msg->txn, msg->view, cfg_->n()) !=
+        topo_->ReplicaIndex(msg->leader)) {
+      return;
+    }
+    // Validate the 4f+1 ELECT FB proof and the majority rule.
+    std::set<NodeId> seen;
+    uint32_t commits = 0;
+    for (const ElectFbData& e : msg->proof) {
+      if (e.txn != msg->txn || e.view != msg->view ||
+          !topo_->IsReplicaNode(e.replica) ||
+          topo_->ShardOfReplicaNode(e.replica) != shard_) {
+        continue;
+      }
+      if (keys_->enabled()) {
+        meter().ChargeVerify();
+      }
+      if (!keys_->Verify(e.sig, e.Digest())) {
+        continue;
+      }
+      if (seen.insert(e.replica).second && e.decision == Decision::kCommit) {
+        ++commits;
+      }
+    }
+    if (seen.size() < cfg_->elect_quorum()) {
+      return;
+    }
+    const Decision majority = commits * 2 > seen.size() ? Decision::kCommit
+                                                        : Decision::kAbort;
+    if (majority != msg->decision) {
+      counters_.Inc("decfb_bad_majority");
+      return;
+    }
+    TxnState& s = GetState(msg->txn);
+    if (s.decided || s.view_current > msg->view) {
+      return;
+    }
+    s.logged_decision = msg->decision;
+    s.view_decision = msg->view;
+    s.view_current = msg->view;
+    counters_.Inc("fb_decisions_adopted");
+    for (NodeId c : s.interested) {
+      ReplySt2Ack(c, s);
+    }
+  });
 }
 
 void BasilReplica::OnFetch(NodeId src, const FetchMsg& msg) {
-  const TxnState* s = FindState(msg.digest);
-  if (s == nullptr || s->txn == nullptr) {
-    return;
-  }
-  auto reply = std::make_shared<FetchReplyMsg>();
-  reply->txn = s->txn;
-  Send(src, std::move(reply));
+  const TxnDigest digest = msg.digest;
+  RunOnPart(PartOfDigest(digest), [this, src, digest]() {
+    const TxnState* s = FindState(digest);
+    if (s == nullptr || s->txn == nullptr) {
+      return;
+    }
+    auto reply = std::make_shared<FetchReplyMsg>();
+    reply->txn = s->txn;
+    Send(src, std::move(reply));
+  });
 }
 
 }  // namespace basil

@@ -2,12 +2,28 @@
 // MVTSO-Check (Algorithm 1) with dependency waiting, logs Stage-2 decisions, applies
 // writebacks, and participates in per-transaction fallback elections. Outgoing signed
 // replies are batched per §4.4.
+//
+// Partitioned execution state (docs/TRANSPORT.md "Partitioned state"): with
+// cfg->exec_partitions > 0 the TxnState map is sharded by txn digest into P
+// partitions, each owned by the strand that StrandOfDigest routes to, and every
+// handler runs end-to-end on its transaction's owning strand (the event loop is
+// reduced to demux + send). Partition shards follow the actor model — no locks; a
+// shard is touched only from its owning strand, and cross-partition interactions
+// (dependency checks, conflict-certificate fetches, state transfer) are posted hops
+// between strands. Because Runtime::Post runs inline on the simulator, both modes
+// execute the identical sequential operation order there, so simulated results are
+// bit-identical with partitioning on or off (tests/test_strands.cc pins this).
+// Shared facilities that serve every partition stay mutex-guarded: the reply batch
+// (batch composition must match the loop-owned original), the WAL, and the recovery
+// bookkeeping. Lock hierarchy: owning strand -> batch/wal/recovery mutex ->
+// loop/store-partition mutex; never reversed.
 #ifndef BASIL_SRC_BASIL_REPLICA_H_
 #define BASIL_SRC_BASIL_REPLICA_H_
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -57,7 +73,10 @@ class BasilReplica : public Process {
   // least f+1 correct peers streamed their full commit history). The replica keeps
   // serving protocol traffic while catching up — MVTSO stays safe either way.
   void StartRecovery(std::function<void()> on_complete);
-  bool recovering() const { return recovering_; }
+  bool recovering() const {
+    std::lock_guard<std::mutex> lock(recovery_mu_);
+    return recovering_;
+  }
 
   // Test introspection.
   std::optional<Vote> VoteFor(const TxnDigest& txn) const;
@@ -92,6 +111,14 @@ class BasilReplica : public Process {
     // and certificate are attached to ST1 replies (abort fast path case 5).
     TxnPtr conflict_txn;
     DecisionCertPtr conflict_cert;
+    // The committed writer whose certificate still has to be fetched from its owning
+    // partition before the abort vote is published (set by RunConflictChecks).
+    std::optional<TxnDigest> conflict_writer;
+    // Dependency decisions delivered to this transaction. Recorded even before it
+    // reaches kAwaitDecision: in partitioned mode a dependency may decide while the
+    // step-7 registration hops are still in flight, and the recorded outcome is
+    // consumed by FinishStep7 so the wakeup is never lost.
+    std::unordered_map<TxnDigest, Decision, TxnDigestHash> dep_outcomes;
     std::set<NodeId> interested;  // Recovery clients to notify of decisions.
     // As fallback leader: ELECT FB messages per view.
     std::map<uint32_t, std::map<NodeId, ElectFbData>> elect_msgs;
@@ -107,22 +134,52 @@ class BasilReplica : public Process {
   // The hot three (ST1/ST2/Writeback) take the message by shared_ptr: their heavy
   // stages (body hashing, signature verification) run on the runtime's strands /
   // crypto pool, and the closures must keep the message alive past the handler.
-  virtual void OnRead(NodeId src, const ReadMsg& msg);
+  virtual void OnRead(NodeId src, std::shared_ptr<const ReadMsg> msg);
   virtual void OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg);
   virtual void OnSt2(NodeId src, std::shared_ptr<const St2Msg> msg);
   virtual void OnWriteback(NodeId src, std::shared_ptr<const WritebackMsg> msg);
   virtual void OnAbortRead(const AbortReadMsg& msg);
-  virtual void OnInvokeFb(NodeId src, const InvokeFbMsg& msg);
-  virtual void OnElectFb(NodeId src, const ElectFbMsg& msg);
-  virtual void OnDecFb(NodeId src, const DecFbMsg& msg);
+  virtual void OnInvokeFb(NodeId src, std::shared_ptr<const InvokeFbMsg> msg);
+  virtual void OnElectFb(NodeId src, std::shared_ptr<const ElectFbMsg> msg);
+  virtual void OnDecFb(NodeId src, std::shared_ptr<const DecFbMsg> msg);
   virtual void OnFetch(NodeId src, const FetchMsg& msg);
   virtual void OnStateRequest(NodeId src, const StateRequestMsg& msg);
-  virtual void OnStateChunk(NodeId src, const StateChunkMsg& msg);
+  virtual void OnStateChunk(NodeId src, std::shared_ptr<const StateChunkMsg> msg);
 
   // Hook: lets a Byzantine subclass flip its ST1 vote. Default: identity.
   virtual Vote FilterVote(const TxnDigest& /*txn*/, Vote vote) { return vote; }
 
-  TxnState& GetState(const TxnDigest& digest) { return txns_[digest]; }
+  // One execution-state shard: the transactions owned by a partition plus the
+  // arrival waiters for those transactions (dep digest -> waiters registered from
+  // other partitions). Actor-model: no lock — a Part is only ever touched from its
+  // owning strand (with exec_partitions == 0 everything runs on the loop and there
+  // is exactly one Part).
+  struct Part {
+    std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns;
+    std::unordered_map<TxnDigest, std::vector<TxnDigest>, TxnDigestHash>
+        arrival_waiters;
+  };
+
+  bool partitioned() const { return cfg_->exec_partitions > 0; }
+  size_t PartOfDigest(const TxnDigest& digest) const {
+    return static_cast<size_t>(StrandOfDigest(digest) % parts_.size());
+  }
+  size_t PartOfKey(const Key& key) const { return store_.PartitionOf(key); }
+  // Runs `fn` on the strand owning partition `part`: inline when partitioning is off
+  // (and always inline on the simulator, whose Post is synchronous — that is what
+  // keeps both modes bit-identical there).
+  void RunOnPart(size_t part, std::function<void()> fn);
+  // Runs `check` and delivers the verdict back on partition `part`'s strand: inline
+  // without the parallel pipeline, the legacy loop-continuation Verify1 when
+  // partitioning is off, and a crypto-pool offload that returns home otherwise.
+  void VerifyOnHome(size_t part, VerifyFn check, std::function<void(bool)> then);
+
+  // Both accessors must be called from the digest's owning strand (any thread is
+  // fine while the runtime is single-threaded). Entries are never erased, so
+  // references stay valid across posted hops.
+  TxnState& GetState(const TxnDigest& digest) {
+    return parts_[PartOfDigest(digest)].txns[digest];
+  }
   const TxnState* FindState(const TxnDigest& digest) const;
 
   // True iff this replica's shard owns `key` (each shard checks and applies only its
@@ -133,14 +190,43 @@ class BasilReplica : public Process {
   void St1Arrived(NodeId src, const std::shared_ptr<const St1Msg>& msg);
 
   // --- MVTSO-Check machinery (Algorithm 1) ---
+  // Runs as a chain of strand hops: each step re-resolves the TxnState by digest on
+  // its owning strand and re-checks the phase/vote guards, so a vote pinned while a
+  // hop was in flight (timer abort, dependency abort) wins and the chain stops.
   void StartCheck(TxnState& s);
+  // Walks deps sequentially, registering this txn as an arrival waiter on each
+  // missing dependency's partition; then arms the arrival timer and continues.
+  void RegisterArrivalWaits(const TxnDigest& digest, size_t i, bool any_missing);
   void ContinueCheck(const TxnDigest& digest);
+  // Step 2: peek dependency `i` on its partition; abort/stall/advance accordingly.
+  void DepScan(const TxnDigest& digest, size_t i);
+  // Step 7: register with undecided dependency `i` on its partition.
+  void Step7Register(const TxnDigest& digest, size_t i);
+  // After all step-7 registrations: consume decisions that raced the registration
+  // hops (dep_outcomes), then vote commit or start waiting.
+  void FinishStep7(TxnState& s);
+  // A dependency's decision delivered on this txn's owning strand.
+  void ResolveDepDecision(const TxnDigest& digest, const TxnDigest& dep, Decision dec);
   // Steps 3-6: conflict checks and insertion into the prepared set.
   Vote RunConflictChecks(TxnState& s);
+  // Publishes an abort that names a committed conflict: fetches the conflicting
+  // writer's body + certificate from its partition, then SetVote.
+  void FinishVoteWithConflict(const TxnDigest& digest, TxnState& s, Vote vote);
   void SetVote(TxnState& s, Vote vote);
   void InsertPrepared(TxnState& s);
   void RemovePrepared(TxnState& s);
   void NotifyDependents(TxnState& s);
+  // Drains arrival waiters registered for `digest` (body just arrived); must run on
+  // the digest's owning strand.
+  void DrainArrivalWaiters(const TxnDigest& digest);
+
+  // --- Owner-strand handler bodies ---
+  // OnRead continuation on the key's partition: serves the read from the store, then
+  // hops to the committed/prepared writers' partitions to attach certs and bodies.
+  void ServeRead(NodeId src, const std::shared_ptr<const ReadMsg>& msg);
+  void FinishRead(NodeId src, const std::shared_ptr<ReadReplyMsg>& reply);
+  void St2OnOwner(NodeId src, const std::shared_ptr<const St2Msg>& msg);
+  void WritebackOnOwner(const std::shared_ptr<const WritebackMsg>& msg);
 
   // --- Replies ---
   void ReplyVote(NodeId dst, TxnState& s);
@@ -157,7 +243,19 @@ class BasilReplica : public Process {
 
   // --- Recovery machinery ---
   void SendStateRequests();
-  // Applies one validated state entry; returns false if it was rejected.
+  // OnStateRequest fan-out: collect decided commits from partition `p` on its strand,
+  // then recurse to p+1; the final hop sorts by timestamp and sends chunks. The sort
+  // makes the chunk stream identical for any partition count.
+  void CollectStateFromPart(NodeId src, uint64_t req_id, Timestamp since, size_t p,
+                            std::shared_ptr<std::vector<StateEntry>> commits);
+  void SendStateChunks(NodeId src, uint64_t req_id, std::vector<StateEntry> commits);
+  // OnStateChunk fan-out: apply entry `i` on its owner strand, then recurse to i+1;
+  // the final hop runs the done-quorum bookkeeping.
+  void ApplyChunkEntries(NodeId src, const std::shared_ptr<const StateChunkMsg>& msg,
+                         size_t i);
+  void StateChunkDone(NodeId src, const std::shared_ptr<const StateChunkMsg>& msg);
+  // Applies one validated state entry; returns false if it was rejected. Must run on
+  // the entry's owning strand.
   bool ApplyStateEntry(const StateEntry& entry);
   void FinishRecovery();
 
@@ -172,7 +270,10 @@ class BasilReplica : public Process {
   Counters counters_;
   obs::TxnTracer tracer_;  // Per-stage latency spans, into runtime().metrics().
 
-  std::unordered_map<TxnDigest, TxnState, TxnDigestHash> txns_;
+  // Execution-state shards, one per partition (exactly one with partitioning off).
+  // Sized once in the constructor; the vector itself is immutable afterwards, so
+  // cross-strand indexing needs no lock.
+  std::vector<Part> parts_;
 
   struct PendingReply {
     NodeId dst;
@@ -180,16 +281,21 @@ class BasilReplica : public Process {
     Hash256 digest;
     std::function<void(std::shared_ptr<MsgBase>, BatchCert)> set_cert;
   };
+  // Reply batching is global (one batch stream per replica, like the loop-owned
+  // original — per-partition batches would change batch composition). batch_mu_
+  // guards the four fields below; FlushBatch seals outside the lock.
+  std::mutex batch_mu_;
   std::vector<PendingReply> pending_replies_;
   bool batch_timer_armed_ = false;
   EventId batch_timer_ = 0;
   uint64_t seal_seq_ = 0;  // Rotates batch sealing (merkle + sign) across strands.
 
-  // Transactions whose arrival other transactions await: dep digest -> waiters.
-  std::unordered_map<TxnDigest, std::vector<TxnDigest>, TxnDigestHash> arrival_waiters_;
-
   // --- Recovery state ---
+  std::mutex wal_mu_;  // Serializes durable_ appends/queries across strands.
   DurableStore* durable_ = nullptr;
+  // recovery_mu_ guards the requester-side bookkeeping below (chunk done-quorum
+  // arrives on whatever strand applied the last entry).
+  mutable std::mutex recovery_mu_;
   bool recovering_ = false;
   uint64_t recovery_req_id_ = 0;
   std::set<NodeId> recovery_done_peers_;  // Ordered: deterministic in the simulator.

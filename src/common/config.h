@@ -102,6 +102,15 @@ struct BasilConfig {
   // `false` keeps everything on the event-loop thread for A/B comparison.
   bool parallel_pipeline = true;
 
+  // Partitioned execution state (docs/TRANSPORT.md "Partitioned state"): shard the
+  // replica's TxnState map (by txn digest) and route handlers end-to-end onto the
+  // owning strand, so state mutation no longer serializes on the event-loop thread.
+  // 0 = off: handlers mutate state in loop/handler context exactly as before. The
+  // sim runs Post inline, so results are bit-identical with any partition count
+  // (tests/test_strands.cc pins this); requires parallel_pipeline on the TCP
+  // backend to actually spread work across strand workers.
+  uint32_t exec_partitions = 0;
+
   uint32_t n() const { return 5 * f + 1; }
   uint32_t commit_quorum() const { return 3 * f + 1; }       // CQ = (n+f+1)/2.
   uint32_t abort_quorum() const { return f + 1; }            // AQ.
@@ -126,6 +135,9 @@ struct TapirConfig {
   // Same toggle as BasilConfig::parallel_pipeline: prepare bodies are digest-checked
   // on a strand keyed by txn digest before the OCC check runs in handler context.
   bool parallel_pipeline = true;
+  // Same semantics as BasilConfig::exec_partitions: 0 = loop-owned TxnState map,
+  // N = N digest-sharded partitions each owned by its strand.
+  uint32_t exec_partitions = 0;
 
   uint32_t n() const { return 2 * f + 1; }
   // IR fast quorum ceil(3f/2)+1; slow path needs a simple majority f+1.

@@ -39,12 +39,16 @@ void LatencyStats::Merge(const LatencyStats& other) {
 }
 
 uint64_t Counters::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = values_.find(name);
   return it == values_.end() ? 0 : it->second;
 }
 
 void Counters::Merge(const Counters& other) {
-  for (const auto& [k, v] : other.values_) {
+  // Snapshot `other` first so self-merge and lock ordering are non-issues.
+  const std::map<std::string, uint64_t> theirs = other.values();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : theirs) {
     values_[k] += v;
   }
 }

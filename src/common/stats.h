@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,16 +32,41 @@ class LatencyStats {
   mutable bool sorted_ = false;
 };
 
-// Named counters; used for commit/abort/fallback accounting.
+// Named counters; used for commit/abort/fallback accounting. Thread-safe: with
+// partitioned execution state (docs/TRANSPORT.md) replica counters are bumped from
+// whichever strand worker owns the partition, so every access takes the internal
+// mutex. Copyable (snapshots a consistent view) so RunResult and the harness can
+// keep passing Counters by value.
 class Counters {
  public:
-  void Inc(const std::string& name, uint64_t delta = 1) { values_[name] += delta; }
+  Counters() = default;
+  Counters(const Counters& other) : values_(other.Snapshot()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      std::map<std::string, uint64_t> copy = other.Snapshot();
+      std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(copy);
+    }
+    return *this;
+  }
+
+  void Inc(const std::string& name, uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
   // Total for `name`; a name never incremented reads as 0 (no entry is created).
   uint64_t Get(const std::string& name) const;
   void Merge(const Counters& other);
-  const std::map<std::string, uint64_t>& values() const { return values_; }
+  // Consistent snapshot (by value: the map can change under concurrent Inc).
+  std::map<std::string, uint64_t> values() const { return Snapshot(); }
 
  private:
+  std::map<std::string, uint64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+  mutable std::mutex mu_;
   std::map<std::string, uint64_t> values_;
 };
 

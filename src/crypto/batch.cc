@@ -57,9 +57,10 @@ bool BatchVerifier::Verify(const Hash256& reply_digest, const BatchCert& cert,
     return false;
   }
   const RootKey key{cert.root, cert.root_sig.signer};
+  Shard& shard = ShardOf(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (cache_.contains(key)) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.roots.contains(key)) {
       return true;
     }
   }
@@ -69,8 +70,8 @@ bool BatchVerifier::Verify(const Hash256& reply_digest, const BatchCert& cert,
   if (!keys_->Verify(cert.root_sig, cert.root)) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  cache_.insert(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.roots.insert(key);
   return true;
 }
 

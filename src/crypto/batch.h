@@ -5,6 +5,7 @@
 #ifndef BASIL_SRC_CRYPTO_BATCH_H_
 #define BASIL_SRC_CRYPTO_BATCH_H_
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <unordered_set>
@@ -38,8 +39,10 @@ std::vector<BatchCert> SealBatch(const std::vector<Hash256>& reply_digests,
                                  CostMeter* meter);
 
 // Verifying side with the root-signature cache of Figure 2. Thread-safe: Verify may
-// be called concurrently from a runtime's crypto-offload pool (the cache is guarded;
-// the signature check itself runs outside the lock so verification still parallelizes).
+// be called concurrently from a runtime's crypto-offload pool. The cache is sharded
+// by root hash so cache hits from different batches never contend on one mutex
+// (a single guarded set serialized every crypto-pool thread on the hit path); the
+// signature check itself runs outside any lock so verification still parallelizes.
 class BatchVerifier {
  public:
   explicit BatchVerifier(const KeyRegistry* keys) : keys_(keys) {}
@@ -50,8 +53,12 @@ class BatchVerifier {
   bool Verify(const Hash256& reply_digest, const BatchCert& cert, CostMeter* meter);
 
   size_t cache_size() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return cache_.size();
+    size_t n = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      n += shard.roots.size();
+    }
+    return n;
   }
 
  private:
@@ -68,10 +75,21 @@ class BatchVerifier {
       return h ^ (static_cast<size_t>(k.signer) << 1);
     }
   };
+  // Fixed shard count: far more shards than crypto-pool threads (<= ~16), so two
+  // threads rarely hash to one lock. Roots are crypto-random, so the low bits of
+  // RootKeyHash spread uniformly.
+  static constexpr size_t kCacheShards = 16;
+  struct Shard {
+    mutable std::mutex mu;  // Guards roots only; crypto runs outside the lock.
+    std::unordered_set<RootKey, RootKeyHash> roots;
+  };
+
+  Shard& ShardOf(const RootKey& key) {
+    return shards_[RootKeyHash{}(key) % kCacheShards];
+  }
 
   const KeyRegistry* keys_;
-  mutable std::mutex mu_;  // Guards cache_ only; crypto runs outside the lock.
-  std::unordered_set<RootKey, RootKeyHash> cache_;
+  std::array<Shard, kCacheShards> shards_;
 };
 
 }  // namespace basil

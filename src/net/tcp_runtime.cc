@@ -84,6 +84,15 @@ void CloseQuiet(int fd) {
   }
 }
 
+// Loop-residency sampling window (LoopMain).
+constexpr uint64_t kResidencyWindowNs = 1'000'000'000ull;
+
+// Pool threads run protocol code that may call Runtime::meter() arbitrarily deep
+// (partitioned handlers charge costs from their owning strand); this points them at
+// their worker's scratch meter instead of the loop-owned one. Each pool thread
+// belongs to exactly one TcpRuntime, so a plain thread_local is unambiguous.
+thread_local CostMeter* tls_scratch_meter = nullptr;
+
 }  // namespace
 
 TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
@@ -102,10 +111,15 @@ TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
   const obs::MetricId strand_depth = metrics_.RegisterGauge("rt.strand.queue_depth");
   const obs::MetricId crypto_wait = metrics_.RegisterHistogram("rt.crypto.queue_wait_ns");
   const obs::MetricId crypto_depth = metrics_.RegisterGauge("rt.crypto.queue_depth");
+  loop_residency_hist_ = metrics_.RegisterHistogram("rt.loop.residency_pct");
   for (uint32_t i = 0; i < workers; ++i) {
     strand_workers_.push_back(std::make_unique<PoolWorker>());
     strand_workers_.back()->wait_hist = strand_wait;
     strand_workers_.back()->depth_gauge = strand_depth;
+    // Per-worker depth histogram: each strand worker owns a fixed set of partitions
+    // under partitioned execution state, so w<i> backlog == partition backlog.
+    strand_workers_.back()->depth_hist = metrics_.RegisterHistogram(
+        "rt.strand.w" + std::to_string(i) + ".queue_depth");
     crypto_workers_.push_back(std::make_unique<PoolWorker>());
     crypto_workers_.back()->wait_hist = crypto_wait;
     crypto_workers_.back()->depth_gauge = crypto_depth;
@@ -115,6 +129,10 @@ TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
 TcpRuntime::~TcpRuntime() { Stop(); }
 
 uint64_t TcpRuntime::now() const { return MonotonicNowNs(); }
+
+CostMeter& TcpRuntime::meter() {
+  return tls_scratch_meter != nullptr ? *tls_scratch_meter : meter_;
+}
 
 bool TcpRuntime::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -227,10 +245,29 @@ void TcpRuntime::Stop() {
 // ---------------------------------------------------------------------------
 
 void TcpRuntime::LoopMain() {
+  // Residency self-sampling: fraction of each ~1 s window the loop spent running
+  // callbacks (percent). With partitioned execution state the loop should be mostly
+  // idle demux + send; this histogram is the proof (docs/OBSERVABILITY.md).
+  uint64_t window_start = MonotonicNowNs();
+  uint64_t busy_ns = 0;
+  auto charge_busy = [&](uint64_t t0, uint64_t t1) {
+    busy_ns += t1 - t0;
+    if (t1 - window_start >= kResidencyWindowNs) {
+      metrics_.Observe(loop_residency_hist_, busy_ns * 100 / (t1 - window_start));
+      window_start = t1;
+      busy_ns = 0;
+    }
+  };
   std::unique_lock<std::mutex> lock(loop_mu_);
   while (true) {
     // Drain due timers and queued tasks.
     const uint64_t t = MonotonicNowNs();
+    if (metrics_.enabled() && t - window_start >= kResidencyWindowNs) {
+      // Idle-window flush: emit the (low) residency even when no callback ran.
+      metrics_.Observe(loop_residency_hist_, busy_ns * 100 / (t - window_start));
+      window_start = t;
+      busy_ns = 0;
+    }
     while (!timers_.empty() && timers_.begin()->first.first <= t) {
       auto node = timers_.extract(timers_.begin());
       const EventId tid = node.key().second;
@@ -238,17 +275,26 @@ void TcpRuntime::LoopMain() {
         continue;
       }
       lock.unlock();
+      const uint64_t t0 = metrics_.enabled() ? MonotonicNowNs() : 0;
       node.mapped().cb();
+      if (t0 != 0) {
+        charge_busy(t0, MonotonicNowNs());
+      }
       lock.lock();
     }
     if (!tasks_.empty()) {
       LoopTask task = std::move(tasks_.front());
       tasks_.pop_front();
       lock.unlock();
+      const uint64_t t0 = metrics_.enabled() ? MonotonicNowNs() : 0;
       if (task.enq_ns != 0) {
-        metrics_.Observe(loop_wait_hist_, MonotonicNowNs() - task.enq_ns);
+        metrics_.Observe(loop_wait_hist_,
+                         (t0 != 0 ? t0 : MonotonicNowNs()) - task.enq_ns);
       }
       task.fn();
+      if (t0 != 0) {
+        charge_busy(t0, MonotonicNowNs());
+      }
       lock.lock();
       continue;
     }
@@ -297,13 +343,18 @@ void TcpRuntime::EnqueuePool(PoolWorker* worker,
   worker->cv.notify_one();
   if (enq != 0) {
     metrics_.Set(worker->depth_gauge, depth);
+    if (worker->depth_hist != obs::kInvalidMetric) {
+      metrics_.Observe(worker->depth_hist, depth);
+    }
   }
 }
 
 void TcpRuntime::PoolMain(PoolWorker* worker) {
   // Scratch meter: protocol closures charge simulated costs uniformly; here the
   // accrual is discarded (real time is the cost) but must not race the loop's meter.
+  // The thread-local lets meter() calls deep inside partitioned handlers find it.
   CostMeter scratch(&cost_model_);
+  tls_scratch_meter = &scratch;
   while (true) {
     PoolTask task;
     {
@@ -373,6 +424,39 @@ void TcpRuntime::OffloadVerify(std::vector<VerifyFn> batch,
       verdicts.push_back(check(m) ? 1 : 0);
     }
     Execute([done = std::move(done), verdicts = std::move(verdicts)]() mutable {
+      done(std::move(verdicts));
+    });
+  });
+}
+
+void TcpRuntime::OffloadVerifyTo(StrandKey home, std::vector<VerifyFn> batch,
+                                 std::function<void(std::vector<uint8_t>)> done) {
+  if (crypto_workers_.empty() || strand_workers_.empty()) {
+    // No pools: the caller context is the only context. Verify inline so the
+    // continuation runs exactly where the handler already is.
+    inline_checks_.fetch_add(batch.size());
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.size());
+    for (VerifyFn& check : batch) {
+      verdicts.push_back(check(meter()) ? 1 : 0);
+    }
+    done(std::move(verdicts));
+    return;
+  }
+  offloaded_checks_.fetch_add(batch.size());
+  PoolWorker* worker =
+      crypto_workers_[crypto_rr_.fetch_add(1) % crypto_workers_.size()].get();
+  EnqueuePool(worker, [this, home, batch = std::move(batch),
+                       done = std::move(done)](CostMeter& m) mutable {
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.size());
+    for (VerifyFn& check : batch) {
+      verdicts.push_back(check(m) ? 1 : 0);
+    }
+    // Home-return: the verdict continuation goes back to the owning strand, not
+    // the event loop — the partitioned-state contract (docs/TRANSPORT.md).
+    Post(home, [done = std::move(done),
+                verdicts = std::move(verdicts)](CostMeter&) mutable {
       done(std::move(verdicts));
     });
   });

@@ -74,9 +74,14 @@ class TcpRuntime : public Runtime {
   void Post(StrandKey strand, StrandFn work, std::function<void()> then = {}) override;
   void OffloadVerify(std::vector<VerifyFn> batch,
                      std::function<void(std::vector<uint8_t>)> done) override;
+  void OffloadVerifyTo(StrandKey home, std::vector<VerifyFn> batch,
+                       std::function<void(std::vector<uint8_t>)> done) override;
   EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) override;
   void CancelTimer(EventId id) override;
-  CostMeter& meter() override { return meter_; }
+  // Loop thread: the node meter. Pool threads: the worker's scratch meter (via a
+  // thread-local), so partitioned handlers charging costs deep in protocol code
+  // never race the loop's meter.
+  CostMeter& meter() override;
   void Bind(MsgHandler* handler) override { handler_ = handler; }
 
   uint32_t workers() const { return static_cast<uint32_t>(strand_workers_.size()); }
@@ -136,6 +141,12 @@ class TcpRuntime : public Runtime {
     std::thread thread;
     obs::MetricId wait_hist = obs::kInvalidMetric;
     obs::MetricId depth_gauge = obs::kInvalidMetric;
+    // Per-worker depth distribution (rt.strand.w<i>.queue_depth), observed at every
+    // enqueue: with partitioned execution state each strand worker owns a set of
+    // partitions, so this histogram is the per-partition backlog p99 the throughput
+    // bench and docs/OBSERVABILITY.md report. Invalid for crypto workers (their
+    // round-robin queues are interchangeable).
+    obs::MetricId depth_hist = obs::kInvalidMetric;
   };
 
   void LoopMain();
@@ -203,6 +214,10 @@ class TcpRuntime : public Runtime {
   obs::MetricId loop_depth_gauge_ = obs::kInvalidMetric;
   obs::MetricId writer_frames_gauge_ = obs::kInvalidMetric;
   obs::MetricId writer_bytes_gauge_ = obs::kInvalidMetric;
+  // Self-sampled busy fraction of the event loop (percent, ~1 s windows): with
+  // partitioned state the loop should be mostly demux + send, so this histogram is
+  // the "loop went idle" proof (docs/OBSERVABILITY.md).
+  obs::MetricId loop_residency_hist_ = obs::kInvalidMetric;
 };
 
 }  // namespace basil

@@ -135,6 +135,18 @@ class Runtime {
     done(std::move(verdicts));
   }
 
+  // OffloadVerifyTo: like OffloadVerify, but `done` runs on the strand selected by
+  // `home` instead of the handler context. This is the partitioned-state variant
+  // (docs/TRANSPORT.md "Partitioned state"): a handler running on its owning strand
+  // offloads a signature check and continues on the same strand when the verdict
+  // lands, never touching the loop thread. Default: inline and synchronous (the
+  // simulator and the single-threaded TCP fallback), identical to OffloadVerify.
+  virtual void OffloadVerifyTo(StrandKey home, std::vector<VerifyFn> batch,
+                               std::function<void(std::vector<uint8_t>)> done) {
+    (void)home;  // One handler context: the home strand is where we already are.
+    OffloadVerify(std::move(batch), std::move(done));
+  }
+
   // Single-check convenience over OffloadVerify.
   void Verify1(VerifyFn check, std::function<void(bool)> then) {
     std::vector<VerifyFn> batch;
@@ -197,6 +209,16 @@ class Process : public MsgHandler {
   }
   void Verify1(VerifyFn check, std::function<void(bool)> then) {
     rt_->Verify1(std::move(check), std::move(then));
+  }
+  // Single-check convenience over OffloadVerifyTo: the verdict continuation runs on
+  // strand `home` (the partition that issued the check), not the handler context.
+  void Verify1On(StrandKey home, VerifyFn check, std::function<void(bool)> then) {
+    std::vector<VerifyFn> batch;
+    batch.push_back(std::move(check));
+    rt_->OffloadVerifyTo(home, std::move(batch),
+                         [then = std::move(then)](std::vector<uint8_t> verdicts) {
+                           then(!verdicts.empty() && verdicts[0] != 0);
+                         });
   }
   // Runs one heavy signature check through the runtime's crypto offload, then
   // `then` with the verdict back in the handler context. `parallel` is the

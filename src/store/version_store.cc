@@ -4,25 +4,49 @@
 
 namespace basil {
 
-const VersionStore::KeyState* VersionStore::Find(const Key& key) const {
-  auto it = committed_.find(key);
-  return it == committed_.end() ? nullptr : &it->second;
+VersionStore::VersionStore() { parts_.push_back(std::make_unique<Partition>()); }
+
+void VersionStore::SetPartitions(uint32_t n) {
+  if (n == 0) {
+    n = 1;
+  }
+  std::vector<std::unique_ptr<Partition>> old;
+  old.swap(parts_);
+  parts_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    parts_.push_back(std::make_unique<Partition>());
+  }
+  // Rehash whatever was loaded before the partition count was known (genesis data,
+  // WAL replay happens after the replica constructor so it lands sharded already).
+  for (auto& part : old) {
+    for (auto& [key, ks] : part->keys) {
+      parts_[PartitionOf(key)]->keys.emplace(key, std::move(ks));
+    }
+  }
 }
 
-VersionStore::KeyState& VersionStore::GetOrCreate(const Key& key) {
-  return committed_[key];
+const VersionStore::KeyState* VersionStore::Find(const Partition& part,
+                                                 const Key& key) {
+  auto it = part.keys.find(key);
+  return it == part.keys.end() ? nullptr : &it->second;
+}
+
+VersionStore::KeyState& VersionStore::GetOrCreate(Partition& part, const Key& key) {
+  return part.keys[key];
 }
 
 void VersionStore::LoadGenesis(const Key& key, Value value) {
-  KeyState& ks = GetOrCreate(key);
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  KeyState& ks = GetOrCreate(part, key);
   ks.committed[Timestamp{}] = CommittedVersion{Timestamp{}, std::move(value), {}};
 }
 
-void VersionStore::EnsureGenesis(const Key& key) {
+void VersionStore::EnsureGenesis(Partition& part, const Key& key) {
   if (!genesis_fn_) {
     return;
   }
-  KeyState& ks = GetOrCreate(key);
+  KeyState& ks = GetOrCreate(part, key);
   if (ks.genesis_checked) {
     return;
   }
@@ -35,14 +59,17 @@ void VersionStore::EnsureGenesis(const Key& key) {
 
 void VersionStore::ApplyCommittedWrite(const Key& key, const Timestamp& ts, Value value,
                                        const TxnDigest& writer) {
-  KeyState& ks = GetOrCreate(key);
-  ks.committed[ts] = CommittedVersion{ts, std::move(value), writer};
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  GetOrCreate(part, key).committed[ts] = CommittedVersion{ts, std::move(value), writer};
 }
 
 const CommittedVersion* VersionStore::LatestCommittedBefore(const Key& key,
                                                             const Timestamp& before) {
-  EnsureGenesis(key);
-  const KeyState* ks = Find(key);
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  EnsureGenesis(part, key);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr || ks->committed.empty()) {
     return nullptr;
   }
@@ -55,17 +82,49 @@ const CommittedVersion* VersionStore::LatestCommittedBefore(const Key& key,
 }
 
 const CommittedVersion* VersionStore::LatestCommitted(const Key& key) {
-  EnsureGenesis(key);
-  const KeyState* ks = Find(key);
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  EnsureGenesis(part, key);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr || ks->committed.empty()) {
     return nullptr;
   }
   return &ks->committed.rbegin()->second;
 }
 
+std::optional<CommittedVersion> VersionStore::CommittedBefore(
+    const Key& key, const Timestamp& before) {
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  EnsureGenesis(part, key);
+  const KeyState* ks = Find(part, key);
+  if (ks == nullptr || ks->committed.empty()) {
+    return std::nullopt;
+  }
+  auto it = ks->committed.lower_bound(before);
+  if (it == ks->committed.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  return it->second;  // Copied while the partition lock is held.
+}
+
+std::optional<CommittedVersion> VersionStore::Committed(const Key& key) {
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  EnsureGenesis(part, key);
+  const KeyState* ks = Find(part, key);
+  if (ks == nullptr || ks->committed.empty()) {
+    return std::nullopt;
+  }
+  return ks->committed.rbegin()->second;
+}
+
 bool VersionStore::HasCommittedWriteBetween(const Key& key, const Timestamp& lo,
                                             const Timestamp& hi) const {
-  const KeyState* ks = Find(key);
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr) {
     return false;
   }
@@ -75,19 +134,25 @@ bool VersionStore::HasCommittedWriteBetween(const Key& key, const Timestamp& lo,
 
 void VersionStore::AddPreparedWrite(const Key& key, const Timestamp& ts, Value value,
                                     const TxnDigest& writer) {
-  GetOrCreate(key).prepared[ts] = PreparedWrite{ts, std::move(value), writer};
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  GetOrCreate(part, key).prepared[ts] = PreparedWrite{ts, std::move(value), writer};
 }
 
 void VersionStore::RemovePreparedWrite(const Key& key, const Timestamp& ts) {
-  auto it = committed_.find(key);
-  if (it != committed_.end()) {
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it != part.keys.end()) {
     it->second.prepared.erase(ts);
   }
 }
 
 const PreparedWrite* VersionStore::LatestPreparedBefore(const Key& key,
                                                         const Timestamp& before) const {
-  const KeyState* ks = Find(key);
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr || ks->prepared.empty()) {
     return nullptr;
   }
@@ -99,9 +164,27 @@ const PreparedWrite* VersionStore::LatestPreparedBefore(const Key& key,
   return &it->second;
 }
 
+std::optional<PreparedWrite> VersionStore::PreparedBefore(
+    const Key& key, const Timestamp& before) const {
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
+  if (ks == nullptr || ks->prepared.empty()) {
+    return std::nullopt;
+  }
+  auto it = ks->prepared.lower_bound(before);
+  if (it == ks->prepared.begin()) {
+    return std::nullopt;
+  }
+  --it;
+  return it->second;  // Copied while the partition lock is held.
+}
+
 bool VersionStore::HasPreparedWriteBetween(const Key& key, const Timestamp& lo,
                                            const Timestamp& hi) const {
-  const KeyState* ks = Find(key);
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr) {
     return false;
   }
@@ -111,19 +194,25 @@ bool VersionStore::HasPreparedWriteBetween(const Key& key, const Timestamp& lo,
 
 void VersionStore::AddReader(const Key& key, const Timestamp& reader_ts,
                              const Timestamp& version_ts) {
-  GetOrCreate(key).readers.emplace(reader_ts, version_ts);
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  GetOrCreate(part, key).readers.emplace(reader_ts, version_ts);
 }
 
 void VersionStore::RemoveReader(const Key& key, const Timestamp& reader_ts,
                                 const Timestamp& version_ts) {
-  auto it = committed_.find(key);
-  if (it != committed_.end()) {
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it != part.keys.end()) {
     it->second.readers.erase({reader_ts, version_ts});
   }
 }
 
 bool VersionStore::ReaderWouldMissWrite(const Key& key, const Timestamp& write_ts) const {
-  const KeyState* ks = Find(key);
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr) {
     return false;
   }
@@ -139,12 +228,16 @@ bool VersionStore::ReaderWouldMissWrite(const Key& key, const Timestamp& write_t
 }
 
 void VersionStore::AddRts(const Key& key, const Timestamp& ts) {
-  GetOrCreate(key).rts[ts]++;
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  GetOrCreate(part, key).rts[ts]++;
 }
 
 void VersionStore::RemoveRts(const Key& key, const Timestamp& ts) {
-  auto it = committed_.find(key);
-  if (it == committed_.end()) {
+  Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  auto it = part.keys.find(key);
+  if (it == part.keys.end()) {
     return;
   }
   auto rit = it->second.rts.find(ts);
@@ -153,31 +246,47 @@ void VersionStore::RemoveRts(const Key& key, const Timestamp& ts) {
   }
 }
 
+size_t VersionStore::committed_key_count() const {
+  size_t n = 0;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    n += part->keys.size();
+  }
+  return n;
+}
+
 std::vector<std::pair<Key, Value>> VersionStore::Snapshot() const {
   std::vector<std::pair<Key, Value>> out;
-  out.reserve(committed_.size());
-  for (const auto& [key, ks] : committed_) {
-    if (!ks.committed.empty()) {
-      out.emplace_back(key, ks.committed.rbegin()->second.value);
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const auto& [key, ks] : part->keys) {
+      if (!ks.committed.empty()) {
+        out.emplace_back(key, ks.committed.rbegin()->second.value);
+      }
     }
   }
+  // Sorted so the view is deterministic for any partition count.
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
 std::vector<VersionStore::KeyChain> VersionStore::CommittedChains() const {
   std::vector<KeyChain> out;
-  out.reserve(committed_.size());
-  for (const auto& [key, ks] : committed_) {
-    if (ks.committed.empty()) {
-      continue;
+  for (const auto& part : parts_) {
+    std::lock_guard<std::mutex> lock(part->mu);
+    for (const auto& [key, ks] : part->keys) {
+      if (ks.committed.empty()) {
+        continue;
+      }
+      KeyChain chain;
+      chain.key = key;
+      chain.versions.reserve(ks.committed.size());
+      for (const auto& [ts, v] : ks.committed) {
+        chain.versions.push_back(v);
+      }
+      out.push_back(std::move(chain));
     }
-    KeyChain chain;
-    chain.key = key;
-    chain.versions.reserve(ks.committed.size());
-    for (const auto& [ts, v] : ks.committed) {
-      chain.versions.push_back(v);
-    }
-    out.push_back(std::move(chain));
   }
   std::sort(out.begin(), out.end(),
             [](const KeyChain& a, const KeyChain& b) { return a.key < b.key; });
@@ -185,7 +294,9 @@ std::vector<VersionStore::KeyChain> VersionStore::CommittedChains() const {
 }
 
 std::optional<Timestamp> VersionStore::MaxRts(const Key& key) const {
-  const KeyState* ks = Find(key);
+  const Partition& part = PartOf(key);
+  std::lock_guard<std::mutex> lock(part.mu);
+  const KeyState* ks = Find(part, key);
   if (ks == nullptr || ks->rts.empty()) {
     return std::nullopt;
   }

@@ -1,5 +1,7 @@
 #include "src/tapir/tapir.h"
 
+#include <algorithm>
+
 #include "src/sim/codec_util.h"
 
 namespace basil {
@@ -122,37 +124,52 @@ namespace {
 // ---------------------------------------------------------------------------
 
 TapirReplica::TapirReplica(Runtime* rt, const TapirConfig* cfg, const Topology* topo)
-    : Process(rt), cfg_(cfg), topo_(topo), tracer_(&rt->metrics()) {}
+    : Process(rt), cfg_(cfg), topo_(topo), tracer_(&rt->metrics()) {
+  const uint32_t n_parts = std::max<uint32_t>(1, cfg->exec_partitions);
+  parts_.resize(n_parts);
+  store_.SetPartitions(n_parts);  // Key partitions line up with execution strands.
+}
 
 void TapirReplica::Handle(const MsgEnvelope& env) {
   switch (env.msg->kind) {
     case kTapirRead:
-      OnRead(env.src, static_cast<const TapirReadMsg&>(*env.msg));
+      OnRead(env.src, std::static_pointer_cast<const TapirReadMsg>(env.msg));
       break;
     case kTapirPrepare:
       OnPrepare(env.src, std::static_pointer_cast<const TapirPrepareMsg>(env.msg));
       break;
     case kTapirFinalize:
-      OnFinalize(env.src, static_cast<const TapirFinalizeMsg&>(*env.msg));
+      OnFinalize(env.src, std::static_pointer_cast<const TapirFinalizeMsg>(env.msg));
       break;
     case kTapirDecide:
-      OnDecide(static_cast<const TapirDecideMsg&>(*env.msg));
+      OnDecide(std::static_pointer_cast<const TapirDecideMsg>(env.msg));
       break;
     default:
       break;
   }
 }
 
-void TapirReplica::OnRead(NodeId src, const TapirReadMsg& msg) {
-  auto reply = std::make_shared<TapirReadReplyMsg>();
-  reply->req_id = msg.req_id;
-  if (const CommittedVersion* v = store_.LatestCommittedBefore(msg.key, msg.ts)) {
-    reply->found = true;
-    reply->version = v->ts;
-    reply->value = v->value;
+void TapirReplica::RunOnPart(size_t part, std::function<void()> fn) {
+  if (!partitioned()) {
+    fn();
+    return;
   }
-  Send(src, std::move(reply));
-  counters_.Inc("reads_served");
+  Post(static_cast<StrandKey>(part), [fn = std::move(fn)](CostMeter&) { fn(); });
+}
+
+void TapirReplica::OnRead(NodeId src, std::shared_ptr<const TapirReadMsg> msg) {
+  RunOnPart(store_.PartitionOf(msg->key), [this, src, msg]() {
+    auto reply = std::make_shared<TapirReadReplyMsg>();
+    reply->req_id = msg->req_id;
+    if (std::optional<CommittedVersion> v = store_.CommittedBefore(msg->key, msg->ts);
+        v.has_value()) {
+      reply->found = true;
+      reply->version = v->ts;
+      reply->value = std::move(v->value);
+    }
+    Send(src, std::move(reply));
+    counters_.Inc("reads_served");
+  });
 }
 
 Vote TapirReplica::OccCheck(const Transaction& txn) {
@@ -177,6 +194,19 @@ Vote TapirReplica::OccCheck(const Transaction& txn) {
 
 void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> msg) {
   if (msg->txn == nullptr) {
+    return;
+  }
+  if (partitioned()) {
+    // Hash check and the full intake run on the owning strand — one hop, end-to-end.
+    RunOnPart(PartOfDigest(msg->txn->id), [this, src, msg]() {
+      const uint64_t t0 = now();
+      if (msg->txn->ComputeDigest() != msg->txn->id) {
+        counters_.Inc("prepare_bad_digest");
+        return;
+      }
+      tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
+      PrepareArrived(src, msg);
+    });
     return;
   }
   if (!cfg_->parallel_pipeline) {
@@ -213,7 +243,7 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
 
 void TapirReplica::PrepareArrived(NodeId src,
                                   const std::shared_ptr<const TapirPrepareMsg>& msg) {
-  TxnState& s = txns_[msg->txn->id];
+  TxnState& s = GetState(msg->txn->id);
   if (s.txn == nullptr) {
     s.txn = msg->txn;
   }
@@ -242,17 +272,23 @@ void TapirReplica::PrepareArrived(NodeId src,
   Send(src, std::move(reply));
 }
 
-void TapirReplica::OnFinalize(NodeId src, const TapirFinalizeMsg& msg) {
-  TxnState& s = txns_[msg.txn];
-  s.finalized = msg.result;
-  auto ack = std::make_shared<TapirFinalizeAckMsg>();
-  ack->txn = msg.txn;
-  ack->replica = id();
-  Send(src, std::move(ack));
+void TapirReplica::OnFinalize(NodeId src, std::shared_ptr<const TapirFinalizeMsg> msg) {
+  RunOnPart(PartOfDigest(msg->txn), [this, src, msg]() {
+    TxnState& s = GetState(msg->txn);
+    s.finalized = msg->result;
+    auto ack = std::make_shared<TapirFinalizeAckMsg>();
+    ack->txn = msg->txn;
+    ack->replica = id();
+    Send(src, std::move(ack));
+  });
 }
 
-void TapirReplica::OnDecide(const TapirDecideMsg& msg) {
-  TxnState& s = txns_[msg.txn];
+void TapirReplica::OnDecide(std::shared_ptr<const TapirDecideMsg> msg) {
+  RunOnPart(PartOfDigest(msg->txn), [this, msg]() { DecideOnOwner(*msg); });
+}
+
+void TapirReplica::DecideOnOwner(const TapirDecideMsg& msg) {
+  TxnState& s = GetState(msg.txn);
   if (s.decided) {
     return;
   }

@@ -5,15 +5,24 @@
 // base-class execution semantics the contract rests on.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "src/harness/experiment.h"
 #include "src/harness/report.h"
+#include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
 #include "src/runtime/runtime.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/network.h"
 #include "src/sim/node.h"
+#include "src/store/version_store.h"
 
 namespace basil {
 namespace {
@@ -105,6 +114,49 @@ TEST(Strands, PipelineDoesNotChangeTapirResults) {
   ExpectBitIdentical(with_strands, inline_exec);
 }
 
+TEST(Strands, PartitionedStateDoesNotChangeBasilResults) {
+  // Partitioned execution state (docs/TRANSPORT.md): sharding the TxnState map and
+  // the version store by strand key reroutes every handler through RunOnPart, which
+  // is inline on the simulator — so any partition count must reproduce the
+  // unpartitioned run counter for counter, with the pipeline on or off.
+  ExperimentParams params;
+  params.system = SystemKind::kBasil;
+  params.clients = 8;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 400'000'000;
+  params.seed = 7;
+  params.basil.parallel_pipeline = true;
+
+  params.basil.exec_partitions = 0;
+  const RunResult unpartitioned = RunExperiment(params);
+  params.basil.exec_partitions = 4;
+  const RunResult partitioned = RunExperiment(params);
+  params.basil.parallel_pipeline = false;
+  const RunResult partitioned_inline = RunExperiment(params);
+
+  EXPECT_GT(unpartitioned.committed, 0u);
+  ExpectBitIdentical(partitioned, unpartitioned);
+  ExpectBitIdentical(partitioned_inline, unpartitioned);
+}
+
+TEST(Strands, PartitionedStateDoesNotChangeTapirResults) {
+  ExperimentParams params;
+  params.system = SystemKind::kTapir;
+  params.clients = 6;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 300'000'000;
+  params.seed = 11;
+  params.tapir.parallel_pipeline = true;
+
+  params.tapir.exec_partitions = 0;
+  const RunResult unpartitioned = RunExperiment(params);
+  params.tapir.exec_partitions = 4;
+  const RunResult partitioned = RunExperiment(params);
+
+  EXPECT_GT(unpartitioned.committed, 0u);
+  ExpectBitIdentical(partitioned, unpartitioned);
+}
+
 TEST(Strands, SimBackendRunsPostInlineAndSynchronously) {
   // The determinism above rests on this: on sim::Node, Post's work and continuation
   // complete before Post returns, in order, charging the node's own meter.
@@ -155,6 +207,118 @@ TEST(Strands, OffloadVerifyReportsPerCheckVerdicts) {
   events.RunAll();
   EXPECT_EQ(got, (std::vector<uint8_t>{1, 0, 1}));
   EXPECT_GT(node.busy_ns(), 0u);  // The ChargeVerify accrued simulated CPU.
+}
+
+// ---------------------------------------------------------------------------
+// Partition ownership on the TCP backend (real threads; run under TSan in CI).
+// ---------------------------------------------------------------------------
+
+// Binds one runtime with a worker pool; no peer needed for strand tests.
+std::unique_ptr<TcpRuntime> UpSolo(uint32_t workers) {
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const uint16_t port = static_cast<uint16_t>(
+        30000 + (::getpid() * 29 + attempt * 401 + 23 * workers) % 30000);
+    auto rt = std::make_unique<TcpRuntime>(
+        0, std::vector<PeerAddr>{{"127.0.0.1", port}}, workers);
+    if (rt->Start()) {
+      return rt;
+    }
+  }
+  return nullptr;
+}
+
+// Spin-waits (off any runtime thread) until pred or deadline.
+bool SpinUntil(const std::function<bool()>& pred, uint64_t timeout_ms = 10'000) {
+  for (uint64_t waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+TEST(Strands, SamePartitionWritesStayFifoAcrossPartitionsOverlap) {
+  // The partitioned-state ownership contract: writes routed to one partition's
+  // strand are serialized FIFO (the replica mutates its shard without locks), while
+  // writes on distinct partitions run concurrently. The same-key phase uses a
+  // deliberately race-prone canary — a plain in-flight flag and a non-atomic
+  // read-modify-write counter — that TSan would flag and the overlap check would
+  // trip if two same-partition tasks ever interleaved.
+  auto rt = UpSolo(/*workers=*/2);
+  ASSERT_NE(rt, nullptr);
+
+  VersionStore store;
+  store.SetPartitions(2);
+  // Two keys on distinct store partitions; each partition index doubles as the
+  // owning strand key, exactly like BasilReplica::PartOfKey routing.
+  Key k0, k1;
+  for (int i = 0; k1.empty() && i < 64; ++i) {
+    Key k = "key" + std::to_string(i);
+    if (store.PartitionOf(k) == 0 && k0.empty()) {
+      k0 = k;
+    } else if (store.PartitionOf(k) == 1 && k1.empty()) {
+      k1 = k;
+    }
+  }
+  ASSERT_FALSE(k0.empty());
+  ASSERT_FALSE(k1.empty());
+
+  // Phase 1: concurrent same-key writes on one partition stay FIFO.
+  constexpr int kWrites = 300;
+  static bool in_flight;
+  static int applied;
+  in_flight = false;
+  applied = 0;
+  std::atomic<int> done{0};
+  std::atomic<bool> overlapped{false};
+  for (int i = 0; i < kWrites; ++i) {
+    rt->Post(static_cast<StrandKey>(store.PartitionOf(k0)),
+             [&store, &k0, i, &done, &overlapped](CostMeter&) {
+               if (in_flight) {
+                 overlapped.store(true);
+               }
+               in_flight = true;
+               store.ApplyCommittedWrite(k0, Timestamp{static_cast<uint64_t>(i + 1), 0},
+                                         std::to_string(i), TxnDigest{});
+               const int expected = applied;  // Read...
+               for (volatile int spin = 0; spin < 50; spin = spin + 1) {
+               }
+               applied = expected + 1;  // ...modify-write: loses updates if racy.
+               in_flight = false;
+               done.fetch_add(1);
+             });
+  }
+  ASSERT_TRUE(SpinUntil([&]() { return done.load() == kWrites; }));
+  EXPECT_FALSE(overlapped.load());
+  EXPECT_EQ(applied, kWrites);
+  ASSERT_TRUE(store.Committed(k0).has_value());
+  EXPECT_EQ(store.Committed(k0)->value, std::to_string(kWrites - 1));
+
+  // Phase 2: writes on distinct partitions overlap. Each side writes its own key,
+  // then waits (bounded) for the other to have started: serialized execution could
+  // never satisfy both rendezvous.
+  std::atomic<bool> p0_started{false};
+  std::atomic<bool> p1_started{false};
+  std::atomic<int> both_seen{0};
+  auto writer = [&](const Key& key, std::atomic<bool>& mine,
+                    std::atomic<bool>& other) {
+    store.ApplyCommittedWrite(key, Timestamp{1'000'000, 0}, "rendezvous",
+                              TxnDigest{});
+    mine.store(true);
+    for (int i = 0; i < 10'000 && !other.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (other.load()) {
+      both_seen.fetch_add(1);
+    }
+  };
+  rt->Post(static_cast<StrandKey>(store.PartitionOf(k0)),
+           [&](CostMeter&) { writer(k0, p0_started, p1_started); });
+  rt->Post(static_cast<StrandKey>(store.PartitionOf(k1)),
+           [&](CostMeter&) { writer(k1, p1_started, p0_started); });
+  ASSERT_TRUE(SpinUntil([&]() { return both_seen.load() == 2; }));
+  rt->Stop();
 }
 
 }  // namespace

@@ -50,6 +50,9 @@ struct Options {
   NodeId id = kInvalidNode;
   std::string data_dir;    // Replica role: durable store root (empty = in-memory only).
   uint32_t workers = 0;    // Strand + crypto pool threads (0 = event loop only).
+  // Replica role: execution-state partitions (docs/TRANSPORT.md). UINT32_MAX =
+  // default to --workers (one partition per strand worker); 0 = loop-owned state.
+  uint32_t partitions = UINT32_MAX;
   uint64_t txns = 1000;    // Client role: transactions to commit before exiting.
   uint32_t keys = 16;      // Client role: key-space width.
   uint64_t timeout_s = 120;  // Client role: overall deadline.
@@ -103,6 +106,12 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->workers = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--partitions") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->partitions = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) {
@@ -213,7 +222,12 @@ Task<void> RunDriver(BasilClient* client, const Options* opt, DriverState* state
 int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
                const KeyRegistry& keys, const Options& opt) {
   const uint64_t start_ns = NowNs();
-  BasilReplica replica(&rt, &cfg.basil, &topo, &keys);
+  // --partitions defaults to one execution partition per strand worker; 0 keeps the
+  // legacy loop-owned state. The config copy outlives the replica.
+  BasilConfig basil_cfg = cfg.basil;
+  basil_cfg.exec_partitions =
+      opt.partitions == UINT32_MAX ? opt.workers : opt.partitions;
+  BasilReplica replica(&rt, &basil_cfg, &topo, &keys);
 
   // Durable store: replay the WAL + snapshot into the version store before any
   // traffic, then catch up on missed commits from peers once the runtime is live.
@@ -240,8 +254,8 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   if (!rt.Start()) {
     return 1;
   }
-  std::printf("READY replica %u shard %u workers %u\n", rt.id(), replica.shard(),
-              rt.workers());
+  std::printf("READY replica %u shard %u workers %u partitions %u\n", rt.id(),
+              replica.shard(), rt.workers(), basil_cfg.exec_partitions);
   std::fflush(stdout);
   // Transfer applications (fresh + re-offered) also bump "committed"; printing both
   // lets the cluster script separate real quorum participation from late chunks.
@@ -282,9 +296,10 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   WriteSnapshot(rt, "replica", replica.counters(), start_ns,
                 SnapshotPath(opt, rt.id()));
   std::printf(
-      "STOPPED replica %u handled=%llu commits=%llu applied=%llu rejected=%llu "
-      "offloaded=%llu posted=%llu fsyncs=%llu\n",
-      rt.id(), static_cast<unsigned long long>(rt.messages_received()),
+      "STOPPED replica %u partitions=%u handled=%llu commits=%llu applied=%llu "
+      "rejected=%llu offloaded=%llu posted=%llu fsyncs=%llu\n",
+      rt.id(), basil_cfg.exec_partitions,
+      static_cast<unsigned long long>(rt.messages_received()),
       static_cast<unsigned long long>(replica.counters().Get("committed")),
       static_cast<unsigned long long>(transfer_applied()),
       static_cast<unsigned long long>(
@@ -351,8 +366,8 @@ int Main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: basil_node --config <file> --id <node> [--data-dir D] "
-                 "[--workers W] [--txns N] [--keys K] [--timeout S] "
-                 "[--metrics-out PATH] [--metrics-interval S]\n");
+                 "[--workers W] [--partitions P] [--txns N] [--keys K] "
+                 "[--timeout S] [--metrics-out PATH] [--metrics-interval S]\n");
     return 1;
   }
   DeployConfig cfg;
