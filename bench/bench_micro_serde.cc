@@ -2,16 +2,49 @@
 // nanoseconds per message plus exact bytes per message for the protocol's hot message
 // kinds (ST1, ST1R, ST2, WB). The byte counts printed here are the real per-message
 // wire costs behind the Figure 2-style bandwidth comparison.
+//
+// The startup table also reports heap allocations per message round-trip (encode ->
+// frame -> reassemble -> decode -> digest checks), counted with a global
+// operator-new hook, for the pre-pool transport ("before": growth-chain encoders,
+// copy-out reassembly, re-encode digest checks) against the pooled zero-copy path
+// ("after"). The acceptance bar for the allocation-lean hot path is an aggregate
+// ratio >= 5x.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <new>
 
 #include "src/basil/messages.h"
+#include "src/common/buffer_pool.h"
 #include "src/common/serde.h"
 #include "src/crypto/batch.h"
+#include "src/runtime/frame.h"
 #include "src/sim/network.h"
 #include "src/store/txn.h"
+
+// Thread-local allocation counter fed by the global operator-new overrides below.
+// Only this binary defines them, and only the measuring thread reads the counter,
+// so google-benchmark's own worker threads never skew a measurement.
+namespace {
+thread_local uint64_t tls_alloc_count = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++tls_alloc_count;
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace basil {
 namespace {
@@ -90,23 +123,31 @@ std::shared_ptr<WritebackMsg> MakeWriteback() {
 }
 
 void BenchEncode(benchmark::State& state, const MsgBase& msg) {
+  const uint64_t allocs_before = tls_alloc_count;
   for (auto _ : state) {
-    Encoder enc;
+    Encoder enc(&BufferPool::Global());
     EncodeMsgFrame(msg, enc);
     benchmark::DoNotOptimize(enc.size());
   }
   state.counters["bytes/msg"] =
       benchmark::Counter(static_cast<double>(WireSizeOf(msg)));
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(tls_alloc_count - allocs_before) /
+      static_cast<double>(state.iterations()));
 }
 
 void BenchDecode(benchmark::State& state, const MsgBase& msg) {
   Encoder enc;
   EncodeMsgFrame(msg, enc);
+  const uint64_t allocs_before = tls_alloc_count;
   for (auto _ : state) {
     Decoder dec(enc.bytes());
     benchmark::DoNotOptimize(DecodeMsgFrame(dec));
   }
   state.counters["bytes/msg"] = benchmark::Counter(static_cast<double>(enc.size()));
+  state.counters["allocs/op"] = benchmark::Counter(
+      static_cast<double>(tls_alloc_count - allocs_before) /
+      static_cast<double>(state.iterations()));
 }
 
 void BM_EncodeSt1(benchmark::State& state) { BenchEncode(state, *MakeSt1()); }
@@ -127,6 +168,181 @@ BENCHMARK(BM_DecodeSt2);
 BENCHMARK(BM_EncodeWriteback);
 BENCHMARK(BM_DecodeWriteback);
 
+// ---------------------------------------------------------------------------
+// Allocations per message round-trip, before vs. after the buffer-pool work.
+// ---------------------------------------------------------------------------
+
+// Pre-pool digest checks re-encoded the body with a growth-chain encoder. The
+// emulations below reproduce those allocation profiles exactly (the digest value
+// itself is irrelevant here — only the heap traffic is measured).
+Hash256 PrePoolTxnDigest(const Transaction& txn) {
+  Encoder e;
+  e.PutU8(7);  // kDomTxn.
+  txn.EncodeSignedTo(e);
+  return Sha256::Digest(e.bytes());
+}
+
+Hash256 PrePoolVoteDigest(const SignedVote& v) {
+  Encoder e;
+  v.EncodeSignedTo(e);
+  return Sha256::Digest(e.bytes());
+}
+
+// Integrity work a receiver performs per message: the transaction-digest check
+// (replicas re-derive the id of every ST1/ST2/WB body) and one digest per attached
+// vote (clients and replicas validate tallied votes against their batch certs).
+void BeforeChecks(const MsgBase& m) {
+  switch (m.kind) {
+    case kBasilSt1:
+      benchmark::DoNotOptimize(
+          PrePoolTxnDigest(*static_cast<const St1Msg&>(m).txn));
+      break;
+    case kBasilSt1Reply:
+      benchmark::DoNotOptimize(
+          PrePoolVoteDigest(static_cast<const St1ReplyMsg&>(m).vote));
+      break;
+    case kBasilSt2: {
+      const auto& st2 = static_cast<const St2Msg&>(m);
+      benchmark::DoNotOptimize(PrePoolTxnDigest(*st2.txn_body));
+      for (const auto& [shard, votes] : st2.shard_votes) {
+        for (const SignedVote& v : votes) {
+          benchmark::DoNotOptimize(PrePoolVoteDigest(v));
+        }
+      }
+      break;
+    }
+    case kBasilWriteback: {
+      const auto& wb = static_cast<const WritebackMsg&>(m);
+      benchmark::DoNotOptimize(PrePoolTxnDigest(*wb.txn_body));
+      for (const auto& [shard, votes] : wb.cert->shard_votes) {
+        for (const SignedVote& v : votes) {
+          benchmark::DoNotOptimize(PrePoolVoteDigest(v));
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void AfterChecks(const MsgBase& m) {
+  switch (m.kind) {
+    case kBasilSt1: {
+      // Zero-copy fast path: hash the signed bytes straight out of the frame view.
+      const auto& st1 = static_cast<const St1Msg&>(m);
+      if (!st1.txn_raw.empty()) {
+        benchmark::DoNotOptimize(
+            TxnDigestOfSignedBytes(st1.txn_raw.data, st1.txn_raw.len));
+      } else {
+        benchmark::DoNotOptimize(st1.txn->ComputeDigest());
+      }
+      break;
+    }
+    case kBasilSt1Reply:
+      benchmark::DoNotOptimize(static_cast<const St1ReplyMsg&>(m).vote.Digest());
+      break;
+    case kBasilSt2: {
+      const auto& st2 = static_cast<const St2Msg&>(m);
+      benchmark::DoNotOptimize(st2.txn_body->ComputeDigest());
+      for (const auto& [shard, votes] : st2.shard_votes) {
+        for (const SignedVote& v : votes) {
+          benchmark::DoNotOptimize(v.Digest());
+        }
+      }
+      break;
+    }
+    case kBasilWriteback: {
+      const auto& wb = static_cast<const WritebackMsg&>(m);
+      benchmark::DoNotOptimize(wb.txn_body->ComputeDigest());
+      for (const auto& [shard, votes] : wb.cert->shard_votes) {
+        for (const SignedVote& v : votes) {
+          benchmark::DoNotOptimize(v.Digest());
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// One full round-trip in either mode. `pooled == false` reproduces the pre-pool
+// transport byte for byte: growth-chain encoder, reassembler copy-out into a
+// reused frame vector, decode from the copy, re-encode digest checks.
+void RoundTrip(bool pooled, const MsgBase& msg, FrameReassembler* r,
+               std::vector<uint8_t>* copy_frame) {
+  if (pooled) {
+    Encoder enc(&BufferPool::Global());
+    EncodeMsgFrame(msg, enc);
+    std::vector<uint8_t> f = enc.TakeBytes();
+    r->Feed(f.data(), f.size());
+    BufferPool::Global().Recycle(std::move(f));
+    ByteView fv;
+    while (r->NextView(&fv)) {
+      Decoder dec(fv.data, fv.len, &fv.backing);
+      MsgPtr m = DecodeMsgFrame(dec);
+      m->backing = fv.backing;
+      AfterChecks(*m);
+    }
+  } else {
+    Encoder enc;
+    EncodeMsgFrame(msg, enc);
+    r->Feed(enc.bytes().data(), enc.bytes().size());
+    while (r->Next(copy_frame)) {
+      Decoder dec(*copy_frame);
+      MsgPtr m = DecodeMsgFrame(dec);
+      BeforeChecks(*m);
+    }
+  }
+}
+
+double AllocsPerRoundTrip(bool pooled, const MsgBase& msg) {
+  constexpr int kWarmup = 32;  // Fills the pool and steady-state vector capacities.
+  constexpr int kIters = 256;
+  FrameReassembler r(pooled ? &BufferPool::Global() : nullptr);
+  std::vector<uint8_t> copy_frame;
+  for (int i = 0; i < kWarmup; ++i) {
+    RoundTrip(pooled, msg, &r, &copy_frame);
+  }
+  const uint64_t before = tls_alloc_count;
+  for (int i = 0; i < kIters; ++i) {
+    RoundTrip(pooled, msg, &r, &copy_frame);
+  }
+  return static_cast<double>(tls_alloc_count - before) / kIters;
+}
+
+// Prints the before/after allocation table and returns the aggregate improvement
+// ratio across the hot message kinds.
+double PrintAllocRoundTrips() {
+  struct KindRow {
+    const char* name;
+    std::shared_ptr<MsgBase> msg;
+  };
+  const KindRow kinds[] = {
+      {"ST1", MakeSt1()},
+      {"ST1R", MakeSt1Reply()},
+      {"ST2", MakeSt2()},
+      {"WB", MakeWriteback()},
+  };
+  std::printf("allocations per encode+decode round-trip (incl. digest checks):\n");
+  std::printf("  %-6s %12s %12s %8s\n", "kind", "before", "after", "ratio");
+  double total_before = 0;
+  double total_after = 0;
+  for (const KindRow& k : kinds) {
+    const double before = AllocsPerRoundTrip(/*pooled=*/false, *k.msg);
+    const double after = AllocsPerRoundTrip(/*pooled=*/true, *k.msg);
+    total_before += before;
+    total_after += after;
+    std::printf("  %-6s %12.1f %12.1f %7.1fx\n", k.name, before, after,
+                after > 0 ? before / after : before);
+  }
+  const double ratio = total_after > 0 ? total_before / total_after : total_before;
+  std::printf("  %-6s %12.1f %12.1f %7.1fx  (acceptance bar: >= 5x)\n", "all",
+              total_before, total_after, ratio);
+  return ratio;
+}
+
 }  // namespace
 
 // Prints the exact per-message wire bytes up front: the numbers the simulator's
@@ -139,10 +355,13 @@ void PrintCanonicalWireBytes() {
               static_cast<unsigned long long>(WireSizeOf(*MakeWriteback())));
 }
 
+double ReportAllocRoundTrips() { return PrintAllocRoundTrips(); }
+
 }  // namespace basil
 
 int main(int argc, char** argv) {
   basil::PrintCanonicalWireBytes();
+  basil::ReportAllocRoundTrips();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

@@ -93,6 +93,9 @@ struct Row {
   uint64_t posted = 0;       // Strand tasks: partitioned handlers leaving the loop.
   double depth_p99 = 0;      // Worst per-partition strand queue depth p99.
   double sim_tps = 0;
+  uint64_t pool_hits = 0;    // BufferPool rents served from a freelist (all nodes).
+  uint64_t pool_misses = 0;  // Rents that had to allocate.
+  uint64_t dropped = 0;      // Outbox frames shed under backpressure (must be 0).
 };
 
 // Worst p99 across the per-worker strand queue depth histograms
@@ -191,6 +194,18 @@ bool MeasureTcp(const BenchOptions& opt, uint32_t workers, uint16_t port_base,
     row->inline_checks += rt->inline_checks();
     row->posted += rt->posted_tasks();
     row->depth_p99 = std::max(row->depth_p99, MaxStrandDepthP99(rt->metrics(), workers));
+  }
+  // Allocation-lean hot path accounting: pool hit rate across every runtime in the
+  // deployment (replicas and clients rent encode scratch, outbox frames, and
+  // receive blocks from their runtime's pool), plus backpressure drops.
+  for (auto* rts : {&replica_rts, &client_rts}) {
+    for (auto& rt : *rts) {
+      rt->PublishAllocMetrics();
+      const BufferPool::Stats s = rt->pool().stats();
+      row->pool_hits += s.hits;
+      row->pool_misses += s.misses;
+      row->dropped += rt->dropped_frames();
+    }
   }
   // Per-stage spans and queue-wait distributions, merged across every node in the
   // deployment (workers are quiescent by now; histogram merges add bucket-wise).
@@ -304,6 +319,18 @@ int Main(int argc, char** argv) {
                       static_cast<uint64_t>(row.partitions));
     artifact.AddParam("depth_p99_w" + std::to_string(row.workers), row.depth_p99);
     artifact.AddParam("posted_w" + std::to_string(row.workers), row.posted);
+    const double hit_rate =
+        row.pool_hits + row.pool_misses > 0
+            ? static_cast<double>(row.pool_hits) /
+                  static_cast<double>(row.pool_hits + row.pool_misses)
+            : 0;
+    artifact.AddParam("pool_hit_rate_w" + std::to_string(row.workers), hit_rate);
+    artifact.AddParam("dropped_frames_w" + std::to_string(row.workers), row.dropped);
+    std::printf("  pool: %llu hits / %llu misses (%.1f%% hit rate), %llu dropped "
+                "frame(s)\n",
+                static_cast<unsigned long long>(row.pool_hits),
+                static_cast<unsigned long long>(row.pool_misses), hit_rate * 100.0,
+                static_cast<unsigned long long>(row.dropped));
     rows.push_back(row);
   }
   if (!opt.out.empty()) {
@@ -331,6 +358,24 @@ int Main(int argc, char** argv) {
                    "to the strands — partitioned execution never left the loop\n",
                    row.workers, row.partitions);
       return 1;
+    }
+    // Allocation-lean guards: steady-state traffic must run out of the pool (hit
+    // rate > 95% — only warmup rents miss), and backpressure must shed nothing.
+    if (row.dropped != 0) {
+      std::fprintf(stderr, "FAIL: workers=%u shed %llu outbox frame(s)\n",
+                   row.workers, static_cast<unsigned long long>(row.dropped));
+      return 1;
+    }
+    if (BufferPool::PoolingEnabled() && row.pool_hits + row.pool_misses > 0) {
+      const double hit_rate = static_cast<double>(row.pool_hits) /
+                              static_cast<double>(row.pool_hits + row.pool_misses);
+      if (hit_rate <= 0.95) {
+        std::fprintf(stderr,
+                     "FAIL: workers=%u pool hit rate %.1f%% (need > 95%%) — the "
+                     "hot path is allocating\n",
+                     row.workers, hit_rate * 100.0);
+        return 1;
+      }
     }
   }
   if (host_cores < 2 && !opt.smoke) {

@@ -81,6 +81,48 @@ void CheckOneInput(const uint8_t* data, size_t size) {
       (void)DecodeMsgFrame(dec);  // Must not crash; validity is its own business.
     }
   }
+  // 3. Pooled zero-copy reassembly over the same split: NextView must hand out
+  //    exactly the frames Next copies out, and decoding in borrowed-view mode
+  //    (messages keep ByteViews into the block) must be safe even though the
+  //    views outlive each loop iteration — the backing ref pins the block.
+  {
+    BufferPool pool;
+    FrameReassembler copy_r;
+    FrameReassembler view_r(&pool);
+    const size_t split = size > 0 ? data[0] % (size + 1) : 0;
+    copy_r.Feed(data, split);
+    copy_r.Feed(data + split, size - split);
+    view_r.Feed(data, split);
+    view_r.Feed(data + split, size - split);
+    std::vector<uint8_t> frame;
+    std::vector<MsgPtr> held;  // Keeps every view-decoded message (and its block) live.
+    ByteView view;
+    while (view_r.NextView(&view)) {
+      if (!copy_r.Next(&frame) || frame.size() != view.len ||
+          std::memcmp(frame.data(), view.data, view.len) != 0) {
+        std::fprintf(stderr, "pooled NextView disagrees with Next\n");
+        std::abort();
+      }
+      if (view.backing == nullptr) {
+        std::fprintf(stderr, "NextView emitted a view without a backing ref\n");
+        std::abort();
+      }
+      Decoder dec(view.data, view.len, &view.backing);
+      MsgPtr msg = DecodeMsgFrame(dec);
+      if (msg != nullptr) {
+        msg->backing = view.backing;
+        held.push_back(std::move(msg));
+      }
+    }
+    if (copy_r.Next(&frame)) {
+      std::fprintf(stderr, "pooled NextView emitted fewer frames than Next\n");
+      std::abort();
+    }
+    if (copy_r.poisoned() != view_r.poisoned()) {
+      std::fprintf(stderr, "pooled and plain reassemblers disagree on poison\n");
+      std::abort();
+    }
+  }  // Teardown order (views, messages, reassemblers, pool) must be crash-free.
 }
 
 // ---------------------------------------------------------------------------

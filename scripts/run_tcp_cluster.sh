@@ -244,6 +244,15 @@ for i in 0 1 2 3 4; do
     sleep 0.1
   done
 done
+# A healthy run sheds nothing: every replica that stopped cleanly must report
+# dropped=0 (outbox backpressure never discarded a frame).
+for log in "$WORKDIR"/replica[0-4].log "$WORKDIR/replica5b.log"; do
+  DROPPED=$(grep STOPPED "$log" | grep -o "dropped=[0-9]*" | cut -d= -f2)
+  if [ -n "$DROPPED" ] && [ "$DROPPED" -ne 0 ]; then
+    echo "FAIL: $(basename "$log") shed $DROPPED outbox frame(s) under backpressure"
+    exit 1
+  fi
+done
 if [ -n "$METRICS_MERGE" ] && [ -x "$METRICS_MERGE" ]; then
   SNAPSHOTS=("$WORKDIR"/metrics_node*.json)
   if [ -e "${SNAPSHOTS[0]}" ]; then

@@ -113,7 +113,7 @@ SignedVote SignedVote::DecodeFrom(Decoder& dec) {
 }
 
 Hash256 SignedVote::Digest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());
   enc.PutU8(kDomVote);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
@@ -144,7 +144,7 @@ SignedSt2Ack SignedSt2Ack::DecodeFrom(Decoder& dec) {
 }
 
 Hash256 SignedSt2Ack::Digest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());
   enc.PutU8(kDomSt2Ack);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
@@ -173,7 +173,7 @@ ElectFbData ElectFbData::DecodeFrom(Decoder& dec) {
 }
 
 Hash256 ElectFbData::Digest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());
   enc.PutU8(kDomElect);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
@@ -308,7 +308,7 @@ ReadReplyMsg ReadReplyMsg::DecodeFrom(Decoder& dec) {
 }
 
 Hash256 ReadReplyMsg::Digest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());
   enc.PutU8(kDomReadReply);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
@@ -349,7 +349,7 @@ void St1Msg::EncodeTo(Encoder& enc) const {
 
 St1Msg St1Msg::DecodeFrom(Decoder& dec) {
   St1Msg msg;
-  msg.txn = DecodeOptionalTxn(dec);
+  msg.txn = DecodeOptionalTxn(dec, &msg.txn_raw);
   msg.is_recovery = dec.GetBool();
   return msg;
 }
@@ -553,7 +553,7 @@ DecFbMsg DecFbMsg::DecodeFrom(Decoder& dec) {
 }
 
 Hash256 DecFbMsg::Digest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());
   enc.PutU8(kDomDecFb);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());

@@ -163,6 +163,11 @@ struct AbortReadMsg : MsgBase {
 struct St1Msg : MsgBase {
   TxnPtr txn;
   bool is_recovery = false;  // RP message of the fallback protocol (§5).
+  // Zero-copy fast path: when decoded straight out of a pooled frame, the
+  // transaction's signed wire bytes in place (the view's ref pins the frame).
+  // Empty for locally built or sim-delivered messages — then the digest check
+  // falls back to re-encoding via ComputeDigest. Not part of the wire encoding.
+  ByteView txn_raw;
 
   St1Msg() { kind = kBasilSt1; }
   void EncodeTo(Encoder& enc) const;

@@ -217,6 +217,18 @@ void BasilReplica::OnAbortRead(const AbortReadMsg& msg) {
 // Prepare phase, Stage 1: MVTSO-Check (Algorithm 1).
 // ---------------------------------------------------------------------------
 
+// Body-digest check with the zero-copy fast path: a message decoded out of a
+// pooled frame carries the transaction's signed wire bytes (txn_raw), so the
+// check hashes the frame in place; otherwise (sim delivery, local construction)
+// it re-encodes via ComputeDigest. Same boolean either way — the canonical codec
+// makes the wire slice byte-identical to the re-encoding.
+static bool St1BodyDigestOk(const St1Msg& msg) {
+  if (!msg.txn_raw.empty()) {
+    return TxnDigestOfSignedBytes(msg.txn_raw.data, msg.txn_raw.len) == msg.txn->id;
+  }
+  return msg.txn->ComputeDigest() == msg.txn->id;
+}
+
 void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
   ChargeClientAuthVerify();
   if (msg->txn == nullptr) {
@@ -233,7 +245,7 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
     // hop, end-to-end, nothing returns to the loop.
     RunOnPart(PartOfDigest(msg->txn->id), [this, src, msg]() {
       const uint64_t t0 = now();
-      if (msg->txn->ComputeDigest() != msg->txn->id) {
+      if (!St1BodyDigestOk(*msg)) {
         counters_.Inc("st1_bad_digest");
         return;
       }
@@ -244,7 +256,7 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
   }
   if (!cfg_->parallel_pipeline) {
     const uint64_t t0 = now();
-    if (msg->txn->ComputeDigest() != msg->txn->id) {
+    if (!St1BodyDigestOk(*msg)) {
       counters_.Inc("st1_bad_digest");
       return;
     }
@@ -259,7 +271,7 @@ void BasilReplica::OnSt1(NodeId src, std::shared_ptr<const St1Msg> msg) {
         // Wall duration of the strand-side hash (0 on the simulator, whose clock
         // stands still within one work item). now() is thread-safe on both backends.
         const uint64_t t0 = now();
-        *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+        *body_ok = St1BodyDigestOk(*msg);
         tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
       },
       [this, src, msg, body_ok]() {

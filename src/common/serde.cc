@@ -198,7 +198,7 @@ bool Decoder::ReadNested(Decoder* sub) {
   if (depth_ + 1 > kMaxNestingDepth) {
     return Fail();
   }
-  *sub = Decoder(data_ + pos_, len);
+  *sub = Decoder(data_ + pos_, len, backing_);
   sub->depth_ = depth_ + 1;
   pos_ += len;
   return true;

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/types.h"
 
 namespace basil {
@@ -24,6 +25,24 @@ class Encoder {
   // buffering; bytes() is only meaningful on a buffering encoder.
   Encoder() = default;
   explicit Encoder(bool counting) : counting_(counting) {}
+
+  // A pooled encoder rents its buffer from `pool` and recycles it on destruction
+  // unless TakeBytes moved it out first (then whoever holds the bytes recycles).
+  // Steady-state encodes allocate nothing: the rented buffer already has the
+  // capacity earlier frames grew it to. Null pool behaves like Encoder().
+  explicit Encoder(BufferPool* pool) : Encoder(/*counting=*/false, pool) {}
+  Encoder(bool counting, BufferPool* pool) : counting_(counting), pool_(pool) {
+    if (!counting_ && pool_ != nullptr) {
+      buf_ = pool_->Rent(kDefaultRentBytes);
+    }
+  }
+  ~Encoder() {
+    if (pool_ != nullptr) {
+      pool_->Recycle(std::move(buf_));
+    }
+  }
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
 
   void PutU8(uint8_t v) {
     if (counting_) {
@@ -53,15 +72,24 @@ class Encoder {
   void Append(const Encoder& sub);
 
   bool counting() const { return counting_; }
+  // The pool nested sub-encoders should rent from (null for unpooled encoders).
+  BufferPool* pool() const { return pool_; }
   const std::vector<uint8_t>& bytes() const { return buf_; }
   // Moves the buffer out (send paths hand the frame to an outbox without copying).
+  // For a pooled encoder, ownership of the storage moves with it: the taker is
+  // expected to Recycle the vector once the bytes are consumed.
   std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
   size_t size() const { return counting_ ? count_ : buf_.size(); }
 
  private:
+  // Initial rent for pooled encoders. Most frames are far smaller; buffers grown
+  // past this by big messages recirculate through larger size classes.
+  static constexpr size_t kDefaultRentBytes = 1024;
+
   std::vector<uint8_t> buf_;
   size_t count_ = 0;
   bool counting_ = false;
+  BufferPool* pool_ = nullptr;
 };
 
 // Bounds-checked reader over a canonical encoding. Decoding never throws and never
@@ -74,6 +102,26 @@ class Decoder {
   Decoder() : data_(nullptr), len_(0) {}
   Decoder(const uint8_t* data, size_t len) : data_(data), len_(len) {}
   explicit Decoder(const std::vector<uint8_t>& buf) : Decoder(buf.data(), buf.size()) {}
+
+  // Borrowed-view mode: `backing` is the refcount that keeps `data` alive (a pooled
+  // reassembler block). Views sliced out of this decoder (ViewOf) carry the ref, so
+  // a decoded message can reference the frame instead of copying it. The pointer
+  // must outlive the decoder and every sub-decoder (ReadNested propagates it).
+  Decoder(const uint8_t* data, size_t len, const FrameRef* backing)
+      : data_(data), len_(len), backing_(backing) {}
+
+  // Wraps a slice of this decoder's input in a ByteView. Returns an empty view
+  // unless the decoder has a backing ref: without one, the borrowed bytes could
+  // dangle, and callers treat an empty view as "copy instead".
+  ByteView ViewOf(const uint8_t* data, size_t len) const {
+    if (backing_ == nullptr || *backing_ == nullptr) {
+      return {};
+    }
+    return ByteView{data, len, *backing_};
+  }
+
+  // Unconsumed input cursor (for slicing views of upcoming bytes).
+  const uint8_t* head() const { return data_ + pos_; }
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == len_; }
@@ -127,13 +175,15 @@ class Decoder {
   size_t pos_ = 0;
   int depth_ = 0;
   bool ok_ = true;
+  const FrameRef* backing_ = nullptr;
 };
 
 // Encodes `v` (anything with EncodeTo) as a varint-length-prefixed nested message.
-// The sub-encoder inherits counting mode, so size derivation never buffers.
+// The sub-encoder inherits counting mode, so size derivation never buffers, and the
+// buffer pool, so nested bodies reuse recycled scratch instead of allocating.
 template <typename T>
 void EncodeNested(Encoder& enc, const T& v) {
-  Encoder sub(enc.counting());
+  Encoder sub(enc.counting(), enc.pool());
   v.EncodeTo(sub);
   enc.PutVarint(sub.size());
   enc.Append(sub);

@@ -1,0 +1,103 @@
+// SmallVec: fixed inline capacity with heap fallback. Small bounded sequences on
+// the message hot path (Merkle proof sibling chains: depth log2(batch), so <= 8
+// for any realistic batch) live entirely inside their owning object, so decoding
+// a signed vote materialises zero proof-path heap blocks. Adversarial wire inputs
+// claiming larger counts still decode correctly by spilling to a std::vector.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <type_traits>
+#include <vector>
+
+namespace basil {
+
+template <typename T, size_t N>
+class SmallVec {
+  // Trivially-copyable elements keep the inline<->heap transitions plain copies
+  // and let the defaulted copy/move of the inline array be correct.
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) {
+      push_back(v);
+    }
+  }
+
+  size_t size() const { return spilled_ ? heap_.size() : size_; }
+  bool empty() const { return size() == 0; }
+
+  void clear() {
+    heap_.clear();
+    spilled_ = false;
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > N) {
+      Spill();
+      heap_.reserve(n);
+    }
+  }
+
+  void resize(size_t n) {
+    if (spilled_ || n > N) {
+      Spill();
+      heap_.resize(n);
+      return;
+    }
+    for (size_t i = size_; i < n; ++i) {
+      inline_[i] = T{};
+    }
+    size_ = n;
+  }
+
+  void push_back(const T& v) {
+    if (!spilled_ && size_ < N) {
+      inline_[size_++] = v;
+      return;
+    }
+    Spill();
+    heap_.push_back(v);
+  }
+
+  T* data() { return spilled_ ? heap_.data() : inline_; }
+  const T* data() const { return spilled_ ? heap_.data() : inline_; }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    if (a.size() != b.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  void Spill() {
+    if (!spilled_) {
+      heap_.assign(inline_, inline_ + size_);
+      spilled_ = true;
+      size_ = 0;
+    }
+  }
+
+  T inline_[N] = {};
+  size_t size_ = 0;         // Element count while inline; unused once spilled.
+  std::vector<T> heap_;     // Holds ALL elements once spilled.
+  bool spilled_ = false;
+};
+
+}  // namespace basil

@@ -52,46 +52,66 @@ MerkleBatch BuildMerkleBatch(const std::vector<Hash256>& leaves) {
   if (leaves.empty()) {
     return batch;
   }
+  // Proof depth is ceil(log2(n)): reserve it up front so the per-proof sibling
+  // vectors (the only allocations that leave this function) grow exactly once.
+  size_t depth = 0;
+  while ((size_t{1} << depth) < leaves.size()) {
+    ++depth;
+  }
   for (size_t i = 0; i < leaves.size(); ++i) {
     batch.proofs[i].index = static_cast<uint32_t>(i);
+    batch.proofs[i].siblings.reserve(depth);
+    batch.proofs[i].sibling_left.reserve(depth);
   }
   if (leaves.size() == 1) {
     batch.root = leaves[0];
     return batch;
   }
 
-  // level[i] holds the hash that subtree i reduced to; owners[i] tracks which original
-  // leaves live under it so sibling hashes can be appended to their proofs on the way
-  // up. An odd trailing node is promoted without consuming a sibling.
-  std::vector<Hash256> level = leaves;
-  std::vector<std::vector<uint32_t>> owners(leaves.size());
+  // level[i] holds the hash that subtree i reduced to; owners[i] tracks which
+  // original leaves live under it so sibling hashes can be appended to their proofs
+  // on the way up. Subtrees are merged pairwise in leaf order, so an owner set is
+  // always a contiguous range [begin, end) of leaf indices — no per-subtree vectors
+  // needed. An odd trailing node is promoted without consuming a sibling.
+  //
+  // The level buffers are per-thread scratch: a sealing thread builds one tree per
+  // reply batch, and after the first few batches these never allocate again.
+  struct LeafRange {
+    uint32_t begin;
+    uint32_t end;
+  };
+  static thread_local std::vector<Hash256> level;
+  static thread_local std::vector<Hash256> next;
+  static thread_local std::vector<LeafRange> owners;
+  static thread_local std::vector<LeafRange> next_owners;
+  level.assign(leaves.begin(), leaves.end());
+  owners.clear();
+  owners.reserve(leaves.size());
   for (size_t i = 0; i < leaves.size(); ++i) {
-    owners[i] = {static_cast<uint32_t>(i)};
+    owners.push_back({static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1)});
   }
 
   while (level.size() > 1) {
-    std::vector<Hash256> next;
-    std::vector<std::vector<uint32_t>> next_owners;
+    next.clear();
+    next_owners.clear();
     for (size_t i = 0; i + 1 < level.size(); i += 2) {
-      for (uint32_t leaf : owners[i]) {
+      for (uint32_t leaf = owners[i].begin; leaf < owners[i].end; ++leaf) {
         batch.proofs[leaf].siblings.push_back(level[i + 1]);
         batch.proofs[leaf].sibling_left.push_back(0);
       }
-      for (uint32_t leaf : owners[i + 1]) {
+      for (uint32_t leaf = owners[i + 1].begin; leaf < owners[i + 1].end; ++leaf) {
         batch.proofs[leaf].siblings.push_back(level[i]);
         batch.proofs[leaf].sibling_left.push_back(1);
       }
       next.push_back(HashPair(level[i], level[i + 1]));
-      std::vector<uint32_t> merged = std::move(owners[i]);
-      merged.insert(merged.end(), owners[i + 1].begin(), owners[i + 1].end());
-      next_owners.push_back(std::move(merged));
+      next_owners.push_back({owners[i].begin, owners[i + 1].end});
     }
     if (level.size() % 2 == 1) {
       next.push_back(level.back());
-      next_owners.push_back(std::move(owners.back()));
+      next_owners.push_back(owners.back());
     }
-    level = std::move(next);
-    owners = std::move(next_owners);
+    level.swap(next);
+    owners.swap(next_owners);
   }
   batch.root = level[0];
   return batch;

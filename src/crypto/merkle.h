@@ -8,14 +8,22 @@
 #include <vector>
 
 #include "src/common/serde.h"
+#include "src/common/small_vec.h"
 #include "src/crypto/sha256.h"
 
 namespace basil {
 
+// Inline sibling capacity: covers batches up to 2^8 = 256 replies without a heap
+// block per proof. Larger (adversarial) wire counts spill transparently.
+inline constexpr size_t kMerkleInlineDepth = 8;
+
 struct MerkleProof {
-  uint32_t index = 0;                 // Leaf position in the batch.
-  std::vector<Hash256> siblings;      // Bottom-up sibling hashes actually consumed.
-  std::vector<uint8_t> sibling_left;  // 1 if siblings[i] sits left of the running node.
+  uint32_t index = 0;  // Leaf position in the batch.
+  // Bottom-up sibling hashes actually consumed, and whether each sits left of the
+  // running node. Inline storage: decoding a batched signed reply allocates no
+  // proof-path heap blocks.
+  SmallVec<Hash256, kMerkleInlineDepth> siblings;
+  SmallVec<uint8_t, kMerkleInlineDepth> sibling_left;
 
   // Canonical wire form (docs/WIRE_FORMAT.md): index, sibling count, then the sibling
   // hashes followed by their side flags (one strict 0/1 byte each).

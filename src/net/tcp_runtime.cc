@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/types.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -28,6 +29,15 @@ constexpr size_t kHelloBytes = 12;
 // Basil tolerates lost messages (clients retry, f replicas may be silent), so frames
 // beyond the cap are dropped oldest-first.
 constexpr size_t kMaxOutboxBytes = 64u << 20;
+
+// When the writer is backlogged, DoSend appends new frames into the newest outbox
+// entry until it reaches this size, so one write() moves many frames. Capped well
+// under the pool's largest size class to keep the coalesced buffer recyclable.
+constexpr size_t kCoalesceLimitBytes = 256u << 10;
+
+// Max outbox entries one writev() covers. With coalescing each entry can already
+// hold many frames, so a small iovec is plenty.
+constexpr int kWritevBatch = 16;
 
 uint64_t MonotonicNowNs() {
   timespec ts;
@@ -105,6 +115,13 @@ TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
   loop_depth_gauge_ = metrics_.RegisterGauge("rt.loop.queue_depth");
   writer_frames_gauge_ = metrics_.RegisterGauge("rt.writer.outbox_frames");
   writer_bytes_gauge_ = metrics_.RegisterGauge("rt.writer.outbox_bytes");
+  writer_dropped_counter_ = metrics_.RegisterCounter("rt.writer.dropped_frames");
+  alloc_hits_gauge_ = metrics_.RegisterGauge("rt.alloc.pool_hits");
+  alloc_misses_gauge_ = metrics_.RegisterGauge("rt.alloc.pool_misses");
+  alloc_recycled_gauge_ = metrics_.RegisterGauge("rt.alloc.recycled");
+  alloc_recycled_bytes_gauge_ = metrics_.RegisterGauge("rt.alloc.recycled_bytes");
+  alloc_outstanding_hw_gauge_ =
+      metrics_.RegisterGauge("rt.alloc.outstanding_high_water");
   // All strand workers share one wait histogram (ditto crypto): the interesting
   // signal is pipeline-stage backlog, not per-thread skew.
   const obs::MetricId strand_wait = metrics_.RegisterHistogram("rt.strand.queue_wait_ns");
@@ -127,6 +144,17 @@ TcpRuntime::TcpRuntime(NodeId id, std::vector<PeerAddr> peers, uint32_t workers)
 }
 
 TcpRuntime::~TcpRuntime() { Stop(); }
+
+void TcpRuntime::PublishAllocMetrics() {
+  // Pull model: the pool never holds a registry pointer (frame deleters can run
+  // after teardown started), so snapshots copy its counters into gauges here.
+  const BufferPool::Stats s = pool_.stats();
+  metrics_.Set(alloc_hits_gauge_, s.hits);
+  metrics_.Set(alloc_misses_gauge_, s.misses);
+  metrics_.Set(alloc_recycled_gauge_, s.recycled);
+  metrics_.Set(alloc_recycled_bytes_gauge_, s.recycled_bytes);
+  metrics_.Set(alloc_outstanding_hw_gauge_, s.outstanding_high_water);
+}
 
 uint64_t TcpRuntime::now() const { return MonotonicNowNs(); }
 
@@ -530,7 +558,7 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
   if (dst >= peers_.size()) {
     return;
   }
-  Encoder enc;
+  Encoder enc(&pool_);
   if (!EncodeMsgFrame(*msg, enc)) {
     std::fprintf(stderr,
                  "node %u: dropping message kind %u with no codec (TCP transport "
@@ -543,17 +571,32 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
   Peer& peer = *peer_state_[dst];
   size_t outbox_frames;
   size_t outbox_bytes;
+  uint64_t shed = 0;
   {
     std::lock_guard<std::mutex> lock(peer.mu);
     // Shed oldest frames when a peer is unreachable for long: Basil's quorums and
-    // client retries tolerate message loss, unbounded buffering they do not.
+    // client retries tolerate message loss, unbounded buffering they do not. Every
+    // shed frame is counted (satellites assert the count stays zero in benches).
     while (peer.outbox_bytes + frame_size > kMaxOutboxBytes &&
            !peer.outbox.empty()) {
-      peer.outbox_bytes -= peer.outbox.front().size();
+      OutFrame& victim = peer.outbox.front();
+      peer.outbox_bytes -= victim.bytes.size();
+      shed += victim.frames;
+      pool_.Recycle(std::move(victim.bytes));
       peer.outbox.pop_front();
     }
+    if (!peer.outbox.empty() &&
+        peer.outbox.back().bytes.size() + frame_size <= kCoalesceLimitBytes) {
+      // Writer is backlogged: append into the open tail entry so the writer moves
+      // more bytes per syscall, and hand the fresh frame's storage straight back.
+      OutFrame& back = peer.outbox.back();
+      back.bytes.insert(back.bytes.end(), frame.begin(), frame.end());
+      back.frames += 1;
+      pool_.Recycle(std::move(frame));
+    } else {
+      peer.outbox.push_back(OutFrame{std::move(frame), 1});
+    }
     peer.outbox_bytes += frame_size;
-    peer.outbox.push_back(std::move(frame));
     outbox_frames = peer.outbox.size();
     outbox_bytes = peer.outbox_bytes;
     if (!peer.writer_running && running_.load()) {
@@ -562,6 +605,19 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
     }
   }
   peer.cv.notify_one();
+  if (shed > 0) {
+    const uint64_t total = dropped_frames_.fetch_add(shed) + shed;
+    metrics_.Inc(writer_dropped_counter_, shed);
+    // First drop and every 4096th after: enough to show up in logs, cheap enough
+    // to survive a flood.
+    if (total == shed || (total >> 12) != ((total - shed) >> 12)) {
+      std::fprintf(stderr,
+                   "node %u: outbox to peer %u full, shed %llu frame(s) "
+                   "(%llu total dropped)\n",
+                   id_, dst, static_cast<unsigned long long>(shed),
+                   static_cast<unsigned long long>(total));
+    }
+  }
   if (metrics_.enabled()) {
     // Cross-peer gauges: `max` is the high-water outbox backlog of any writer.
     metrics_.Set(writer_frames_gauge_, outbox_frames);
@@ -611,8 +667,10 @@ void TcpRuntime::WriterMain(NodeId dst) {
   Peer& peer = *peer_state_[dst];
   int fd = -1;
   uint64_t backoff_ms = 50;
+  std::vector<OutFrame> batch;
+  batch.reserve(kWritevBatch);
   while (true) {
-    std::vector<uint8_t> frame;
+    batch.clear();
     {
       std::unique_lock<std::mutex> lock(peer.mu);
       peer.cv.wait(lock,
@@ -620,15 +678,22 @@ void TcpRuntime::WriterMain(NodeId dst) {
       if (!running_.load()) {
         break;
       }
-      frame = std::move(peer.outbox.front());
-      peer.outbox.pop_front();
-      peer.outbox_bytes -= frame.size();
+      // Drain up to kWritevBatch entries in one wakeup: under load this turns N
+      // queued frames into one writev() instead of N lock/write round trips.
+      while (!peer.outbox.empty() &&
+             batch.size() < static_cast<size_t>(kWritevBatch)) {
+        peer.outbox_bytes -= peer.outbox.front().bytes.size();
+        batch.push_back(std::move(peer.outbox.front()));
+        peer.outbox.pop_front();
+      }
     }
-    while (running_.load()) {
+    size_t idx = 0;   // First batch entry not yet fully written.
+    size_t off = 0;   // Bytes of batch[idx] already on the wire (this connection).
+    while (running_.load() && idx < batch.size()) {
       if (fd < 0) {
         fd = ConnectToPeer(dst);
         if (fd < 0) {
-          // Peer down: retry with capped exponential backoff. The frame stays in
+          // Peer down: retry with capped exponential backoff. The frames stay in
           // hand, so nothing is lost across reconnects.
           std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
           backoff_ms = std::min<uint64_t>(backoff_ms * 2, 1000);
@@ -636,14 +701,45 @@ void TcpRuntime::WriterMain(NodeId dst) {
         }
         reconnects_.fetch_add(1);
         backoff_ms = 50;
+        // An entry may have landed partially on the dead connection: the peer's
+        // reassembler discarded the tail, so re-send the current entry whole.
+        off = 0;
       }
-      if (WriteAll(fd, frame.data(), frame.size())) {
-        break;
+      iovec iov[kWritevBatch];
+      int iov_cnt = 0;
+      for (size_t i = idx; i < batch.size() && iov_cnt < kWritevBatch; ++i) {
+        const size_t skip = (i == idx) ? off : 0;
+        iov[iov_cnt].iov_base = batch[i].bytes.data() + skip;
+        iov[iov_cnt].iov_len = batch[i].bytes.size() - skip;
+        ++iov_cnt;
       }
-      // A frame may have landed partially: the peer's reassembler discards the tail
-      // when the connection dies, and the fresh connection re-sends the whole frame.
-      CloseQuiet(fd);
-      fd = -1;
+      // sendmsg, not writev: MSG_NOSIGNAL turns a dead peer into an error return
+      // instead of a process-killing SIGPIPE.
+      msghdr mh{};
+      mh.msg_iov = iov;
+      mh.msg_iovlen = static_cast<size_t>(iov_cnt);
+      const ssize_t n = ::sendmsg(fd, &mh, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      if (n <= 0) {
+        CloseQuiet(fd);
+        fd = -1;
+        continue;
+      }
+      // Advance the cursor over fully-written entries, recycling their storage.
+      size_t written = static_cast<size_t>(n);
+      while (idx < batch.size()) {
+        const size_t remaining = batch[idx].bytes.size() - off;
+        if (written < remaining) {
+          off += written;
+          break;
+        }
+        written -= remaining;
+        off = 0;
+        pool_.Recycle(std::move(batch[idx].bytes));
+        ++idx;
+      }
     }
   }
   CloseQuiet(fd);
@@ -691,8 +787,11 @@ void TcpRuntime::ReaderMain(size_t slot, int fd) {
   }
   const NodeId src = GetU32Le(hello + 8);
 
-  FrameReassembler reassembler;
-  std::vector<uint8_t> frame;
+  // Pooled reassembler + borrowed-view decode: frames are parsed in place inside
+  // the refcounted receive block; decoded messages pin the block via msg->backing
+  // until their handler completes, so nothing on this path copies frame bytes.
+  FrameReassembler reassembler(&pool_);
+  ByteView frame;
   uint8_t buf[64 * 1024];
   while (running_.load()) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -707,15 +806,16 @@ void TcpRuntime::ReaderMain(size_t slot, int fd) {
       break;
     }
     bool bad = false;
-    while (reassembler.Next(&frame)) {
-      Decoder dec(frame);
+    while (reassembler.NextView(&frame)) {
+      Decoder dec(frame.data, frame.len, &frame.backing);
       MsgPtr msg = DecodeMsgFrame(dec);
       if (msg == nullptr || !dec.ok() || !dec.AtEnd()) {
         decode_failures_.fetch_add(1);
         bad = true;  // Malformed frame: the stream cannot be trusted further.
         break;
       }
-      msg->wire_size = frame.size();
+      msg->wire_size = frame.len;
+      msg->backing = frame.backing;
       messages_received_.fetch_add(1);
       Execute([this, src, msg = std::move(msg)]() {
         if (MsgHandler* h = handler_.load()) {

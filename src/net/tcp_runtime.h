@@ -40,6 +40,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/common/config.h"
 #include "src/common/cost.h"
 #include "src/runtime/runtime.h"
@@ -100,15 +101,36 @@ class TcpRuntime : public Runtime {
   uint64_t posted_tasks() const { return posted_tasks_.load(); }
   uint64_t offloaded_checks() const { return offloaded_checks_.load(); }
   uint64_t inline_checks() const { return inline_checks_.load(); }
+  // Frames shed by DoSend when a peer's outbox hit its cap. Nonzero means the
+  // deployment lost messages to backpressure — quorums mask it, benches assert 0.
+  uint64_t dropped_frames() const { return dropped_frames_.load(); }
+
+  // The runtime-owned frame pool: encode scratch, outbox frames, and reader blocks
+  // all rent from here. Exposed for benches that want hit-rate numbers.
+  const BufferPool& pool() const { return pool_; }
+
+  // Copies the pool's live counters into the rt.alloc.* gauges. The pool itself
+  // never touches the registry (frame deleters may run after it is gone), so
+  // snapshots call this just before reading metrics().
+  void PublishAllocMetrics();
 
  protected:
   void DoSend(NodeId dst, MsgPtr msg) override;
 
  private:
+  // One outbox entry: pooled frame bytes plus how many wire frames they hold.
+  // DoSend coalesces into the newest entry while the writer is backlogged, so an
+  // entry can carry several length-prefixed frames back to back — the count keeps
+  // drop accounting exact when the shed loop discards a coalesced entry.
+  struct OutFrame {
+    std::vector<uint8_t> bytes;
+    uint32_t frames = 1;
+  };
+
   struct Peer {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::vector<uint8_t>> outbox;  // Encoded frames awaiting the writer.
+    std::deque<OutFrame> outbox;  // Encoded frames awaiting the writer.
     size_t outbox_bytes = 0;
     bool writer_running = false;
     std::thread writer;
@@ -206,6 +228,13 @@ class TcpRuntime : public Runtime {
   std::atomic<uint64_t> posted_tasks_{0};
   std::atomic<uint64_t> offloaded_checks_{0};
   std::atomic<uint64_t> inline_checks_{0};
+  std::atomic<uint64_t> dropped_frames_{0};
+
+  // Size-classed frame pool shared by the send path (Encoder scratch, outbox
+  // frames) and the receive path (reassembler blocks). Destruction order is a
+  // non-issue: Stop() joins every thread before members die, and blocks that
+  // escaped into handlers keep the pool's shared state alive on their own.
+  BufferPool pool_;
 
   // Queue observability (docs/OBSERVABILITY.md): wait histograms + depth gauges for
   // the event loop and the per-peer writer outboxes (pool workers carry their own
@@ -214,6 +243,14 @@ class TcpRuntime : public Runtime {
   obs::MetricId loop_depth_gauge_ = obs::kInvalidMetric;
   obs::MetricId writer_frames_gauge_ = obs::kInvalidMetric;
   obs::MetricId writer_bytes_gauge_ = obs::kInvalidMetric;
+  // Backpressure drops (counter, Inc'd at the shed site) and pool counters
+  // (gauges, filled by PublishAllocMetrics from BufferPool::stats()).
+  obs::MetricId writer_dropped_counter_ = obs::kInvalidMetric;
+  obs::MetricId alloc_hits_gauge_ = obs::kInvalidMetric;
+  obs::MetricId alloc_misses_gauge_ = obs::kInvalidMetric;
+  obs::MetricId alloc_recycled_gauge_ = obs::kInvalidMetric;
+  obs::MetricId alloc_recycled_bytes_gauge_ = obs::kInvalidMetric;
+  obs::MetricId alloc_outstanding_hw_gauge_ = obs::kInvalidMetric;
   // Self-sampled busy fraction of the event loop (percent, ~1 s windows): with
   // partitioned state the loop should be mostly demux + send, so this histogram is
   // the "loop went idle" proof (docs/OBSERVABILITY.md).

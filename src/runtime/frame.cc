@@ -1,6 +1,8 @@
 #include "src/runtime/frame.h"
 
+#include <algorithm>
 #include <cstring>
+#include <memory>
 
 namespace basil {
 namespace {
@@ -12,37 +14,87 @@ uint32_t ReadU32Le(const uint8_t* p) {
 
 }  // namespace
 
+FrameRef FrameReassembler::NewBlock(size_t min_capacity) const {
+  if (pool_ != nullptr) {
+    return pool_->RentBlock(min_capacity);
+  }
+  auto block = std::make_shared<std::vector<uint8_t>>();
+  block->reserve(min_capacity);
+  return block;
+}
+
+void FrameReassembler::EnsureRoom(size_t len) {
+  if (block_ == nullptr) {
+    block_ = NewBlock(std::max(kBlockBytes, len));
+    consumed_ = 0;
+    return;
+  }
+  if (block_->size() + len <= block_->capacity()) {
+    return;  // Appending within capacity never moves outstanding views.
+  }
+  const size_t pending = block_->size() - consumed_;
+  if (pending == 0 && block_.use_count() == 1 && len <= block_->capacity()) {
+    // Fully consumed and nobody holds a view: reuse the block in place.
+    block_->clear();
+    consumed_ = 0;
+    return;
+  }
+  // Roll over: rent a fresh block and carry the unconsumed tail. If the tail
+  // already contains the next frame's header, size the block for the whole frame
+  // so a large frame rolls over at most once, not per Feed.
+  size_t want = pending + len;
+  if (pending >= kFrameHeaderBytes) {
+    const uint32_t body_len = ReadU32Le(block_->data() + consumed_ + 2);
+    if (body_len <= kMaxFrameBodyBytes) {
+      want = std::max(want, kFrameHeaderBytes + static_cast<size_t>(body_len));
+    }
+  }
+  FrameRef fresh = NewBlock(std::max(kBlockBytes, want));
+  fresh->insert(fresh->end(), block_->data() + consumed_,
+                block_->data() + block_->size());
+  block_ = std::move(fresh);  // Old block recycles when its last view drops.
+  consumed_ = 0;
+}
+
+void FrameReassembler::CheckNextHeader() {
+  // Validate the length field as soon as a header is complete, not when the body
+  // finishes: an oversized frame must poison the stream before we buffer toward it.
+  if (block_ != nullptr && block_->size() - consumed_ >= kFrameHeaderBytes &&
+      ReadU32Le(block_->data() + consumed_ + 2) > kMaxFrameBodyBytes) {
+    poisoned_ = true;
+  }
+}
+
 bool FrameReassembler::Feed(const uint8_t* data, size_t len) {
   if (poisoned_) {
     return false;
   }
-  // Compact lazily: drop the already-consumed prefix before growing the buffer.
-  if (consumed_ > 0 && (consumed_ >= 4096 || consumed_ == buf_.size())) {
-    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(consumed_));
-    consumed_ = 0;
+  if (len > 0) {
+    EnsureRoom(len);
+    block_->insert(block_->end(), data, data + len);
   }
-  buf_.insert(buf_.end(), data, data + len);
-  // Validate the length field as soon as the header is complete, not when the body
-  // finishes: an oversized frame must poison the stream before we buffer toward it.
-  if (buf_.size() - consumed_ >= kFrameHeaderBytes) {
-    const uint32_t body_len = ReadU32Le(buf_.data() + consumed_ + 2);
-    if (body_len > kMaxFrameBodyBytes) {
-      poisoned_ = true;
-      return false;
-    }
-  }
-  return true;
+  CheckNextHeader();
+  return !poisoned_;
 }
 
 bool FrameReassembler::Next(std::vector<uint8_t>* frame) {
-  if (poisoned_) {
+  ByteView view;
+  if (!NextView(&view)) {
     return false;
   }
-  const size_t avail = buf_.size() - consumed_;
+  frame->assign(view.data, view.data + view.len);
+  return true;
+}
+
+bool FrameReassembler::NextView(ByteView* frame) {
+  if (poisoned_ || block_ == nullptr) {
+    return false;
+  }
+  const size_t avail = block_->size() - consumed_;
   if (avail < kFrameHeaderBytes) {
     return false;
   }
-  const uint8_t* head = buf_.data() + consumed_;
+  const uint8_t* head = block_->data() + consumed_;
   const uint32_t body_len = ReadU32Le(head + 2);
   if (body_len > kMaxFrameBodyBytes) {
     poisoned_ = true;
@@ -52,13 +104,12 @@ bool FrameReassembler::Next(std::vector<uint8_t>* frame) {
   if (avail < total) {
     return false;
   }
-  frame->assign(head, head + total);
+  frame->data = head;
+  frame->len = total;
+  frame->backing = block_;
   consumed_ += total;
   // Re-check the next header eagerly so poisoning surfaces without another Feed.
-  if (buf_.size() - consumed_ >= kFrameHeaderBytes &&
-      ReadU32Le(buf_.data() + consumed_ + 2) > kMaxFrameBodyBytes) {
-    poisoned_ = true;
-  }
+  CheckNextHeader();
   return true;
 }
 

@@ -3,6 +3,13 @@
 // the reassembler turns an arbitrary sequence of byte chunks (partial reads, coalesced
 // frames) back into complete frames. It owns no socket: the TCP runtime feeds it recv()
 // buffers, and the fuzzer and framing tests feed it adversarial splits.
+//
+// Storage is a chain of refcounted blocks (rented from a BufferPool when one is
+// given). Within a block, appends never reallocate — the block's capacity is fixed at
+// rent time — so frames already handed out as zero-copy views (NextView) stay valid
+// while later bytes arrive. When a block fills, the unconsumed tail is copied into a
+// fresh block and the old one is released; it recycles into the pool once the last
+// view into it drops. See docs/TRANSPORT.md "Buffer ownership and zero-copy decode".
 #ifndef BASIL_SRC_RUNTIME_FRAME_H_
 #define BASIL_SRC_RUNTIME_FRAME_H_
 
@@ -10,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/buffer_pool.h"
 #include "src/runtime/msg.h"
 
 namespace basil {
@@ -26,6 +34,11 @@ inline constexpr uint32_t kMaxFrameBodyBytes = 64u << 20;  // 64 MiB.
 
 class FrameReassembler {
  public:
+  FrameReassembler() = default;
+  // Rents stream blocks from `pool` (and recycles them once consumed and unviewed)
+  // instead of plain heap allocation. Framing behavior is identical either way.
+  explicit FrameReassembler(BufferPool* pool) : pool_(pool) {}
+
   // Appends `len` received bytes to the stream. Returns false once the stream is
   // poisoned (oversized length field); no further input is accepted.
   bool Feed(const uint8_t* data, size_t len);
@@ -35,17 +48,37 @@ class FrameReassembler {
   // reassembler splits the stream, DecodeMsgFrame judges the contents.
   bool Next(std::vector<uint8_t>* frame);
 
+  // Zero-copy variant: the view borrows the frame bytes in place and carries a ref
+  // on the underlying block, so it stays valid for as long as the caller (or a
+  // message decoded from it) holds the view — including past this reassembler.
+  bool NextView(ByteView* frame);
+
   // True once Feed saw a length field above kMaxFrameBodyBytes. The connection must
   // be dropped: resynchronizing an untrusted byte stream is not possible.
   bool poisoned() const { return poisoned_; }
 
   // Bytes buffered but not yet returned (mid-frame tail). Non-zero at connection
   // teardown means the peer died mid-frame; the partial frame is discarded.
-  size_t pending_bytes() const { return buf_.size() - consumed_; }
+  size_t pending_bytes() const {
+    return block_ == nullptr ? 0 : block_->size() - consumed_;
+  }
 
  private:
-  std::vector<uint8_t> buf_;
-  size_t consumed_ = 0;  // Prefix of buf_ already returned as frames.
+  // Target capacity for stream blocks: large enough to amortize rollover copies
+  // over many frames, small enough that a view pinning a block is cheap.
+  static constexpr size_t kBlockBytes = 128u << 10;  // 128 KiB.
+
+  // Makes room to append `len` bytes without reallocating the current block:
+  // reuses the block when fully consumed and unviewed, otherwise rents a fresh one
+  // and carries the unconsumed tail over.
+  void EnsureRoom(size_t len);
+  FrameRef NewBlock(size_t min_capacity) const;
+  // Poisons the stream if the next buffered header declares an oversized body.
+  void CheckNextHeader();
+
+  BufferPool* pool_ = nullptr;
+  FrameRef block_;        // Active block; earlier blocks live on in views.
+  size_t consumed_ = 0;   // Prefix of *block_ already returned as frames.
   bool poisoned_ = false;
 };
 

@@ -20,6 +20,12 @@ namespace basil {
 struct MsgBase {
   uint16_t kind = 0;
   mutable uint64_t wire_size = 64;
+  // When the message was decoded zero-copy out of a pooled reassembler block, this
+  // ref keeps the block alive for as long as the message (and any borrowed views
+  // into the frame bytes) lives. Null for locally constructed and sim-delivered
+  // messages. Mutable for the same reason wire_size is: the transport stamps it on
+  // an otherwise const-shared message right after decode.
+  mutable FrameRef backing;
 
   virtual ~MsgBase() = default;
 };

@@ -40,12 +40,26 @@ inline void EncodeOptionalTxn(Encoder& enc, const TxnPtr& txn) {
   }
 }
 
-inline TxnPtr DecodeOptionalTxn(Decoder& dec) {
+// Decodes an optional nested transaction. When `signed_raw` is non-null and the
+// decoder is view-backed (decoding straight out of a pooled frame), it receives the
+// transaction's signed wire bytes — the nested body minus the trailing id digest —
+// so digest checks can hash the frame in place instead of re-encoding the decoded
+// struct. Sound because the canonical codec makes decode(encode(x)) the identity on
+// bytes: the signed slice IS what EncodeSignedTo would reproduce.
+inline TxnPtr DecodeOptionalTxn(Decoder& dec, ByteView* signed_raw = nullptr) {
   if (!dec.GetBool()) {
     return nullptr;
   }
-  Transaction txn;
-  if (!DecodeNested(dec, &txn)) {
+  Decoder sub;
+  if (!dec.ReadNested(&sub)) {
+    return nullptr;
+  }
+  if (signed_raw != nullptr && sub.remaining() >= sizeof(TxnDigest)) {
+    *signed_raw = sub.ViewOf(sub.head(), sub.remaining() - sizeof(TxnDigest));
+  }
+  Transaction txn = Transaction::DecodeFrom(sub);
+  if (!sub.ok() || !sub.AtEnd()) {
+    dec.Fail();
     return nullptr;
   }
   return std::make_shared<const Transaction>(std::move(txn));

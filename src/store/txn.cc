@@ -90,10 +90,17 @@ Transaction Transaction::DecodeFrom(Decoder& dec) {
 }
 
 TxnDigest Transaction::ComputeDigest() const {
-  Encoder enc;
+  Encoder enc(&BufferPool::Global());  // Pooled scratch: no allocation steady-state.
   enc.PutU8(kDomTxn);
   EncodeSignedTo(enc);
   return Sha256::Digest(enc.bytes());
+}
+
+TxnDigest TxnDigestOfSignedBytes(const uint8_t* data, size_t len) {
+  Sha256 h;
+  h.Update(&kDomTxn, 1);
+  h.Update(data, len);
+  return h.Finish();
 }
 
 void Transaction::Finalize(uint32_t num_shards) {

@@ -68,6 +68,12 @@ struct Transaction {
 
 using TxnPtr = std::shared_ptr<const Transaction>;
 
+// Digest of a transaction's canonical signed bytes as they appeared on the wire.
+// Equal to ComputeDigest() of the decoded transaction — the codec guarantees
+// decode(encode(x)) is the identity on bytes — but skips the re-encode entirely,
+// which is what makes zero-copy digest checks on borrowed frame views free.
+TxnDigest TxnDigestOfSignedBytes(const uint8_t* data, size_t len);
+
 // Key placement: shard of a key is a stable hash mod num_shards.
 ShardId ShardOfKey(const Key& key, uint32_t num_shards);
 

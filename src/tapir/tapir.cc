@@ -48,7 +48,7 @@ void TapirPrepareMsg::EncodeTo(Encoder& enc) const { EncodeOptionalTxn(enc, txn)
 
 TapirPrepareMsg TapirPrepareMsg::DecodeFrom(Decoder& dec) {
   TapirPrepareMsg msg;
-  msg.txn = DecodeOptionalTxn(dec);
+  msg.txn = DecodeOptionalTxn(dec, &msg.txn_raw);
   return msg;
 }
 
@@ -192,6 +192,16 @@ Vote TapirReplica::OccCheck(const Transaction& txn) {
   return Vote::kCommit;
 }
 
+// Body-digest check with the zero-copy fast path (see BasilReplica's St1 twin):
+// hash the frame's signed wire bytes in place when the message carries them,
+// re-encode via ComputeDigest otherwise. Identical boolean either way.
+static bool PrepareBodyDigestOk(const TapirPrepareMsg& msg) {
+  if (!msg.txn_raw.empty()) {
+    return TxnDigestOfSignedBytes(msg.txn_raw.data, msg.txn_raw.len) == msg.txn->id;
+  }
+  return msg.txn->ComputeDigest() == msg.txn->id;
+}
+
 void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> msg) {
   if (msg->txn == nullptr) {
     return;
@@ -200,7 +210,7 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
     // Hash check and the full intake run on the owning strand — one hop, end-to-end.
     RunOnPart(PartOfDigest(msg->txn->id), [this, src, msg]() {
       const uint64_t t0 = now();
-      if (msg->txn->ComputeDigest() != msg->txn->id) {
+      if (!PrepareBodyDigestOk(*msg)) {
         counters_.Inc("prepare_bad_digest");
         return;
       }
@@ -211,7 +221,7 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
   }
   if (!cfg_->parallel_pipeline) {
     const uint64_t t0 = now();
-    if (msg->txn->ComputeDigest() != msg->txn->id) {
+    if (!PrepareBodyDigestOk(*msg)) {
       counters_.Inc("prepare_bad_digest");
       return;
     }
@@ -229,7 +239,7 @@ void TapirReplica::OnPrepare(NodeId src, std::shared_ptr<const TapirPrepareMsg> 
         // Duration is 0 on the simulator (virtual time does not advance inside a
         // work item); now() is thread-safe on both backends.
         const uint64_t t0 = now();
-        *body_ok = msg->txn->ComputeDigest() == msg->txn->id;
+        *body_ok = PrepareBodyDigestOk(*msg);
         tracer_.Record(obs::Stage::kSt1DigestCheck, msg->txn->id, now() - t0);
       },
       [this, src, msg, body_ok]() {

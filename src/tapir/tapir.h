@@ -63,6 +63,9 @@ struct TapirReadReplyMsg : MsgBase {
 
 struct TapirPrepareMsg : MsgBase {
   TxnPtr txn;
+  // Zero-copy fast path (same contract as St1Msg::txn_raw): the transaction's
+  // signed wire bytes in place when decoded from a pooled frame, else empty.
+  ByteView txn_raw;
   TapirPrepareMsg() { kind = kTapirPrepare; }
   void EncodeTo(Encoder& enc) const;
   static TapirPrepareMsg DecodeFrom(Decoder& dec);

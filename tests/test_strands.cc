@@ -97,6 +97,29 @@ TEST(Strands, MetricsRecordingDoesNotChangeResults) {
   ExpectBitIdentical(with_metrics, without_metrics);
 }
 
+TEST(Strands, BufferPoolingDoesNotChangeResults) {
+  // The buffer pool only changes where bytes live, never what they are
+  // (src/common/buffer_pool.h): digest scratch encoders and frame blocks rent
+  // pooled storage, but every encoding and digest must come out bit-identical
+  // with pooling disabled.
+  ExperimentParams params;
+  params.system = SystemKind::kBasil;
+  params.clients = 8;
+  params.warmup_ns = 100'000'000;
+  params.measure_ns = 400'000'000;
+  params.seed = 7;
+  params.basil.parallel_pipeline = true;
+
+  ASSERT_TRUE(BufferPool::PoolingEnabled());
+  const RunResult pooled = RunExperiment(params);
+  BufferPool::SetPoolingEnabled(false);
+  const RunResult unpooled = RunExperiment(params);
+  BufferPool::SetPoolingEnabled(true);
+
+  EXPECT_GT(pooled.committed, 0u);
+  ExpectBitIdentical(pooled, unpooled);
+}
+
 TEST(Strands, PipelineDoesNotChangeTapirResults) {
   ExperimentParams params;
   params.system = SystemKind::kTapir;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -198,6 +199,157 @@ TEST(TcpFraming, ReassembledFramesDecode) {
   EXPECT_EQ(read.req_id, 42u);
   EXPECT_EQ(read.key, "decode-me");
   EXPECT_EQ(read.ts, (Timestamp{7, 3}));
+}
+
+// ---------------------------------------------------------------------------
+// Pooled blocks and zero-copy views (the path the TCP reader threads actually
+// run since the buffer-pool work).
+// ---------------------------------------------------------------------------
+
+TEST(TcpFramingPooled, ViewSplitAtEveryByteBoundary) {
+  // The adversarial-split sweep again, but through the pooled zero-copy path:
+  // every split point must yield a view with exactly the original frame bytes.
+  BufferPool pool;
+  const std::vector<uint8_t> frame = MakeFrame("a-key-long-enough-to-matter");
+  for (size_t split = 0; split <= frame.size(); ++split) {
+    FrameReassembler r(&pool);
+    ASSERT_TRUE(r.Feed(frame.data(), split));
+    ByteView view;
+    if (split < frame.size()) {
+      EXPECT_FALSE(r.NextView(&view)) << "premature frame at split " << split;
+      ASSERT_TRUE(r.Feed(frame.data() + split, frame.size() - split));
+    }
+    ASSERT_TRUE(r.NextView(&view)) << "no frame at split " << split;
+    ASSERT_EQ(view.len, frame.size()) << "bad length at split " << split;
+    EXPECT_EQ(std::memcmp(view.data, frame.data(), frame.size()), 0)
+        << "corrupted frame at split " << split;
+    ASSERT_NE(view.backing, nullptr);  // Views always carry their block ref.
+    EXPECT_FALSE(r.NextView(&view));
+  }
+}
+
+TEST(TcpFramingPooled, ViewAndCopyAgreeOnCoalescedStream) {
+  BufferPool pool;
+  std::vector<uint8_t> stream;
+  std::vector<std::vector<uint8_t>> frames;
+  for (int i = 0; i < 20; ++i) {
+    frames.push_back(MakeFrame("agree-" + std::to_string(i)));
+    stream.insert(stream.end(), frames.back().begin(), frames.back().end());
+  }
+  FrameReassembler r(&pool);
+  size_t produced = 0;
+  const size_t chunk = 13;
+  for (size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const size_t n = std::min(chunk, stream.size() - pos);
+    ASSERT_TRUE(r.Feed(stream.data() + pos, n));
+    ByteView view;
+    while (r.NextView(&view)) {
+      ASSERT_LT(produced, frames.size());
+      ASSERT_EQ(view.len, frames[produced].size());
+      EXPECT_EQ(std::memcmp(view.data, frames[produced].data(), view.len), 0);
+      ++produced;
+    }
+  }
+  EXPECT_EQ(produced, frames.size());
+  EXPECT_EQ(r.pending_bytes(), 0u);
+}
+
+TEST(TcpFramingPooled, ViewOutlivesTheReassembler) {
+  // A decoded message may hold its frame view long after the connection (and its
+  // reassembler) is gone; the backing ref must keep the bytes alive and intact.
+  BufferPool pool;
+  const std::vector<uint8_t> frame = MakeFrame("survivor");
+  ByteView view;
+  {
+    FrameReassembler r(&pool);
+    ASSERT_TRUE(r.Feed(frame.data(), frame.size()));
+    ASSERT_TRUE(r.NextView(&view));
+  }
+  ASSERT_EQ(view.len, frame.size());
+  EXPECT_EQ(std::memcmp(view.data, frame.data(), frame.size()), 0);
+
+  // The bytes must still decode; the block recycles when the view drops.
+  Decoder dec(view.data, view.len, &view.backing);
+  const MsgPtr msg = DecodeMsgFrame(dec);
+  ASSERT_NE(msg, nullptr);
+  EXPECT_EQ(static_cast<const TapirReadMsg&>(*msg).key, "survivor");
+}
+
+TEST(TcpFramingPooled, BlockRecyclesOnlyAfterLastViewDrops) {
+  BufferPool pool;
+  const std::vector<uint8_t> f1 = MakeFrame("one");
+  const std::vector<uint8_t> f2 = MakeFrame("two");
+  ByteView v1;
+  ByteView v2;
+  {
+    FrameReassembler r(&pool);
+    ASSERT_TRUE(r.Feed(f1.data(), f1.size()));
+    ASSERT_TRUE(r.Feed(f2.data(), f2.size()));
+    ASSERT_TRUE(r.NextView(&v1));
+    ASSERT_TRUE(r.NextView(&v2));
+    EXPECT_EQ(v1.backing, v2.backing);  // Small frames share one block.
+  }
+  EXPECT_EQ(pool.stats().recycled, 0u);  // Views still pin the block.
+  v1 = ByteView{};
+  EXPECT_EQ(pool.stats().recycled, 0u);
+  v2 = ByteView{};
+  EXPECT_EQ(pool.stats().recycled, 1u);  // Last view gone: storage returns.
+}
+
+TEST(TcpFramingPooled, DecodedMessageViewsPinTheFrame) {
+  // End-to-end zero-copy contract: a message decoded in view mode (here an ST1
+  // whose txn_raw borrows the frame) stays valid after reassembler teardown
+  // because msg->backing pins the block — exactly what the TCP reader does.
+  BufferPool pool;
+  TapirReadMsg src;
+  src.req_id = 7;
+  src.key = "pin-me-down";
+  src.ts = Timestamp{1, 2};
+  Encoder enc;
+  ASSERT_TRUE(EncodeMsgFrame(src, enc));
+
+  MsgPtr msg;
+  {
+    FrameReassembler r(&pool);
+    ASSERT_TRUE(r.Feed(enc.bytes().data(), enc.size()));
+    ByteView view;
+    ASSERT_TRUE(r.NextView(&view));
+    Decoder dec(view.data, view.len, &view.backing);
+    msg = DecodeMsgFrame(dec);
+    ASSERT_NE(msg, nullptr);
+    ASSERT_TRUE(dec.ok());
+    msg->backing = view.backing;
+  }
+  EXPECT_EQ(static_cast<const TapirReadMsg&>(*msg).key, "pin-me-down");
+  EXPECT_EQ(pool.stats().outstanding, 1u);  // The message still owns the block.
+  msg.reset();
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(TcpFramingPooled, PooledAndUnpooledProduceIdenticalFrames) {
+  // Byte-identity across the storage modes for a misaligned multi-frame stream.
+  std::vector<uint8_t> stream;
+  for (int i = 0; i < 30; ++i) {
+    const std::vector<uint8_t> f = MakeFrame(std::string(i % 11, 'k') + "-id");
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  BufferPool pool;
+  FrameReassembler pooled(&pool);
+  FrameReassembler plain;
+  const size_t chunk = 7;
+  for (size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const size_t n = std::min(chunk, stream.size() - pos);
+    ASSERT_TRUE(pooled.Feed(stream.data() + pos, n));
+    ASSERT_TRUE(plain.Feed(stream.data() + pos, n));
+    ByteView view;
+    while (pooled.NextView(&view)) {
+      std::vector<uint8_t> copy;
+      ASSERT_TRUE(plain.Next(&copy));
+      ASSERT_EQ(view.len, copy.size());
+      EXPECT_EQ(std::memcmp(view.data, copy.data(), view.len), 0);
+    }
+  }
+  EXPECT_EQ(pooled.pending_bytes(), plain.pending_bytes());
 }
 
 }  // namespace

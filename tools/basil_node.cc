@@ -148,6 +148,7 @@ std::string SnapshotPath(const Options& opt, NodeId id) {
 // counters; the registry itself is safe to read from any thread.
 bool WriteSnapshot(TcpRuntime& rt, const std::string& role, const Counters& proto,
                    uint64_t start_ns, const std::string& path) {
+  rt.PublishAllocMetrics();  // Fold live pool counters into the rt.alloc.* gauges.
   obs::SnapshotMeta meta;
   meta.node = rt.id();
   meta.role = role;
@@ -295,9 +296,11 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   // Final snapshot: the loop is stopped, so the counters are safe to read directly.
   WriteSnapshot(rt, "replica", replica.counters(), start_ns,
                 SnapshotPath(opt, rt.id()));
+  const BufferPool::Stats alloc = rt.pool().stats();
   std::printf(
       "STOPPED replica %u partitions=%u handled=%llu commits=%llu applied=%llu "
-      "rejected=%llu offloaded=%llu posted=%llu fsyncs=%llu\n",
+      "rejected=%llu offloaded=%llu posted=%llu fsyncs=%llu dropped=%llu "
+      "pool_hits=%llu pool_misses=%llu pool_recycled_bytes=%llu\n",
       rt.id(), basil_cfg.exec_partitions,
       static_cast<unsigned long long>(rt.messages_received()),
       static_cast<unsigned long long>(replica.counters().Get("committed")),
@@ -306,7 +309,11 @@ int RunReplica(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
           replica.counters().Get("state_entries_rejected")),
       static_cast<unsigned long long>(rt.offloaded_checks()),
       static_cast<unsigned long long>(rt.posted_tasks()),
-      static_cast<unsigned long long>(durable ? durable->fsyncs() : 0));
+      static_cast<unsigned long long>(durable ? durable->fsyncs() : 0),
+      static_cast<unsigned long long>(rt.dropped_frames()),
+      static_cast<unsigned long long>(alloc.hits),
+      static_cast<unsigned long long>(alloc.misses),
+      static_cast<unsigned long long>(alloc.recycled_bytes));
   return 0;
 }
 
