@@ -28,6 +28,7 @@
 #include "src/pbft/pbft.h"
 #include "src/runtime/frame.h"
 #include "src/runtime/msg.h"
+#include "src/runtime/session.h"
 #include "src/tapir/tapir.h"
 #include "src/txbft/txbft.h"
 
@@ -251,6 +252,19 @@ std::vector<std::vector<uint8_t>> SeedFrames() {
     cmd.id = PatternDigest(0x70);
     cmd.payload = std::make_shared<TxSubmitMsg>();
     m.batch.push_back(std::move(cmd));
+    add(m);
+  }
+  {
+    // Session envelope (gateway front door): an inner frame nested verbatim in
+    // the payload, so mutations hit the nested length/frame validation too.
+    SessionEnvelopeMsg m;
+    m.session = MakeSessionNode(/*gateway=*/1, /*local=*/42);
+    m.seq = 7;
+    auto inner = std::make_shared<TapirReadMsg>();
+    inner->req_id = 11;
+    inner->key = "enveloped";
+    inner->ts = Timestamp{2, 6};
+    m.inner = std::move(inner);
     add(m);
   }
   {

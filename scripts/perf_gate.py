@@ -18,7 +18,8 @@ The baseline maps each bench name to floors/ceilings and relative bands:
 
 Two kinds of bound:
 
-  - Absolute floors/ceilings (min_*, max_stage_p95_ms): for metrics dominated by
+  - Absolute floors/ceilings (min_*, max_row_p99_ms, max_stage_p95_ms): for
+    metrics dominated by
     hardware (fsync latency) these stay generous and catch order-of-magnitude
     regressions only. For the metrics the parallel pipeline improves (queue waits,
     commit spans) the committed ceilings are baseline p95 * 1.35 — a +35% regression
@@ -66,6 +67,20 @@ def gate_artifact(path, gates, msgs):
         fail(msgs, f"{bench}: tput {best_tput:.1f} tps < floor {gate['min_tput_tps']}")
     if "min_commit_rate" in gate and best_rate < gate["min_commit_rate"]:
         fail(msgs, f"{bench}: commit rate {best_rate:.3f} < floor {gate['min_commit_rate']}")
+
+    # Per-row latency ceiling. A zero/absent p99 fails too: it means the bench
+    # stopped measuring latency, which is a regression in its own right.
+    if "max_row_p99_ms" in gate:
+        ceiling = gate["max_row_p99_ms"]
+        for r in rows:
+            p99 = r.get("p99_ms", 0.0)
+            label = r.get("label", "?")
+            if p99 <= 0:
+                fail(msgs, f"{bench}: row '{label}' has no p99_ms "
+                           "(latency dropped on the floor)")
+            elif p99 > ceiling:
+                fail(msgs, f"{bench}: row '{label}' p99 {p99:.2f} ms > "
+                           f"ceiling {ceiling} ms")
 
     for metric, band in gate.get("bands", {}).items():
         if metric == "tput_tps":

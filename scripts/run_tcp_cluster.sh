@@ -14,21 +14,50 @@
 # metrics_merge into BENCH_tcp_cluster.json in the current directory
 # (docs/OBSERVABILITY.md).
 #
-# Usage: run_tcp_cluster.sh <path-to-basil_node> [metrics_merge] [txns] [workers] \
-#          [metrics-interval-s] [partitions]
+# Usage: run_tcp_cluster.sh <path-to-basil_node> [metrics_merge] [--flags...]
 #   metrics_merge: path to the aggregator binary ("" skips the BENCH artifact).
-#   workers: strand + crypto pool threads per node (--workers, docs/TRANSPORT.md).
-#   partitions: execution-state partitions per replica (--partitions,
-#     docs/TRANSPORT.md "Partitioned execution state"). Defaults to workers; 0 keeps
-#     the legacy loop-owned state.
+#   --txns N              transactions the client must commit (default 1000).
+#   --workers W           strand + crypto pool threads per node (--workers,
+#                         docs/TRANSPORT.md). Default 2.
+#   --metrics-interval S  periodic snapshot cadence in seconds (default 0 = only
+#                         at shutdown / SIGUSR1).
+#   --partitions P        execution-state partitions per replica (--partitions,
+#                         docs/TRANSPORT.md "Partitioned execution state").
+#                         Defaults to --workers; 0 keeps the legacy loop-owned
+#                         state.
+#   --gateway             run the client behind the session gateway
+#                         (docs/TRANSPORT.md "Session gateway"): --sessions
+#                         logical sessions multiplexed over --lanes connections
+#                         per replica instead of one closed loop on one socket.
+#   --sessions N          gateway mode: logical sessions (default 4).
+#   --lanes K             gateway mode: connections per replica (default 2).
 set -u
 
-BASIL_NODE="${1:?usage: run_tcp_cluster.sh <basil_node binary> [metrics_merge] [txns] [workers] [metrics-interval-s] [partitions]}"
+USAGE="usage: run_tcp_cluster.sh <basil_node binary> [metrics_merge] [--txns N] [--workers W] [--metrics-interval S] [--partitions P] [--gateway] [--sessions N] [--lanes K]"
+BASIL_NODE="${1:?$USAGE}"
 METRICS_MERGE="${2:-}"
-TXNS="${3:-1000}"
-WORKERS="${4:-2}"
-METRICS_INTERVAL="${5:-0}"
-PARTITIONS="${6:-$WORKERS}"
+if [ "$#" -ge 2 ]; then shift 2; else shift "$#"; fi
+
+TXNS=1000
+WORKERS=2
+METRICS_INTERVAL=0
+PARTITIONS=""
+GATEWAY=0
+SESSIONS=4
+LANES=2
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --txns) TXNS="${2:?$USAGE}"; shift 2 ;;
+    --workers) WORKERS="${2:?$USAGE}"; shift 2 ;;
+    --metrics-interval) METRICS_INTERVAL="${2:?$USAGE}"; shift 2 ;;
+    --partitions) PARTITIONS="${2:?$USAGE}"; shift 2 ;;
+    --gateway) GATEWAY=1; shift ;;
+    --sessions) SESSIONS="${2:?$USAGE}"; shift 2 ;;
+    --lanes) LANES="${2:?$USAGE}"; shift 2 ;;
+    *) echo "unknown flag: $1"; echo "$USAGE"; exit 1 ;;
+  esac
+done
+PARTITIONS="${PARTITIONS:-$WORKERS}"
 # Recovery has a fixed wall-clock floor (~1 s: peers' reconnect backoff toward the
 # restarted node), and commits landing before the RECOVERED print do not count as
 # rejoin participation. Short smoke runs (< 600 txns) finish inside that floor, so
@@ -96,9 +125,15 @@ for i in 0 1 2 3 4 5; do
 done
 echo "== replicas ready =="
 
+# Gateway mode multiplexes the client's sessions over pooled connections; the
+# workload, DONE accounting, and recovery choreography are identical either way.
+GATEWAY_ARGS=()
+if [ "$GATEWAY" -eq 1 ]; then
+  GATEWAY_ARGS=(--gateway --sessions "$SESSIONS" --lanes "$LANES")
+fi
 "$BASIL_NODE" --config "$CFG" --id 6 --txns "$TXNS" --keys 16 --timeout 150 \
   --workers "$WORKERS" --metrics-out "$(metrics_path 6)" \
-  > "$WORKDIR/client.log" 2>&1 &
+  "${GATEWAY_ARGS[@]}" > "$WORKDIR/client.log" 2>&1 &
 CLIENT_PID=$!
 PIDS+=("$CLIENT_PID")
 
@@ -187,6 +222,21 @@ fi
 if ! grep -q "DONE committed=$TXNS" "$WORKDIR/client.log"; then
   echo "FAIL: client did not report committed=$TXNS"
   exit 1
+fi
+# Gateway mode: the mux must have carried real envelope traffic without dropping
+# a session to backpressure or shedding a frame (mirrors the replica dropped=0
+# guard below).
+if [ "$GATEWAY" -eq 1 ]; then
+  if ! grep -q "GATEWAY sessions=$SESSIONS" "$WORKDIR/client.log"; then
+    echo "FAIL: gateway client did not report its GATEWAY summary"
+    exit 1
+  fi
+  GW_DROPPED_SESSIONS=$(grep GATEWAY "$WORKDIR/client.log" | grep -o "dropped_sessions=[0-9]*" | cut -d= -f2)
+  GW_DROPPED_FRAMES=$(grep GATEWAY "$WORKDIR/client.log" | grep -o "dropped=[0-9]*" | tail -1 | cut -d= -f2)
+  if [ "${GW_DROPPED_SESSIONS:-1}" -ne 0 ] || [ "${GW_DROPPED_FRAMES:-1}" -ne 0 ]; then
+    echo "FAIL: gateway shed traffic (dropped_sessions=$GW_DROPPED_SESSIONS dropped=$GW_DROPPED_FRAMES)"
+    exit 1
+  fi
 fi
 
 # The restarted replica must have replayed a non-empty WAL/snapshot, completed state

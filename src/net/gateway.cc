@@ -1,0 +1,213 @@
+#include "src/net/gateway.h"
+
+#include <cassert>
+#include <utility>
+
+namespace basil {
+
+// ---------------------------------------------------------------------------
+// SessionRuntime: the per-session Runtime facade.
+// ---------------------------------------------------------------------------
+
+uint64_t SessionRuntime::now() const { return rt_->now(); }
+
+void SessionRuntime::Execute(std::function<void()> work) {
+  rt_->Execute(std::move(work));
+}
+
+void SessionRuntime::Post(StrandKey strand, StrandFn work,
+                          std::function<void()> then) {
+  rt_->Post(strand, std::move(work), std::move(then));
+}
+
+void SessionRuntime::OffloadVerify(std::vector<VerifyFn> batch,
+                                   std::function<void(std::vector<uint8_t>)> done) {
+  rt_->OffloadVerify(std::move(batch), std::move(done));
+}
+
+void SessionRuntime::OffloadVerifyTo(StrandKey home, std::vector<VerifyFn> batch,
+                                     std::function<void(std::vector<uint8_t>)> done) {
+  rt_->OffloadVerifyTo(home, std::move(batch), std::move(done));
+}
+
+EventId SessionRuntime::SetTimer(uint64_t delay_ns, std::function<void()> cb) {
+  return rt_->SetTimer(delay_ns, std::move(cb));
+}
+
+void SessionRuntime::CancelTimer(EventId id) { rt_->CancelTimer(id); }
+
+CostMeter& SessionRuntime::meter() { return rt_->meter(); }
+
+obs::MetricsRegistry& SessionRuntime::metrics() { return rt_->metrics(); }
+
+const obs::MetricsRegistry& SessionRuntime::metrics() const {
+  return rt_->metrics();
+}
+
+void SessionRuntime::DoSend(NodeId dst, MsgPtr msg) {
+  mux_->SessionSend(this, dst, std::move(msg));
+}
+
+// ---------------------------------------------------------------------------
+// SessionMux.
+// ---------------------------------------------------------------------------
+
+SessionMux::SessionMux(TcpRuntime* rt, uint32_t num_replicas, GatewayConfig cfg)
+    : rt_(rt),
+      num_replicas_(num_replicas),
+      cfg_(cfg),
+      base_nodes_(static_cast<NodeId>(
+          rt->num_peers() - (cfg.lanes > 0 ? cfg.lanes - 1 : 0) * num_replicas)) {
+  assert(cfg_.lanes >= 1);
+  assert(rt_->id() <= kMaxSessionGateway);
+  assert(rt_->num_peers() >= num_replicas_ + (cfg_.lanes - 1) * num_replicas_);
+  obs::MetricsRegistry& reg = rt_->metrics();
+  sessions_gauge_ = reg.RegisterGauge("gw.sessions");
+  envelopes_tx_counter_ = reg.RegisterCounter("gw.envelopes_tx");
+  envelopes_rx_counter_ = reg.RegisterCounter("gw.envelopes_rx");
+  park_events_counter_ = reg.RegisterCounter("gw.park_events");
+  parked_gauge_ = reg.RegisterGauge("gw.parked");
+  dropped_sessions_counter_ = reg.RegisterCounter("gw.dropped_sessions");
+  rt_->SetSessionDemux(this);
+}
+
+SessionMux::~SessionMux() { rt_->SetSessionDemux(nullptr); }
+
+std::vector<PeerAddr> SessionMux::ExtendPeers(std::vector<PeerAddr> peers,
+                                              uint32_t num_replicas,
+                                              uint32_t lanes) {
+  const std::vector<PeerAddr> replicas(peers.begin(),
+                                       peers.begin() + num_replicas);
+  for (uint32_t lane = 1; lane < lanes; ++lane) {
+    peers.insert(peers.end(), replicas.begin(), replicas.end());
+  }
+  return peers;
+}
+
+SessionRuntime* SessionMux::CreateSession() {
+  const size_t local = sessions_.size();
+  if (local > kSessionLocalMask) {
+    return nullptr;
+  }
+  const NodeId vid = MakeSessionNode(rt_->id(), static_cast<uint32_t>(local));
+  if (vid == kInvalidNode) {
+    return nullptr;  // The all-ones id is reserved (see session.h).
+  }
+  sessions_.emplace_back(new SessionRuntime(this, rt_, vid));
+  rt_->metrics().Set(sessions_gauge_, sessions_.size());
+  return sessions_.back().get();
+}
+
+NodeId SessionMux::LaneSlot(NodeId session, NodeId dst) const {
+  if (dst >= num_replicas_) {
+    return dst;  // Not a replica: no aliases exist, use the real slot.
+  }
+  const uint32_t lane = SessionLocal(session) % cfg_.lanes;
+  return lane == 0 ? dst : base_nodes_ + (lane - 1) * num_replicas_ + dst;
+}
+
+void SessionMux::SessionSend(SessionRuntime* s, NodeId dst, MsgPtr msg) {
+  if (s->dead_) {
+    return;
+  }
+  if (s->next_seq_ >= kSessionSeqLimit) {
+    DropSession(s);  // Sequence space exhausted; the session must be retired.
+    return;
+  }
+  const NodeId slot = LaneSlot(s->vid_, dst);
+  auto env = std::make_shared<SessionEnvelopeMsg>();
+  env->session = s->vid_;
+  env->seq = ++s->next_seq_;
+  env->inner = std::move(msg);
+  envelopes_tx_ += 1;
+  obs::MetricsRegistry& reg = rt_->metrics();
+  reg.Inc(envelopes_tx_counter_);
+  // Backpressure window: once anything is parked, everything after it parks too
+  // (per-session FIFO must survive the detour through the park queue).
+  if (!s->parked_.empty() ||
+      rt_->OutboxBytes(slot) > cfg_.park_threshold_bytes) {
+    if (s->parked_.size() >= cfg_.max_parked_per_session) {
+      DropSession(s);
+      return;
+    }
+    s->parked_.push_back(SessionRuntime::Parked{slot, std::move(env)});
+    if (!s->in_drain_list_) {
+      s->in_drain_list_ = true;
+      drain_list_.push_back(s);
+    }
+    park_events_ += 1;
+    total_parked_ += 1;
+    reg.Inc(park_events_counter_);
+    reg.Set(parked_gauge_, total_parked_);
+    ArmDrainTimer();
+    return;
+  }
+  rt_->Send(slot, std::move(env));
+}
+
+void SessionMux::DropSession(SessionRuntime* s) {
+  if (s->dead_) {
+    return;
+  }
+  s->dead_ = true;
+  total_parked_ -= s->parked_.size();
+  s->parked_.clear();  // Its drain_list_ entry is skipped lazily.
+  dropped_sessions_ += 1;
+  rt_->metrics().Inc(dropped_sessions_counter_);
+  rt_->metrics().Set(parked_gauge_, total_parked_);
+}
+
+void SessionMux::ArmDrainTimer() {
+  if (drain_armed_) {
+    return;
+  }
+  drain_armed_ = true;
+  rt_->SetTimer(cfg_.drain_interval_ns, [this]() { DrainParked(); });
+}
+
+void SessionMux::DrainParked() {
+  drain_armed_ = false;
+  std::deque<SessionRuntime*> still;
+  while (!drain_list_.empty()) {
+    SessionRuntime* s = drain_list_.front();
+    drain_list_.pop_front();
+    s->in_drain_list_ = false;
+    if (s->dead_) {
+      continue;
+    }
+    while (!s->parked_.empty()) {
+      SessionRuntime::Parked& p = s->parked_.front();
+      if (rt_->OutboxBytes(p.slot) > cfg_.resume_threshold_bytes) {
+        break;  // Lane still congested; retry on the next tick.
+      }
+      rt_->Send(p.slot, std::move(p.env));
+      s->parked_.pop_front();
+      total_parked_ -= 1;
+    }
+    if (!s->parked_.empty()) {
+      s->in_drain_list_ = true;
+      still.push_back(s);
+    }
+  }
+  drain_list_ = std::move(still);
+  rt_->metrics().Set(parked_gauge_, total_parked_);
+  if (!drain_list_.empty()) {
+    ArmDrainTimer();
+  }
+}
+
+void SessionMux::DeliverToSession(NodeId session, NodeId src, MsgPtr msg) {
+  const uint32_t local = SessionLocal(session);
+  if (SessionGateway(session) != rt_->id() || local >= sessions_.size()) {
+    return;  // Stale or corrupt session id: drop, like any unroutable message.
+  }
+  SessionRuntime* s = sessions_[local].get();
+  if (s->dead_ || s->handler_ == nullptr) {
+    return;
+  }
+  envelopes_rx_ += 1;
+  rt_->metrics().Inc(envelopes_rx_counter_);
+  s->handler_->Handle(MsgEnvelope{src, session, msg});
+}
+
+}  // namespace basil

@@ -1,0 +1,180 @@
+// Session-multiplexed gateway: the production front door (docs/TRANSPORT.md
+// "Session gateway"). One gateway node carries N logical transaction sessions
+// — each a full TxnSession/BasilClient driver — over K pooled TCP connections
+// per replica ("lanes"), wrapping every message in a SessionEnvelopeMsg
+// (src/runtime/session.h) so frames from distinct sessions interleave on the
+// wire while each session's frames stay FIFO.
+//
+// Structure:
+//   - SessionMux owns the session table, the lane-affinity routing, and the
+//     per-connection backpressure window. It installs itself as the shared
+//     TcpRuntime's SessionDemux so incoming envelopes land on the right session.
+//   - SessionRuntime is the Runtime facade one session's client binds to: it
+//     reports the session's virtual NodeId, shares the gateway's clock, loop,
+//     pools, timers, and metrics registry, and routes DoSend through the mux.
+//
+// Threading: all mux and session state is confined to the gateway's event-loop
+// thread. Clients drive their protocol from the loop (handlers, timers, and
+// coroutine resumptions all run there), and the demux delivery is marshalled to
+// the loop by the reader, so no locking is needed — the same discipline every
+// protocol actor already follows.
+#ifndef BASIL_SRC_NET_GATEWAY_H_
+#define BASIL_SRC_NET_GATEWAY_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/net/tcp_runtime.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/session.h"
+
+namespace basil {
+
+struct GatewayConfig {
+  // TCP connections per replica. Session -> lane by SessionLocal(vid) % lanes,
+  // so one session always uses the same connection to a given replica (FIFO).
+  uint32_t lanes = 4;
+  // Backpressure window: a session's send parks when its lane's outbox exceeds
+  // `park_threshold_bytes`; parked envelopes flush once the outbox drains below
+  // `resume_threshold_bytes` (hysteresis so flushes make real progress).
+  size_t park_threshold_bytes = 1u << 20;
+  size_t resume_threshold_bytes = 256u << 10;
+  // A session accumulating this many parked envelopes is dropped (counted in
+  // gw.dropped_sessions) — it is not consuming replies and unbounded parking
+  // would just move the outbox cap into the mux.
+  size_t max_parked_per_session = 256;
+  // Cadence of the park-queue drain timer while anything is parked.
+  uint64_t drain_interval_ns = 1'000'000;  // 1 ms.
+};
+
+class SessionMux;
+
+// Runtime facade for one logical session. Everything except identity, send
+// routing, and the bound handler delegates to the gateway's shared TcpRuntime.
+class SessionRuntime : public Runtime {
+ public:
+  NodeId id() const override { return vid_; }
+  uint64_t now() const override;
+  void Execute(std::function<void()> work) override;
+  void Post(StrandKey strand, StrandFn work,
+            std::function<void()> then = {}) override;
+  void OffloadVerify(std::vector<VerifyFn> batch,
+                     std::function<void(std::vector<uint8_t>)> done) override;
+  void OffloadVerifyTo(StrandKey home, std::vector<VerifyFn> batch,
+                       std::function<void(std::vector<uint8_t>)> done) override;
+  EventId SetTimer(uint64_t delay_ns, std::function<void()> cb) override;
+  void CancelTimer(EventId id) override;
+  CostMeter& meter() override;
+  // All sessions share the gateway's registry: trace-span histograms intern by
+  // name, so 10k clients aggregate into one set of metrics.
+  obs::MetricsRegistry& metrics() override;
+  const obs::MetricsRegistry& metrics() const override;
+  void Bind(MsgHandler* handler) override { handler_ = handler; }
+
+  bool dead() const { return dead_; }
+
+ protected:
+  void DoSend(NodeId dst, MsgPtr msg) override;
+
+ private:
+  friend class SessionMux;
+
+  struct Parked {
+    NodeId slot = kInvalidNode;  // Peer-table slot the envelope is bound for.
+    MsgPtr env;
+  };
+
+  SessionRuntime(SessionMux* mux, TcpRuntime* rt, NodeId vid)
+      : mux_(mux), rt_(rt), vid_(vid) {}
+
+  SessionMux* const mux_;
+  TcpRuntime* const rt_;
+  const NodeId vid_;
+  MsgHandler* handler_ = nullptr;
+
+  // Loop-confined session state (owned by the mux's routing logic).
+  uint32_t next_seq_ = 0;         // Last issued sequence number.
+  std::deque<Parked> parked_;     // Backpressured envelopes, FIFO.
+  bool in_drain_list_ = false;
+  bool dead_ = false;             // Dropped by the backpressure cap.
+};
+
+// The gateway: session table + envelope routing over a shared TcpRuntime whose
+// peer table was extended with ExtendPeers for the extra lanes.
+class SessionMux : public SessionDemux {
+ public:
+  // `rt` must outlive the mux; its peer table must hold `num_replicas` replicas
+  // at slots [0, num_replicas) plus (cfg.lanes - 1) * num_replicas alias slots
+  // appended at the end (build it with ExtendPeers). Installs itself as rt's
+  // SessionDemux.
+  SessionMux(TcpRuntime* rt, uint32_t num_replicas, GatewayConfig cfg = {});
+  ~SessionMux() override;
+
+  // Appends (lanes - 1) copies of the replica address block to `peers`, giving
+  // the gateway `lanes` distinct connections per replica. Call before
+  // constructing the gateway's TcpRuntime (its peer table is immutable).
+  static std::vector<PeerAddr> ExtendPeers(std::vector<PeerAddr> peers,
+                                           uint32_t num_replicas,
+                                           uint32_t lanes);
+
+  // Creates the next session (virtual ids are dense from MakeSessionNode(id, 0)).
+  // Returns null once the 2^20 per-gateway session space is exhausted.
+  // Loop-thread only once traffic is flowing; safe from the setup thread before
+  // Start, like all runtime wiring.
+  SessionRuntime* CreateSession();
+
+  size_t sessions() const { return sessions_.size(); }
+  uint64_t envelopes_tx() const { return envelopes_tx_; }
+  uint64_t envelopes_rx() const { return envelopes_rx_; }
+  uint64_t park_events() const { return park_events_; }
+  uint64_t parked_now() const { return total_parked_; }
+  uint64_t dropped_sessions() const { return dropped_sessions_; }
+
+  // SessionDemux: reader-decoded inner message for `session`, already on the
+  // event loop.
+  void DeliverToSession(NodeId session, NodeId src, MsgPtr msg) override;
+
+ private:
+  friend class SessionRuntime;
+
+  // Peer-table slot for `session`'s lane to replica `dst`.
+  NodeId LaneSlot(NodeId session, NodeId dst) const;
+
+  // The facade's DoSend: wrap in an envelope, park or enqueue.
+  void SessionSend(SessionRuntime* s, NodeId dst, MsgPtr msg);
+
+  void DropSession(SessionRuntime* s);
+  void ArmDrainTimer();
+  void DrainParked();
+
+  TcpRuntime* const rt_;
+  const uint32_t num_replicas_;
+  const GatewayConfig cfg_;
+  const NodeId base_nodes_;  // Peer-table size before the alias block.
+
+  std::vector<std::unique_ptr<SessionRuntime>> sessions_;
+
+  // Sessions with parked envelopes, in park order (drained FIFO for fairness).
+  std::deque<SessionRuntime*> drain_list_;
+  bool drain_armed_ = false;
+
+  // Loop-confined counters mirrored into the gw.* registry metrics.
+  uint64_t envelopes_tx_ = 0;
+  uint64_t envelopes_rx_ = 0;
+  uint64_t park_events_ = 0;
+  uint64_t total_parked_ = 0;
+  uint64_t dropped_sessions_ = 0;
+
+  obs::MetricId sessions_gauge_ = obs::kInvalidMetric;
+  obs::MetricId envelopes_tx_counter_ = obs::kInvalidMetric;
+  obs::MetricId envelopes_rx_counter_ = obs::kInvalidMetric;
+  obs::MetricId park_events_counter_ = obs::kInvalidMetric;
+  obs::MetricId parked_gauge_ = obs::kInvalidMetric;
+  obs::MetricId dropped_sessions_counter_ = obs::kInvalidMetric;
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_NET_GATEWAY_H_

@@ -555,6 +555,31 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
     });
     return;
   }
+  if (IsSessionNode(dst)) {
+    // Reply to a gateway-multiplexed session (docs/TRANSPORT.md "Session
+    // gateway"): wrap the message in a session envelope and route it to the
+    // owning gateway's real node. session_mu_ is held across the nested DoSend
+    // so the per-session sequence numbers hit the outbox in issue order even
+    // when the loop and strand threads reply to one session concurrently (the
+    // receiver rejects any non-increasing sequence as a replay).
+    const NodeId gw = SessionGateway(dst);
+    if (gw == id_ || gw >= peers_.size()) {
+      return;  // Unroutable gateway: nothing to deliver to.
+    }
+    auto env = std::make_shared<SessionEnvelopeMsg>();
+    env->session = dst;
+    env->inner = std::move(msg);
+    std::lock_guard<std::mutex> lock(session_mu_);
+    uint32_t& seq = session_tx_seq_[dst];
+    if (seq >= kSessionSeqLimit) {
+      session_seq_drops_.fetch_add(1);
+      return;  // Sequence space exhausted: the session must be retired.
+    }
+    env->seq = ++seq;
+    FinalizeWireSize(*env);
+    DoSend(gw, std::move(env));
+    return;
+  }
   if (dst >= peers_.size()) {
     return;
   }
@@ -625,6 +650,15 @@ void TcpRuntime::DoSend(NodeId dst, MsgPtr msg) {
   }
   messages_sent_.fetch_add(1);
   bytes_sent_.fetch_add(frame_size);
+}
+
+size_t TcpRuntime::OutboxBytes(NodeId dst) const {
+  if (dst >= peer_state_.size()) {
+    return 0;
+  }
+  Peer& peer = *peer_state_[dst];
+  std::lock_guard<std::mutex> lock(peer.mu);
+  return peer.outbox_bytes;
 }
 
 int TcpRuntime::ConnectToPeer(NodeId dst) {
@@ -792,6 +826,11 @@ void TcpRuntime::ReaderMain(size_t slot, int fd) {
   // until their handler completes, so nothing on this path copies frame bytes.
   FrameReassembler reassembler(&pool_);
   ByteView frame;
+  // Per-connection session replay guard: last sequence number seen per session
+  // id on *this* connection. Sequence numbers must be strictly increasing within
+  // a connection (a fresh connection starts clean — the writer re-sends whole
+  // outbox entries after a reconnect, so cross-connection duplicates are legal).
+  std::unordered_map<NodeId, uint32_t> session_rx_seq;
   uint8_t buf[64 * 1024];
   while (running_.load()) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
@@ -816,6 +855,50 @@ void TcpRuntime::ReaderMain(size_t slot, int fd) {
       }
       msg->wire_size = frame.len;
       msg->backing = frame.backing;
+      if (msg->kind == kSessionEnvelope) {
+        // Session gateway envelope (docs/TRANSPORT.md "Session gateway"):
+        // validate the sequence number against this connection's per-session
+        // history, decode the inner frame in place (the payload view pins the
+        // same pooled block), and deliver it under the session's virtual id.
+        const auto& env = static_cast<const SessionEnvelopeMsg&>(*msg);
+        if (!IsSessionNode(env.session)) {
+          decode_failures_.fetch_add(1);
+          bad = true;
+          break;
+        }
+        uint32_t& last = session_rx_seq[env.session];
+        if (env.seq == 0 || env.seq > kSessionSeqLimit || env.seq <= last) {
+          decode_failures_.fetch_add(1);
+          bad = true;  // Reused/overflowed sequence: treat the stream as hostile.
+          break;
+        }
+        last = env.seq;
+        Decoder inner_dec(env.payload_data(), env.payload_len(), &frame.backing);
+        MsgPtr inner = DecodeMsgFrame(inner_dec);
+        if (inner == nullptr || !inner_dec.ok() || !inner_dec.AtEnd()) {
+          decode_failures_.fetch_add(1);
+          bad = true;
+          break;
+        }
+        inner->wire_size = env.payload_len();
+        inner->backing = frame.backing;
+        messages_received_.fetch_add(1);
+        if (SessionDemux* demux = session_demux_.load()) {
+          // Gateway side: route the reply to the owning session.
+          Execute([demux, session = env.session, src,
+                   inner = std::move(inner)]() {
+            demux->DeliverToSession(session, src, inner);
+          });
+        } else {
+          // Replica side: the session's virtual id is the logical source.
+          Execute([this, session = env.session, inner = std::move(inner)]() {
+            if (MsgHandler* h = handler_.load()) {
+              h->Handle(MsgEnvelope{session, id_, inner});
+            }
+          });
+        }
+        continue;
+      }
       messages_received_.fetch_add(1);
       Execute([this, src, msg = std::move(msg)]() {
         if (MsgHandler* h = handler_.load()) {

@@ -37,6 +37,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -44,12 +45,25 @@
 #include "src/common/config.h"
 #include "src/common/cost.h"
 #include "src/runtime/runtime.h"
+#include "src/runtime/session.h"
 
 namespace basil {
 
 struct PeerAddr {
   std::string host;
   uint16_t port = 0;
+};
+
+// Gateway-side hook for session envelopes (docs/TRANSPORT.md "Session gateway"):
+// when installed via SetSessionDemux, the reader hands each unwrapped inner
+// message here instead of the node's MsgHandler, so the gateway can route it to
+// the owning session. Calls arrive on the event loop.
+class SessionDemux {
+ public:
+  virtual ~SessionDemux() = default;
+  // `session` is the local session's virtual NodeId, `src` the real node the
+  // envelope came from (the replying replica).
+  virtual void DeliverToSession(NodeId session, NodeId src, MsgPtr msg) = 0;
 };
 
 class TcpRuntime : public Runtime {
@@ -86,6 +100,24 @@ class TcpRuntime : public Runtime {
   void Bind(MsgHandler* handler) override { handler_ = handler; }
 
   uint32_t workers() const { return static_cast<uint32_t>(strand_workers_.size()); }
+
+  // Number of peer-table slots (aliases included — the gateway extends the table
+  // with extra lanes per replica, see SessionMux::ExtendPeers).
+  size_t num_peers() const { return peers_.size(); }
+
+  // Installs (or clears, with nullptr) the gateway-side demultiplexer for
+  // incoming session envelopes. Replica-side runtimes leave this unset: their
+  // reader delivers the unwrapped message to the bound MsgHandler with the
+  // virtual session id as its source.
+  void SetSessionDemux(SessionDemux* demux) { session_demux_.store(demux); }
+
+  // Bytes currently queued toward `dst` (outbox depth). The gateway's
+  // backpressure window polls this to decide park vs send.
+  size_t OutboxBytes(NodeId dst) const;
+
+  // Replica-side envelopes dropped because a session's reply sequence space was
+  // exhausted (kSessionSeqLimit sends — effectively never in practice).
+  uint64_t session_seq_drops() const { return session_seq_drops_.load(); }
 
   // Blocks until `pred()` (evaluated on the event loop) returns true or `timeout_ns`
   // elapses. The driver's bridge from the blocking main thread into the loop.
@@ -185,6 +217,16 @@ class TcpRuntime : public Runtime {
   const std::vector<PeerAddr> peers_;
   // Atomic: bound from the constructing thread, read by the event loop.
   std::atomic<MsgHandler*> handler_{nullptr};
+  // Gateway-side envelope router (null on replicas). Atomic: installed once at
+  // setup, read by reader threads.
+  std::atomic<SessionDemux*> session_demux_{nullptr};
+
+  // Replica-side per-session reply sequence counters. Guarded by session_mu_,
+  // which is held across the enqueue of the wrapped envelope so sequence order
+  // matches outbox order even when loop and strand threads reply concurrently.
+  std::mutex session_mu_;
+  std::unordered_map<NodeId, uint32_t> session_tx_seq_;
+  std::atomic<uint64_t> session_seq_drops_{0};
 
   // The meter exists so shared protocol code can charge costs uniformly; on this
   // backend nothing consumes it (real CPU time is the cost model).

@@ -169,8 +169,10 @@ class Runtime {
   // queue wait/depth here, protocol actors intern their counters and trace-span
   // histograms through it. Recording is passive — nothing in the protocol reads a
   // metric — so simulated results stay bit-identical with metrics on.
-  obs::MetricsRegistry& metrics() { return metrics_; }
-  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Virtual so facade runtimes (the gateway's per-session SessionRuntime,
+  // src/net/gateway.h) can expose a shared registry instead of their own.
+  virtual obs::MetricsRegistry& metrics() { return metrics_; }
+  virtual const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   // Attaches the protocol actor that receives this runtime's messages.
   virtual void Bind(MsgHandler* handler) = 0;

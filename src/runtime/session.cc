@@ -1,0 +1,54 @@
+#include "src/runtime/session.h"
+
+#include <memory>
+
+#include "src/common/serde.h"
+
+namespace basil {
+namespace {
+
+void EncodeSessionEnvelope(const MsgBase& base, Encoder& enc) {
+  const auto& m = static_cast<const SessionEnvelopeMsg&>(base);
+  enc.PutU32(m.session);
+  enc.PutU32(m.seq);
+  if (m.inner != nullptr) {
+    // The payload is the inner message's complete frame, length-prefixed so the
+    // envelope stays skippable for decoders that do not understand the kind.
+    Encoder sub(enc.counting(), enc.pool());
+    EncodeMsgFrame(*m.inner, sub);
+    enc.PutVarint(sub.size());
+    enc.Append(sub);
+  } else {
+    enc.PutVarint(m.payload_len());
+    enc.PutBytes(m.payload_data(), m.payload_len());
+  }
+}
+
+MsgPtr DecodeSessionEnvelope(Decoder& dec) {
+  auto m = std::make_shared<SessionEnvelopeMsg>();
+  m->session = dec.GetU32();
+  m->seq = dec.GetU32();
+  Decoder sub;
+  if (!dec.ReadNested(&sub)) {
+    return nullptr;
+  }
+  const size_t len = sub.remaining();
+  m->payload = sub.ViewOf(sub.head(), len);
+  if (m->payload.data == nullptr && len > 0) {
+    m->payload_copy.resize(len);
+    if (!sub.GetBytes(m->payload_copy.data(), len)) {
+      return nullptr;
+    }
+  }
+  if (!dec.ok()) {
+    return nullptr;
+  }
+  return m;
+}
+
+[[maybe_unused]] const bool kSessionCodecRegistered =
+    RegisterMsgCodec(kSessionEnvelope, &EncodeSessionEnvelope,
+                     &DecodeSessionEnvelope);
+
+}  // namespace
+}  // namespace basil

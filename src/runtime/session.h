@@ -1,0 +1,92 @@
+// Session framing for the gateway front door (docs/TRANSPORT.md "Session gateway").
+//
+// A gateway node carries many logical transaction sessions over few TCP
+// connections by wrapping each session's protocol messages in a
+// SessionEnvelopeMsg (wire kind 20, docs/WIRE_FORMAT.md). Sessions are addressed
+// with *virtual* NodeIds: the high bit marks a session id, the next 11 bits name
+// the owning gateway node, and the low 20 bits index the session within it.
+// Replicas never learn about the multiplexing — they see the virtual id as an
+// ordinary message source and reply to it; the TCP backend notices the high bit
+// on send and routes the wrapped reply to the gateway's real node.
+#ifndef BASIL_SRC_RUNTIME_SESSION_H_
+#define BASIL_SRC_RUNTIME_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/buffer_pool.h"
+#include "src/common/types.h"
+#include "src/runtime/msg.h"
+
+namespace basil {
+
+// ---------------------------------------------------------------------------
+// Virtual session NodeIds.
+// ---------------------------------------------------------------------------
+
+// Layout: [1 bit session flag][11 bits gateway NodeId][20 bits local index].
+inline constexpr NodeId kSessionNodeBit = 0x80000000u;
+inline constexpr uint32_t kSessionLocalBits = 20;
+inline constexpr uint32_t kSessionLocalMask = (1u << kSessionLocalBits) - 1;
+inline constexpr NodeId kMaxSessionGateway = (1u << (31 - kSessionLocalBits)) - 1;
+
+// kInvalidNode (0xFFFFFFFF) has the high bit set but is never a session; the
+// all-ones pattern (gateway kMaxSessionGateway, local kSessionLocalMask) is
+// therefore reserved and must never be minted as a session id.
+inline bool IsSessionNode(NodeId id) {
+  return id != kInvalidNode && (id & kSessionNodeBit) != 0;
+}
+
+inline NodeId MakeSessionNode(NodeId gateway, uint32_t local) {
+  return kSessionNodeBit | (gateway << kSessionLocalBits) |
+         (local & kSessionLocalMask);
+}
+
+inline NodeId SessionGateway(NodeId session) {
+  return (session & ~kSessionNodeBit) >> kSessionLocalBits;
+}
+
+inline uint32_t SessionLocal(NodeId session) { return session & kSessionLocalMask; }
+
+// ---------------------------------------------------------------------------
+// The envelope message.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint16_t kSessionEnvelope = 20;
+
+// Sequence numbers run 1..kSessionSeqLimit, strictly increasing per session.
+// 0 (never issued) and 0xFFFFFFFF (the exhausted-counter sentinel) are invalid
+// on the wire; receivers also reject any non-increasing seq within a connection,
+// which catches both replays and request-id reuse.
+inline constexpr uint32_t kSessionSeqLimit = 0xFFFFFFFEu;
+
+// Body layout (canonical, docs/WIRE_FORMAT.md):
+//   u32 session | u32 seq | varint payload_len | payload bytes
+// where payload is one complete inner message frame (header included).
+//
+// The send side carries the inner message as `inner` and serializes it on
+// encode; the receive side keeps the payload opaque — a borrowed view into the
+// pooled frame when one backs the decode, else an owned copy — and lets the
+// reader decode the inner frame itself so a malformed payload is counted and
+// the connection dropped exactly like any other bad frame.
+struct SessionEnvelopeMsg : MsgBase {
+  NodeId session = kInvalidNode;  // Virtual session id (IsSessionNode holds).
+  uint32_t seq = 0;
+
+  MsgPtr inner;               // Send side: the wrapped message.
+  ByteView payload;           // Decode side, zero-copy (backing held).
+  std::vector<uint8_t> payload_copy;  // Decode side, no backing available.
+
+  SessionEnvelopeMsg() { kind = kSessionEnvelope; }
+
+  const uint8_t* payload_data() const {
+    return payload.data != nullptr ? payload.data : payload_copy.data();
+  }
+  size_t payload_len() const {
+    return payload.data != nullptr ? payload.len : payload_copy.size();
+  }
+};
+
+}  // namespace basil
+
+#endif  // BASIL_SRC_RUNTIME_SESSION_H_

@@ -1,0 +1,527 @@
+// Session gateway (docs/TRANSPORT.md "Session gateway"): envelope codec round
+// trips, interleaved session frames reassembled across adversarial splits,
+// per-session FIFO with cross-session overlap over real sockets (the TSan
+// canary for the mux's loop-confined state), raw-socket sequence-number abuse
+// (zero / reuse / regression / exhausted sentinel / non-session id), and the
+// backpressure window parking then resuming without dropping a session.
+#include "src/net/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/serde.h"
+#include "src/runtime/frame.h"
+#include "src/runtime/runtime.h"
+#include "src/runtime/session.h"
+#include "src/tapir/tapir.h"
+
+namespace basil {
+namespace {
+
+// Spin-waits (off any runtime thread) until pred or deadline.
+bool SpinUntil(const std::function<bool()>& pred, uint64_t timeout_ms = 10'000) {
+  for (uint64_t waited = 0; waited < timeout_ms; ++waited) {
+    if (pred()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+std::vector<uint8_t> EnvelopeFrame(NodeId session, uint32_t seq,
+                                   const std::string& key) {
+  auto inner = std::make_shared<TapirReadMsg>();
+  inner->req_id = seq;
+  inner->key = key;
+  inner->ts = Timestamp{1, 1};
+  SessionEnvelopeMsg env;
+  env.session = session;
+  env.seq = seq;
+  env.inner = std::move(inner);
+  Encoder enc;
+  EXPECT_TRUE(EncodeMsgFrame(env, enc));
+  return enc.bytes();
+}
+
+TEST(SessionNodeIds, PackAndUnpack) {
+  const NodeId vid = MakeSessionNode(/*gateway=*/6, /*local=*/123'456);
+  EXPECT_TRUE(IsSessionNode(vid));
+  EXPECT_EQ(SessionGateway(vid), 6u);
+  EXPECT_EQ(SessionLocal(vid), 123'456u);
+
+  // Boundaries of the [1 | 11 | 20] bit layout. The all-ones combination is
+  // exactly kInvalidNode, so it is reserved; one below is the real maximum.
+  EXPECT_EQ(MakeSessionNode(kMaxSessionGateway, kSessionLocalMask),
+            kInvalidNode);
+  const NodeId hi = MakeSessionNode(kMaxSessionGateway, kSessionLocalMask - 1);
+  EXPECT_TRUE(IsSessionNode(hi));
+  EXPECT_EQ(SessionGateway(hi), kMaxSessionGateway);
+  EXPECT_EQ(SessionLocal(hi), kSessionLocalMask - 1);
+
+  // Plain node ids are not sessions, and neither is the invalid sentinel even
+  // though its high bit is set.
+  EXPECT_FALSE(IsSessionNode(0));
+  EXPECT_FALSE(IsSessionNode(7));
+  EXPECT_FALSE(IsSessionNode(kInvalidNode));
+}
+
+TEST(SessionEnvelope, RoundTripsThroughCodec) {
+  auto inner = std::make_shared<TapirReadMsg>();
+  inner->req_id = 77;
+  inner->key = "wrapped";
+  inner->ts = Timestamp{9, 2};
+  SessionEnvelopeMsg env;
+  env.session = MakeSessionNode(3, 12);
+  env.seq = 5;
+  env.inner = inner;
+  Encoder enc;
+  ASSERT_TRUE(EncodeMsgFrame(env, enc));
+
+  Decoder dec(enc.bytes());
+  const MsgPtr decoded = DecodeMsgFrame(dec);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec.AtEnd());
+  const auto& e = static_cast<const SessionEnvelopeMsg&>(*decoded);
+  EXPECT_EQ(e.session, env.session);
+  EXPECT_EQ(e.seq, 5u);
+
+  // The opaque payload is itself a complete canonical frame of the inner.
+  Decoder inner_dec(e.payload_data(), e.payload_len());
+  const MsgPtr in = DecodeMsgFrame(inner_dec);
+  ASSERT_NE(in, nullptr);
+  ASSERT_TRUE(inner_dec.ok());
+  EXPECT_TRUE(inner_dec.AtEnd());
+  const auto& read = static_cast<const TapirReadMsg&>(*in);
+  EXPECT_EQ(read.req_id, 77u);
+  EXPECT_EQ(read.key, "wrapped");
+
+  // Canonical identity: re-encoding the decoded envelope reproduces the bytes.
+  Encoder again;
+  ASSERT_TRUE(EncodeMsgFrame(e, again));
+  EXPECT_EQ(again.bytes(), enc.bytes());
+}
+
+TEST(SessionEnvelope, InterleavedFramesSurviveEveryByteSplit) {
+  // Two sessions' envelope frames interleaved on one stream — the shape the
+  // gateway's lane connections actually carry — reassembled at every split.
+  const NodeId sa = MakeSessionNode(1, 0);
+  const NodeId sb = MakeSessionNode(1, 1);
+  const std::vector<std::vector<uint8_t>> frames = {
+      EnvelopeFrame(sa, 1, "a-first"), EnvelopeFrame(sb, 1, "b-first"),
+      EnvelopeFrame(sa, 2, "a-second"), EnvelopeFrame(sb, 2, "b-second")};
+  std::vector<uint8_t> stream;
+  for (const auto& f : frames) {
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    FrameReassembler r;
+    ASSERT_TRUE(r.Feed(stream.data(), split));
+    std::vector<std::vector<uint8_t>> got;
+    std::vector<uint8_t> out;
+    while (r.Next(&out)) {
+      got.push_back(out);
+    }
+    ASSERT_TRUE(r.Feed(stream.data() + split, stream.size() - split));
+    while (r.Next(&out)) {
+      got.push_back(out);
+    }
+    ASSERT_EQ(got.size(), frames.size()) << "at split " << split;
+    for (size_t i = 0; i < frames.size(); ++i) {
+      ASSERT_EQ(got[i], frames[i]) << "frame " << i << " at split " << split;
+      Decoder dec(got[i]);
+      const MsgPtr msg = DecodeMsgFrame(dec);
+      ASSERT_NE(msg, nullptr);
+      const auto& e = static_cast<const SessionEnvelopeMsg&>(*msg);
+      EXPECT_EQ(e.session, i % 2 == 0 ? sa : sb);
+      EXPECT_EQ(e.seq, static_cast<uint32_t>(i / 2 + 1));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Real-socket integration: one replica runtime, one gateway runtime.
+// ---------------------------------------------------------------------------
+
+// Replies to every TapirRead with a TapirReadReply echoing req_id.
+class EchoServer : public Process {
+ public:
+  explicit EchoServer(Runtime* rt) : Process(rt) {}
+
+  void Handle(const MsgEnvelope& env) override {
+    ASSERT_EQ(env.msg->kind, kTapirRead);
+    const auto& read = static_cast<const TapirReadMsg&>(*env.msg);
+    auto reply = std::make_shared<TapirReadReplyMsg>();
+    reply->req_id = read.req_id;
+    reply->found = true;
+    reply->version = read.ts;
+    reply->value = read.key;
+    Send(env.src, std::move(reply));
+  }
+};
+
+// One session's reply sink. `expected` and `misordered` are deliberately
+// non-atomic: deliveries for a session are loop-confined, and any overlap
+// would both trip the FIFO assertion and show up under TSan.
+class SessionProbe : public Process {
+ public:
+  SessionProbe(Runtime* rt, std::atomic<int>* total)
+      : Process(rt), total_(total) {}
+
+  void Handle(const MsgEnvelope& env) override {
+    ASSERT_EQ(env.msg->kind, kTapirReadReply);
+    ASSERT_EQ(env.dst, id());  // Demuxed to the right session.
+    const auto& reply = static_cast<const TapirReadReplyMsg&>(*env.msg);
+    if (reply.req_id != expected) {
+      misordered = true;
+    }
+    ++expected;
+    total_->fetch_add(1);
+  }
+
+  uint64_t expected = 0;
+  bool misordered = false;
+
+ private:
+  std::atomic<int>* const total_;
+};
+
+// Replica at peer slot 0, gateway at slot 1, plus the gateway's alias lanes.
+// `start_replica=false` leaves the replica down so sends back up (the
+// backpressure tests bring it up later or never).
+struct GatewayPair {
+  std::unique_ptr<TcpRuntime> replica;
+  std::unique_ptr<TcpRuntime> gateway;
+
+  bool Up(uint32_t lanes, bool start_replica = true) {
+    for (int attempt = 0; attempt < 10; ++attempt) {
+      const uint16_t base = static_cast<uint16_t>(
+          30000 + (::getpid() * 23 + attempt * 619) % 30000);
+      const std::vector<PeerAddr> peers = {
+          {"127.0.0.1", base}, {"127.0.0.1", static_cast<uint16_t>(base + 1)}};
+      replica = std::make_unique<TcpRuntime>(0, peers);
+      gateway = std::make_unique<TcpRuntime>(
+          1, SessionMux::ExtendPeers(peers, /*num_replicas=*/1, lanes));
+      if ((!start_replica || replica->Start()) && gateway->Start()) {
+        return true;
+      }
+      replica.reset();
+      gateway.reset();
+    }
+    return false;
+  }
+};
+
+struct MuxSnap {
+  uint64_t tx = 0;
+  uint64_t rx = 0;
+  uint64_t park_events = 0;
+  uint64_t parked = 0;
+  uint64_t dropped = 0;
+};
+
+// The mux counters are loop-confined; marshal a snapshot through the loop.
+MuxSnap Snapshot(TcpRuntime* rt, const SessionMux& mux) {
+  MuxSnap snap;
+  std::atomic<bool> done{false};
+  rt->Execute([&]() {
+    snap = MuxSnap{mux.envelopes_tx(), mux.envelopes_rx(), mux.park_events(),
+                   mux.parked_now(), mux.dropped_sessions()};
+    done.store(true);
+  });
+  EXPECT_TRUE(SpinUntil([&]() { return done.load(); }));
+  return snap;
+}
+
+TEST(SessionGateway, PerSessionFifoWithCrossSessionOverlap) {
+  GatewayPair gp;
+  ASSERT_TRUE(gp.Up(/*lanes=*/2));
+  EchoServer server(gp.replica.get());
+
+  GatewayConfig cfg;
+  cfg.lanes = 2;
+  SessionMux mux(gp.gateway.get(), /*num_replicas=*/1, cfg);
+
+  constexpr int kSessions = 8;
+  constexpr int kRounds = 40;
+  std::atomic<int> total{0};
+  std::vector<std::unique_ptr<SessionProbe>> probes;
+  for (int s = 0; s < kSessions; ++s) {
+    SessionRuntime* srt = mux.CreateSession();
+    ASSERT_NE(srt, nullptr);
+    EXPECT_EQ(SessionLocal(srt->id()), static_cast<uint32_t>(s));
+    probes.push_back(std::make_unique<SessionProbe>(srt, &total));
+  }
+  EXPECT_EQ(mux.sessions(), static_cast<size_t>(kSessions));
+
+  // Burst round-robin across sessions so envelopes from distinct sessions
+  // interleave on every lane; per-session order must still hold end to end.
+  gp.gateway->Execute([&]() {
+    for (int r = 0; r < kRounds; ++r) {
+      for (int s = 0; s < kSessions; ++s) {
+        auto msg = std::make_shared<TapirReadMsg>();
+        msg->req_id = static_cast<uint64_t>(r);
+        msg->key = "s" + std::to_string(s) + "-r" + std::to_string(r);
+        msg->ts = Timestamp{static_cast<uint64_t>(r), 1};
+        probes[s]->Send(0, std::move(msg));
+      }
+    }
+  });
+
+  ASSERT_TRUE(gp.gateway->WaitUntil(
+      [&]() { return total.load() == kSessions * kRounds; },
+      20'000'000'000ull));
+  for (int s = 0; s < kSessions; ++s) {
+    EXPECT_FALSE(probes[s]->misordered) << "session " << s;
+    EXPECT_EQ(probes[s]->expected, static_cast<uint64_t>(kRounds))
+        << "session " << s;
+  }
+  const MuxSnap snap = Snapshot(gp.gateway.get(), mux);
+  EXPECT_EQ(snap.tx, static_cast<uint64_t>(kSessions * kRounds));
+  EXPECT_EQ(snap.rx, static_cast<uint64_t>(kSessions * kRounds));
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.parked, 0u);
+  EXPECT_EQ(gp.replica->decode_failures(), 0u);
+  EXPECT_EQ(gp.gateway->decode_failures(), 0u);
+  EXPECT_EQ(gp.gateway->dropped_frames(), 0u);
+}
+
+TEST(SessionGateway, BackpressureParksThenResumes) {
+  // The replica starts down: the lane outbox cannot drain, so after the first
+  // send every envelope parks. Bringing the replica up must flush the park
+  // queue in order and deliver everything without dropping the session.
+  GatewayPair gp;
+  ASSERT_TRUE(gp.Up(/*lanes=*/1, /*start_replica=*/false));
+
+  GatewayConfig cfg;
+  cfg.lanes = 1;
+  cfg.park_threshold_bytes = 1;    // Any queued byte parks the next send.
+  cfg.resume_threshold_bytes = 0;  // Flush only into an empty outbox.
+  SessionMux mux(gp.gateway.get(), /*num_replicas=*/1, cfg);
+
+  std::atomic<int> total{0};
+  SessionProbe probe(mux.CreateSession(), &total);
+
+  constexpr int kMsgs = 24;
+  gp.gateway->Execute([&]() {
+    for (int i = 0; i < kMsgs; ++i) {
+      auto msg = std::make_shared<TapirReadMsg>();
+      msg->req_id = static_cast<uint64_t>(i);
+      msg->key = "bp-" + std::to_string(i);
+      msg->ts = Timestamp{static_cast<uint64_t>(i), 1};
+      probe.Send(0, std::move(msg));
+    }
+  });
+
+  // First send occupies the outbox; the other kMsgs-1 park behind it.
+  ASSERT_TRUE(SpinUntil([&]() {
+    const MuxSnap s = Snapshot(gp.gateway.get(), mux);
+    return s.parked == kMsgs - 1 && s.park_events == kMsgs - 1;
+  }));
+
+  EchoServer server(gp.replica.get());
+  ASSERT_TRUE(gp.replica->Start());
+  ASSERT_TRUE(gp.gateway->WaitUntil([&]() { return total.load() == kMsgs; },
+                                    20'000'000'000ull));
+  EXPECT_FALSE(probe.misordered);  // The park-queue detour preserved FIFO.
+  EXPECT_EQ(probe.expected, static_cast<uint64_t>(kMsgs));
+  const MuxSnap snap = Snapshot(gp.gateway.get(), mux);
+  EXPECT_EQ(snap.parked, 0u);
+  EXPECT_EQ(snap.park_events, static_cast<uint64_t>(kMsgs - 1));
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(gp.gateway->dropped_frames(), 0u);
+}
+
+TEST(SessionGateway, ParkOverflowDropsOnlyTheFloodingSession) {
+  // The replica never comes up; a session that floods past the park cap is
+  // dropped (its quota of gateway memory is bounded), while an idle session
+  // on the same mux is untouched.
+  GatewayPair gp;
+  ASSERT_TRUE(gp.Up(/*lanes=*/1, /*start_replica=*/false));
+
+  GatewayConfig cfg;
+  cfg.lanes = 1;
+  cfg.park_threshold_bytes = 1;
+  cfg.resume_threshold_bytes = 0;
+  cfg.max_parked_per_session = 4;
+  SessionMux mux(gp.gateway.get(), /*num_replicas=*/1, cfg);
+
+  std::atomic<int> total{0};
+  SessionProbe flooder(mux.CreateSession(), &total);
+  SessionProbe idle(mux.CreateSession(), &total);
+
+  gp.gateway->Execute([&]() {
+    for (int i = 0; i < 10; ++i) {
+      auto msg = std::make_shared<TapirReadMsg>();
+      msg->req_id = static_cast<uint64_t>(i);
+      msg->key = "flood";
+      msg->ts = Timestamp{1, 1};
+      flooder.Send(0, std::move(msg));
+    }
+  });
+
+  ASSERT_TRUE(SpinUntil([&]() {
+    return Snapshot(gp.gateway.get(), mux).dropped == 1;
+  }));
+  const MuxSnap snap = Snapshot(gp.gateway.get(), mux);
+  EXPECT_EQ(snap.dropped, 1u);
+  EXPECT_EQ(snap.parked, 0u);  // The drop released the parked envelopes.
+  EXPECT_EQ(snap.park_events, 4u);
+
+  std::atomic<bool> checked{false};
+  bool flooder_dead = false;
+  bool idle_dead = true;
+  gp.gateway->Execute([&]() {
+    flooder_dead = static_cast<SessionRuntime*>(&flooder.runtime())->dead();
+    idle_dead = static_cast<SessionRuntime*>(&idle.runtime())->dead();
+    checked.store(true);
+  });
+  ASSERT_TRUE(SpinUntil([&]() { return checked.load(); }));
+  EXPECT_TRUE(flooder_dead);
+  EXPECT_FALSE(idle_dead);
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket sequence-number abuse against a replica runtime.
+// ---------------------------------------------------------------------------
+
+// Counts inbound TapirReads without replying.
+class SinkServer : public Process {
+ public:
+  explicit SinkServer(Runtime* rt) : Process(rt) {}
+  void Handle(const MsgEnvelope& env) override {
+    if (env.msg->kind == kTapirRead) {
+      handled.fetch_add(1);
+    }
+  }
+  std::atomic<int> handled{0};
+};
+
+// Connects and speaks the runtime hello ("BSL1", version 1, src), returning a
+// connected fd ready to carry raw frames, or -1.
+int DialHello(uint16_t port, NodeId src) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  uint8_t hello[12] = {'B', 'S', 'L', '1'};
+  const uint32_t version = 1;
+  std::memcpy(hello + 4, &version, 4);
+  std::memcpy(hello + 8, &src, 4);
+  return ::send(fd, hello, sizeof(hello), 0) == sizeof(hello) ? fd : -1;
+}
+
+bool SendAll(int fd, const std::vector<uint8_t>& bytes) {
+  return ::send(fd, bytes.data(), bytes.size(), 0) ==
+         static_cast<ssize_t>(bytes.size());
+}
+
+// True once the peer closed the connection (the reader's bad-frame response).
+bool PeerClosed(int fd) {
+  return SpinUntil([fd]() {
+    char c;
+    return ::recv(fd, &c, 1, MSG_DONTWAIT) == 0;
+  });
+}
+
+TEST(SessionGateway, SeqZeroReuseRegressionAndOverflowRejected) {
+  // A lone replica runtime; peer slot 1 exists but nothing listens there (the
+  // abuse comes from raw sockets claiming to be node 1).
+  std::unique_ptr<TcpRuntime> replica;
+  uint16_t port = 0;
+  for (int attempt = 0; attempt < 10 && replica == nullptr; ++attempt) {
+    port = static_cast<uint16_t>(30000 +
+                                 (::getpid() * 41 + attempt * 733) % 30000);
+    std::vector<PeerAddr> peers = {
+        {"127.0.0.1", port}, {"127.0.0.1", static_cast<uint16_t>(port + 1)}};
+    replica = std::make_unique<TcpRuntime>(0, peers);
+    if (!replica->Start()) {
+      replica.reset();
+    }
+  }
+  ASSERT_NE(replica, nullptr);
+  SinkServer sink(replica.get());
+  const NodeId vid = MakeSessionNode(/*gateway=*/1, /*local=*/0);
+  uint64_t failures = 0;
+
+  {  // seq 0 is never issued and must kill the connection.
+    const int fd = DialHello(port, 1);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 0, "zero")));
+    EXPECT_TRUE(SpinUntil(
+        [&]() { return replica->decode_failures() == failures + 1; }));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+    ++failures;
+  }
+  {  // Reusing a sequence number is a replay; the first delivery stands.
+    const int fd = DialHello(port, 1);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 1, "ok")));
+    ASSERT_TRUE(SpinUntil([&]() { return sink.handled.load() == 1; }));
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 1, "replay")));
+    EXPECT_TRUE(SpinUntil(
+        [&]() { return replica->decode_failures() == failures + 1; }));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+    ++failures;
+  }
+  {  // Gaps are legal (retransmit semantics), regression is not.
+    const int fd = DialHello(port, 1);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 5, "gap-ok")));
+    ASSERT_TRUE(SpinUntil([&]() { return sink.handled.load() == 2; }));
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 4, "regress")));
+    EXPECT_TRUE(SpinUntil(
+        [&]() { return replica->decode_failures() == failures + 1; }));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+    ++failures;
+  }
+  {  // 0xFFFFFFFF is the exhausted-counter sentinel, invalid on the wire.
+    const int fd = DialHello(port, 1);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(vid, 0xFFFFFFFFu, "exhausted")));
+    EXPECT_TRUE(SpinUntil(
+        [&]() { return replica->decode_failures() == failures + 1; }));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+    ++failures;
+  }
+  {  // An envelope whose session id is not a session id at all.
+    const int fd = DialHello(port, 1);
+    ASSERT_GE(fd, 0);
+    ASSERT_TRUE(SendAll(fd, EnvelopeFrame(/*session=*/42, 1, "not-a-session")));
+    EXPECT_TRUE(SpinUntil(
+        [&]() { return replica->decode_failures() == failures + 1; }));
+    EXPECT_TRUE(PeerClosed(fd));
+    ::close(fd);
+    ++failures;
+  }
+  EXPECT_EQ(sink.handled.load(), 2);  // Only the two valid envelopes landed.
+}
+
+}  // namespace
+}  // namespace basil

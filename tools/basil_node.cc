@@ -31,6 +31,7 @@
 
 #include "src/basil/client.h"
 #include "src/basil/replica.h"
+#include "src/net/gateway.h"
 #include "src/net/peer_config.h"
 #include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
@@ -58,6 +59,12 @@ struct Options {
   uint64_t timeout_s = 120;  // Client role: overall deadline.
   std::string metrics_out;       // Snapshot path ("" = basil_metrics_<id>.json).
   uint64_t metrics_interval_s = 0;  // Periodic snapshot cadence (0 = on demand only).
+  // Client role, session gateway (docs/TRANSPORT.md "Session gateway"): drive
+  // --sessions logical sessions over --lanes pooled connections per replica
+  // instead of one closed loop on one socket.
+  bool gateway = false;
+  uint32_t sessions = 4;
+  uint32_t lanes = 2;
 };
 
 bool ParseArgs(int argc, char** argv, Options* opt) {
@@ -124,6 +131,20 @@ bool ParseArgs(int argc, char** argv, Options* opt) {
         return false;
       }
       opt->metrics_interval_s = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--gateway") {
+      opt->gateway = true;
+    } else if (arg == "--sessions") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->sessions = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--lanes") {
+      const char* v = next();
+      if (v == nullptr) {
+        return false;
+      }
+      opt->lanes = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -368,13 +389,136 @@ int RunClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
   return 0;
 }
 
+// Gateway client driver state, shared by every session's coroutine (all run on
+// the one event loop, so plain counters are safe).
+struct GatewayState {
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+  uint32_t done_sessions = 0;
+};
+
+// One session's share of the closed-loop workload: commits `quota` transactions,
+// retrying aborts with backoff exactly like RunDriver, but reporting into the
+// shared aggregate so PROGRESS/DONE lines cover the whole gateway.
+Task<void> RunSessionDriver(BasilClient* client, const Options* opt,
+                            uint64_t quota, GatewayState* state) {
+  uint64_t i = 0;
+  uint64_t committed = 0;
+  while (committed < quota) {
+    const Key key = "k" + std::to_string(i++ % opt->keys);
+    int backoff_shift = 0;
+    while (true) {
+      ++state->attempts;
+      TxnSession& s = client->BeginTxn();
+      std::optional<Value> v = co_await s.Get(key);
+      const uint64_t counter =
+          v.has_value() ? std::strtoull(v->c_str(), nullptr, 10) + 1 : 1;
+      s.Put(key, std::to_string(counter));
+      const TxnOutcome out = co_await s.Commit();
+      if (out.committed) {
+        ++committed;
+        ++state->committed;
+        if (state->committed % 100 == 0) {
+          std::printf("PROGRESS %llu\n",
+                      static_cast<unsigned long long>(state->committed));
+          std::fflush(stdout);
+        }
+        break;
+      }
+      backoff_shift = std::min(backoff_shift + 1, 8);
+      co_await SleepNs(*client, (1ull << backoff_shift) * 250'000);
+    }
+  }
+  ++state->done_sessions;
+}
+
+// Client role behind the session gateway: N logical sessions multiplexed over
+// `lanes` connections per replica, splitting --txns across the sessions. The
+// runtime must have been built with a SessionMux::ExtendPeers peer table.
+int RunGatewayClient(const DeployConfig& cfg, TcpRuntime& rt, const Topology& topo,
+                     const KeyRegistry& keys, const Options& opt) {
+  const uint64_t start_ns = NowNs();
+  GatewayConfig gcfg;
+  gcfg.lanes = opt.lanes;
+  SessionMux mux(&rt, cfg.num_replicas, gcfg);
+  std::vector<std::unique_ptr<BasilClient>> clients;
+  clients.reserve(opt.sessions);
+  for (uint32_t s = 0; s < opt.sessions; ++s) {
+    SessionRuntime* srt = mux.CreateSession();
+    if (srt == nullptr) {
+      std::fprintf(stderr, "session space exhausted at %u\n", s);
+      return 1;
+    }
+    clients.push_back(std::make_unique<BasilClient>(
+        srt, /*client_id=*/srt->id(), &cfg.basil, &topo, &keys,
+        Rng(cfg.seed * 77 + rt.id() * 131 + s)));
+  }
+  if (!rt.Start()) {
+    return 1;
+  }
+  std::printf("READY client %u gateway sessions=%u lanes=%u\n", rt.id(),
+              opt.sessions, opt.lanes);
+  std::fflush(stdout);
+
+  // Sessions beyond the txn count get no quota (and no coroutine).
+  const uint32_t active = static_cast<uint32_t>(
+      std::min<uint64_t>(opt.sessions, opt.txns));
+  GatewayState state;
+  rt.Execute([&]() {
+    for (uint32_t s = 0; s < opt.sessions; ++s) {
+      const uint64_t quota =
+          opt.txns / opt.sessions + (s < opt.txns % opt.sessions ? 1 : 0);
+      if (quota > 0) {
+        Spawn(RunSessionDriver(clients[s].get(), &opt, quota, &state));
+      }
+    }
+  });
+
+  const bool ok = rt.WaitUntil(
+      [&]() { return state.done_sessions >= active || g_stop != 0; },
+      opt.timeout_s * 1'000'000'000ull);
+  GatewayState final_state;
+  rt.WaitUntil(
+      [&]() {
+        final_state = state;
+        return true;
+      },
+      5'000'000'000ull);
+  rt.Stop();
+  // The loop is stopped: fold every session's protocol counters into one view.
+  Counters merged;
+  for (const auto& c : clients) {
+    merged.Merge(c->counters());
+  }
+  WriteSnapshot(rt, "client", merged, start_ns, SnapshotPath(opt, rt.id()));
+  std::printf("GATEWAY sessions=%u envelopes_tx=%llu envelopes_rx=%llu "
+              "park_events=%llu dropped_sessions=%llu dropped=%llu\n",
+              opt.sessions, static_cast<unsigned long long>(mux.envelopes_tx()),
+              static_cast<unsigned long long>(mux.envelopes_rx()),
+              static_cast<unsigned long long>(mux.park_events()),
+              static_cast<unsigned long long>(mux.dropped_sessions()),
+              static_cast<unsigned long long>(rt.dropped_frames()));
+  std::printf("DONE committed=%llu attempts=%llu\n",
+              static_cast<unsigned long long>(final_state.committed),
+              static_cast<unsigned long long>(final_state.attempts));
+  std::fflush(stdout);
+  if (!ok || final_state.done_sessions < active) {
+    std::fprintf(stderr, "client %u: timed out with %llu/%llu committed\n",
+                 rt.id(), static_cast<unsigned long long>(final_state.committed),
+                 static_cast<unsigned long long>(opt.txns));
+    return 2;
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Options opt;
   if (!ParseArgs(argc, argv, &opt)) {
     std::fprintf(stderr,
                  "usage: basil_node --config <file> --id <node> [--data-dir D] "
                  "[--workers W] [--partitions P] [--txns N] [--keys K] "
-                 "[--timeout S] [--metrics-out PATH] [--metrics-interval S]\n");
+                 "[--timeout S] [--metrics-out PATH] [--metrics-interval S] "
+                 "[--gateway [--sessions N] [--lanes K]]\n");
     return 1;
   }
   DeployConfig cfg;
@@ -396,9 +540,19 @@ int Main(int argc, char** argv) {
   // Deterministic from the shared seed: every process derives the same keys, so
   // signatures made in one process verify in all others.
   const KeyRegistry keys(topo.TotalNodes(), cfg.seed, /*enabled=*/true);
-  TcpRuntime rt(opt.id, cfg.peers, opt.workers);
-  return cfg.is_replica[opt.id] ? RunReplica(cfg, rt, topo, keys, opt)
-                                : RunClient(cfg, rt, topo, keys, opt);
+  // Gateway clients extend the peer table with alias slots: `lanes` distinct
+  // connections per replica (the table is immutable once the runtime exists).
+  const bool gateway_client = opt.gateway && !cfg.is_replica[opt.id];
+  TcpRuntime rt(opt.id,
+                gateway_client
+                    ? SessionMux::ExtendPeers(cfg.peers, cfg.num_replicas, opt.lanes)
+                    : cfg.peers,
+                opt.workers);
+  if (cfg.is_replica[opt.id]) {
+    return RunReplica(cfg, rt, topo, keys, opt);
+  }
+  return gateway_client ? RunGatewayClient(cfg, rt, topo, keys, opt)
+                        : RunClient(cfg, rt, topo, keys, opt);
 }
 
 }  // namespace
